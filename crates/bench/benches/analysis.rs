@@ -1,0 +1,57 @@
+//! Kernel benchmarks for the window-based traffic analysis (the
+//! measurement machinery behind Figs. 5–6 and every design run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stbus_bench::SEED;
+use stbus_traffic::{workloads, ConflictMatrix, WindowStats};
+
+fn bench_window_analysis(c: &mut Criterion) {
+    let app = workloads::matrix::mat2(SEED);
+    let mut group = c.benchmark_group("window_analysis");
+    group.sample_size(20);
+    for ws in [250u64, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::new("mat2", ws), &ws, |b, &ws| {
+            b.iter(|| WindowStats::analyze(&app.trace, ws));
+        });
+    }
+    let fft = workloads::fft::fft(SEED);
+    group.bench_function("fft_ws1000", |b| {
+        b.iter(|| WindowStats::analyze(&fft.trace, 1_000));
+    });
+    group.finish();
+}
+
+fn bench_conflict_matrix(c: &mut Criterion) {
+    let app = workloads::matrix::mat2(SEED);
+    let stats = WindowStats::analyze(&app.trace, 1_000);
+    let mut group = c.benchmark_group("conflict_matrix");
+    group.sample_size(20);
+    for theta in [0.10f64, 0.25, 0.50] {
+        group.bench_with_input(
+            BenchmarkId::new("mat2", format!("{:.0}%", theta * 100.0)),
+            &theta,
+            |b, &theta| {
+                b.iter(|| ConflictMatrix::from_stats_only(&stats, theta));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_burst_detection(c: &mut Criterion) {
+    let app = workloads::synthetic::synthetic20(SEED);
+    let mut group = c.benchmark_group("burst_detection");
+    group.sample_size(20);
+    group.bench_function("synthetic20", |b| {
+        b.iter(|| stbus_traffic::BurstStats::detect(&app.trace, 60));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_analysis,
+    bench_conflict_matrix,
+    bench_burst_detection
+);
+criterion_main!(benches);

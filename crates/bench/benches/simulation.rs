@@ -1,0 +1,52 @@
+//! Benchmarks of the cycle-accurate simulator on the three Table-1
+//! architectures (shared bus, full crossbar, designed partial crossbar).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stbus_bench::{paper_suite, run_suite_app, SEED};
+use stbus_sim::{simulate, CrossbarConfig};
+use stbus_traffic::workloads;
+
+fn bench_architectures(c: &mut Criterion) {
+    let app = paper_suite()
+        .into_iter()
+        .find(|a| a.name() == "Mat2")
+        .expect("Mat2 present");
+    let report = run_suite_app(&app);
+    let designed = report.it_synthesis.config.clone();
+    let num_targets = app.spec.num_targets();
+
+    let mut group = c.benchmark_group("simulate_mat2");
+    group.sample_size(20);
+    group.bench_function("shared_bus", |b| {
+        let cfg = CrossbarConfig::shared_bus(num_targets);
+        b.iter(|| simulate(&app.trace, &cfg));
+    });
+    group.bench_function("full_crossbar", |b| {
+        let cfg = CrossbarConfig::full(num_targets);
+        b.iter(|| simulate(&app.trace, &cfg));
+    });
+    group.bench_function("designed_partial", |b| {
+        b.iter(|| simulate(&app.trace, &designed));
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Simulator throughput across trace sizes (FFT is the densest suite).
+    let mut group = c.benchmark_group("simulate_scaling");
+    group.sample_size(10);
+    for (name, app) in [
+        ("qsort", workloads::qsort::qsort(SEED)),
+        ("fft", workloads::fft::fft(SEED)),
+    ] {
+        let cfg = CrossbarConfig::full(app.spec.num_targets());
+        group.throughput(criterion::Throughput::Elements(app.trace.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(&app.trace, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Solver ablation benchmarks: the specialised exact binding solver vs the
+//! generic simplex/branch-and-bound MILP (the CPLEX stand-in), and the
+//! effect of pre-processing conflicts on search time (paper §5/§6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stbus_bench::{paper_suite, suite_params};
+use stbus_core::{phase1, Preprocessed};
+use stbus_milp::{crossbar, BindingProblem, SolveLimits};
+
+fn mat2_problem(buses: usize) -> (Preprocessed, BindingProblem) {
+    let app = paper_suite()
+        .into_iter()
+        .find(|a| a.name() == "Mat2")
+        .expect("Mat2 present");
+    let params = suite_params(app.name());
+    let collected = phase1::collect(&app, &params);
+    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    let problem = pre.binding_problem(buses);
+    (pre, problem)
+}
+
+fn bench_feasibility_solvers(c: &mut Criterion) {
+    let (_, problem) = mat2_problem(3);
+    let mut group = c.benchmark_group("milp1_feasibility");
+    group.sample_size(10);
+    group.bench_function("specialised", |b| {
+        b.iter(|| {
+            problem
+                .find_feasible(&SolveLimits::default())
+                .expect("within limits")
+        });
+    });
+    group.bench_function("generic_milp", |b| {
+        b.iter(|| crossbar::solve_feasibility_milp(&problem));
+    });
+    group.finish();
+}
+
+fn bench_optimal_binding(c: &mut Criterion) {
+    let (_, problem) = mat2_problem(3);
+    let mut group = c.benchmark_group("milp2_binding");
+    group.sample_size(10);
+    group.bench_function("specialised", |b| {
+        b.iter(|| {
+            problem
+                .optimize(&SolveLimits::default())
+                .expect("within limits")
+        });
+    });
+    group.finish();
+}
+
+fn bench_preprocessing_effect(c: &mut Criterion) {
+    // Pre-processing conflicts prune the search (paper §5: "can also speed
+    // up the process of finding the optimal crossbar configuration").
+    let (pre, with_conflicts) = mat2_problem(3);
+    let n = pre.stats.num_targets();
+    let mut without_conflicts = BindingProblem::new(
+        3,
+        pre.stats.window_size(),
+        (0..n).map(|t| pre.stats.demand_row(t).to_vec()).collect(),
+    )
+    .with_maxtb(pre.maxtb);
+    without_conflicts.set_overlaps(|i, j| pre.stats.overlap_matrix().get(i, j));
+
+    let mut group = c.benchmark_group("preprocessing_ablation");
+    group.sample_size(10);
+    group.bench_function("with_conflicts", |b| {
+        b.iter(|| {
+            with_conflicts
+                .optimize(&SolveLimits::default())
+                .expect("within limits")
+        });
+    });
+    group.bench_function("without_conflicts", |b| {
+        b.iter(|| {
+            without_conflicts
+                .optimize(&SolveLimits::default())
+                .expect("within limits")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feasibility_solvers,
+    bench_optimal_binding,
+    bench_preprocessing_effect
+);
+criterion_main!(benches);

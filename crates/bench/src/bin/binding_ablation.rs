@@ -1,0 +1,75 @@
+//! §7.3 — the effect of binding: random constraint-satisfying binding vs
+//! the overlap-minimising optimal binding, at the same crossbar size.
+//!
+//! Paper reference: random binding incurs on average 2.1× higher average
+//! latency than the optimal binding.
+//!
+//! To isolate the binding objective (MILP-2) from the pre-processing
+//! conflicts — which already encode much of the placement structure — the
+//! comparison runs in the *conservative* regime (threshold at the 50 % cap
+//! and a 4× window), exactly as the paper isolates "random binding …
+//! satisfying the design constraints (Equations 3–9)": with loose windows,
+//! many bindings are feasible and only the overlap objective separates the
+//! good ones from the bad ones.
+
+use stbus_bench::{paper_suite, suite_params, SEED};
+use stbus_core::{baselines, phase1, phase3, phase4, Preprocessed};
+use stbus_report::Table;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Application",
+        "optimal avg lat",
+        "random avg lat (mean of 7)",
+        "random/optimal",
+    ]);
+    let mut ratios = Vec::new();
+    for app in paper_suite() {
+        let params = suite_params(app.name())
+            .with_overlap_threshold(0.5)
+            .with_window_size(4_000);
+        let collected = phase1::collect(&app, &params);
+        let pre_it = Preprocessed::analyze(&collected.it_trace, &params);
+        let pre_ti = Preprocessed::analyze(&collected.ti_trace, &params);
+        let it = phase3::synthesize(&pre_it, &params).expect("synthesis ok");
+        let ti = phase3::synthesize(&pre_ti, &params).expect("synthesis ok");
+        let optimal = phase4::validate(&app.trace, &it.config, &ti.config, &params);
+
+        let mut random_lat = Vec::new();
+        for seed in 0..7u64 {
+            let r_it = baselines::random_binding_design(
+                &pre_it,
+                it.num_buses,
+                SEED ^ seed,
+                &params,
+            )
+            .expect("within limits")
+            .expect("feasible at optimal size");
+            let r_ti = baselines::random_binding_design(
+                &pre_ti,
+                ti.num_buses,
+                SEED ^ (seed + 100),
+                &params,
+            )
+            .expect("within limits")
+            .expect("feasible at optimal size");
+            let v = phase4::validate(&app.trace, &r_it.config, &r_ti.config, &params);
+            random_lat.push(v.avg_latency());
+        }
+        let random_mean = random_lat.iter().sum::<f64>() / random_lat.len() as f64;
+        let ratio = random_mean / optimal.avg_latency();
+        ratios.push(ratio);
+        table.row(vec![
+            app.name().to_string(),
+            format!("{:.1}", optimal.avg_latency()),
+            format!("{random_mean:.1}"),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    println!("Binding ablation (paper: random binding ~2.1x higher average latency)\n");
+    println!("{table}");
+    println!(
+        "mean ratio across suites: {:.2}",
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    );
+}

@@ -1,0 +1,52 @@
+//! Area/energy view of the Table-2 savings.
+//!
+//! The paper motivates partial crossbars with "reduction in number of
+//! communication components used …, design area and design power"; this
+//! experiment expresses the designed-vs-full saving in the first-order
+//! area/energy model of [`stbus_sim::cost`].
+
+use stbus_bench::{paper_suite, run_suite_app};
+use stbus_report::Table;
+use stbus_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    let mut table = Table::new(vec![
+        "Application",
+        "area designed",
+        "area full",
+        "area saving",
+        "energy designed",
+        "energy full",
+        "energy saving",
+    ]);
+    for app in paper_suite() {
+        let report = run_suite_app(&app);
+        let ni = app.spec.num_initiators();
+        let nt = app.spec.num_targets();
+        let cost = |eval: &stbus_core::ConfigEval| {
+            // Request path + response path (the TI crossbar serves the
+            // targets as masters).
+            let it = model.estimate(&eval.it_config, ni, &eval.validation.it_report);
+            let ti = model.estimate(&eval.ti_config, nt, &eval.validation.ti_report);
+            (it.area + ti.area, it.total_energy() + ti.total_energy())
+        };
+        let (designed_area, designed_energy) = cost(&report.designed);
+        let (full_area, full_energy) = cost(&report.full);
+        table.row(vec![
+            report.app_name.clone(),
+            format!("{designed_area:.1}"),
+            format!("{full_area:.1}"),
+            format!("{:.2}x", full_area / designed_area),
+            format!("{designed_energy:.0}"),
+            format!("{full_energy:.0}"),
+            format!("{:.2}x", full_energy / designed_energy),
+        ]);
+    }
+    println!(
+        "Area/energy savings of the designed crossbars vs full crossbars\n\
+         (relative units; dynamic energy tracks traffic, leakage tracks the\n\
+         instantiated buses)\n"
+    );
+    println!("{table}");
+}

@@ -1,0 +1,55 @@
+//! Developer diagnostic: dump the window-analysis structure for one suite.
+
+use stbus_bench::{paper_suite, suite_params};
+use stbus_core::{phase1, Preprocessed};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "Mat2".into());
+    let app = paper_suite()
+        .into_iter()
+        .find(|a| a.name() == which)
+        .expect("known app");
+    let params = suite_params(app.name());
+    let collected = phase1::collect(&app, &params);
+    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    let stats = &pre.stats;
+    println!(
+        "{}: {} targets, {} windows of {} cycles, horizon {}",
+        app.name(),
+        stats.num_targets(),
+        stats.num_windows(),
+        stats.window_size(),
+        stats.horizon()
+    );
+    println!(
+        "peak window demand {} -> bandwidth LB {}",
+        stats.peak_window_demand(),
+        stats.peak_window_demand().div_ceil(stats.window_size())
+    );
+    println!(
+        "conflicts: {} pairs, clique LB {}, pigeonhole {}",
+        pre.conflicts.num_conflicts(),
+        pre.conflicts.clique_lower_bound(),
+        stats.num_targets().div_ceil(pre.maxtb)
+    );
+    println!("overall bus lower bound: {}", pre.bus_lower_bound());
+    let n = stats.num_targets();
+    println!("\nmax-window pairwise overlap matrix (threshold limit {}):",
+        (params.overlap_threshold * stats.window_size() as f64) as u64);
+    for i in 0..n {
+        let row: Vec<String> = (0..n)
+            .map(|j| {
+                if i == j {
+                    "    .".into()
+                } else {
+                    format!("{:5}", stats.max_window_overlap(i, j))
+                }
+            })
+            .collect();
+        println!("T{i:<2} {}", row.join(" "));
+    }
+    println!("\nper-target total busy cycles:");
+    for t in 0..n {
+        println!("  T{t}: {}", stats.total_comm(t));
+    }
+}

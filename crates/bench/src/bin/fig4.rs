@@ -1,0 +1,52 @@
+//! Fig. 4 — relative packet latencies: average-flow design vs window
+//! design, normalised to the full crossbar.
+//!
+//! Paper reference: the `avg` bars sit 4–7× above the full crossbar while
+//! the `win` bars stay within a small factor of it, across all five suites.
+
+use stbus_bench::{paper_suite, run_suite_app};
+use stbus_report::Table;
+
+fn main() {
+    let mut fig4a = Table::new(vec!["Application", "avg", "win"]);
+    let mut fig4b = Table::new(vec!["Application", "avg", "win"]);
+    let mut detail = Table::new(vec![
+        "Application",
+        "full lat",
+        "designed lat",
+        "avg-based lat",
+        "avg buses",
+        "designed buses",
+        "avg/win ratio",
+    ]);
+    for app in paper_suite() {
+        let report = run_suite_app(&app);
+        fig4a.row(vec![
+            report.app_name.clone(),
+            format!("{:.2}", report.relative_avg_latency(&report.avg_based)),
+            format!("{:.2}", report.relative_avg_latency(&report.designed)),
+        ]);
+        fig4b.row(vec![
+            report.app_name.clone(),
+            format!("{:.2}", report.relative_max_latency(&report.avg_based)),
+            format!("{:.2}", report.relative_max_latency(&report.designed)),
+        ]);
+        detail.row(vec![
+            report.app_name.clone(),
+            format!("{:.1}", report.full.avg_latency),
+            format!("{:.1}", report.designed.avg_latency),
+            format!("{:.1}", report.avg_based.avg_latency),
+            format!("{}", report.avg_based.total_buses()),
+            format!("{}", report.designed.total_buses()),
+            format!(
+                "{:.2}",
+                report.avg_based.avg_latency / report.designed.avg_latency
+            ),
+        ]);
+    }
+    println!("Fig 4(a): relative AVERAGE packet latency (normalised to full crossbar)\n");
+    println!("{fig4a}");
+    println!("Fig 4(b): relative MAXIMUM packet latency (normalised to full crossbar)\n");
+    println!("{fig4b}");
+    println!("Detail:\n\n{detail}");
+}

@@ -1,0 +1,55 @@
+//! Fig. 5(b) — acceptable window size vs application burst size.
+//!
+//! For each typical burst size the "acceptable" window is the smallest
+//! analysis window whose design already reaches the economical size the
+//! methodology converges to for that burst (the knee of Fig. 5a). The
+//! paper reports a near-linear relation (window ≈ a few × burst).
+
+use stbus_bench::SEED;
+use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_report::Series;
+use stbus_traffic::workloads::synthetic::{self, SyntheticParams};
+
+fn design_size(app: &stbus_traffic::Application, ws: u64) -> usize {
+    let params = DesignParams::default().with_window_size(ws);
+    let collected = phase1::collect(app, &params);
+    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    phase3::synthesize(&pre, &params)
+        .expect("synthesis ok")
+        .num_buses
+}
+
+fn main() {
+    let mut series = Series::new("acceptable window size vs burst size (Fig 5b)");
+    println!("burst size | converged size | acceptable window");
+    println!("-----------+----------------+------------------");
+    for burst in [1_000u64, 2_000, 3_000, 4_000, 5_000] {
+        let app = synthetic::with_params(
+            &SyntheticParams::default().with_burst_span(burst),
+            SEED.wrapping_add(burst),
+        );
+        // The economical size the design converges to for large windows.
+        let converged = design_size(&app, 4 * burst);
+        // Smallest window (on a burst-relative grid) reaching that size.
+        let mut acceptable = 4 * burst;
+        for frac_num in 1..=16u64 {
+            let ws = (burst * frac_num) / 4; // burst/4 steps
+            if ws == 0 {
+                continue;
+            }
+            if design_size(&app, ws) <= converged {
+                acceptable = ws;
+                break;
+            }
+        }
+        series.point(burst as f64, acceptable as f64);
+        println!("{burst:>10} | {converged:>14} | {acceptable:>17}");
+    }
+    println!();
+    println!("{}", series.to_csv());
+    // Least-squares slope through the origin, for the linearity claim.
+    let pts = series.points();
+    let slope: f64 = pts.iter().map(|&(x, y)| x * y).sum::<f64>()
+        / pts.iter().map(|&(x, _)| x * x).sum::<f64>();
+    println!("fitted window/burst slope: {slope:.2} (paper: roughly linear)");
+}

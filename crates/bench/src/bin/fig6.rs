@@ -1,0 +1,38 @@
+//! Fig. 6 — initiator→target crossbar size vs overlap threshold, on the
+//! 20-core synthetic benchmark.
+//!
+//! Paper reference: the size falls as the threshold rises, and thresholds
+//! beyond 50 % of the window are meaningless (such pairs violate the
+//! window bandwidth constraint outright). Aggressive designs sit around
+//! 10 %, conservative ones at 30–40 %.
+
+use stbus_bench::SEED;
+use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_report::Series;
+use stbus_traffic::workloads::synthetic;
+
+fn main() {
+    let app = synthetic::synthetic20(SEED);
+    let thresholds = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50];
+
+    let mut series = Series::new("IT crossbar size vs overlap threshold (Fig 6)");
+    println!(
+        "threshold % | IT crossbar size (full = {})",
+        app.spec.num_targets()
+    );
+    println!("------------+------------------");
+    for theta in thresholds {
+        let params = DesignParams::default().with_overlap_threshold(theta);
+        let collected = phase1::collect(&app, &params);
+        let pre = Preprocessed::analyze(&collected.it_trace, &params);
+        let outcome = phase3::synthesize(&pre, &params).expect("synthesis ok");
+        series.point(theta * 100.0, outcome.num_buses as f64);
+        println!("{:>10}% | {:>3}", (theta * 100.0) as u32, outcome.num_buses);
+    }
+    println!();
+    println!("{}", series.to_csv());
+    assert!(
+        series.is_monotone_decreasing(),
+        "size must not increase with the threshold"
+    );
+}

@@ -1,0 +1,65 @@
+//! Exact vs heuristic synthesis: solution quality and runtime.
+//!
+//! The exact branch-and-bound is the production path for STbus-scale
+//! crossbars (≤ 32 targets). The greedy + local-search heuristic trades
+//! optimality proofs for polynomial time; this experiment quantifies the
+//! trade on the paper suites and on a 32-target stress instance.
+
+use stbus_bench::{paper_suite, suite_params, SEED};
+use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_report::Table;
+use stbus_traffic::workloads::synthetic::{self, SyntheticParams};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Instance",
+        "exact buses",
+        "heur buses",
+        "exact maxov",
+        "heur maxov",
+        "exact time",
+        "heur time",
+    ]);
+    for app in paper_suite() {
+        let params = suite_params(app.name());
+        let collected = phase1::collect(&app, &params);
+        let pre = Preprocessed::analyze(&collected.it_trace, &params);
+        row(&mut table, app.name(), &pre, &params);
+    }
+
+    // Stress instance: 16 processors + 16 memories (32 targets across both
+    // directions is the STbus architectural maximum).
+    let stress = synthetic::with_params(
+        &SyntheticParams {
+            processors: 16,
+            ..SyntheticParams::default()
+        },
+        SEED,
+    );
+    let params = DesignParams::default();
+    let collected = phase1::collect(&stress, &params);
+    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    row(&mut table, "Stress16", &pre, &params);
+
+    println!("Exact vs heuristic synthesis (IT direction):\n");
+    println!("{table}");
+}
+
+fn row(table: &mut Table, name: &str, pre: &Preprocessed, params: &DesignParams) {
+    let t0 = Instant::now();
+    let exact = phase3::synthesize(pre, params).expect("exact ok");
+    let exact_time = t0.elapsed();
+    let t0 = Instant::now();
+    let heur = phase3::synthesize_heuristic(pre, params).expect("heuristic ok");
+    let heur_time = t0.elapsed();
+    table.row(vec![
+        name.to_string(),
+        format!("{}", exact.num_buses),
+        format!("{}", heur.num_buses),
+        format!("{}", exact.max_bus_overlap),
+        format!("{}", heur.max_bus_overlap),
+        format!("{exact_time:.2?}"),
+        format!("{heur_time:.2?}"),
+    ]);
+}

@@ -1,0 +1,43 @@
+//! §7.3 — real-time streams: critical traffic on the designed crossbar
+//! achieves latency close to the full-crossbar ideal.
+//!
+//! Paper reference: "Experimental results on the benchmark applications
+//! show a very low packet latency (almost equal to the latency of perfect
+//! communication using a full crossbar) for such streams."
+
+use stbus_bench::{paper_suite, run_suite_app};
+use stbus_report::Table;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Application",
+        "critical packets",
+        "designed crit avg lat",
+        "full crit avg lat",
+        "designed/full",
+    ]);
+    for app in paper_suite() {
+        let report = run_suite_app(&app);
+        let designed = report.designed.validation.critical_latency();
+        let full = report.full.validation.critical_latency();
+        if designed.count == 0 {
+            table.row(vec![
+                app.name().to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        table.row(vec![
+            app.name().to_string(),
+            format!("{}", designed.count),
+            format!("{:.1}", designed.mean),
+            format!("{:.1}", full.mean),
+            format!("{:.2}", designed.mean / full.mean),
+        ]);
+    }
+    println!("Real-time streams (paper: designed ~= full-crossbar latency)\n");
+    println!("{table}");
+}

@@ -1,0 +1,51 @@
+//! Table 1 — crossbar performance and cost on the 21-core Mat2 benchmark.
+//!
+//! Paper reference:
+//!
+//! | Type    | Avg lat | Max lat | Size ratio |
+//! |---------|--------:|--------:|-----------:|
+//! | shared  |    35.1 |      51 |          1 |
+//! | full    |       6 |       9 |       10.5 |
+//! | partial |     9.9 |      20 |          4 |
+//!
+//! The size ratio is the total bus count (both crossbars) normalised to the
+//! shared-bus system (2 buses).
+
+use stbus_bench::{paper_suite, run_suite_app};
+use stbus_report::Table;
+
+fn main() {
+    let app = paper_suite()
+        .into_iter()
+        .find(|a| a.name() == "Mat2")
+        .expect("Mat2 present");
+    let report = run_suite_app(&app);
+
+    let shared_buses = report.shared.total_buses() as f64;
+    let mut table = Table::new(vec![
+        "Type",
+        "Average Lat (in cy)",
+        "Maximum Lat (in cy)",
+        "Size Ratio",
+    ]);
+    for eval in [&report.shared, &report.full, &report.designed] {
+        let label = if eval.label == "designed" {
+            "partial (designed)"
+        } else {
+            &eval.label
+        };
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", eval.avg_latency),
+            format!("{}", eval.max_latency),
+            format!("{:.2}", eval.total_buses() as f64 / shared_buses),
+        ]);
+    }
+    println!("Table 1: crossbar performance and cost (Mat2, 21 cores)");
+    println!("Paper:   shared 35.1/51/1  full 6/9/10.5  partial 9.9/20/4\n");
+    println!("{table}");
+    println!(
+        "designed configuration: IT {} buses, TI {} buses",
+        report.it_synthesis.num_buses, report.ti_synthesis.num_buses
+    );
+}

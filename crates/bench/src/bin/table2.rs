@@ -1,0 +1,36 @@
+//! Table 2 — crossbar component savings across the five benchmark suites.
+//!
+//! Paper reference (bus counts, full vs designed, ratio):
+//! Mat1 25→8 (3.13), Mat2 21→6 (3.5), FFT 29→15 (1.93),
+//! QSort 15→6 (2.5), DES 19→6 (3.12).
+
+use stbus_bench::{paper_suite, run_suite_app};
+use stbus_report::Table;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Application",
+        "Full crossbar bus count",
+        "Designed crossbar bus count",
+        "Ratio",
+        "IT buses",
+        "TI buses",
+        "Avg lat (designed)",
+        "Avg lat (full)",
+    ]);
+    for app in paper_suite() {
+        let report = run_suite_app(&app);
+        table.row(vec![
+            report.app_name.clone(),
+            format!("{}", report.full.total_buses()),
+            format!("{}", report.designed.total_buses()),
+            format!("{:.2}", report.component_saving()),
+            format!("{}", report.it_synthesis.num_buses),
+            format!("{}", report.ti_synthesis.num_buses),
+            format!("{:.1}", report.designed.avg_latency),
+            format!("{:.1}", report.full.avg_latency),
+        ]);
+    }
+    println!("Table 2: component savings (paper: 3.13 / 3.5 / 1.93 / 2.5 / 3.12)\n");
+    println!("{table}");
+}

@@ -1,0 +1,68 @@
+//! §8 future-work extension — variable simulation window sizes.
+//!
+//! The paper closes with: "In future, we plan to analyze the effect of
+//! using variable simulation window sizes for the design for guaranteeing
+//! Quality-of-Service (QoS) for applications." This experiment implements
+//! that direction: activity-adaptive windows keep fine resolution where
+//! traffic is dense (preserving the design quality of small windows) and
+//! merge quiet stretches (shrinking the constraint system the MILP has to
+//! carry).
+
+use stbus_bench::{paper_suite, suite_params};
+use stbus_core::{phase1, phase3, phase4, Preprocessed};
+use stbus_report::Table;
+use stbus_sim::CrossbarConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "Application",
+        "uniform windows",
+        "adaptive windows",
+        "uniform IT buses",
+        "adaptive IT buses",
+        "uniform synth time",
+        "adaptive synth time",
+        "adaptive avg lat",
+    ]);
+    for app in paper_suite() {
+        let uniform = suite_params(app.name());
+        let adaptive = uniform
+            .clone()
+            .with_adaptive_windows(8 * uniform.window_size, 0.05);
+
+        let collected = phase1::collect(&app, &uniform);
+        let pre_u = Preprocessed::analyze(&collected.it_trace, &uniform);
+        let pre_a = Preprocessed::analyze(&collected.it_trace, &adaptive);
+
+        let t0 = Instant::now();
+        let out_u = phase3::synthesize(&pre_u, &uniform).expect("ok");
+        let time_u = t0.elapsed();
+        let t0 = Instant::now();
+        let out_a = phase3::synthesize(&pre_a, &adaptive).expect("ok");
+        let time_a = t0.elapsed();
+
+        let validation = phase4::validate(
+            &app.trace,
+            &out_a.config,
+            &CrossbarConfig::full(app.spec.num_initiators()),
+            &adaptive,
+        );
+
+        table.row(vec![
+            app.name().to_string(),
+            format!("{}", pre_u.stats.num_windows()),
+            format!("{}", pre_a.stats.num_windows()),
+            format!("{}", out_u.num_buses),
+            format!("{}", out_a.num_buses),
+            format!("{time_u:.2?}"),
+            format!("{time_a:.2?}"),
+            format!("{:.1}", validation.avg_latency()),
+        ]);
+    }
+    println!(
+        "Variable window sizes (paper §8 future work): adaptive plans merge\n\
+         quiet windows while dense regions keep the fine resolution.\n"
+    );
+    println!("{table}");
+}

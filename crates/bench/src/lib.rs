@@ -1,0 +1,94 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each binary in `src/bin/` reproduces one experiment:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — shared vs full vs designed partial crossbar on Mat2 |
+//! | `table2` | Table 2 — bus-count savings across the five suites |
+//! | `fig4`   | Fig. 4(a)/(b) — relative avg/max latency, avg-flow vs window design |
+//! | `fig5a`  | Fig. 5(a) — crossbar size vs analysis window size |
+//! | `fig5b`  | Fig. 5(b) — acceptable window size vs burst size |
+//! | `fig6`   | Fig. 6 — crossbar size vs overlap threshold |
+//! | `binding_ablation` | §7.3 — random vs optimal binding latency |
+//! | `realtime` | §7.3 — latency of critical (real-time) streams |
+//! | `solver_ablation` | §6 — specialised solver vs generic MILP runtime |
+//! | `fig4_posted` | Fig. 4 sensitivity to master queue depth |
+//! | `variable_windows` | §8 future work — adaptive window plans |
+//! | `heuristic_ablation` | exact vs heuristic synthesis |
+//! | `arbitration_ablation` | arbitration policies on the designed crossbars |
+//! | `cost_report` | Table-2 savings as first-order area/energy |
+//! | `debug_conflicts` | developer diagnostic: window/conflict dump |
+//!
+//! The Criterion benches in `benches/` measure the synthesis kernels
+//! themselves (window analysis, feasibility search, optimal binding).
+//!
+//! Per-application design parameters live in [`suite_params`]; the paper
+//! tunes the window size per application (§7.2), and so do we.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stbus_core::{DesignFlow, DesignParams, DesignReport};
+use stbus_traffic::workloads::{self, Application};
+
+/// The base seed every experiment uses (reproducibility).
+pub const SEED: u64 = 0xDA7E_2005;
+
+/// Per-application design parameters.
+///
+/// The paper tunes the analysis parameters per application (window size
+/// roughly 1–4× the typical burst, threshold 10 % for aggressive designs
+/// and 30–40 % for conservative ones). These are the settings used for the
+/// headline tables.
+#[must_use]
+pub fn suite_params(app_name: &str) -> DesignParams {
+    let base = DesignParams::default();
+    match app_name {
+        // Aggressive threshold (paper §7.4: ~10–15 % for aggressive
+        // designs) — the matrix pipelines and the DES pipeline have clear
+        // phase structure worth separating.
+        "Mat1" | "Mat2" | "DES" => base.with_overlap_threshold(0.15),
+        // FFT's barrier traffic overlaps uniformly: only the conservative
+        // 50 % cap is meaningful (below it, every pair conflicts and the
+        // "designed" crossbar degenerates to a full one). Responses are
+        // short acknowledgements for the write-heavy exchanges.
+        "FFT" => base.with_overlap_threshold(0.50).with_response_scale(0.9),
+        _ => base,
+    }
+}
+
+/// Generates the five paper suites with their designated seeds.
+#[must_use]
+pub fn paper_suite() -> Vec<Application> {
+    workloads::paper_suite(SEED)
+}
+
+/// Runs the full design flow on one application with its suite parameters.
+///
+/// # Panics
+///
+/// Panics if synthesis exceeds solver limits (does not happen for the
+/// shipped suites).
+#[must_use]
+pub fn run_suite_app(app: &Application) -> DesignReport {
+    DesignFlow::new(suite_params(app.name()))
+        .run(app)
+        .expect("suite synthesis stays within solver limits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_distinguish_apps() {
+        assert!(suite_params("FFT").response_scale < 1.0);
+        assert_eq!(suite_params("Mat2").response_scale, 1.0);
+    }
+
+    #[test]
+    fn suite_has_five_apps() {
+        assert_eq!(paper_suite().len(), 5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Phase 2 — pre-processing: window analysis and conflict extraction.
+//!
+//! The collected trace is divided into windows of `WS` cycles and the
+//! per-window statistics of Definition 2 are computed. Pre-processing then
+//! identifies (paper §5):
+//!
+//! * pairs of targets whose overlap exceeds the threshold in *any* window —
+//!   these must go on separate buses (reduces latency and prunes the
+//!   search);
+//! * pairs of targets with overlapping *critical* streams — separating them
+//!   is what makes per-stream real-time guarantees possible;
+//! * the `maxtb` cap bounding worst-case serialisation.
+
+use crate::params::{DesignParams, Windowing};
+use stbus_milp::BindingProblem;
+use stbus_traffic::{ConflictMatrix, Trace, WindowPlan, WindowStats};
+
+/// Products of the pre-processing phase for one crossbar direction.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Windowed traffic statistics.
+    pub stats: WindowStats,
+    /// The conflict matrix `c(i,j)` of Eq. (2).
+    pub conflicts: ConflictMatrix,
+    /// The per-bus target cap in force.
+    pub maxtb: usize,
+}
+
+impl Preprocessed {
+    /// Runs the analysis over an observed trace, honouring the window
+    /// layout policy of the parameters.
+    #[must_use]
+    pub fn analyze(trace: &Trace, params: &DesignParams) -> Self {
+        let stats = match params.windowing {
+            Windowing::Uniform => WindowStats::analyze(trace, params.window_size),
+            Windowing::Adaptive {
+                coarse,
+                quiet_threshold,
+            } => WindowPlan::adaptive(trace, params.window_size, coarse, quiet_threshold)
+                .analyze(trace),
+        };
+        let conflicts = ConflictMatrix::from_stats_only(&stats, params.overlap_threshold);
+        Self {
+            stats,
+            conflicts,
+            maxtb: params.maxtb,
+        }
+    }
+
+    /// Lower bound on the number of buses any feasible design needs:
+    /// the max over windows of total demand divided by `WS`, the greedy
+    /// clique bound of the conflict graph, and the `maxtb` pigeonhole
+    /// bound.
+    #[must_use]
+    pub fn bus_lower_bound(&self) -> usize {
+        // Per-window bandwidth bound (each window uses its own length, so
+        // this stays tight for variable plans).
+        let bw = (0..self.stats.num_windows())
+            .map(|m| {
+                self.stats
+                    .window_demand(m)
+                    .div_ceil(self.stats.window_len(m))
+            })
+            .max()
+            .unwrap_or(0);
+        let bw = usize::try_from(bw).unwrap_or(usize::MAX);
+        let clique = self.conflicts.clique_lower_bound();
+        let pigeonhole = self.stats.num_targets().div_ceil(self.maxtb);
+        bw.max(clique).max(pigeonhole).max(1)
+    }
+
+    /// Builds the binding problem (Eq. 3–9 data) for a candidate bus count.
+    #[must_use]
+    pub fn binding_problem(&self, num_buses: usize) -> BindingProblem {
+        let n = self.stats.num_targets();
+        let demands: Vec<Vec<u64>> = (0..n)
+            .map(|t| self.stats.demand_row(t).to_vec())
+            .collect();
+        let capacities: Vec<u64> = (0..self.stats.num_windows())
+            .map(|m| self.stats.window_len(m))
+            .collect();
+        let mut problem = BindingProblem::with_capacities(num_buses, capacities, demands)
+            .with_maxtb(self.maxtb);
+        for (i, j) in self.conflicts.pairs() {
+            problem.add_conflict(i, j);
+        }
+        problem.set_overlaps(|i, j| self.stats.overlap_matrix().get(i, j));
+        problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_traffic::{InitiatorId, TargetId, TraceEvent};
+
+    fn two_peak_trace() -> Trace {
+        // Two targets fully overlapping in window 0, a third alone later.
+        let mut tr = Trace::new(2, 3);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 80));
+        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 0, 80));
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(2), 200, 40));
+        tr.finish_sorting();
+        tr
+    }
+
+    fn params() -> DesignParams {
+        DesignParams::default()
+            .with_window_size(100)
+            .with_overlap_threshold(0.5)
+    }
+
+    #[test]
+    fn analysis_dimensions() {
+        let pre = Preprocessed::analyze(&two_peak_trace(), &params());
+        assert_eq!(pre.stats.num_targets(), 3);
+        assert_eq!(pre.stats.window_size(), 100);
+        assert_eq!(pre.maxtb, 4);
+    }
+
+    #[test]
+    fn overlap_above_threshold_conflicts() {
+        // 80-cycle overlap in a 100-cycle window, threshold 0.5 → conflict.
+        let pre = Preprocessed::analyze(&two_peak_trace(), &params());
+        assert!(pre.conflicts.conflicts(0, 1));
+        assert!(!pre.conflicts.conflicts(0, 2));
+        assert!(!pre.conflicts.conflicts(1, 2));
+    }
+
+    #[test]
+    fn lower_bound_combines_three_sources() {
+        let pre = Preprocessed::analyze(&two_peak_trace(), &params());
+        // Bandwidth: window 0 holds 160 cycles of demand over WS=100 → 2.
+        // Clique: the (0,1) conflict also forces 2.
+        assert_eq!(pre.bus_lower_bound(), 2);
+    }
+
+    #[test]
+    fn pigeonhole_bound_kicks_in() {
+        let tr = {
+            let mut tr = Trace::new(1, 9);
+            for t in 0..9 {
+                tr.push(TraceEvent::new(
+                    InitiatorId::new(0),
+                    TargetId::new(t),
+                    (t as u64) * 500,
+                    10,
+                ));
+            }
+            tr.finish_sorting();
+            tr
+        };
+        let p = DesignParams::default().with_window_size(100).with_maxtb(2);
+        let pre = Preprocessed::analyze(&tr, &p);
+        assert_eq!(pre.bus_lower_bound(), 5); // ceil(9/2)
+    }
+
+    #[test]
+    fn adaptive_windowing_reduces_window_count() {
+        // A sparse trace with one dense region: adaptive analysis merges
+        // the quiet stretches without changing the design outcome.
+        let mut tr = Trace::new(1, 2);
+        for k in 0..5u64 {
+            tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), k * 30, 25));
+        }
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(1), 5_000, 40));
+        tr.finish_sorting();
+        let uniform = params().with_window_size(100);
+        let adaptive = uniform.clone().with_adaptive_windows(1_600, 0.05);
+        let pre_u = Preprocessed::analyze(&tr, &uniform);
+        let pre_a = Preprocessed::analyze(&tr, &adaptive);
+        assert!(pre_a.stats.num_windows() < pre_u.stats.num_windows());
+        // The binding problem still carries one capacity per window.
+        let prob = pre_a.binding_problem(2);
+        assert_eq!(prob.num_windows(), pre_a.stats.num_windows());
+    }
+
+    #[test]
+    fn binding_problem_carries_everything() {
+        let pre = Preprocessed::analyze(&two_peak_trace(), &params());
+        let problem = pre.binding_problem(2);
+        assert_eq!(problem.num_targets(), 3);
+        assert_eq!(problem.num_buses(), 2);
+        assert!(problem.conflicts(0, 1));
+        assert_eq!(problem.overlap(0, 1), 80);
+        assert_eq!(problem.window_size(), 100);
+        assert_eq!(problem.maxtb(), 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Phase 3 — optimal crossbar synthesis (the paper's §6 algorithm).
+//!
+//! Two steps:
+//!
+//! 1. **Configuration search (MILP-1)** — binary search over the bus count
+//!    for the minimum size whose feasibility MILP (Eq. 3–9) admits a
+//!    solution. Feasibility is monotone in the bus count (any binding
+//!    remains valid with extra buses), so binary search is sound.
+//! 2. **Optimal binding (MILP-2)** — for the minimum size, minimise
+//!    `maxov`, the maximum aggregate pairwise overlap on any single bus
+//!    (Eq. 11), which is what reduces average and peak latency.
+
+use crate::params::DesignParams;
+use crate::phase2::Preprocessed;
+use stbus_milp::{Binding, NodeLimitExceeded};
+use stbus_sim::CrossbarConfig;
+
+/// Result of the synthesis phase for one crossbar direction.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The designed configuration.
+    pub config: CrossbarConfig,
+    /// The optimal binding backing the configuration.
+    pub binding: Binding,
+    /// Number of buses in the design.
+    pub num_buses: usize,
+    /// The lower bound the binary search started from.
+    pub lower_bound: usize,
+    /// Bus counts probed by the binary search, with their feasibility.
+    pub probes: Vec<(usize, bool)>,
+    /// The minimised maximum per-bus overlap (`maxov`).
+    pub max_bus_overlap: u64,
+}
+
+/// Synthesises the minimum crossbar and its optimal binding.
+///
+/// # Errors
+///
+/// Propagates [`NodeLimitExceeded`] if the exact solver exhausts its
+/// node budget (raise [`DesignParams::solve_limits`] for pathological
+/// instances).
+pub fn synthesize(
+    pre: &Preprocessed,
+    params: &DesignParams,
+) -> Result<SynthesisOutcome, NodeLimitExceeded> {
+    let n = pre.stats.num_targets();
+    if n == 0 {
+        return Ok(SynthesisOutcome {
+            config: CrossbarConfig::from_assignment(Vec::new(), 1)
+                .expect("empty assignment is valid"),
+            binding: Binding::from_assignment(Vec::new()),
+            num_buses: 1,
+            lower_bound: 1,
+            probes: Vec::new(),
+            max_bus_overlap: 0,
+        });
+    }
+
+    // Binary search the minimum feasible bus count in [lb, n]. A full
+    // crossbar (one bus per target) is always feasible because the window
+    // analysis guarantees comm(i,m) ≤ WS.
+    let mut lo = pre.bus_lower_bound();
+    let mut hi = n;
+    let mut probes = Vec::new();
+    let mut best_feasible: Option<(usize, Binding)> = None;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let problem = pre.binding_problem(mid);
+        match problem.find_feasible(&params.solve_limits)? {
+            Some(binding) => {
+                probes.push((mid, true));
+                best_feasible = Some((mid, binding));
+                hi = mid;
+            }
+            None => {
+                probes.push((mid, false));
+                lo = mid + 1;
+            }
+        }
+    }
+    let num_buses = lo;
+
+    // MILP-2: optimal binding at the minimum size.
+    let problem = pre.binding_problem(num_buses);
+    let binding = match problem.optimize(&params.solve_limits)? {
+        Some(b) => b,
+        None => {
+            // lo == hi == n and the loop never probed n: fall back to the
+            // last feasible probe or the trivially feasible full binding.
+            match best_feasible {
+                Some((buses, b)) if buses == num_buses => b,
+                _ => {
+                    let full: Vec<usize> = (0..n).collect();
+                    Binding::from_assignment(full)
+                }
+            }
+        }
+    };
+
+    let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), num_buses)
+        .expect("solver produced a valid assignment")
+        .with_arbitration(params.arbitration);
+    let max_bus_overlap = binding.max_bus_overlap();
+    Ok(SynthesisOutcome {
+        config,
+        num_buses,
+        lower_bound: pre.bus_lower_bound(),
+        probes,
+        binding,
+        max_bus_overlap,
+    })
+}
+
+/// Heuristic variant of the synthesis phase: scans bus counts upward from
+/// the lower bound using the greedy + local-search solver of
+/// [`stbus_milp::heuristic`]. Polynomial time, but without optimality or
+/// infeasibility proofs — intended for large design-space sweeps where the
+/// exact search is too slow; the `solver_ablation` experiment quantifies
+/// the quality gap (none, on the paper suites).
+///
+/// # Errors
+///
+/// Never fails with the default heuristic options; the `Result` mirrors
+/// [`synthesize`] so callers can swap the two paths freely.
+pub fn synthesize_heuristic(
+    pre: &Preprocessed,
+    params: &DesignParams,
+) -> Result<SynthesisOutcome, NodeLimitExceeded> {
+    let n = pre.stats.num_targets();
+    if n == 0 {
+        return synthesize(pre, params);
+    }
+    let options = stbus_milp::HeuristicOptions::default();
+    let lower_bound = pre.bus_lower_bound();
+    let mut probes = Vec::new();
+    for buses in lower_bound..=n {
+        let problem = pre.binding_problem(buses);
+        match stbus_milp::solve_heuristic(&problem, &options) {
+            Some(binding) => {
+                probes.push((buses, true));
+                let config =
+                    CrossbarConfig::from_assignment(binding.assignment().to_vec(), buses)
+                        .expect("heuristic produced a valid assignment")
+                        .with_arbitration(params.arbitration);
+                let max_bus_overlap = binding.max_bus_overlap();
+                return Ok(SynthesisOutcome {
+                    config,
+                    num_buses: buses,
+                    lower_bound,
+                    probes,
+                    binding,
+                    max_bus_overlap,
+                });
+            }
+            None => probes.push((buses, false)),
+        }
+    }
+    // The full crossbar always fits; greedy construction cannot miss it.
+    let full: Vec<usize> = (0..n).collect();
+    let binding = Binding::from_assignment(full);
+    let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), n)
+        .expect("full binding valid")
+        .with_arbitration(params.arbitration);
+    Ok(SynthesisOutcome {
+        config,
+        num_buses: n,
+        lower_bound,
+        probes,
+        binding,
+        max_bus_overlap: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stbus_traffic::{InitiatorId, TargetId, Trace, TraceEvent};
+
+    fn params(ws: u64, threshold: f64) -> DesignParams {
+        DesignParams::default()
+            .with_window_size(ws)
+            .with_overlap_threshold(threshold)
+    }
+
+    fn pre_of(trace: &Trace, p: &DesignParams) -> Preprocessed {
+        Preprocessed::analyze(trace, p)
+    }
+
+    #[test]
+    fn single_idle_target_gets_one_bus() {
+        let mut tr = Trace::new(1, 1);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
+        let p = params(100, 0.5);
+        let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
+        assert_eq!(out.num_buses, 1);
+        assert!(out.config.is_full());
+    }
+
+    #[test]
+    fn bandwidth_forces_minimum_size() {
+        // Three targets, each 60 busy cycles in the same 100-cycle window:
+        // 180/100 → at least 2 buses; pairwise any two = 120 > 100 → 3.
+        let mut tr = Trace::new(3, 3);
+        for t in 0..3 {
+            tr.push(TraceEvent::new(InitiatorId::new(t), TargetId::new(t), 0, 60));
+        }
+        let p = params(100, 1.0); // threshold above 0.6 → no conflicts
+        let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
+        assert_eq!(out.num_buses, 3);
+    }
+
+    #[test]
+    fn disjoint_traffic_shares_one_bus() {
+        // Four targets active in different windows → one bus suffices
+        // (maxtb = 4 allows it).
+        let mut tr = Trace::new(1, 4);
+        for t in 0..4 {
+            tr.push(TraceEvent::new(
+                InitiatorId::new(0),
+                TargetId::new(t),
+                (t as u64) * 100,
+                90,
+            ));
+        }
+        let p = params(100, 0.5);
+        let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
+        assert_eq!(out.num_buses, 1);
+        assert_eq!(out.config.max_targets_per_bus(), 4);
+    }
+
+    #[test]
+    fn maxtb_caps_sharing() {
+        let mut tr = Trace::new(1, 4);
+        for t in 0..4 {
+            tr.push(TraceEvent::new(
+                InitiatorId::new(0),
+                TargetId::new(t),
+                (t as u64) * 100,
+                90,
+            ));
+        }
+        let p = params(100, 0.5).with_maxtb(2);
+        let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
+        assert_eq!(out.num_buses, 2);
+        assert!(out.config.max_targets_per_bus() <= 2);
+    }
+
+    #[test]
+    fn conflicts_expand_the_crossbar() {
+        // Two targets with full overlap and a tight threshold must split.
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 40));
+        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 0, 40));
+        let loose = params(100, 0.5);
+        let out = synthesize(&pre_of(&tr, &loose), &loose).unwrap();
+        assert_eq!(out.num_buses, 1);
+        let tight = params(100, 0.1);
+        let out = synthesize(&pre_of(&tr, &tight), &tight).unwrap();
+        assert_eq!(out.num_buses, 2);
+    }
+
+    #[test]
+    fn binding_satisfies_all_constraints() {
+        let app = stbus_traffic::workloads::matrix::mat2(11);
+        let p = DesignParams::default();
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let out = synthesize(&pre, &p).unwrap();
+        let problem = pre.binding_problem(out.num_buses);
+        assert_eq!(
+            problem.verify(&out.binding),
+            Some(out.max_bus_overlap),
+            "synthesised binding violates its own constraints"
+        );
+    }
+
+    #[test]
+    fn minimality_certificate() {
+        // The probe list must contain an infeasible probe at num_buses-1
+        // or the lower bound must equal num_buses.
+        let app = stbus_traffic::workloads::matrix::mat2(13);
+        let p = DesignParams::default();
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let out = synthesize(&pre, &p).unwrap();
+        if out.num_buses > out.lower_bound {
+            assert!(
+                out.probes.contains(&(out.num_buses - 1, false)),
+                "no infeasibility certificate below the chosen size"
+            );
+        }
+        // And the chosen size itself must be feasible.
+        let problem = pre.binding_problem(out.num_buses);
+        assert!(problem
+            .find_feasible(&p.solve_limits)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn heuristic_matches_exact_on_mat2() {
+        let app = stbus_traffic::workloads::matrix::mat2(17);
+        let p = DesignParams::default().with_overlap_threshold(0.15);
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let exact = synthesize(&pre, &p).unwrap();
+        let heuristic = synthesize_heuristic(&pre, &p).unwrap();
+        assert_eq!(heuristic.num_buses, exact.num_buses);
+        // The heuristic's objective must verify and stay close to optimal.
+        let problem = pre.binding_problem(heuristic.num_buses);
+        assert_eq!(
+            problem.verify(&heuristic.binding),
+            Some(heuristic.max_bus_overlap)
+        );
+        assert!(heuristic.max_bus_overlap <= 2 * exact.max_bus_overlap.max(1));
+    }
+
+    #[test]
+    fn empty_system() {
+        let tr = Trace::new(0, 0);
+        let p = params(100, 0.3);
+        let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
+        assert_eq!(out.num_buses, 1);
+        assert!(out.binding.assignment().is_empty());
+    }
+}

@@ -1,0 +1,824 @@
+//! Specialised exact solver for the crossbar binding problem.
+//!
+//! The paper's MILPs have a very particular structure: assign each target
+//! to exactly one bus (Eq. 3) subject to per-window bus capacity (Eq. 4),
+//! pairwise conflicts (Eq. 7) and a per-bus cardinality cap (Eq. 8); then
+//! minimise the maximum summed pairwise overlap on any bus (Eq. 11).
+//! That is bin packing with conflicts plus a min-max quadratic-ish
+//! objective — ideal territory for a backtracking search with:
+//!
+//! * **per-window bandwidth propagation** — a candidate bus is rejected the
+//!   moment any window would overflow `WS`;
+//! * **conflict forward-checking** — buses containing a conflicting target
+//!   are never tried;
+//! * **bus symmetry breaking** — empty buses are interchangeable, so only
+//!   the first one is branched on;
+//! * **decreasing-demand target ordering** — the classic first-fail
+//!   heuristic for packing problems;
+//! * **incumbent pruning** in optimisation mode — a partial assignment
+//!   whose max per-bus overlap already reaches the incumbent is cut.
+//!
+//! The search is exact: it proves infeasibility or optimality (subject to
+//! the configurable node limit, which is reported honestly as an error
+//! rather than silently returning a wrong answer).
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Search effort limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolveLimits {
+    /// Maximum number of (target, bus) branch attempts.
+    pub max_nodes: u64,
+}
+
+impl Default for SolveLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 20_000_000,
+        }
+    }
+}
+
+/// Error returned when the node budget is exhausted before the search
+/// completed. The partial answer is withheld: an incomplete search cannot
+/// prove feasibility *or* infeasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLimitExceeded {
+    /// The limit that was hit.
+    pub limit: u64,
+}
+
+impl fmt::Display for NodeLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binding search exceeded the {}-node limit", self.limit)
+    }
+}
+
+impl Error for NodeLimitExceeded {}
+
+/// A complete target→bus assignment together with its objective value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    assignment: Vec<usize>,
+    max_bus_overlap: u64,
+}
+
+impl Binding {
+    /// Builds a binding from a raw assignment with the objective left at 0
+    /// (use [`BindingProblem::verify`] to recompute it).
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        Self {
+            assignment,
+            max_bus_overlap: 0,
+        }
+    }
+
+    /// Builds a binding from a raw assignment and a known objective value.
+    #[must_use]
+    pub fn from_assignment_with_overlap(assignment: Vec<usize>, max_bus_overlap: u64) -> Self {
+        Self {
+            assignment,
+            max_bus_overlap,
+        }
+    }
+
+    /// The bus index assigned to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn bus_of(&self, target: usize) -> usize {
+        self.assignment[target]
+    }
+
+    /// The raw assignment vector, indexed by target.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The maximum summed pairwise overlap on any single bus — the
+    /// `maxov` objective of the paper's MILP-2.
+    #[must_use]
+    pub fn max_bus_overlap(&self) -> u64 {
+        self.max_bus_overlap
+    }
+
+    /// Groups targets per bus: `result[k]` lists the targets bound to bus
+    /// `k` in increasing order.
+    #[must_use]
+    pub fn buses(&self, num_buses: usize) -> Vec<Vec<usize>> {
+        let mut buses = vec![Vec::new(); num_buses];
+        for (t, &k) in self.assignment.iter().enumerate() {
+            buses[k].push(t);
+        }
+        buses
+    }
+
+    /// Number of buses actually used (non-empty).
+    #[must_use]
+    pub fn used_buses(&self) -> usize {
+        let mut seen: Vec<usize> = self.assignment.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// The crossbar binding problem: Eq. (3)–(9) data plus the overlap matrix
+/// that drives the MILP-2 objective.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BindingProblem {
+    num_targets: usize,
+    num_buses: usize,
+    num_windows: usize,
+    window_size: u64,
+    /// Per-window bus capacity in cycles (Eq. 4 right-hand sides). For the
+    /// paper's uniform windows every entry equals `window_size`; variable
+    /// window plans (§8 future work) supply heterogeneous capacities.
+    capacities: Vec<u64>,
+    /// `demands[t][m]` = `comm(t, m)`.
+    demands: Vec<Vec<u64>>,
+    /// Packed symmetric conflict matrix.
+    conflicts: Vec<bool>,
+    maxtb: usize,
+    /// Full symmetric overlap matrix `om` (may be all zeros when only
+    /// feasibility matters).
+    overlap: Vec<u64>,
+}
+
+impl BindingProblem {
+    /// Creates a problem from per-target per-window demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_buses == 0`, `window_size == 0`, the demand rows have
+    /// inconsistent lengths, or any single demand exceeds the window size
+    /// (such an instance is trivially infeasible and indicates an analysis
+    /// bug upstream).
+    #[must_use]
+    pub fn new(num_buses: usize, window_size: u64, demands: Vec<Vec<u64>>) -> Self {
+        assert!(window_size > 0, "window size must be positive");
+        let num_windows = demands.first().map_or(0, Vec::len);
+        Self::with_capacities(num_buses, vec![window_size; num_windows], demands)
+    }
+
+    /// Creates a problem with **per-window capacities** (variable window
+    /// plans): window `m`'s bandwidth constraint is
+    /// `Σ_i comm(i,m)·x(i,k) ≤ capacities[m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BindingProblem::new`], or if
+    /// the capacity vector's length disagrees with the demand rows.
+    #[must_use]
+    pub fn with_capacities(
+        num_buses: usize,
+        capacities: Vec<u64>,
+        demands: Vec<Vec<u64>>,
+    ) -> Self {
+        assert!(num_buses > 0, "at least one bus required");
+        let num_targets = demands.len();
+        let num_windows = demands.first().map_or(0, Vec::len);
+        assert_eq!(
+            capacities.len(),
+            num_windows,
+            "one capacity per window required"
+        );
+        assert!(
+            capacities.iter().all(|&c| c > 0) || num_windows == 0,
+            "window capacities must be positive"
+        );
+        for (t, row) in demands.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                num_windows,
+                "target {t} has inconsistent window count"
+            );
+            for (m, &d) in row.iter().enumerate() {
+                assert!(
+                    d <= capacities[m],
+                    "target {t} demands {d} > capacity {} in window {m}",
+                    capacities[m]
+                );
+            }
+        }
+        let window_size = capacities.iter().copied().max().unwrap_or(1);
+        Self {
+            num_targets,
+            num_buses,
+            num_windows,
+            window_size,
+            capacities,
+            demands,
+            conflicts: vec![false; num_targets * num_targets],
+            maxtb: usize::MAX,
+            overlap: vec![0; num_targets * num_targets],
+        }
+    }
+
+    /// Adds a pairwise conflict (Eq. 2/7) and returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or out of range.
+    #[must_use]
+    pub fn with_conflict(mut self, i: usize, j: usize) -> Self {
+        self.add_conflict(i, j);
+        self
+    }
+
+    /// Adds a pairwise conflict in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or out of range.
+    pub fn add_conflict(&mut self, i: usize, j: usize) {
+        assert!(i != j, "self-conflict");
+        assert!(i < self.num_targets && j < self.num_targets);
+        self.conflicts[i * self.num_targets + j] = true;
+        self.conflicts[j * self.num_targets + i] = true;
+    }
+
+    /// Sets the per-bus target cap `maxtb` (Eq. 8) and returns `self`.
+    #[must_use]
+    pub fn with_maxtb(mut self, maxtb: usize) -> Self {
+        assert!(maxtb > 0, "maxtb must allow at least one target per bus");
+        self.maxtb = maxtb;
+        self
+    }
+
+    /// Sets the aggregate overlap `om(i,j)` used by the optimisation
+    /// objective, and returns `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or `i == j`.
+    #[must_use]
+    pub fn with_overlap(mut self, i: usize, j: usize, value: u64) -> Self {
+        assert!(i != j && i < self.num_targets && j < self.num_targets);
+        self.overlap[i * self.num_targets + j] = value;
+        self.overlap[j * self.num_targets + i] = value;
+        self
+    }
+
+    /// Bulk-loads a symmetric overlap matrix via a callback.
+    pub fn set_overlaps(&mut self, mut om: impl FnMut(usize, usize) -> u64) {
+        for i in 0..self.num_targets {
+            for j in (i + 1)..self.num_targets {
+                let v = om(i, j);
+                self.overlap[i * self.num_targets + j] = v;
+                self.overlap[j * self.num_targets + i] = v;
+            }
+        }
+    }
+
+    /// Number of targets.
+    #[must_use]
+    pub fn num_targets(&self) -> usize {
+        self.num_targets
+    }
+
+    /// Number of buses.
+    #[must_use]
+    pub fn num_buses(&self) -> usize {
+        self.num_buses
+    }
+
+    /// Number of analysis windows.
+    #[must_use]
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// The window size `WS` in cycles (maximum capacity for variable
+    /// plans).
+    #[must_use]
+    pub fn window_size(&self) -> u64 {
+        self.window_size
+    }
+
+    /// The bandwidth capacity of window `m` (Eq. 4 right-hand side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    #[must_use]
+    pub fn capacity(&self, window: usize) -> u64 {
+        self.capacities[window]
+    }
+
+    /// The demand `comm(target, window)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn demand(&self, target: usize, window: usize) -> u64 {
+        self.demands[target][window]
+    }
+
+    /// The per-bus target cap `maxtb` (Eq. 8); `usize::MAX` when uncapped.
+    #[must_use]
+    pub fn maxtb(&self) -> usize {
+        self.maxtb
+    }
+
+    /// Whether targets `i` and `j` conflict.
+    #[must_use]
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.conflicts[i * self.num_targets + j]
+    }
+
+    /// The overlap coefficient `om(i,j)`.
+    #[must_use]
+    pub fn overlap(&self, i: usize, j: usize) -> u64 {
+        self.overlap[i * self.num_targets + j]
+    }
+
+    /// Verifies that `binding` satisfies every constraint; returns the
+    /// recomputed max per-bus overlap on success.
+    #[must_use]
+    pub fn verify(&self, binding: &Binding) -> Option<u64> {
+        if binding.assignment.len() != self.num_targets {
+            return None;
+        }
+        if binding.assignment.iter().any(|&k| k >= self.num_buses) {
+            return None;
+        }
+        let buses = binding.buses(self.num_buses);
+        let mut max_ov = 0u64;
+        for members in &buses {
+            if members.len() > self.maxtb {
+                return None;
+            }
+            // Conflicts.
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    if self.conflicts(i, j) {
+                        return None;
+                    }
+                }
+            }
+            // Window capacity.
+            for m in 0..self.num_windows {
+                let load: u64 = members.iter().map(|&t| self.demands[t][m]).sum();
+                if load > self.capacities[m] {
+                    return None;
+                }
+            }
+            // Overlap objective.
+            let mut ov = 0u64;
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    ov += self.overlap(i, j);
+                }
+            }
+            max_ov = max_ov.max(ov);
+        }
+        Some(max_ov)
+    }
+
+    /// Finds any feasible binding (the paper's MILP-1, Eq. 10).
+    ///
+    /// Returns `Ok(None)` when the instance is provably infeasible.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] when the search budget runs out before a
+    /// definitive answer.
+    pub fn find_feasible(
+        &self,
+        limits: &SolveLimits,
+    ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        self.search(limits, None)
+    }
+
+    /// Finds the binding minimising the maximum per-bus overlap (the
+    /// paper's MILP-2, Eq. 11). Returns `Ok(None)` when infeasible.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] when the search budget runs out before
+    /// optimality is proven.
+    pub fn optimize(&self, limits: &SolveLimits) -> Result<Option<Binding>, NodeLimitExceeded> {
+        // Seed the incumbent with any feasible solution so pruning bites
+        // immediately.
+        let seed = self.search(limits, None)?;
+        match seed {
+            None => Ok(None),
+            Some(feasible) => {
+                let best = self.search(limits, Some(feasible.max_bus_overlap))?;
+                Ok(Some(best.unwrap_or(feasible)))
+            }
+        }
+    }
+
+    /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
+    /// binding with max overlap strictly below `b` and keeps improving.
+    fn search(
+        &self,
+        limits: &SolveLimits,
+        incumbent_bound: Option<u64>,
+    ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        if self.num_targets == 0 {
+            return Ok(Some(Binding {
+                assignment: Vec::new(),
+                max_bus_overlap: 0,
+            }));
+        }
+
+        // Target order: decreasing max-window demand, then conflict degree.
+        let mut order: Vec<usize> = (0..self.num_targets).collect();
+        let key = |t: usize| {
+            let max_d = self.demands[t].iter().copied().max().unwrap_or(0);
+            let total: u64 = self.demands[t].iter().sum();
+            let degree = (0..self.num_targets).filter(|&u| self.conflicts(t, u)).count();
+            (max_d, degree as u64, total)
+        };
+        order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
+
+        // Sparse demand lists.
+        let sparse: Vec<Vec<(usize, u64)>> = (0..self.num_targets)
+            .map(|t| {
+                self.demands[t]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d > 0)
+                    .map(|(m, &d)| (m, d))
+                    .collect()
+            })
+            .collect();
+
+        struct State {
+            used: Vec<Vec<u64>>,      // [bus][window]
+            members: Vec<Vec<usize>>, // [bus]
+            bus_overlap: Vec<u64>,    // [bus]
+        }
+        let mut st = State {
+            used: vec![vec![0; self.num_windows]; self.num_buses],
+            members: vec![Vec::new(); self.num_buses],
+            bus_overlap: vec![0; self.num_buses],
+        };
+
+        let mut nodes = 0u64;
+        let mut best: Option<Binding> = None;
+        let mut bound = incumbent_bound;
+        let optimizing = incumbent_bound.is_some();
+
+        // Iterative DFS with explicit stack of (depth, bus-to-try-next).
+        // Simpler: recursive closure via a helper function.
+        fn dfs(
+            problem: &BindingProblem,
+            order: &[usize],
+            sparse: &[Vec<(usize, u64)>],
+            st: &mut State,
+            depth: usize,
+            nodes: &mut u64,
+            limits: &SolveLimits,
+            bound: &mut Option<u64>,
+            optimizing: bool,
+            best: &mut Option<Binding>,
+            assignment: &mut Vec<usize>,
+        ) -> Result<bool, NodeLimitExceeded> {
+            if depth == order.len() {
+                let max_ov = st.bus_overlap.iter().copied().max().unwrap_or(0);
+                let binding = Binding {
+                    assignment: {
+                        let mut a = vec![0usize; order.len()];
+                        for (d, &t) in order.iter().enumerate() {
+                            a[t] = assignment[d];
+                        }
+                        a
+                    },
+                    max_bus_overlap: max_ov,
+                };
+                if optimizing {
+                    *bound = Some(max_ov);
+                    *best = Some(binding);
+                    return Ok(false); // keep searching for better
+                }
+                *best = Some(binding);
+                return Ok(true); // first feasible suffices
+            }
+            let t = order[depth];
+            let mut tried_empty = false;
+            // Candidate buses; in optimisation mode order by added overlap.
+            let mut candidates: Vec<(u64, usize)> = Vec::with_capacity(problem.num_buses);
+            for k in 0..problem.num_buses {
+                if st.members[k].is_empty() {
+                    if tried_empty {
+                        continue; // symmetry: all empty buses equivalent
+                    }
+                    tried_empty = true;
+                }
+                let added: u64 = st.members[k]
+                    .iter()
+                    .map(|&u| problem.overlap(t, u))
+                    .sum();
+                candidates.push((added, k));
+            }
+            if optimizing {
+                candidates.sort_by_key(|&(added, _)| added);
+            }
+            for (added, k) in candidates {
+                *nodes += 1;
+                if *nodes > limits.max_nodes {
+                    return Err(NodeLimitExceeded {
+                        limit: limits.max_nodes,
+                    });
+                }
+                if st.members[k].len() >= problem.maxtb {
+                    continue;
+                }
+                if st.members[k].iter().any(|&u| problem.conflicts(t, u)) {
+                    continue;
+                }
+                if let Some(b) = *bound {
+                    if st.bus_overlap[k] + added >= b {
+                        continue;
+                    }
+                }
+                // Window capacity check.
+                let fits = sparse[t]
+                    .iter()
+                    .all(|&(m, d)| st.used[k][m] + d <= problem.capacities[m]);
+                if !fits {
+                    continue;
+                }
+                // Apply.
+                for &(m, d) in &sparse[t] {
+                    st.used[k][m] += d;
+                }
+                st.members[k].push(t);
+                st.bus_overlap[k] += added;
+                assignment.push(k);
+
+                let done = dfs(
+                    problem, order, sparse, st, depth + 1, nodes, limits, bound,
+                    optimizing, best, assignment,
+                )?;
+
+                // Undo.
+                assignment.pop();
+                st.bus_overlap[k] -= added;
+                st.members[k].pop();
+                for &(m, d) in &sparse[t] {
+                    st.used[k][m] -= d;
+                }
+                if done {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+
+        let mut assignment = Vec::with_capacity(self.num_targets);
+        dfs(
+            self,
+            &order,
+            &sparse,
+            &mut st,
+            0,
+            &mut nodes,
+            limits,
+            &mut bound,
+            optimizing,
+            &mut best,
+            &mut assignment,
+        )?;
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> SolveLimits {
+        SolveLimits::default()
+    }
+
+    #[test]
+    fn trivial_single_bus() {
+        let p = BindingProblem::new(1, 100, vec![vec![30], vec![40]]);
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        assert_eq!(b.bus_of(0), b.bus_of(1));
+        assert_eq!(p.verify(&b), Some(0));
+    }
+
+    #[test]
+    fn bandwidth_forces_split() {
+        // 60 + 50 > 100 → two buses needed; with two buses feasible.
+        let p1 = BindingProblem::new(1, 100, vec![vec![60], vec![50]]);
+        assert_eq!(p1.find_feasible(&limits()).unwrap(), None);
+        let p2 = BindingProblem::new(2, 100, vec![vec![60], vec![50]]);
+        let b = p2.find_feasible(&limits()).unwrap().expect("feasible");
+        assert_ne!(b.bus_of(0), b.bus_of(1));
+    }
+
+    #[test]
+    fn per_window_not_aggregate() {
+        // Aggregate demand fits easily, but both peak in window 0.
+        let p = BindingProblem::new(1, 100, vec![vec![80, 0], vec![30, 0]]);
+        assert_eq!(p.find_feasible(&limits()).unwrap(), None);
+        // Shifting the peaks apart makes one bus fine.
+        let p = BindingProblem::new(1, 100, vec![vec![80, 0], vec![0, 30]]);
+        assert!(p.find_feasible(&limits()).unwrap().is_some());
+    }
+
+    #[test]
+    fn conflicts_respected() {
+        let p = BindingProblem::new(2, 100, vec![vec![10], vec![10], vec![10]])
+            .with_conflict(0, 1)
+            .with_conflict(1, 2);
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        assert_ne!(b.bus_of(0), b.bus_of(1));
+        assert_ne!(b.bus_of(1), b.bus_of(2));
+    }
+
+    #[test]
+    fn conflict_triangle_needs_three_buses() {
+        let demands = vec![vec![1], vec![1], vec![1]];
+        let triangle = |p: BindingProblem| p.with_conflict(0, 1).with_conflict(1, 2).with_conflict(0, 2);
+        let p2 = triangle(BindingProblem::new(2, 100, demands.clone()));
+        assert_eq!(p2.find_feasible(&limits()).unwrap(), None);
+        let p3 = triangle(BindingProblem::new(3, 100, demands));
+        assert!(p3.find_feasible(&limits()).unwrap().is_some());
+    }
+
+    #[test]
+    fn maxtb_enforced() {
+        let p = BindingProblem::new(1, 1000, vec![vec![1]; 5]).with_maxtb(4);
+        assert_eq!(p.find_feasible(&limits()).unwrap(), None);
+        let p = BindingProblem::new(2, 1000, vec![vec![1]; 5]).with_maxtb(4);
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        let buses = b.buses(2);
+        assert!(buses.iter().all(|bus| bus.len() <= 4));
+    }
+
+    #[test]
+    fn optimize_minimises_max_overlap() {
+        // Four targets, two buses, capacity ample. Overlaps: (0,1)=100,
+        // (2,3)=90, everything else 10. Optimal: split 0|1 and 2|3 →
+        // pairs (0,2)/(1,3) style grouping with max overlap 10.
+        let mut p = BindingProblem::new(2, 1000, vec![vec![10]; 4]);
+        p.set_overlaps(|i, j| match (i, j) {
+            (0, 1) => 100,
+            (2, 3) => 90,
+            _ => 10,
+        });
+        let b = p.optimize(&limits()).unwrap().expect("feasible");
+        assert_ne!(b.bus_of(0), b.bus_of(1));
+        assert_ne!(b.bus_of(2), b.bus_of(3));
+        // Each bus holds two targets forming one cross pair of overlap 10.
+        assert_eq!(b.max_bus_overlap(), 10);
+        assert_eq!(p.verify(&b), Some(b.max_bus_overlap()));
+    }
+
+    #[test]
+    fn optimize_matches_verify() {
+        let mut p = BindingProblem::new(3, 100, vec![vec![40, 10], vec![30, 20], vec![20, 60], vec![10, 30]]);
+        p.set_overlaps(|i, j| ((i + 1) * (j + 1)) as u64);
+        let b = p.optimize(&limits()).unwrap().expect("feasible");
+        assert_eq!(p.verify(&b), Some(b.max_bus_overlap()));
+    }
+
+    #[test]
+    fn optimize_is_no_worse_than_any_feasible() {
+        // Exhaustively enumerate all assignments for a small instance and
+        // confirm optimality.
+        let mut p = BindingProblem::new(2, 100, vec![vec![30], vec![30], vec![30], vec![5]]);
+        p.set_overlaps(|i, j| (7 * (i + 1) + 3 * (j + 1)) as u64);
+        let best = p.optimize(&limits()).unwrap().expect("feasible");
+        let mut brute = u64::MAX;
+        for mask in 0..(1u32 << 4) {
+            let assignment: Vec<usize> =
+                (0..4).map(|t| ((mask >> t) & 1) as usize).collect();
+            let candidate = Binding {
+                assignment,
+                max_bus_overlap: 0,
+            };
+            if let Some(ov) = p.verify(&candidate) {
+                brute = brute.min(ov);
+            }
+        }
+        assert_eq!(best.max_bus_overlap(), brute);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = BindingProblem::new(2, 100, Vec::new());
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        assert!(b.assignment().is_empty());
+        assert_eq!(b.max_bus_overlap(), 0);
+    }
+
+    #[test]
+    fn node_limit_is_honest() {
+        // Big enough to not finish in 3 nodes.
+        let p = BindingProblem::new(4, 100, vec![vec![26]; 12]);
+        let err = p
+            .find_feasible(&SolveLimits { max_nodes: 3 })
+            .expect_err("should exceed");
+        assert_eq!(err.limit, 3);
+        assert!(err.to_string().contains("3-node"));
+    }
+
+    #[test]
+    #[should_panic(expected = "demands 150 > capacity 100")]
+    fn oversized_demand_panics() {
+        let _ = BindingProblem::new(1, 100, vec![vec![150]]);
+    }
+
+    #[test]
+    fn variable_capacities_respected() {
+        // Window 0 is tight (cap 50), window 1 roomy (cap 200): targets
+        // peaking together in window 0 must split even though a uniform
+        // 200-capacity plan would let them share.
+        let p = BindingProblem::with_capacities(
+            2,
+            vec![50, 200],
+            vec![vec![30, 100], vec![30, 80]],
+        );
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        assert_ne!(b.bus_of(0), b.bus_of(1));
+        assert_eq!(p.verify(&b), Some(0));
+
+        let uniform = BindingProblem::new(2, 200, vec![vec![30, 100], vec![30, 80]]);
+        let bu = uniform.find_feasible(&limits()).unwrap().expect("feasible");
+        // With uniform capacity 200 sharing is allowed.
+        assert!(uniform
+            .verify(&Binding::from_assignment(vec![0, 0]))
+            .is_some());
+        assert!(uniform.verify(&bu).is_some());
+    }
+
+    #[test]
+    fn capacity_accessor_reports_plan() {
+        let p = BindingProblem::with_capacities(1, vec![10, 20], vec![vec![5, 15]]);
+        assert_eq!(p.capacity(0), 10);
+        assert_eq!(p.capacity(1), 20);
+        assert_eq!(p.window_size(), 20); // max capacity
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per window")]
+    fn capacity_arity_checked() {
+        let _ = BindingProblem::with_capacities(1, vec![10], vec![vec![5, 5]]);
+    }
+
+    #[test]
+    fn verify_rejects_bad_bindings() {
+        let p = BindingProblem::new(2, 100, vec![vec![60], vec![60]]).with_conflict(0, 1);
+        // Same bus: violates both capacity and conflict.
+        let bad = Binding {
+            assignment: vec![0, 0],
+            max_bus_overlap: 0,
+        };
+        assert_eq!(p.verify(&bad), None);
+        // Out-of-range bus.
+        let oob = Binding {
+            assignment: vec![0, 5],
+            max_bus_overlap: 0,
+        };
+        assert_eq!(p.verify(&oob), None);
+        // Wrong arity.
+        let short = Binding {
+            assignment: vec![0],
+            max_bus_overlap: 0,
+        };
+        assert_eq!(p.verify(&short), None);
+    }
+
+    #[test]
+    fn used_buses_counts_distinct() {
+        let b = Binding {
+            assignment: vec![0, 2, 0, 2],
+            max_bus_overlap: 0,
+        };
+        assert_eq!(b.used_buses(), 2);
+        assert_eq!(b.buses(3)[0], vec![0, 2]);
+        assert_eq!(b.buses(3)[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn tight_packing_found() {
+        // 6 targets of demand 50 into 3 buses of 100: perfect packing.
+        let p = BindingProblem::new(3, 100, vec![vec![50]; 6]);
+        let b = p.find_feasible(&limits()).unwrap().expect("feasible");
+        let buses = b.buses(3);
+        assert!(buses.iter().all(|bus| bus.len() == 2));
+    }
+
+    #[test]
+    fn infeasible_packing_proven() {
+        // 7 targets of demand 50 into 3 buses of 100 → needs 4.
+        let p = BindingProblem::new(3, 100, vec![vec![50]; 7]);
+        assert_eq!(p.find_feasible(&limits()).unwrap(), None);
+    }
+}

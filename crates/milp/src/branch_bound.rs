@@ -1,0 +1,349 @@
+//! Generic branch & bound over the binary variables of a [`Model`].
+//!
+//! Each node solves the LP relaxation with tightened variable bounds
+//! ([`BoundOverrides`]); fractional binaries are branched on
+//! most-fractional-first. The solver supports a pure *feasibility* mode
+//! (the paper's MILP-1 has no objective — Eq. 10) that stops at the first
+//! integral solution.
+
+use crate::model::{Model, Sense};
+use crate::simplex::{solve_lp, BoundOverrides, LpOutcome, TOL};
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct MilpOptions {
+    /// Stop at the first integer-feasible solution (MILP-1 style).
+    pub feasibility_only: bool,
+    /// Hard cap on explored nodes (guards against pathological inputs).
+    pub max_nodes: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for MilpOptions {
+    fn default() -> Self {
+        Self {
+            feasibility_only: false,
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpOutcome {
+    /// Optimal (or first-found, in feasibility mode) integral solution.
+    Optimal {
+        /// Value per variable.
+        values: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No integral solution exists.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+    /// Node limit exhausted before the search completed.
+    NodeLimit,
+}
+
+impl MilpOutcome {
+    /// The solution values, if optimal.
+    #[must_use]
+    pub fn values(&self) -> Option<&[f64]> {
+        match self {
+            MilpOutcome::Optimal { values, .. } => Some(values),
+            _ => None,
+        }
+    }
+
+    /// The objective value, if optimal.
+    #[must_use]
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            MilpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+}
+
+/// Solves the model by branch & bound.
+#[must_use]
+pub fn solve(model: &Model, options: &MilpOptions) -> MilpOutcome {
+    let integer_vars: Vec<usize> = model.integer_vars().iter().map(|v| v.index()).collect();
+    let better = |a: f64, b: f64| match model.sense() {
+        Sense::Minimize => a < b - TOL,
+        Sense::Maximize => a > b + TOL,
+    };
+
+    let mut stack: Vec<BoundOverrides> = vec![BoundOverrides::none()];
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut nodes = 0usize;
+    let mut saw_unbounded_root = false;
+
+    while let Some(overrides) = stack.pop() {
+        nodes += 1;
+        if nodes > options.max_nodes {
+            return MilpOutcome::NodeLimit;
+        }
+        match solve_lp(model, &overrides) {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => {
+                if nodes == 1 {
+                    saw_unbounded_root = true;
+                }
+                // An unbounded relaxation of a node with all binaries is
+                // only possible through continuous vars; no bound to use —
+                // we cannot prune, but branching on binaries may still
+                // close it. If no integer vars remain fractional we cannot
+                // improve; treat as unbounded overall.
+                if integer_vars.is_empty() {
+                    return MilpOutcome::Unbounded;
+                }
+                // Branch on the first unfixed binary to make progress.
+                if let Some(&v) = integer_vars.iter().find(|&&v| {
+                    let (lb, ub) = effective_bounds(model, &overrides, v);
+                    ub - lb > 0.5
+                }) {
+                    push_children(&mut stack, &overrides, v, 0.0);
+                } else if saw_unbounded_root {
+                    return MilpOutcome::Unbounded;
+                }
+                continue;
+            }
+            LpOutcome::Optimal { values, objective } => {
+                // Bound: prune nodes worse than the incumbent.
+                if let Some((_, inc_obj)) = &incumbent {
+                    if !better(objective, *inc_obj) {
+                        continue;
+                    }
+                }
+                // Find most fractional integer variable.
+                let mut branch_var: Option<(usize, f64)> = None;
+                let mut best_frac = options.int_tol;
+                for &v in &integer_vars {
+                    let frac = (values[v] - values[v].round()).abs();
+                    if frac > best_frac {
+                        best_frac = frac;
+                        branch_var = Some((v, values[v]));
+                    }
+                }
+                match branch_var {
+                    None => {
+                        // Integral solution.
+                        let rounded: Vec<f64> = values
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| {
+                                if integer_vars.contains(&i) {
+                                    v.round()
+                                } else {
+                                    v
+                                }
+                            })
+                            .collect();
+                        if options.feasibility_only {
+                            return MilpOutcome::Optimal {
+                                values: rounded,
+                                objective,
+                            };
+                        }
+                        let accept = incumbent
+                            .as_ref()
+                            .map_or(true, |(_, inc)| better(objective, *inc));
+                        if accept {
+                            incumbent = Some((rounded, objective));
+                        }
+                    }
+                    Some((v, val)) => {
+                        push_children(&mut stack, &overrides, v, val);
+                    }
+                }
+            }
+        }
+    }
+
+    match incumbent {
+        Some((values, objective)) => MilpOutcome::Optimal { values, objective },
+        None if saw_unbounded_root => MilpOutcome::Unbounded,
+        None => MilpOutcome::Infeasible,
+    }
+}
+
+fn effective_bounds(model: &Model, overrides: &BoundOverrides, var: usize) -> (f64, f64) {
+    let (lb, ub) = model.bounds(crate::model::VarId(var));
+    overrides.bounds_for(var, lb, ub)
+}
+
+fn push_children(
+    stack: &mut Vec<BoundOverrides>,
+    overrides: &BoundOverrides,
+    var: usize,
+    val: f64,
+) {
+    let floor = val.floor();
+    let mut down = overrides.clone();
+    down.restrict(var, f64::NEG_INFINITY, floor);
+    let mut up = overrides.clone();
+    up.restrict(var, floor + 1.0, f64::INFINITY);
+    // Explore the side nearest the fractional value first (depth-first).
+    if val - floor > 0.5 {
+        stack.push(down);
+        stack.push(up);
+    } else {
+        stack.push(up);
+        stack.push(down);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c with 3a + 4b + 2c <= 6 → a+c? values:
+        // a+b: w=7 no; a+c: w=5 v=17; b+c: w=6 v=20 → optimum 20.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.binary_var("a");
+        let b = m.binary_var("b");
+        let c = m.binary_var("c");
+        m.constrain(
+            LinExpr::new().term(a, 3.0).term(b, 4.0).term(c, 2.0),
+            Cmp::Le,
+            6.0,
+        );
+        m.set_objective(LinExpr::new().term(a, 10.0).term(b, 13.0).term(c, 7.0));
+        let out = solve(&m, &MilpOptions::default());
+        assert_close(out.objective().expect("optimal"), 20.0);
+        let v = out.values().unwrap();
+        assert_close(v[a.index()], 0.0);
+        assert_close(v[b.index()], 1.0);
+        assert_close(v[c.index()], 1.0);
+    }
+
+    #[test]
+    fn infeasible_binary_system() {
+        // x + y >= 3 with two binaries is impossible.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 3.0);
+        assert_eq!(solve(&m, &MilpOptions::default()), MilpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_mode_returns_first_integral() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 1.0);
+        let out = solve(
+            &m,
+            &MilpOptions {
+                feasibility_only: true,
+                ..MilpOptions::default()
+            },
+        );
+        let v = out.values().expect("feasible");
+        assert!(v[x.index()] + v[y.index()] >= 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min y s.t. y >= 1.5 x, y >= 1.5 (1 - x), y continuous, x binary.
+        // Either branch gives y = 1.5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.continuous_var("y", 0.0, 10.0);
+        m.constrain(LinExpr::new().term(y, 1.0).term(x, -1.5), Cmp::Ge, 0.0);
+        m.constrain(LinExpr::new().term(y, 1.0).term(x, 1.5), Cmp::Ge, 1.5);
+        m.set_objective(LinExpr::new().term(y, 1.0));
+        let out = solve(&m, &MilpOptions::default());
+        assert_close(out.objective().expect("optimal"), 1.5);
+    }
+
+    #[test]
+    fn equality_partition() {
+        // Exactly one of three binaries set (Eq. 3 in miniature).
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..3).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut sum = LinExpr::new();
+        for &v in &vars {
+            sum.add_term(v, 1.0);
+        }
+        m.constrain(sum, Cmp::Eq, 1.0);
+        m.set_objective(
+            LinExpr::new()
+                .term(vars[0], 1.0)
+                .term(vars[1], 5.0)
+                .term(vars[2], 3.0),
+        );
+        let out = solve(&m, &MilpOptions::default());
+        assert_close(out.objective().expect("optimal"), 5.0);
+        assert_close(out.values().unwrap()[vars[1].index()], 1.0);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A deliberately awkward model with a tiny node budget.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12).map(|i| m.binary_var(format!("x{i}"))).collect();
+        let mut cap = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap.add_term(v, 2.0 + (i % 3) as f64);
+            obj.add_term(v, 3.0 + (i % 5) as f64);
+        }
+        m.constrain(cap, Cmp::Le, 11.0);
+        m.set_objective(obj);
+        let out = solve(
+            &m,
+            &MilpOptions {
+                max_nodes: 2,
+                ..MilpOptions::default()
+            },
+        );
+        assert_eq!(out, MilpOutcome::NodeLimit);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let y = m.continuous_var("y", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().term(y, 1.0));
+        assert_eq!(solve(&m, &MilpOptions::default()), MilpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn solution_is_model_feasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..6).map(|i| m.binary_var(format!("x{i}"))).collect();
+        // Cover constraint: every pair among first 4 needs one endpoint.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                m.constrain(
+                    LinExpr::new().term(vars[i], 1.0).term(vars[j], 1.0),
+                    Cmp::Ge,
+                    1.0,
+                );
+            }
+        }
+        let mut obj = LinExpr::new();
+        for &v in &vars {
+            obj.add_term(v, 1.0);
+        }
+        m.set_objective(obj);
+        let out = solve(&m, &MilpOptions::default());
+        let values = out.values().expect("feasible");
+        assert!(m.is_feasible_point(values, 1e-6));
+        // Vertex cover of K4 needs 3 vertices.
+        assert_close(out.objective().unwrap(), 3.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Exact 0/1 MILP solving substrate for STbus crossbar synthesis.
+//!
+//! The paper formulates crossbar configuration and binding as two Mixed
+//! Integer Linear Programs (Eq. 3–9 plus the `maxov` objective of Eq. 11)
+//! and solves them with the commercial CPLEX package. This crate replaces
+//! CPLEX with two cooperating exact solvers:
+//!
+//! * a **generic MILP layer** ([`model::Model`], [`simplex`],
+//!   [`branch_bound`]) — a dense two-phase primal simplex for LP
+//!   relaxations driven by a branch-and-bound search over the integer
+//!   variables; and
+//! * a **specialised binding solver** ([`binding`]) — an exact
+//!   backtracking search over target→bus assignments with per-window
+//!   bandwidth propagation, conflict forward-checking and bus symmetry
+//!   breaking, plus a branch-and-bound mode minimising the maximum per-bus
+//!   overlap (the paper's MILP-2).
+//!
+//! Both return provably optimal/feasible answers; the generic layer
+//! cross-validates the specialised one in the test-suite. The instances the
+//! methodology produces are small (≤ 32 targets — the largest STbus
+//! crossbar — and a few thousand binaries, §6), so exact solving is fast.
+//!
+//! # Example
+//!
+//! ```
+//! use stbus_milp::binding::{BindingProblem, SolveLimits};
+//!
+//! // Three targets, two buses, one window: demands 60+50+40 over
+//! // capacity 100 force a split; targets 0 and 1 conflict.
+//! let problem = BindingProblem::new(2, 100, vec![vec![60], vec![50], vec![40]])
+//!     .with_conflict(0, 1);
+//! let binding = problem
+//!     .find_feasible(&SolveLimits::default())
+//!     .expect("within limits")
+//!     .expect("feasible");
+//! assert_ne!(binding.bus_of(0), binding.bus_of(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod branch_bound;
+pub mod crossbar;
+pub mod heuristic;
+pub mod model;
+pub mod simplex;
+
+pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SolveLimits};
+pub use heuristic::{solve_heuristic, HeuristicOptions};
+pub use branch_bound::{solve, MilpOptions, MilpOutcome};
+pub use model::{Cmp, LinExpr, Model, Sense, VarId};

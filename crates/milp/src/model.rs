@@ -1,0 +1,403 @@
+//! Linear model description: variables, expressions, constraints and
+//! objective.
+//!
+//! The model layer is deliberately small — just enough to express the
+//! paper's Eq. (3)–(9) and the `maxov` objective — but it is a plain
+//! general-purpose 0/1 + continuous LP/MILP description, independent of
+//! the crossbar domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Zero-based index of the variable in its model.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Kind and bounds of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// Binary 0/1 variable.
+    Binary,
+    /// Continuous variable with inclusive bounds (`ub` may be infinite).
+    Continuous {
+        /// Lower bound.
+        lb: f64,
+        /// Upper bound (`f64::INFINITY` for unbounded).
+        ub: f64,
+    },
+}
+
+/// A linear expression `Σ coefᵢ·xᵢ + constant`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coef · var` and returns `self` (builder style).
+    #[must_use]
+    pub fn term(mut self, var: VarId, coef: f64) -> Self {
+        self.add_term(var, coef);
+        self
+    }
+
+    /// Adds `coef · var` in place, merging duplicate variables.
+    pub fn add_term(&mut self, var: VarId, coef: f64) {
+        if coef == 0.0 {
+            return;
+        }
+        if let Some(t) = self.terms.iter_mut().find(|(v, _)| *v == var) {
+            t.1 += coef;
+        } else {
+            self.terms.push((var, coef));
+        }
+    }
+
+    /// Adds a constant offset and returns `self`.
+    #[must_use]
+    pub fn plus(mut self, constant: f64) -> Self {
+        self.constant += constant;
+        self
+    }
+
+    /// The terms of the expression.
+    #[must_use]
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    #[must_use]
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Evaluates the expression under an assignment (indexed by variable).
+    #[must_use]
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|&(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if first {
+                write!(f, "{c}·x{}", v.index())?;
+                first = false;
+            } else {
+                write!(f, " + {c}·x{}", v.index())?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+        })
+    }
+}
+
+/// One linear constraint `expr cmp rhs` (the expression's constant is
+/// folded into the right-hand side at solve time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// Minimise the objective.
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// A MILP/LP model under construction.
+///
+/// ```
+/// use stbus_milp::{Model, LinExpr, Cmp, Sense};
+///
+/// let mut m = Model::new(Sense::Minimize);
+/// let x = m.binary_var("x");
+/// let y = m.continuous_var("y", 0.0, 10.0);
+/// m.constrain(LinExpr::new().term(x, 3.0).term(y, 1.0), Cmp::Ge, 4.0);
+/// m.set_objective(LinExpr::new().term(x, 5.0).term(y, 1.0));
+/// assert_eq!(m.num_vars(), 2);
+/// assert_eq!(m.num_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    sense: Sense,
+    kinds: Vec<VarKind>,
+    names: Vec<String>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimisation sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            kinds: Vec::new(),
+            names: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
+    }
+
+    /// Adds a binary variable.
+    pub fn binary_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.kinds.len());
+        self.kinds.push(VarKind::Binary);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub` or `lb` is not finite.
+    pub fn continuous_var(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        assert!(lb.is_finite(), "lower bound must be finite");
+        assert!(lb <= ub, "inverted bounds [{lb}, {ub}]");
+        let id = VarId(self.kinds.len());
+        self.kinds.push(VarKind::Continuous { lb, ub });
+        self.names.push(name.into());
+        id
+    }
+
+    /// Adds a constraint.
+    pub fn constrain(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Sets the objective expression (empty = pure feasibility problem).
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        self.objective = expr;
+    }
+
+    /// The optimisation sense.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// The objective expression.
+    #[must_use]
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Kind of a variable.
+    #[must_use]
+    pub fn kind(&self, var: VarId) -> VarKind {
+        self.kinds[var.index()]
+    }
+
+    /// Name of a variable.
+    #[must_use]
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// All constraints.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Ids of the integer (binary) variables.
+    #[must_use]
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| matches!(k, VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Effective bounds of a variable (binaries are `[0, 1]`).
+    #[must_use]
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        match self.kinds[var.index()] {
+            VarKind::Binary => (0.0, 1.0),
+            VarKind::Continuous { lb, ub } => (lb, ub),
+        }
+    }
+
+    /// Checks whether the given point satisfies every constraint and bound
+    /// to within `tol`.
+    #[must_use]
+    pub fn is_feasible_point(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.num_vars() {
+            return false;
+        }
+        for (i, kind) in self.kinds.iter().enumerate() {
+            let v = values[i];
+            let (lb, ub) = match *kind {
+                VarKind::Binary => (0.0, 1.0),
+                VarKind::Continuous { lb, ub } => (lb, ub),
+            };
+            if v < lb - tol || v > ub + tol {
+                return false;
+            }
+            if matches!(kind, VarKind::Binary) && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs = c.expr.eval(values);
+            match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_merges_duplicate_terms() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let e = LinExpr::new().term(x, 2.0).term(x, 3.0);
+        assert_eq!(e.terms().len(), 1);
+        assert_eq!(e.terms()[0].1, 5.0);
+    }
+
+    #[test]
+    fn expr_eval() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        let e = LinExpr::new().term(x, 2.0).term(y, -1.0).plus(4.0);
+        assert_eq!(e.eval(&[1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn zero_coefficient_dropped() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let e = LinExpr::new().term(x, 0.0);
+        assert!(e.terms().is_empty());
+    }
+
+    #[test]
+    fn model_bookkeeping() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary_var("x");
+        let y = m.continuous_var("y", -1.0, 5.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.name(x), "x");
+        assert_eq!(m.bounds(x), (0.0, 1.0));
+        assert_eq!(m.bounds(y), (-1.0, 5.0));
+        assert_eq!(m.integer_vars(), vec![x]);
+        assert_eq!(m.sense(), Sense::Maximize);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.continuous_var("y", 5.0, 1.0);
+    }
+
+    #[test]
+    fn feasible_point_check() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 1.0);
+        assert!(m.is_feasible_point(&[1.0, 0.0], 1e-9));
+        assert!(!m.is_feasible_point(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible_point(&[0.5, 0.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible_point(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn display_expr() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.binary_var("x");
+        let e = LinExpr::new().term(x, 2.0).plus(1.0);
+        assert_eq!(e.to_string(), "2·x0 + 1");
+        assert_eq!(LinExpr::new().to_string(), "0");
+    }
+
+    #[test]
+    fn cmp_display() {
+        assert_eq!(Cmp::Le.to_string(), "<=");
+        assert_eq!(Cmp::Eq.to_string(), "=");
+        assert_eq!(Cmp::Ge.to_string(), ">=");
+    }
+}

@@ -1,0 +1,556 @@
+//! Dense two-phase primal simplex for LP relaxations.
+//!
+//! The LP sizes produced by the crossbar MILPs are small (hundreds of rows
+//! and columns at most), so a dense tableau implementation is both simple
+//! and fast enough. Termination is guaranteed by switching from Dantzig
+//! pricing to Bland's rule after a fixed number of iterations.
+
+use crate::model::{Cmp, Model, Sense, VarKind};
+
+/// Absolute numerical tolerance used throughout the solver.
+pub const TOL: f64 = 1e-8;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimum found: variable values (in the model's original space) and
+    /// the objective value.
+    Optimal {
+        /// Value per variable, indexed by [`VarId::index`](crate::VarId::index).
+        values: Vec<f64>,
+        /// Objective value in the model's sense.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimisation direction.
+    Unbounded,
+}
+
+/// Extra upper/lower bounds imposed on single variables (used by branch &
+/// bound to split on fractional integers without rebuilding the model).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoundOverrides {
+    entries: Vec<(usize, f64, f64)>,
+}
+
+impl BoundOverrides {
+    /// No overrides.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Restricts variable `var` to `[lb, ub]` (intersected with its model
+    /// bounds).
+    pub fn restrict(&mut self, var: usize, lb: f64, ub: f64) {
+        self.entries.push((var, lb, ub));
+    }
+
+    /// The effective bounds of `var` after intersecting the overrides with
+    /// the base bounds `[lb, ub]`.
+    #[must_use]
+    pub fn bounds_for(&self, var: usize, lb: f64, ub: f64) -> (f64, f64) {
+        self.apply(var, lb, ub)
+    }
+
+    fn apply(&self, var: usize, lb: f64, ub: f64) -> (f64, f64) {
+        let mut bounds = (lb, ub);
+        for &(v, l, u) in &self.entries {
+            if v == var {
+                bounds.0 = bounds.0.max(l);
+                bounds.1 = bounds.1.min(u);
+            }
+        }
+        bounds
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped, bounds kept),
+/// with optional per-variable bound overrides.
+#[must_use]
+pub fn solve_lp(model: &Model, overrides: &BoundOverrides) -> LpOutcome {
+    let n_struct = model.num_vars();
+
+    // Effective bounds after overrides; reject empty boxes immediately.
+    let mut lbs = vec![0.0f64; n_struct];
+    let mut ubs = vec![f64::INFINITY; n_struct];
+    for v in 0..n_struct {
+        let (lb, ub) = match model.kind(crate::model::VarId(v)) {
+            VarKind::Binary => (0.0, 1.0),
+            VarKind::Continuous { lb, ub } => (lb, ub),
+        };
+        let (lb, ub) = overrides.apply(v, lb, ub);
+        if lb > ub + TOL {
+            return LpOutcome::Infeasible;
+        }
+        lbs[v] = lb;
+        ubs[v] = ub;
+    }
+
+    // Shift x = lb + x' so every structural variable is ≥ 0; finite upper
+    // bounds become explicit ≤ rows.
+    #[derive(Clone, Copy)]
+    enum RowKind {
+        Le,
+        Ge,
+        Eq,
+    }
+    let mut rows: Vec<(Vec<(usize, f64)>, RowKind, f64)> = Vec::new();
+    for c in model.constraints() {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        let mut rhs = c.rhs - c.expr.constant();
+        for &(v, coef) in c.expr.terms() {
+            rhs -= coef * lbs[v.index()];
+            coeffs.push((v.index(), coef));
+        }
+        let kind = match c.cmp {
+            Cmp::Le => RowKind::Le,
+            Cmp::Ge => RowKind::Ge,
+            Cmp::Eq => RowKind::Eq,
+        };
+        rows.push((coeffs, kind, rhs));
+    }
+    for v in 0..n_struct {
+        if ubs[v].is_finite() {
+            let span = ubs[v] - lbs[v];
+            rows.push((vec![(v, 1.0)], RowKind::Le, span));
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural | slack/surplus | artificial.
+    let mut n_slack = 0usize;
+    for (_, kind, _) in &rows {
+        if !matches!(kind, RowKind::Eq) {
+            n_slack += 1;
+        }
+    }
+    // Artificials are allocated lazily per row below.
+    let mut tableau: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = vec![usize::MAX; m];
+    let mut n_total = n_struct + n_slack; // artificials appended after
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    let mut slack_idx = 0usize;
+    let mut row_data: Vec<(Vec<f64>, f64)> = Vec::with_capacity(m);
+    let mut row_needs_artificial: Vec<bool> = Vec::with_capacity(m);
+    let mut row_slack_col: Vec<Option<usize>> = Vec::with_capacity(m);
+    for (coeffs, kind, rhs) in &rows {
+        let mut a = vec![0.0f64; n_struct + n_slack];
+        for &(v, coef) in coeffs {
+            a[v] += coef;
+        }
+        let mut rhs = *rhs;
+        let mut kind = *kind;
+        if rhs < 0.0 {
+            for x in &mut a {
+                *x = -*x;
+            }
+            rhs = -rhs;
+            kind = match kind {
+                RowKind::Le => RowKind::Ge,
+                RowKind::Ge => RowKind::Le,
+                RowKind::Eq => RowKind::Eq,
+            };
+        }
+        let (needs_artificial, slack_col) = match kind {
+            RowKind::Le => {
+                let col = n_struct + slack_idx;
+                a[col] = 1.0;
+                slack_idx += 1;
+                (false, Some(col))
+            }
+            RowKind::Ge => {
+                let col = n_struct + slack_idx;
+                a[col] = -1.0;
+                slack_idx += 1;
+                (true, Some(col))
+            }
+            RowKind::Eq => (true, None),
+        };
+        row_data.push((a, rhs));
+        row_needs_artificial.push(needs_artificial);
+        row_slack_col.push(slack_col);
+    }
+    // Wait to know the artificial count before building final rows.
+    let n_artificial = row_needs_artificial.iter().filter(|&&b| b).count();
+    let first_artificial = n_total;
+    n_total += n_artificial;
+    let mut art_idx = 0usize;
+    for (i, (a, rhs)) in row_data.into_iter().enumerate() {
+        let mut full = a;
+        full.resize(n_total, 0.0);
+        if row_needs_artificial[i] {
+            let col = first_artificial + art_idx;
+            full[col] = 1.0;
+            artificial_cols.push(col);
+            basis[i] = col;
+            art_idx += 1;
+        } else {
+            basis[i] = row_slack_col[i].expect("Le row has a slack");
+        }
+        full.push(rhs); // rhs stored as last entry
+        tableau.push(full);
+    }
+
+    let rhs_col = n_total;
+
+    // --- Phase 1: minimise the sum of artificials. ---
+    if n_artificial > 0 {
+        let mut cost = vec![0.0f64; n_total + 1];
+        for &c in &artificial_cols {
+            cost[c] = 1.0;
+        }
+        canonicalize(&mut cost, &tableau, &basis);
+        if !iterate(&mut tableau, &mut cost, &mut basis, rhs_col, &|col| {
+            col < n_total
+        }) {
+            // Phase 1 cannot be unbounded (costs ≥ 0); treat as numeric
+            // failure → infeasible.
+            return LpOutcome::Infeasible;
+        }
+        let phase1_obj = -cost[rhs_col];
+        if phase1_obj > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Pivot artificials out of the basis where possible.
+        for i in 0..m {
+            if artificial_cols.contains(&basis[i]) {
+                if let Some(j) = (0..first_artificial)
+                    .find(|&j| tableau[i][j].abs() > TOL)
+                {
+                    pivot(&mut tableau, &mut cost, &mut basis, i, j, rhs_col);
+                }
+            }
+        }
+    }
+
+    // --- Phase 2: original objective. ---
+    let sense_mul = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0f64; n_total + 1];
+    for &(v, coef) in model.objective().terms() {
+        cost[v.index()] += sense_mul * coef;
+    }
+    // Objective constant from shifting: c'·lb handled at extraction time.
+    canonicalize(&mut cost, &tableau, &basis);
+    let allowed = |col: usize| col < first_artificial;
+    if !iterate(&mut tableau, &mut cost, &mut basis, rhs_col, &allowed) {
+        return LpOutcome::Unbounded;
+    }
+    // An artificial stuck in the basis at a positive level means the
+    // pivot-out failed numerically; it should be at zero after phase 1.
+    for i in 0..m {
+        if basis[i] >= first_artificial && tableau[i][rhs_col] > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+    }
+
+    // Extract structural values (shift lb back in).
+    let mut values = lbs.clone();
+    for i in 0..m {
+        if basis[i] < n_struct {
+            values[basis[i]] += tableau[i][rhs_col];
+        }
+    }
+    let objective = model.objective().eval(&values);
+    LpOutcome::Optimal { values, objective }
+}
+
+/// Prices out the basic columns so reduced costs of basic vars are zero.
+fn canonicalize(cost: &mut [f64], tableau: &[Vec<f64>], basis: &[usize]) {
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = cost[b];
+        if cb != 0.0 {
+            for (j, c) in cost.iter_mut().enumerate() {
+                *c -= cb * tableau[i][j];
+            }
+        }
+    }
+}
+
+/// Runs simplex iterations until optimality; returns `false` on
+/// unboundedness. `allowed` filters which columns may enter the basis.
+fn iterate(
+    tableau: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    rhs_col: usize,
+    allowed: &dyn Fn(usize) -> bool,
+) -> bool {
+    const MAX_ITERS: usize = 50_000;
+    const BLAND_AFTER: usize = 5_000;
+    for iter in 0..MAX_ITERS {
+        let bland = iter >= BLAND_AFTER;
+        // Entering column.
+        let mut entering: Option<usize> = None;
+        let mut best = -TOL;
+        for j in 0..rhs_col {
+            if !allowed(j) {
+                continue;
+            }
+            if cost[j] < -TOL {
+                if bland {
+                    entering = Some(j);
+                    break;
+                }
+                if cost[j] < best {
+                    best = cost[j];
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(j) = entering else {
+            return true; // optimal
+        };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in tableau.iter().enumerate() {
+            if row[j] > TOL {
+                let ratio = row[rhs_col] / row[j];
+                let better = ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                if leave.is_none() || better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return false; // unbounded
+        };
+        pivot(tableau, cost, basis, i, j, rhs_col);
+    }
+    // Iteration limit: report optimal-so-far as unbounded-failure is wrong;
+    // treat as numeric failure (infeasible direction is safer than a bogus
+    // optimum, but in practice this is unreachable for our instance sizes).
+    true
+}
+
+/// Pivots on `(row, col)`: row scaling + elimination in all other rows and
+/// in the cost row.
+fn pivot(
+    tableau: &mut [Vec<f64>],
+    cost: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    rhs_col: usize,
+) {
+    let p = tableau[row][col];
+    debug_assert!(p.abs() > TOL, "pivot on ~0 element");
+    for j in 0..=rhs_col {
+        tableau[row][j] /= p;
+    }
+    for i in 0..tableau.len() {
+        if i != row {
+            let factor = tableau[i][col];
+            if factor.abs() > TOL {
+                for j in 0..=rhs_col {
+                    tableau[i][j] -= factor * tableau[row][j];
+                }
+            }
+        }
+    }
+    let factor = cost[col];
+    if factor.abs() > TOL {
+        for j in 0..=rhs_col {
+            cost[j] -= factor * tableau[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, LinExpr, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → (4, 0), 12.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous_var("x", 0.0, f64::INFINITY);
+        let y = m.continuous_var("y", 0.0, f64::INFINITY);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 4.0);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 3.0), Cmp::Le, 6.0);
+        m.set_objective(LinExpr::new().term(x, 3.0).term(y, 2.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                assert_close(objective, 12.0);
+                assert_close(values[0], 4.0);
+                assert_close(values[1], 0.0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_minimize_with_ge() {
+        // min 2x + 3y s.t. x + y >= 5, x <= 3 → x=3, y=2, obj=12.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous_var("x", 0.0, 3.0);
+        let y = m.continuous_var("y", 0.0, f64::INFINITY);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 5.0);
+        m.set_objective(LinExpr::new().term(x, 2.0).term(y, 3.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                assert_close(objective, 12.0);
+                assert_close(values[0], 3.0);
+                assert_close(values[1], 2.0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 → x=2, y=1, obj=3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous_var("x", 0.0, f64::INFINITY);
+        let y = m.continuous_var("y", 0.0, f64::INFINITY);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Eq, 4.0);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Eq, 1.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                assert_close(objective, 3.0);
+                assert_close(values[0], 2.0);
+                assert_close(values[1], 1.0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous_var("x", 0.0, 1.0);
+        m.constrain(LinExpr::new().term(x, 1.0), Cmp::Ge, 2.0);
+        assert_eq!(solve_lp(&m, &BoundOverrides::none()), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous_var("x", 0.0, f64::INFINITY);
+        m.set_objective(LinExpr::new().term(x, 1.0));
+        assert_eq!(solve_lp(&m, &BoundOverrides::none()), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn respects_nonzero_lower_bounds() {
+        // min x + y, x >= 2, y in [1, 10], x + y >= 5 → obj 5 at (4,1)
+        // or (2,3): optimum value 5 regardless.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous_var("x", 2.0, f64::INFINITY);
+        let y = m.continuous_var("y", 1.0, 10.0);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 5.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                assert_close(objective, 5.0);
+                assert!(values[0] >= 2.0 - 1e-9);
+                assert!(values[1] >= 1.0 - 1e-9);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_overrides_tighten() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous_var("x", 0.0, 10.0);
+        m.set_objective(LinExpr::new().term(x, 1.0));
+        let mut ov = BoundOverrides::none();
+        ov.restrict(0, 0.0, 4.0);
+        match solve_lp(&m, &ov) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 4.0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_overrides_are_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let _ = m.continuous_var("x", 0.0, 10.0);
+        let mut ov = BoundOverrides::none();
+        ov.restrict(0, 5.0, 10.0);
+        ov.restrict(0, 0.0, 2.0);
+        assert_eq!(solve_lp(&m, &ov), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn binary_relaxation_is_unit_box() {
+        // max x + y over relaxed binaries with x + y <= 1.5 → 1.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.binary_var("x");
+        let y = m.binary_var("y");
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 1.5);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 1.5),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x - y <= -1 with x,y in [0,5]; min x + y → (0,1).
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.continuous_var("x", 0.0, 5.0);
+        let y = m.continuous_var("y", 0.0, 5.0);
+        m.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Le, -1.0);
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                assert_close(objective, 1.0);
+                assert_close(values[1], 1.0);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_constant_folded_into_rhs() {
+        // (x + 3) <= 5 → x <= 2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous_var("x", 0.0, 10.0);
+        m.constrain(LinExpr::new().term(x, 1.0).plus(3.0), Cmp::Le, 5.0);
+        m.set_objective(LinExpr::new().term(x, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 2.0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.continuous_var("x", 0.0, f64::INFINITY);
+        let y = m.continuous_var("y", 0.0, f64::INFINITY);
+        for k in 1..=6 {
+            let kf = k as f64;
+            m.constrain(
+                LinExpr::new().term(x, kf).term(y, kf),
+                Cmp::Le,
+                4.0 * kf,
+            );
+        }
+        m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        match solve_lp(&m, &BoundOverrides::none()) {
+            LpOutcome::Optimal { objective, .. } => assert_close(objective, 4.0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

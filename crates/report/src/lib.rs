@@ -1,0 +1,17 @@
+//! Result tables and data series for the STbus crossbar experiments.
+//!
+//! Small, dependency-light formatting helpers shared by the examples and
+//! the benchmark harness: fixed-width ASCII tables ([`Table`]) that mirror
+//! the paper's tables, and `(x, y)` [`Series`] that mirror its figures,
+//! with CSV export for external plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod table;
+pub mod timeline;
+
+pub use series::Series;
+pub use table::Table;
+pub use timeline::Timeline;

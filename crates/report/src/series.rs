@@ -1,0 +1,122 @@
+//! `(x, y)` data series mirroring the paper's figures.
+
+use std::fmt;
+
+/// A named data series of `(x, y)` points.
+///
+/// ```
+/// use stbus_report::Series;
+///
+/// let mut s = Series::new("crossbar size vs window size");
+/// s.point(200.0, 9.0);
+/// s.point(1000.0, 3.0);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.to_csv().contains("1000"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn point(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// CSV rendering: `x,y` per line with a header.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y\n");
+        for &(x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+
+    /// `true` if y never increases as x increases (after sorting by x) —
+    /// a common sanity check for size-vs-parameter sweeps.
+    #[must_use]
+    pub fn is_monotone_decreasing(&self) -> bool {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN x in series"));
+        pts.windows(2).all(|w| w[1].1 <= w[0].1)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:", self.name)?;
+        for &(x, y) in &self.points {
+            writeln!(f, "  {x:>12.1}  {y:>10.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_check() {
+        let mut s = Series::new("dec");
+        s.point(3.0, 1.0);
+        s.point(1.0, 5.0);
+        s.point(2.0, 3.0);
+        assert!(s.is_monotone_decreasing());
+        s.point(4.0, 2.0);
+        assert!(!s.is_monotone_decreasing());
+    }
+
+    #[test]
+    fn display_contains_name_and_points() {
+        let mut s = Series::new("demo");
+        s.point(1.0, 2.0);
+        let text = s.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("2.00"));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert!(s.is_monotone_decreasing()); // vacuously
+        assert_eq!(s.to_csv(), "x,y\n");
+    }
+}

@@ -1,0 +1,158 @@
+//! ASCII activity timelines — the textual equivalent of the paper's
+//! Fig. 2(b) traffic-trace picture.
+//!
+//! Each row is one resource (a target, a bus); its busy intervals are
+//! projected onto a fixed-width character strip. Overlapping activity
+//! across rows is immediately visible, which is exactly the property the
+//! window analysis quantifies.
+
+use std::fmt;
+
+/// A renderable activity timeline.
+///
+/// ```
+/// use stbus_report::Timeline;
+///
+/// let mut tl = Timeline::new(100, 20);
+/// tl.row("T0", &[(0, 50)]);
+/// tl.row("T1", &[(25, 75)]);
+/// let text = tl.to_string();
+/// assert!(text.contains("T0"));
+/// assert!(text.lines().count() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    horizon: u64,
+    width: usize,
+    rows: Vec<(String, Vec<(u64, u64)>)>,
+}
+
+impl Timeline {
+    /// Creates a timeline covering `[0, horizon)` rendered into `width`
+    /// character cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or `width == 0`.
+    #[must_use]
+    pub fn new(horizon: u64, width: usize) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(width > 0, "width must be positive");
+        Self {
+            horizon,
+            width,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled row of half-open busy intervals `(start, end)`.
+    /// Intervals beyond the horizon are clipped; inverted ones ignored.
+    pub fn row(&mut self, label: impl Into<String>, intervals: &[(u64, u64)]) {
+        self.rows.push((label.into(), intervals.to_vec()));
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn render_row(&self, intervals: &[(u64, u64)]) -> String {
+        let mut cells = vec![false; self.width];
+        for &(s, e) in intervals {
+            let e = e.min(self.horizon);
+            if s >= e {
+                continue;
+            }
+            // Cell c covers [c·h/w, (c+1)·h/w).
+            let first = (s * self.width as u64 / self.horizon) as usize;
+            let last = ((e - 1) * self.width as u64 / self.horizon) as usize;
+            for cell in cells.iter_mut().take(last.min(self.width - 1) + 1).skip(first) {
+                *cell = true;
+            }
+        }
+        cells.iter().map(|&b| if b { '#' } else { '.' }).collect()
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        writeln!(
+            f,
+            "{:label_width$} |{}| 0..{}",
+            "",
+            "-".repeat(self.width),
+            self.horizon
+        )?;
+        for (label, intervals) in &self.rows {
+            writeln!(
+                f,
+                "{label:label_width$} |{}|",
+                self.render_row(intervals)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_busy_cells() {
+        let mut tl = Timeline::new(100, 10);
+        tl.row("A", &[(0, 50)]);
+        let text = tl.to_string();
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.contains("#####....."), "row was {row}");
+    }
+
+    #[test]
+    fn clips_to_horizon() {
+        let mut tl = Timeline::new(100, 10);
+        tl.row("A", &[(90, 500)]);
+        let row = tl.to_string().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(".........#"), "row was {row}");
+    }
+
+    #[test]
+    fn ignores_inverted_and_empty_intervals() {
+        let mut tl = Timeline::new(100, 10);
+        tl.row("A", &[(50, 50), (70, 60)]);
+        let row = tl.to_string().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(".........."), "row was {row}");
+    }
+
+    #[test]
+    fn overlap_is_visible_across_rows() {
+        let mut tl = Timeline::new(100, 20);
+        tl.row("T1", &[(0, 60)]);
+        tl.row("T2", &[(40, 100)]);
+        let text = tl.to_string();
+        let r1: Vec<char> = text.lines().nth(1).unwrap().chars().collect();
+        let r2: Vec<char> = text.lines().nth(2).unwrap().chars().collect();
+        // Both rows busy somewhere in the middle (columns 9..12 of the
+        // 20-cell strip, offset by the label margin).
+        let both = r1
+            .iter()
+            .zip(&r2)
+            .filter(|&(&a, &b)| a == '#' && b == '#')
+            .count();
+        assert!(both > 0, "expected visible overlap:\n{text}");
+        assert_eq!(tl.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let _ = Timeline::new(0, 10);
+    }
+}

@@ -1,0 +1,346 @@
+//! Crossbar configurations: how targets are bound to buses, and the
+//! component-cost model.
+//!
+//! The STbus instantiates as a shared bus, a partial crossbar or a full
+//! crossbar (paper §3.1). All three are the same structure — a set of
+//! buses with every initiator connected to every bus and each target bound
+//! to exactly one bus — differing only in the binding. The *size* of a
+//! configuration is measured in components, with the bus count being the
+//! headline number the paper reports (Tables 1 and 2).
+
+use crate::arbiter::Arbitration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A crossbar configuration for one direction (initiator→target or
+/// target→initiator).
+///
+/// ```
+/// use stbus_sim::CrossbarConfig;
+///
+/// let full = CrossbarConfig::full(4);
+/// assert_eq!(full.num_buses(), 4);
+/// let shared = CrossbarConfig::shared_bus(4);
+/// assert_eq!(shared.num_buses(), 1);
+/// let partial = CrossbarConfig::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+/// assert_eq!(partial.targets_on_bus(0), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossbarConfig {
+    assignment: Vec<usize>,
+    num_buses: usize,
+    arbitration: Arbitration,
+    /// Per-target frequency-adapter ratio: a transaction to target `t`
+    /// occupies its bus for `duration × clock_ratio[t]` cycles (slow
+    /// targets hold the bus longer through their adapter). Empty = all 1.
+    clock_ratios: Vec<u32>,
+}
+
+/// Error constructing a configuration from an assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A target references a bus index `>= num_buses`.
+    BusOutOfRange {
+        /// The offending target.
+        target: usize,
+        /// The out-of-range bus.
+        bus: usize,
+    },
+    /// `num_buses` is zero while targets exist.
+    NoBuses,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BusOutOfRange { target, bus } => {
+                write!(f, "target {target} bound to nonexistent bus {bus}")
+            }
+            ConfigError::NoBuses => f.write_str("configuration has targets but no buses"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl CrossbarConfig {
+    /// A single shared bus carrying every target.
+    #[must_use]
+    pub fn shared_bus(num_targets: usize) -> Self {
+        Self {
+            assignment: vec![0; num_targets],
+            num_buses: 1,
+            arbitration: Arbitration::default(),
+            clock_ratios: Vec::new(),
+        }
+    }
+
+    /// A full crossbar: one dedicated bus per target.
+    #[must_use]
+    pub fn full(num_targets: usize) -> Self {
+        Self {
+            assignment: (0..num_targets).collect(),
+            num_buses: num_targets.max(1),
+            arbitration: Arbitration::default(),
+            clock_ratios: Vec::new(),
+        }
+    }
+
+    /// A partial crossbar from an explicit target→bus assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if any bus index is out of range, or if targets
+    /// exist but `num_buses == 0`.
+    pub fn from_assignment(
+        assignment: Vec<usize>,
+        num_buses: usize,
+    ) -> Result<Self, ConfigError> {
+        if num_buses == 0 && !assignment.is_empty() {
+            return Err(ConfigError::NoBuses);
+        }
+        for (target, &bus) in assignment.iter().enumerate() {
+            if bus >= num_buses {
+                return Err(ConfigError::BusOutOfRange { target, bus });
+            }
+        }
+        Ok(Self {
+            assignment,
+            num_buses: num_buses.max(1),
+            arbitration: Arbitration::default(),
+            clock_ratios: Vec::new(),
+        })
+    }
+
+    /// Replaces the arbitration policy (builder style).
+    #[must_use]
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// Sets per-target frequency-adapter ratios (builder style): a
+    /// transaction to target `t` occupies its bus `ratios[t]`× longer —
+    /// the STbus frequency/data-width adapters of the paper's §3.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector length differs from the target count or any
+    /// ratio is zero.
+    #[must_use]
+    pub fn with_clock_ratios(mut self, ratios: Vec<u32>) -> Self {
+        assert_eq!(
+            ratios.len(),
+            self.assignment.len(),
+            "one clock ratio per target required"
+        );
+        assert!(ratios.iter().all(|&r| r > 0), "clock ratios must be positive");
+        self.clock_ratios = ratios;
+        self
+    }
+
+    /// The frequency-adapter ratio of a target (1 when none configured).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn clock_ratio(&self, target: usize) -> u32 {
+        assert!(target < self.assignment.len(), "target out of range");
+        self.clock_ratios.get(target).copied().unwrap_or(1)
+    }
+
+    /// `true` when any target runs through a non-unit adapter.
+    #[must_use]
+    pub fn has_adapters(&self) -> bool {
+        self.clock_ratios.iter().any(|&r| r != 1)
+    }
+
+    /// The arbitration policy used by every bus.
+    #[must_use]
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
+    }
+
+    /// Number of buses.
+    #[must_use]
+    pub fn num_buses(&self) -> usize {
+        self.num_buses
+    }
+
+    /// Number of targets.
+    #[must_use]
+    pub fn num_targets(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The bus a target is bound to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn bus_of(&self, target: usize) -> usize {
+        self.assignment[target]
+    }
+
+    /// The target→bus assignment vector.
+    #[must_use]
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Targets bound to one bus, ascending.
+    #[must_use]
+    pub fn targets_on_bus(&self, bus: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k == bus)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Whether this is a full crossbar (every non-empty bus has exactly one
+    /// target and every target its own bus).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        let mut seen = vec![false; self.num_buses];
+        for &k in &self.assignment {
+            if seen[k] {
+                return false;
+            }
+            seen[k] = true;
+        }
+        true
+    }
+
+    /// Component count for the size metric: buses + one arbiter per bus +
+    /// one initiator port per (initiator, bus) pair + one target adapter
+    /// per target. The paper's headline "size" numbers (Tables 1–2) use
+    /// [`CrossbarConfig::num_buses`]; this richer count is reported
+    /// alongside.
+    #[must_use]
+    pub fn component_count(&self, num_initiators: usize) -> usize {
+        self.num_buses          // buses
+            + self.num_buses    // arbiters
+            + num_initiators * self.num_buses // initiator ports
+            + self.assignment.len() // target adapters
+    }
+
+    /// Largest number of targets sharing one bus.
+    #[must_use]
+    pub fn max_targets_per_bus(&self) -> usize {
+        (0..self.num_buses)
+            .map(|k| self.assignment.iter().filter(|&&a| a == k).count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CrossbarConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} targets on {} buses:",
+            self.num_targets(),
+            self.num_buses
+        )?;
+        for k in 0..self.num_buses {
+            let targets: Vec<String> = self
+                .targets_on_bus(k)
+                .into_iter()
+                .map(|t| format!("T{t}"))
+                .collect();
+            write!(f, " bus{k}=[{}]", targets.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_bus_shape() {
+        let c = CrossbarConfig::shared_bus(5);
+        assert_eq!(c.num_buses(), 1);
+        assert_eq!(c.num_targets(), 5);
+        assert_eq!(c.targets_on_bus(0).len(), 5);
+        assert!(!c.is_full());
+        assert_eq!(c.max_targets_per_bus(), 5);
+    }
+
+    #[test]
+    fn full_crossbar_shape() {
+        let c = CrossbarConfig::full(5);
+        assert_eq!(c.num_buses(), 5);
+        assert!(c.is_full());
+        assert_eq!(c.max_targets_per_bus(), 1);
+        for t in 0..5 {
+            assert_eq!(c.bus_of(t), t);
+        }
+    }
+
+    #[test]
+    fn single_target_shared_is_full() {
+        assert!(CrossbarConfig::shared_bus(1).is_full());
+    }
+
+    #[test]
+    fn partial_from_assignment() {
+        let c = CrossbarConfig::from_assignment(vec![0, 1, 0, 1, 2], 3).unwrap();
+        assert_eq!(c.targets_on_bus(0), vec![0, 2]);
+        assert_eq!(c.targets_on_bus(1), vec![1, 3]);
+        assert_eq!(c.targets_on_bus(2), vec![4]);
+        assert!(!c.is_full());
+        assert_eq!(c.max_targets_per_bus(), 2);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = CrossbarConfig::from_assignment(vec![0, 3], 2).unwrap_err();
+        assert_eq!(err, ConfigError::BusOutOfRange { target: 1, bus: 3 });
+        assert!(err.to_string().contains("bus 3"));
+    }
+
+    #[test]
+    fn zero_buses_rejected() {
+        assert_eq!(
+            CrossbarConfig::from_assignment(vec![0], 0).unwrap_err(),
+            ConfigError::NoBuses
+        );
+        // But an empty system with zero buses is fine.
+        assert!(CrossbarConfig::from_assignment(vec![], 0).is_ok());
+    }
+
+    #[test]
+    fn component_count_model() {
+        // 4 targets, 2 buses, 3 initiators:
+        // 2 buses + 2 arbiters + 3*2 ports + 4 adapters = 14.
+        let c = CrossbarConfig::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        assert_eq!(c.component_count(3), 14);
+    }
+
+    #[test]
+    fn full_has_more_components_than_shared() {
+        let full = CrossbarConfig::full(8);
+        let shared = CrossbarConfig::shared_bus(8);
+        assert!(full.component_count(4) > shared.component_count(4));
+    }
+
+    #[test]
+    fn display_lists_buses() {
+        let c = CrossbarConfig::from_assignment(vec![0, 1, 0], 2).unwrap();
+        let s = c.to_string();
+        assert!(s.contains("bus0=[T0,T2]"));
+        assert!(s.contains("bus1=[T1]"));
+    }
+
+    #[test]
+    fn arbitration_builder() {
+        let c = CrossbarConfig::full(2).with_arbitration(Arbitration::RoundRobin);
+        assert_eq!(c.arbitration(), Arbitration::RoundRobin);
+    }
+}

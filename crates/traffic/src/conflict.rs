@@ -1,0 +1,318 @@
+//! Conflict matrix construction — the pre-processing phase of the design
+//! flow (paper Fig. 3, Eq. 2).
+//!
+//! Two targets conflict (must be placed on different buses) when either:
+//!
+//! 1. their pairwise traffic overlap exceeds the *overlap threshold* in
+//!    **any** analysis window (`∃m: wo(i,j,m) > θ · WS`), or
+//! 2. both carry **critical** (real-time) streams that overlap in time —
+//!    sharing a bus would make a latency guarantee impossible.
+//!
+//! The paper notes (§7.4) that a pairwise window overlap above 50 % of the
+//! window size makes the bandwidth constraint of Eq. (4) unsatisfiable for
+//! a shared bus, so thresholds are meaningful in `(0, 0.5]`.
+
+use crate::model::SocSpec;
+use crate::window::WindowStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Symmetric boolean matrix: `c(i,j) = 1` iff targets `i` and `j` must be
+/// bound to different buses (Eq. 2).
+///
+/// ```
+/// use stbus_traffic::ConflictMatrix;
+///
+/// let mut cm = ConflictMatrix::none(3);
+/// cm.forbid(0, 2);
+/// assert!(cm.conflicts(0, 2));
+/// assert!(cm.conflicts(2, 0));
+/// assert!(!cm.conflicts(0, 1));
+/// assert_eq!(cm.num_conflicts(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictMatrix {
+    n: usize,
+    /// Packed upper triangle.
+    bits: Vec<bool>,
+}
+
+impl ConflictMatrix {
+    /// A conflict-free matrix for `n` targets.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        Self {
+            n,
+            bits: vec![false; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Builds the conflict matrix from windowed statistics.
+    ///
+    /// * `threshold` — overlap threshold θ as a fraction of the window size
+    ///   (paper explores 0–50 %; values ≥ 0.5 only forbid pairs that could
+    ///   not share a bus anyway).
+    /// * `spec` — supplies criticality information; targets whose critical
+    ///   streams overlap in time are forced apart regardless of θ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    #[must_use]
+    pub fn from_stats(stats: &WindowStats, threshold: f64, spec: &SocSpec) -> Self {
+        // Criticality already flows through the trace (events carry their
+        // stream's critical flag), so the spec adds no extra conflicts; it
+        // is accepted for API symmetry with the design-flow phases.
+        let _ = spec;
+        Self::from_stats_only(stats, threshold)
+    }
+
+    /// Builds the conflict matrix from windowed statistics alone (the
+    /// criticality information is carried by the trace events themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    #[must_use]
+    pub fn from_stats_only(stats: &WindowStats, threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "overlap threshold must be a non-negative finite fraction"
+        );
+        let n = stats.num_targets();
+        let mut cm = Self::none(n);
+        // Per-window limits: for variable-size plans the threshold scales
+        // with each window's own length.
+        let limits: Vec<u64> = (0..stats.num_windows())
+            .map(|m| (threshold * stats.window_len(m) as f64).floor() as u64)
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let over_threshold = (0..stats.num_windows())
+                    .any(|m| stats.window_overlap(i, j, m) > limits[m]);
+                let critical_clash = stats.critical_streams_overlap(i, j);
+                if over_threshold || critical_clash {
+                    cm.forbid(i, j);
+                }
+            }
+        }
+        cm
+    }
+
+    /// Number of targets.
+    #[must_use]
+    pub fn num_targets(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Marks the pair as conflicting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or an index is out of range.
+    pub fn forbid(&mut self, i: usize, j: usize) {
+        assert!(i != j, "a target cannot conflict with itself");
+        assert!(i < self.n && j < self.n, "conflict index out of range");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let k = self.idx(a, b);
+        self.bits[k] = true;
+    }
+
+    /// Returns `true` if targets `i` and `j` must not share a bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "conflict index out of range");
+        if i == j {
+            return false;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.bits[self.idx(a, b)]
+    }
+
+    /// `true` if `target` conflicts with any member of `group`.
+    #[must_use]
+    pub fn conflicts_with_group(&self, target: usize, group: &[usize]) -> bool {
+        group.iter().any(|&g| self.conflicts(target, g))
+    }
+
+    /// Number of conflicting pairs.
+    #[must_use]
+    pub fn num_conflicts(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// A greedy lower bound on the chromatic number of the conflict graph:
+    /// the size of a greedily grown clique. Any valid binding needs at
+    /// least this many buses.
+    #[must_use]
+    pub fn clique_lower_bound(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        // Greedy: repeatedly add the vertex with most conflicts that
+        // conflicts with everything already chosen.
+        let mut degree: Vec<(usize, usize)> = (0..self.n)
+            .map(|v| {
+                let d = (0..self.n).filter(|&u| self.conflicts(v, u)).count();
+                (d, v)
+            })
+            .collect();
+        degree.sort_by_key(|&(d, _)| std::cmp::Reverse(d));
+        let mut clique: Vec<usize> = Vec::new();
+        for &(_, v) in &degree {
+            if clique.iter().all(|&u| self.conflicts(u, v)) {
+                clique.push(v);
+            }
+        }
+        clique.len().max(1)
+    }
+
+    /// Iterates over all conflicting pairs `(i, j)` with `i < j`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            ((i + 1)..self.n).filter_map(move |j| self.conflicts(i, j).then_some((i, j)))
+        })
+    }
+}
+
+impl fmt::Display for ConflictMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "conflicts among {} targets:", self.n)?;
+        for (i, j) in self.pairs() {
+            writeln!(f, "  T{i} x T{j}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{InitiatorId, TargetId};
+    use crate::model::{CoreKind, SocSpec};
+    use crate::trace::{Trace, TraceEvent};
+    use crate::window::WindowStats;
+
+    fn spec(n_init: usize, n_tgt: usize) -> SocSpec {
+        let mut s = SocSpec::new("t");
+        for i in 0..n_init {
+            s.add_initiator(format!("I{i}"));
+        }
+        for t in 0..n_tgt {
+            s.add_target(format!("T{t}"), CoreKind::PrivateMemory);
+        }
+        s
+    }
+
+    #[test]
+    fn symmetric_and_irreflexive() {
+        let mut cm = ConflictMatrix::none(4);
+        cm.forbid(1, 3);
+        assert!(cm.conflicts(1, 3));
+        assert!(cm.conflicts(3, 1));
+        assert!(!cm.conflicts(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot conflict with itself")]
+    fn self_conflict_panics() {
+        let mut cm = ConflictMatrix::none(2);
+        cm.forbid(1, 1);
+    }
+
+    #[test]
+    fn threshold_drives_conflicts() {
+        // Two targets overlapping 40 cycles out of a 100-cycle window.
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 60));
+        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 20, 60));
+        let stats = WindowStats::analyze(&tr, 100);
+        let s = spec(2, 2);
+        // Overlap is 40 cycles: threshold 0.3 (30 cy) flags it...
+        let cm_tight = ConflictMatrix::from_stats(&stats, 0.3, &s);
+        assert!(cm_tight.conflicts(0, 1));
+        // ...threshold 0.5 (50 cy) does not.
+        let cm_loose = ConflictMatrix::from_stats(&stats, 0.5, &s);
+        assert!(!cm_loose.conflicts(0, 1));
+    }
+
+    #[test]
+    fn zero_threshold_flags_any_overlap() {
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
+        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 9, 10));
+        let stats = WindowStats::analyze(&tr, 100);
+        let cm = ConflictMatrix::from_stats(&stats, 0.0, &spec(2, 2));
+        assert!(cm.conflicts(0, 1)); // 1 cycle overlap > 0
+    }
+
+    #[test]
+    fn disjoint_targets_never_conflict() {
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
+        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 50, 10));
+        let stats = WindowStats::analyze(&tr, 100);
+        let cm = ConflictMatrix::from_stats(&stats, 0.0, &spec(2, 2));
+        assert!(!cm.conflicts(0, 1));
+    }
+
+    #[test]
+    fn critical_overlap_forces_conflict_even_at_high_threshold() {
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::critical(InitiatorId::new(0), TargetId::new(0), 0, 5));
+        tr.push(TraceEvent::critical(InitiatorId::new(1), TargetId::new(1), 3, 5));
+        let stats = WindowStats::analyze(&tr, 1000);
+        // 2-cycle overlap, far below a 40% threshold — but critical.
+        let cm = ConflictMatrix::from_stats(&stats, 0.4, &spec(2, 2));
+        assert!(cm.conflicts(0, 1));
+    }
+
+    #[test]
+    fn clique_bound_on_triangle() {
+        let mut cm = ConflictMatrix::none(4);
+        cm.forbid(0, 1);
+        cm.forbid(1, 2);
+        cm.forbid(0, 2);
+        assert_eq!(cm.clique_lower_bound(), 3);
+    }
+
+    #[test]
+    fn clique_bound_no_conflicts() {
+        let cm = ConflictMatrix::none(5);
+        assert_eq!(cm.clique_lower_bound(), 1);
+    }
+
+    #[test]
+    fn conflicts_with_group() {
+        let mut cm = ConflictMatrix::none(4);
+        cm.forbid(0, 2);
+        assert!(cm.conflicts_with_group(0, &[1, 2]));
+        assert!(!cm.conflicts_with_group(0, &[1, 3]));
+    }
+
+    #[test]
+    fn pairs_iterator_lists_upper_triangle() {
+        let mut cm = ConflictMatrix::none(3);
+        cm.forbid(2, 0);
+        cm.forbid(1, 2);
+        let pairs: Vec<_> = cm.pairs().collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn display_lists_conflicts() {
+        let mut cm = ConflictMatrix::none(3);
+        cm.forbid(0, 1);
+        let out = cm.to_string();
+        assert!(out.contains("T0 x T1"));
+    }
+}

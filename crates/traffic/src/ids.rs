@@ -1,0 +1,142 @@
+//! Strongly typed identifiers for initiators (bus masters) and targets
+//! (bus slaves).
+//!
+//! The STbus instantiates *two* crossbars per design — one for
+//! initiator→target requests and one for target→initiator responses — and
+//! both are synthesised by the same algorithm with the roles swapped.
+//! Newtype identifiers keep the two index spaces from being mixed up.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an initiator (bus master, e.g. an ARM core).
+///
+/// Indexes into [`SocSpec::initiators`](crate::SocSpec::initiators).
+///
+/// ```
+/// use stbus_traffic::InitiatorId;
+/// let id = InitiatorId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "I3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InitiatorId(u16);
+
+/// Identifier of a target (bus slave, e.g. a memory or peripheral).
+///
+/// Indexes into [`SocSpec::targets`](crate::SocSpec::targets).
+///
+/// ```
+/// use stbus_traffic::TargetId;
+/// let id = TargetId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "T7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TargetId(u16);
+
+impl InitiatorId {
+    /// Creates an initiator id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX` (the STbus tops out at 32
+    /// initiators, so this is a programming error, not a data error).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u16::try_from(index).expect("initiator index exceeds u16 range"))
+    }
+
+    /// Returns the zero-based index of this initiator.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl TargetId {
+    /// Creates a target id from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u16::try_from(index).expect("target index exceeds u16 range"))
+    }
+
+    /// Returns the zero-based index of this target.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for InitiatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<InitiatorId> for usize {
+    fn from(id: InitiatorId) -> usize {
+        id.index()
+    }
+}
+
+impl From<TargetId> for usize {
+    fn from(id: TargetId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initiator_round_trip() {
+        for i in [0usize, 1, 31, 1000] {
+            assert_eq!(InitiatorId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn target_round_trip() {
+        for i in [0usize, 1, 31, 1000] {
+            assert_eq!(TargetId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(InitiatorId::new(0).to_string(), "I0");
+        assert_eq!(TargetId::new(12).to_string(), "T12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TargetId::new(1) < TargetId::new(2));
+        assert!(InitiatorId::new(0) < InitiatorId::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "target index exceeds u16 range")]
+    fn target_overflow_panics() {
+        let _ = TargetId::new(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let t: usize = TargetId::new(9).into();
+        assert_eq!(t, 9);
+        let i: usize = InitiatorId::new(4).into();
+        assert_eq!(i, 4);
+    }
+}

@@ -1,0 +1,287 @@
+//! Plain-text trace interchange.
+//!
+//! Real flows capture traces from platform simulators or silicon monitors;
+//! this module defines a minimal line-oriented format so such traces can
+//! be imported (and generated traces exported for external tooling):
+//!
+//! ```text
+//! # stbus-trace v1
+//! initiators=9 targets=12
+//! initiator,target,start,duration,critical
+//! 0,3,1024,8,0
+//! 1,4,1032,8,1
+//! ```
+//!
+//! Lines starting with `#` are comments; the header line carries the
+//! system dimensions; every following line is one transaction.
+
+use crate::ids::{InitiatorId, TargetId};
+use crate::trace::{Trace, TraceEvent};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while parsing a textual trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The `initiators=… targets=…` header is missing or malformed.
+    MissingHeader,
+    /// A data line could not be parsed (line number, content).
+    BadLine(usize, String),
+    /// A data line references an out-of-range core or a zero duration
+    /// (line number, explanation).
+    BadEvent(usize, String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
+            ParseTraceError::MissingHeader => {
+                f.write_str("missing `initiators=N targets=M` header")
+            }
+            ParseTraceError::BadLine(n, line) => {
+                write!(f, "line {n}: unparseable trace record `{line}`")
+            }
+            ParseTraceError::BadEvent(n, why) => write!(f, "line {n}: {why}"),
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes a trace in the textual interchange format.
+///
+/// Remember that `&mut W` also implements `Write`, so a mutable reference
+/// can be passed for writers you want to keep using afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# stbus-trace v1")?;
+    writeln!(
+        out,
+        "initiators={} targets={}",
+        trace.num_initiators(),
+        trace.num_targets()
+    )?;
+    writeln!(out, "initiator,target,start,duration,critical")?;
+    for e in trace.iter() {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            e.initiator.index(),
+            e.target.index(),
+            e.start,
+            e.duration,
+            u8::from(e.critical)
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders a trace to a `String` in the interchange format.
+#[must_use]
+pub fn trace_to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a trace from the interchange format.
+///
+/// Remember that `&mut R` also implements `Read`.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] on I/O failure, missing header, malformed records
+/// or out-of-range events.
+pub fn read_trace<R: Read>(input: R) -> Result<Trace, ParseTraceError> {
+    let reader = BufReader::new(input);
+    let mut trace: Option<Trace> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        if text.starts_with("initiator,") {
+            continue; // column header
+        }
+        if text.starts_with("initiators=") {
+            let mut initiators = None;
+            let mut targets = None;
+            for token in text.split_whitespace() {
+                if let Some(v) = token.strip_prefix("initiators=") {
+                    initiators = v.parse::<usize>().ok();
+                } else if let Some(v) = token.strip_prefix("targets=") {
+                    targets = v.parse::<usize>().ok();
+                }
+            }
+            match (initiators, targets) {
+                (Some(i), Some(t)) => trace = Some(Trace::new(i, t)),
+                _ => return Err(ParseTraceError::MissingHeader),
+            }
+            continue;
+        }
+        let trace = trace.as_mut().ok_or(ParseTraceError::MissingHeader)?;
+        let fields: Vec<&str> = text.split(',').map(str::trim).collect();
+        if fields.len() != 5 {
+            return Err(ParseTraceError::BadLine(lineno, text.to_string()));
+        }
+        let parse = |s: &str| -> Result<u64, ParseTraceError> {
+            s.parse::<u64>()
+                .map_err(|_| ParseTraceError::BadLine(lineno, text.to_string()))
+        };
+        let initiator = parse(fields[0])? as usize;
+        let target = parse(fields[1])? as usize;
+        let start = parse(fields[2])?;
+        let duration = parse(fields[3])?;
+        let critical = parse(fields[4])? != 0;
+        if initiator >= trace.num_initiators() {
+            return Err(ParseTraceError::BadEvent(
+                lineno,
+                format!("initiator {initiator} out of range"),
+            ));
+        }
+        if target >= trace.num_targets() {
+            return Err(ParseTraceError::BadEvent(
+                lineno,
+                format!("target {target} out of range"),
+            ));
+        }
+        let duration = u32::try_from(duration)
+            .ok()
+            .filter(|&d| d > 0)
+            .ok_or_else(|| {
+                ParseTraceError::BadEvent(lineno, format!("invalid duration {duration}"))
+            })?;
+        trace.push(TraceEvent {
+            initiator: InitiatorId::new(initiator),
+            target: TargetId::new(target),
+            start,
+            duration,
+            critical,
+        });
+    }
+    let mut trace = trace.ok_or(ParseTraceError::MissingHeader)?;
+    trace.finish_sorting();
+    Ok(trace)
+}
+
+/// Parses a trace from a string in the interchange format.
+///
+/// # Errors
+///
+/// Same conditions as [`read_trace`].
+pub fn trace_from_str(text: &str) -> Result<Trace, ParseTraceError> {
+    read_trace(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new(2, 3);
+        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(2), 10, 8));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(1),
+            TargetId::new(0),
+            4,
+            2,
+        ));
+        tr.finish_sorting();
+        tr
+    }
+
+    #[test]
+    fn round_trip() {
+        let tr = sample_trace();
+        let text = trace_to_string(&tr);
+        let back = trace_from_str(&text).expect("parses");
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let text = trace_to_string(&sample_trace());
+        assert!(text.starts_with("# stbus-trace v1\n"));
+        assert!(text.contains("initiators=2 targets=3"));
+        assert!(text.contains("1,0,4,2,1"));
+        assert!(text.contains("0,2,10,8,0"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hi\n\ninitiators=1 targets=1\n# data below\n0,0,5,3,0\n\n";
+        let tr = trace_from_str(text).expect("parses");
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.events()[0].start, 5);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = trace_from_str("0,0,5,3,0\n").unwrap_err();
+        assert!(matches!(err, ParseTraceError::MissingHeader));
+    }
+
+    #[test]
+    fn bad_line_reported_with_number() {
+        let text = "initiators=1 targets=1\n0,0,5,3\n";
+        match trace_from_str(text).unwrap_err() {
+            ParseTraceError::BadLine(n, _) => assert_eq!(n, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_event_rejected() {
+        let text = "initiators=1 targets=1\n0,7,5,3,0\n";
+        match trace_from_str(text).unwrap_err() {
+            ParseTraceError::BadEvent(2, why) => assert!(why.contains("target 7")),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let text = "initiators=1 targets=1\n0,0,5,0,0\n";
+        assert!(matches!(
+            trace_from_str(text).unwrap_err(),
+            ParseTraceError::BadEvent(2, _)
+        ));
+    }
+
+    #[test]
+    fn workload_traces_round_trip() {
+        let app = crate::workloads::qsort::qsort(3);
+        let text = trace_to_string(&app.trace);
+        let back = trace_from_str(&text).expect("parses");
+        assert_eq!(app.trace, back);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseTraceError::BadLine(3, "x".into());
+        assert!(e.to_string().contains("line 3"));
+        assert!(ParseTraceError::MissingHeader.to_string().contains("header"));
+    }
+}

@@ -1,0 +1,310 @@
+//! System-on-chip structural model: which cores exist, which are initiators
+//! and which are targets, and which traffic streams are critical.
+//!
+//! The paper's benchmarks follow a common MPSoC shape (Fig. 2a): a set of
+//! processor cores (initiators) with private memories, plus a handful of
+//! shared resources — shared memory for inter-processor communication, a
+//! semaphore memory guarding it, and an interrupt device. [`SocSpec`]
+//! captures exactly that structure plus per-stream criticality tags used by
+//! the pre-processing phase.
+
+use crate::ids::{InitiatorId, TargetId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The functional role of a target core.
+///
+/// The role does not change the synthesis algorithm, but workload generators
+/// and reports use it, and it documents the intent of each slave port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Private memory of a single processor.
+    PrivateMemory,
+    /// Shared memory used for inter-processor communication.
+    SharedMemory,
+    /// Semaphore memory holding locks for shared-memory access.
+    Semaphore,
+    /// Interrupt device.
+    InterruptDevice,
+    /// Any other slave peripheral.
+    Peripheral,
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoreKind::PrivateMemory => "private-memory",
+            CoreKind::SharedMemory => "shared-memory",
+            CoreKind::Semaphore => "semaphore",
+            CoreKind::InterruptDevice => "interrupt-device",
+            CoreKind::Peripheral => "peripheral",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Description of one initiator (bus master).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitiatorSpec {
+    /// Human-readable name, e.g. `"ARM0"`.
+    pub name: String,
+}
+
+/// Description of one target (bus slave).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetSpec {
+    /// Human-readable name, e.g. `"PrivMem3"`.
+    pub name: String,
+    /// Functional role of the target.
+    pub kind: CoreKind,
+}
+
+/// Structural description of an MPSoC design: initiators, targets and the
+/// set of critical (real-time) streams.
+///
+/// A *stream* is an (initiator, target) pair. Streams tagged critical
+/// receive real-time treatment in the pre-processing phase: two targets
+/// carrying overlapping critical streams are forced onto different buses
+/// so that the real-time guarantee of each can be honoured (paper §3.2,
+/// §7.3).
+///
+/// ```
+/// use stbus_traffic::{SocSpec, CoreKind, InitiatorId, TargetId};
+///
+/// let mut spec = SocSpec::new("demo");
+/// let arm = spec.add_initiator("ARM0");
+/// let mem = spec.add_target("PrivMem0", CoreKind::PrivateMemory);
+/// spec.mark_critical(arm, mem);
+/// assert_eq!(spec.num_cores(), 2);
+/// assert!(spec.is_critical(arm, mem));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocSpec {
+    name: String,
+    initiators: Vec<InitiatorSpec>,
+    targets: Vec<TargetSpec>,
+    /// Critical streams with an optional per-packet latency deadline
+    /// (cycles). `None` = real-time stream without a numeric bound.
+    critical: BTreeMap<(InitiatorId, TargetId), Option<u64>>,
+}
+
+impl SocSpec {
+    /// Creates an empty SoC description with the given design name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            initiators: Vec::new(),
+            targets: Vec::new(),
+            critical: BTreeMap::new(),
+        }
+    }
+
+    /// Name of the design (e.g. `"Mat2"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an initiator and returns its id.
+    pub fn add_initiator(&mut self, name: impl Into<String>) -> InitiatorId {
+        let id = InitiatorId::new(self.initiators.len());
+        self.initiators.push(InitiatorSpec { name: name.into() });
+        id
+    }
+
+    /// Adds a target of the given kind and returns its id.
+    pub fn add_target(&mut self, name: impl Into<String>, kind: CoreKind) -> TargetId {
+        let id = TargetId::new(self.targets.len());
+        self.targets.push(TargetSpec {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Marks the (initiator, target) stream as critical / real-time.
+    pub fn mark_critical(&mut self, initiator: InitiatorId, target: TargetId) {
+        self.critical.insert((initiator, target), None);
+    }
+
+    /// Marks the stream as critical with a per-packet latency deadline in
+    /// cycles (QoS guarantee to be checked after validation).
+    pub fn mark_critical_with_deadline(
+        &mut self,
+        initiator: InitiatorId,
+        target: TargetId,
+        deadline: u64,
+    ) {
+        self.critical.insert((initiator, target), Some(deadline));
+    }
+
+    /// The latency deadline of a critical stream, if one was declared.
+    #[must_use]
+    pub fn deadline(&self, initiator: InitiatorId, target: TargetId) -> Option<u64> {
+        self.critical.get(&(initiator, target)).copied().flatten()
+    }
+
+    /// Returns `true` if the (initiator, target) stream is critical.
+    #[must_use]
+    pub fn is_critical(&self, initiator: InitiatorId, target: TargetId) -> bool {
+        self.critical.contains_key(&(initiator, target))
+    }
+
+    /// Returns `true` if any critical stream terminates at `target`.
+    #[must_use]
+    pub fn target_has_critical_stream(&self, target: TargetId) -> bool {
+        self.critical.keys().any(|&(_, t)| t == target)
+    }
+
+    /// All critical streams, in deterministic order.
+    pub fn critical_streams(&self) -> impl Iterator<Item = (InitiatorId, TargetId)> + '_ {
+        self.critical.keys().copied()
+    }
+
+    /// All critical streams with their deadlines, in deterministic order.
+    pub fn critical_streams_with_deadlines(
+        &self,
+    ) -> impl Iterator<Item = ((InitiatorId, TargetId), Option<u64>)> + '_ {
+        self.critical.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The initiator descriptions, indexed by [`InitiatorId`].
+    #[must_use]
+    pub fn initiators(&self) -> &[InitiatorSpec] {
+        &self.initiators
+    }
+
+    /// The target descriptions, indexed by [`TargetId`].
+    #[must_use]
+    pub fn targets(&self) -> &[TargetSpec] {
+        &self.targets
+    }
+
+    /// Number of initiators (masters).
+    #[must_use]
+    pub fn num_initiators(&self) -> usize {
+        self.initiators.len()
+    }
+
+    /// Number of targets (slaves).
+    #[must_use]
+    pub fn num_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Total number of cores (initiators + targets). This is the paper's
+    /// "N-core MPSoC" count (e.g. Mat2 is a 21-core design: 9 + 12).
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.initiators.len() + self.targets.len()
+    }
+
+    /// Ids of all targets of a given kind.
+    #[must_use]
+    pub fn targets_of_kind(&self, kind: CoreKind) -> Vec<TargetId> {
+        self.targets
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == kind)
+            .map(|(i, _)| TargetId::new(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for SocSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} cores: {} initiators, {} targets, {} critical streams)",
+            self.name,
+            self.num_cores(),
+            self.num_initiators(),
+            self.num_targets(),
+            self.critical.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> SocSpec {
+        let mut spec = SocSpec::new("demo");
+        for i in 0..3 {
+            spec.add_initiator(format!("ARM{i}"));
+        }
+        for i in 0..3 {
+            spec.add_target(format!("PrivMem{i}"), CoreKind::PrivateMemory);
+        }
+        spec.add_target("Shared", CoreKind::SharedMemory);
+        spec.add_target("Sem", CoreKind::Semaphore);
+        spec
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let spec = demo_spec();
+        assert_eq!(spec.num_initiators(), 3);
+        assert_eq!(spec.num_targets(), 5);
+        assert_eq!(spec.num_cores(), 8);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut spec = SocSpec::new("x");
+        let a = spec.add_initiator("a");
+        let b = spec.add_initiator("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        let t = spec.add_target("t", CoreKind::Peripheral);
+        assert_eq!(t.index(), 0);
+    }
+
+    #[test]
+    fn criticality_is_per_stream() {
+        let mut spec = demo_spec();
+        let i0 = InitiatorId::new(0);
+        let i1 = InitiatorId::new(1);
+        let t0 = TargetId::new(0);
+        spec.mark_critical(i0, t0);
+        assert!(spec.is_critical(i0, t0));
+        assert!(!spec.is_critical(i1, t0));
+        assert!(spec.target_has_critical_stream(t0));
+        assert!(!spec.target_has_critical_stream(TargetId::new(1)));
+    }
+
+    #[test]
+    fn targets_of_kind_filters() {
+        let spec = demo_spec();
+        let privs = spec.targets_of_kind(CoreKind::PrivateMemory);
+        assert_eq!(privs.len(), 3);
+        let shared = spec.targets_of_kind(CoreKind::SharedMemory);
+        assert_eq!(shared, vec![TargetId::new(3)]);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let spec = demo_spec();
+        let s = spec.to_string();
+        assert!(s.contains("8 cores"));
+        assert!(s.contains("3 initiators"));
+    }
+
+    #[test]
+    fn critical_streams_iterates_deterministically() {
+        let mut spec = demo_spec();
+        spec.mark_critical(InitiatorId::new(2), TargetId::new(1));
+        spec.mark_critical(InitiatorId::new(0), TargetId::new(0));
+        let streams: Vec<_> = spec.critical_streams().collect();
+        assert_eq!(
+            streams,
+            vec![
+                (InitiatorId::new(0), TargetId::new(0)),
+                (InitiatorId::new(2), TargetId::new(1)),
+            ]
+        );
+    }
+}

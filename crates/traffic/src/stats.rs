@@ -1,0 +1,131 @@
+//! Small descriptive-statistics helpers shared by analyses and reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics over a sample of values (latencies, sizes, …).
+///
+/// ```
+/// use stbus_traffic::Summary;
+///
+/// let s = Summary::from_values([4.0, 8.0, 6.0]);
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.min, 4.0);
+/// assert_eq!(s.max, 8.0);
+/// assert!((s.mean - 6.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum value (0 for empty samples).
+    pub min: f64,
+    /// Maximum value (0 for empty samples).
+    pub max: f64,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Population standard deviation (0 for empty samples).
+    pub std_dev: f64,
+    /// 95th percentile (nearest-rank; 0 for empty samples).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary from an iterator of values.
+    #[must_use]
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() {
+            return Self {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std_dev: 0.0,
+                p95: 0.0,
+            };
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / count as f64;
+        let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let p95_idx = ((count as f64) * 0.95).ceil() as usize;
+        Self {
+            count,
+            min: v[0],
+            max: v[count - 1],
+            mean,
+            std_dev: var.sqrt(),
+            p95: v[p95_idx.saturating_sub(1).min(count - 1)],
+        }
+    }
+
+    /// Computes a summary from integer cycle counts.
+    #[must_use]
+    pub fn from_cycles(values: impl IntoIterator<Item = u64>) -> Self {
+        Self::from_values(values.into_iter().map(|v| v as f64))
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={:.0} max={:.0} p95={:.0} sd={:.2}",
+            self.count, self.mean, self.min, self.max, self.p95, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::from_values(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p95, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_values([42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p95, 42.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_nearest_rank() {
+        let s = Summary::from_cycles(1..=100);
+        assert_eq!(s.p95, 95.0);
+    }
+
+    #[test]
+    fn from_cycles_matches_from_values() {
+        let a = Summary::from_cycles([1, 2, 3]);
+        let b = Summary::from_values([1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = Summary::from_values([1.0, 2.0]);
+        let out = s.to_string();
+        assert!(out.contains("n=2"));
+        assert!(out.contains("mean=1.50"));
+    }
+}

@@ -1,0 +1,169 @@
+//! DES encryption benchmark suite (19 cores: 8 processors + 8 private
+//! memories + input stream buffer, key store and output stream buffer).
+//!
+//! DES is a streaming pipeline: blocks flow from the input buffer through
+//! the round-computation cores into the output buffer. Pipeline stages run
+//! offset from one another, so private-memory bursts are staggered rather
+//! than barrier-aligned — the designed crossbar keeps only 6 of the 19
+//! buses (Table 2, ratio 3.12).
+
+use super::generator::{generate, CoreProfile, GeneratorParams};
+use super::Application;
+use crate::model::{CoreKind, SocSpec};
+
+/// Tunable parameters for the DES generator.
+#[derive(Debug, Clone)]
+pub struct DesParams {
+    /// Number of processor cores (pipeline stages).
+    pub processors: usize,
+    /// Mean compute cycles per block per stage.
+    pub compute_cycles: u64,
+    /// Transactions per private-memory burst (round keys + S-box state).
+    pub burst_transactions: u32,
+    /// Cycles per transaction.
+    pub txn_len: u32,
+    /// Blocks processed per core.
+    pub iterations: u32,
+}
+
+impl Default for DesParams {
+    fn default() -> Self {
+        Self {
+            processors: 8,
+            compute_cycles: 1271,
+            burst_transactions: 41,
+            txn_len: 8,
+            iterations: 40,
+        }
+    }
+}
+
+/// Builds the DES application from explicit parameters.
+#[must_use]
+pub fn with_params(params: &DesParams, seed: u64) -> Application {
+    let mut spec = SocSpec::new("DES");
+    for c in 0..params.processors {
+        spec.add_initiator(format!("ARM{c}"));
+    }
+    let mut private = Vec::with_capacity(params.processors);
+    for c in 0..params.processors {
+        private.push(spec.add_target(format!("PrivMem{c}"), CoreKind::PrivateMemory));
+    }
+    let input = spec.add_target("InStream", CoreKind::SharedMemory);
+    let keys = spec.add_target("KeyStore", CoreKind::Peripheral);
+    let output = spec.add_target("OutStream", CoreKind::SharedMemory);
+
+    let n = params.processors;
+    let profiles: Vec<CoreProfile> = (0..n)
+        .map(|c| {
+            // First stage reads the input stream, last writes the output,
+            // everyone refreshes round keys occasionally.
+            let mut shared_targets = vec![(keys, 1, false)];
+            if c == 0 {
+                shared_targets.push((input, 3, false));
+            }
+            if c == n - 1 {
+                shared_targets.push((output, 3, false));
+            }
+            let span =
+                u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
+            let period = params.compute_cycles + span;
+            CoreProfile {
+                private_target: private[c],
+                compute_cycles: params.compute_cycles,
+                // Round-key schedules shrink down the pipeline waves.
+                burst_transactions: params.burst_transactions + 4
+                    - 4 * (c % 3) as u32,
+                txn_len: params.txn_len,
+                txn_gap: 1,
+                shared_period: 4,
+                shared_targets,
+                critical_private: false,
+                // Blocks flow through three pipeline waves: stages 0,3,6
+                // are active together, then 1,4,7, then 2,5.
+                start_offset: (c % 3) as u64 * period / 3,
+            }
+        })
+        .collect();
+
+    // Pipeline handshakes re-sync the stages; modest per-block jitter.
+    let gen_params = GeneratorParams {
+        iterations: params.iterations,
+        phase_jitter: 60,
+        start_stagger: 15,
+        burst_jitter: 0.12,
+        nominal_period: Some(
+            params.compute_cycles
+                + u64::from(params.burst_transactions) * u64::from(params.txn_len + 1),
+        ),
+    };
+    let trace = generate(
+        spec.num_initiators(),
+        spec.num_targets(),
+        &profiles,
+        &gen_params,
+        seed,
+    );
+    Application::new(spec, trace)
+}
+
+/// The 19-core DES suite with default parameters.
+#[must_use]
+pub fn des(seed: u64) -> Application {
+    with_params(&DesParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowStats;
+
+    #[test]
+    fn core_count_matches_paper() {
+        let app = des(1);
+        assert_eq!(app.spec.num_cores(), 19);
+        assert_eq!(app.spec.num_initiators(), 8);
+        assert_eq!(app.spec.num_targets(), 11);
+    }
+
+    #[test]
+    fn stream_buffers_present() {
+        let app = des(1);
+        assert_eq!(app.spec.targets_of_kind(CoreKind::SharedMemory).len(), 2);
+        assert_eq!(app.spec.targets_of_kind(CoreKind::Peripheral).len(), 1);
+    }
+
+    #[test]
+    fn pipeline_is_staggered() {
+        // Staggered stages should overlap less than the FFT barrier suite:
+        // mean pairwise overlap well under half of mean busy time.
+        let app = des(1);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let n = app.spec.targets_of_kind(CoreKind::PrivateMemory).len();
+        let mut total_overlap = 0u64;
+        let mut count = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total_overlap += stats.overlap_matrix().get(i, j);
+                count += 1;
+            }
+        }
+        let mean_overlap = total_overlap as f64 / count as f64;
+        let mean_busy = (0..n).map(|t| stats.total_comm(t)).sum::<u64>() as f64 / n as f64;
+        assert!(
+            mean_overlap < 0.6 * mean_busy,
+            "pipeline overlap unexpectedly high: {mean_overlap:.0} vs {mean_busy:.0}"
+        );
+    }
+
+    #[test]
+    fn moderate_bus_demand() {
+        let app = des(1);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let buses_lb = stats.peak_window_demand().div_ceil(1_000);
+        assert!(
+            (2..=4).contains(&buses_lb),
+            "unexpected bandwidth lower bound {buses_lb}"
+        );
+    }
+}

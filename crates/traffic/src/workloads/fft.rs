@@ -1,0 +1,143 @@
+//! FFT benchmark suite (29 cores: 14 processors + 14 private memories +
+//! 1 shared memory).
+//!
+//! FFT is the most communication-hungry suite in the paper's Table 2:
+//! the designed crossbar keeps 15 of the 29 buses (ratio 1.93, the lowest
+//! saving). The butterfly stages put all cores through identical
+//! compute/communicate phases separated by barriers, so the cores' memory
+//! bursts are long, frequent and strongly synchronised.
+
+use super::generator::{generate, CoreProfile, GeneratorParams};
+use super::Application;
+use crate::model::{CoreKind, SocSpec};
+
+/// Tunable parameters for the FFT generator.
+#[derive(Debug, Clone)]
+pub struct FftParams {
+    /// Number of processor cores.
+    pub processors: usize,
+    /// Compute cycles between butterfly-stage memory bursts.
+    pub compute_cycles: u64,
+    /// Transactions per butterfly-stage burst.
+    pub burst_transactions: u32,
+    /// Cycles per transaction.
+    pub txn_len: u32,
+    /// Butterfly stages simulated.
+    pub iterations: u32,
+}
+
+impl Default for FftParams {
+    fn default() -> Self {
+        Self {
+            processors: 14,
+            compute_cycles: 2612,
+            burst_transactions: 61,
+            txn_len: 8,
+            iterations: 36,
+        }
+    }
+}
+
+/// Builds the FFT application from explicit parameters.
+#[must_use]
+pub fn with_params(params: &FftParams, seed: u64) -> Application {
+    let mut spec = SocSpec::new("FFT");
+    for c in 0..params.processors {
+        spec.add_initiator(format!("ARM{c}"));
+    }
+    let mut private = Vec::with_capacity(params.processors);
+    for c in 0..params.processors {
+        private.push(spec.add_target(format!("PrivMem{c}"), CoreKind::PrivateMemory));
+    }
+    let shared = spec.add_target("TwiddleMem", CoreKind::SharedMemory);
+
+    let profiles: Vec<CoreProfile> = (0..params.processors)
+        .map(|c| CoreProfile {
+            private_target: private[c],
+            compute_cycles: params.compute_cycles,
+            burst_transactions: params.burst_transactions,
+            txn_len: params.txn_len,
+            txn_gap: 0,
+            shared_period: 6,
+            shared_targets: vec![(shared, 3, false)],
+            critical_private: false,
+            // Butterfly stages are barrier-synchronised: no phase offsets.
+            start_offset: 0,
+        })
+        .collect();
+
+    // Barrier-synchronised stages: minimal stagger, small jitter → very
+    // high overlap between the cores' exchange bursts.
+    let gen_params = GeneratorParams {
+        iterations: params.iterations,
+        phase_jitter: 25,
+        start_stagger: 12,
+        burst_jitter: 0.02,
+        nominal_period: None,
+    };
+    let trace = generate(
+        spec.num_initiators(),
+        spec.num_targets(),
+        &profiles,
+        &gen_params,
+        seed,
+    );
+    Application::new(spec, trace)
+}
+
+/// The 29-core FFT suite with default parameters.
+#[must_use]
+pub fn fft(seed: u64) -> Application {
+    with_params(&FftParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowStats;
+
+    #[test]
+    fn core_count_matches_paper() {
+        let app = fft(1);
+        assert_eq!(app.spec.num_cores(), 29);
+        assert_eq!(app.spec.num_initiators(), 14);
+        assert_eq!(app.spec.num_targets(), 15);
+    }
+
+    #[test]
+    fn fft_is_bandwidth_hungry() {
+        // The suite should demand noticeably more buses than Mat2 — that is
+        // what drives its low savings ratio in Table 2.
+        let app = fft(1);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let buses_lb = stats.peak_window_demand().div_ceil(1_000);
+        assert!(
+            buses_lb >= 6,
+            "FFT bandwidth lower bound unexpectedly small: {buses_lb}"
+        );
+    }
+
+    #[test]
+    fn stages_are_synchronised() {
+        // Cores should overlap heavily: the mean pairwise aggregate overlap
+        // between private memories is a large fraction of per-target busy
+        // time.
+        let app = fft(1);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let n = app.spec.targets_of_kind(CoreKind::PrivateMemory).len();
+        let mut total_overlap = 0u64;
+        let mut count = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total_overlap += stats.overlap_matrix().get(i, j);
+                count += 1;
+            }
+        }
+        let mean_overlap = total_overlap as f64 / count as f64;
+        let mean_busy = (0..n).map(|t| stats.total_comm(t)).sum::<u64>() as f64 / n as f64;
+        assert!(
+            mean_overlap > 0.25 * mean_busy,
+            "expected synchronised bursts: mean overlap {mean_overlap:.0} vs busy {mean_busy:.0}"
+        );
+    }
+}

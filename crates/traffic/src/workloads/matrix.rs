@@ -1,0 +1,288 @@
+//! Matrix-multiplication benchmark suites (Mat1, 25 cores; Mat2, 21 cores).
+//!
+//! Mat2 is the paper's running example (Fig. 2a): 9 ARM cores running
+//! pipelined matrix multiplication, each with a private memory, plus a
+//! shared memory for inter-processor communication, a semaphore memory
+//! guarding it and an interrupt device — 9 initiators and 12 targets.
+//! The cores perform similar computations and access their memories at
+//! almost the same time, producing the heavy temporal overlap between
+//! private-memory streams that the methodology exploits (§7.1).
+//!
+//! Mat1 is the larger 25-core suite: 12 ARM cores, 12 private memories
+//! and one shared memory.
+
+use super::generator::{generate, CoreProfile, GeneratorParams};
+use super::Application;
+use crate::ids::TargetId;
+use crate::model::{CoreKind, SocSpec};
+
+/// Tunable parameters for the matrix-multiplication generators.
+#[derive(Debug, Clone)]
+pub struct MatrixParams {
+    /// Number of processor cores.
+    pub processors: usize,
+    /// Mean compute cycles between private-memory bursts.
+    pub compute_cycles: u64,
+    /// Transactions per private-memory burst.
+    pub burst_transactions: u32,
+    /// Cycles per transaction.
+    pub txn_len: u32,
+    /// Gap cycles between transactions.
+    pub txn_gap: u32,
+    /// Iterations of the pipelined kernel per core.
+    pub iterations: u32,
+    /// Whether to instantiate semaphore + interrupt targets (Mat2 shape).
+    pub with_sync_devices: bool,
+    /// Number of pipeline phase groups the cores are spread over. Cores in
+    /// the same group compute in lock-step (heavy overlap); cores in
+    /// different groups barely overlap. The pipelined matrix kernels hand
+    /// tiles from one group to the next, which is exactly this shape.
+    pub phase_groups: usize,
+}
+
+impl MatrixParams {
+    /// Parameters of the 25-core Mat1 suite.
+    #[must_use]
+    pub fn mat1() -> Self {
+        Self {
+            processors: 12,
+            compute_cycles: 1600,
+            burst_transactions: 34,
+            txn_len: 8,
+            txn_gap: 1,
+            iterations: 40,
+            with_sync_devices: false,
+            phase_groups: 3,
+        }
+    }
+
+    /// Parameters of the 21-core Mat2 suite (the paper's running example).
+    #[must_use]
+    pub fn mat2() -> Self {
+        Self {
+            processors: 9,
+            compute_cycles: 1600,
+            burst_transactions: 34,
+            txn_len: 8,
+            txn_gap: 1,
+            iterations: 40,
+            with_sync_devices: true,
+            phase_groups: 3,
+        }
+    }
+}
+
+/// Builds a matrix-multiplication application from explicit parameters.
+#[must_use]
+pub fn with_params(name: &str, params: &MatrixParams, seed: u64) -> Application {
+    let mut spec = SocSpec::new(name);
+    for c in 0..params.processors {
+        spec.add_initiator(format!("ARM{c}"));
+    }
+    let mut private = Vec::with_capacity(params.processors);
+    for c in 0..params.processors {
+        private.push(spec.add_target(format!("PrivMem{c}"), CoreKind::PrivateMemory));
+    }
+    let shared = spec.add_target("SharedMem", CoreKind::SharedMemory);
+    let sync: Option<(TargetId, TargetId)> = params.with_sync_devices.then(|| {
+        (
+            spec.add_target("Semaphore", CoreKind::Semaphore),
+            spec.add_target("IntDevice", CoreKind::InterruptDevice),
+        )
+    });
+
+    // Estimated iteration period, used to spread the phase groups evenly.
+    let burst_span = u64::from(params.burst_transactions)
+        * u64::from(params.txn_len + params.txn_gap);
+    let period = params.compute_cycles + burst_span;
+    let groups = params.phase_groups.max(1);
+
+    let profiles: Vec<CoreProfile> = (0..params.processors)
+        .map(|c| {
+            let group = c % groups;
+            let mut shared_targets = Vec::new();
+            if let Some((sem, intr)) = sync {
+                // Lock, touch shared data, then (rarely) raise an interrupt.
+                shared_targets.push((sem, 1, false));
+                shared_targets.push((shared, 2, false));
+                if c == 0 {
+                    shared_targets.push((intr, 1, true));
+                }
+            } else {
+                shared_targets.push((shared, 2, false));
+            }
+            // Tile sizes shrink slightly down the pipeline: same-group
+            // cores have equal bandwidth, so bandwidth similarity and
+            // temporal overlap correlate — the trap the paper's §3.2
+            // example sets for average-flow design.
+            let burst = params
+                .burst_transactions
+                .saturating_sub(2 * group as u32)
+                .max(4);
+            CoreProfile {
+                private_target: private[c],
+                compute_cycles: params.compute_cycles,
+                burst_transactions: burst,
+                txn_len: params.txn_len,
+                txn_gap: params.txn_gap,
+                shared_period: 5,
+                shared_targets,
+                critical_private: false,
+                start_offset: group as u64 * period / groups as u64,
+            }
+        })
+        .collect();
+
+    // Pipelined kernel: same-group cores stay tightly in phase.
+    let gen_params = GeneratorParams {
+        iterations: params.iterations,
+        phase_jitter: 35,
+        start_stagger: 10,
+        burst_jitter: 0.10,
+        nominal_period: Some(period),
+    };
+    let trace = generate(
+        spec.num_initiators(),
+        spec.num_targets(),
+        &profiles,
+        &gen_params,
+        seed,
+    );
+
+    // Interrupt delivery is the critical stream in this suite.
+    if let Some((_, intr)) = sync {
+        spec.mark_critical(crate::ids::InitiatorId::new(0), intr);
+    }
+    Application::new(spec, trace)
+}
+
+/// The 25-core Mat1 suite with default parameters.
+#[must_use]
+pub fn mat1(seed: u64) -> Application {
+    with_params("Mat1", &MatrixParams::mat1(), seed)
+}
+
+/// The 21-core Mat2 suite with default parameters (9 initiators,
+/// 12 targets).
+#[must_use]
+pub fn mat2(seed: u64) -> Application {
+    with_params("Mat2", &MatrixParams::mat2(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowStats;
+
+    #[test]
+    fn mat2_shape_matches_paper() {
+        let app = mat2(3);
+        assert_eq!(app.spec.num_initiators(), 9);
+        assert_eq!(app.spec.num_targets(), 12);
+        assert_eq!(app.spec.num_cores(), 21);
+        assert_eq!(
+            app.spec.targets_of_kind(CoreKind::PrivateMemory).len(),
+            9
+        );
+        assert_eq!(app.spec.targets_of_kind(CoreKind::SharedMemory).len(), 1);
+        assert_eq!(app.spec.targets_of_kind(CoreKind::Semaphore).len(), 1);
+        assert_eq!(
+            app.spec.targets_of_kind(CoreKind::InterruptDevice).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn mat1_shape_matches_paper() {
+        let app = mat1(3);
+        assert_eq!(app.spec.num_cores(), 25);
+        assert_eq!(app.spec.num_initiators(), 12);
+        assert_eq!(app.spec.num_targets(), 13);
+    }
+
+    #[test]
+    fn shared_targets_see_less_traffic_than_private() {
+        // Paper §7.1: accesses to shared/semaphore/interrupt are much lower
+        // than to private memories.
+        let app = mat2(5);
+        let busy = app.trace.busy_cycles_per_target();
+        let privates = app.spec.targets_of_kind(CoreKind::PrivateMemory);
+        let min_private = privates
+            .iter()
+            .map(|t| busy[t.index()])
+            .min()
+            .unwrap();
+        for kind in [
+            CoreKind::SharedMemory,
+            CoreKind::Semaphore,
+            CoreKind::InterruptDevice,
+        ] {
+            for t in app.spec.targets_of_kind(kind) {
+                assert!(
+                    busy[t.index()] < min_private,
+                    "{kind} busier than a private memory"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn private_streams_have_phase_structure() {
+        // Paper §7.1: cores performing similar computations access their
+        // memories at almost the same time — same-phase private memories
+        // overlap heavily, cross-phase ones barely at all. This structural
+        // asymmetry is what the methodology exploits.
+        let app = mat2(5);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let privates = app.spec.targets_of_kind(CoreKind::PrivateMemory);
+        let groups = MatrixParams::mat2().phase_groups;
+        let mut same_group = Vec::new();
+        let mut cross_group = Vec::new();
+        for (a, &i) in privates.iter().enumerate() {
+            for (b, &j) in privates.iter().enumerate().skip(a + 1) {
+                let om = stats.overlap_matrix().get(i.index(), j.index());
+                if a % groups == b % groups {
+                    same_group.push(om);
+                } else {
+                    cross_group.push(om);
+                }
+            }
+        }
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64;
+        assert!(
+            same_group.iter().all(|&om| om > 0),
+            "every same-phase pair must overlap"
+        );
+        assert!(
+            mean(&same_group) > 10.0 * mean(&cross_group).max(1.0),
+            "same-phase overlap ({:.0}) should dwarf cross-phase ({:.0})",
+            mean(&same_group),
+            mean(&cross_group)
+        );
+    }
+
+    #[test]
+    fn interrupt_stream_is_critical() {
+        let app = mat2(5);
+        let intr = app.spec.targets_of_kind(CoreKind::InterruptDevice)[0];
+        assert!(app.spec.target_has_critical_stream(intr));
+        assert!(app
+            .trace
+            .iter()
+            .filter(|e| e.target == intr)
+            .all(|e| e.critical));
+    }
+
+    #[test]
+    fn aggregate_utilisation_fits_a_few_buses() {
+        // Sanity for the synthesis stage: peak window demand should need
+        // more than one bus but far fewer than one per target.
+        let app = mat2(5);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let buses_lb = stats.peak_window_demand().div_ceil(1_000);
+        assert!(
+            (2..=6).contains(&buses_lb),
+            "unexpected bandwidth lower bound {buses_lb}"
+        );
+    }
+}

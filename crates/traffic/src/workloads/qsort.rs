@@ -1,0 +1,148 @@
+//! Quick-sort benchmark suite (15 cores: 6 processors + 6 private memories
+//! + shared memory, semaphore and interrupt device).
+//!
+//! Quicksort's recursive partitioning produces *irregular* traffic: burst
+//! and compute lengths vary widely between iterations as partition sizes
+//! shrink, and cores drift out of phase. The designed crossbar keeps 6 of
+//! 15 buses (Table 2, ratio 2.5).
+
+use super::generator::{generate, CoreProfile, GeneratorParams};
+use super::Application;
+use crate::model::{CoreKind, SocSpec};
+
+/// Tunable parameters for the quicksort generator.
+#[derive(Debug, Clone)]
+pub struct QsortParams {
+    /// Number of processor cores.
+    pub processors: usize,
+    /// Mean compute cycles between memory bursts.
+    pub compute_cycles: u64,
+    /// Mean transactions per burst.
+    pub burst_transactions: u32,
+    /// Cycles per transaction.
+    pub txn_len: u32,
+    /// Partitioning rounds simulated.
+    pub iterations: u32,
+}
+
+impl Default for QsortParams {
+    fn default() -> Self {
+        Self {
+            processors: 6,
+            compute_cycles: 1400,
+            burst_transactions: 54,
+            txn_len: 8,
+            iterations: 40,
+        }
+    }
+}
+
+/// Builds the quicksort application from explicit parameters.
+#[must_use]
+pub fn with_params(params: &QsortParams, seed: u64) -> Application {
+    let mut spec = SocSpec::new("QSort");
+    for c in 0..params.processors {
+        spec.add_initiator(format!("ARM{c}"));
+    }
+    let mut private = Vec::with_capacity(params.processors);
+    for c in 0..params.processors {
+        private.push(spec.add_target(format!("PrivMem{c}"), CoreKind::PrivateMemory));
+    }
+    let shared = spec.add_target("WorkQueue", CoreKind::SharedMemory);
+    let sem = spec.add_target("Semaphore", CoreKind::Semaphore);
+    let intr = spec.add_target("IntDevice", CoreKind::InterruptDevice);
+
+    let burst_span =
+        u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
+    let period = params.compute_cycles + burst_span;
+    let profiles: Vec<CoreProfile> = (0..params.processors)
+        .map(|c| CoreProfile {
+            private_target: private[c],
+            compute_cycles: params.compute_cycles,
+            // Deeper recursion waves sort larger partitions: the first
+            // wave's bursts run longer than the second's.
+            burst_transactions: params.burst_transactions + 4 - 8 * (c % 2) as u32,
+            txn_len: params.txn_len,
+            txn_gap: 1,
+            // Work stealing: every third round, grab the queue lock and pull
+            // a partition descriptor; core 0 also signals completion.
+            shared_period: 3,
+            shared_targets: if c == 0 {
+                vec![(sem, 1, false), (shared, 3, false), (intr, 1, true)]
+            } else {
+                vec![(sem, 1, false), (shared, 3, false)]
+            },
+            critical_private: false,
+            // Recursion depths de-phase the workers into two rough waves.
+            start_offset: (c % 2) as u64 * period / 2,
+        })
+        .collect();
+
+    // Irregular recursion: large jitter and burst variability, cores
+    // noticeably staggered.
+    let gen_params = GeneratorParams {
+        iterations: params.iterations,
+        phase_jitter: 120,
+        start_stagger: 60,
+        burst_jitter: 0.25,
+        nominal_period: Some(period),
+    };
+    let trace = generate(
+        spec.num_initiators(),
+        spec.num_targets(),
+        &profiles,
+        &gen_params,
+        seed,
+    );
+    let mut spec = spec;
+    spec.mark_critical(crate::ids::InitiatorId::new(0), intr);
+    Application::new(spec, trace)
+}
+
+/// The 15-core quicksort suite with default parameters.
+#[must_use]
+pub fn qsort(seed: u64) -> Application {
+    with_params(&QsortParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::BurstStats;
+    use crate::window::WindowStats;
+
+    #[test]
+    fn core_count_matches_paper() {
+        let app = qsort(1);
+        assert_eq!(app.spec.num_cores(), 15);
+        assert_eq!(app.spec.num_initiators(), 6);
+        assert_eq!(app.spec.num_targets(), 9);
+    }
+
+    #[test]
+    fn traffic_is_irregular() {
+        // Burst spans should vary much more than in a barrier workload.
+        let app = qsort(1);
+        let bursts = BurstStats::detect(&app.trace, 30);
+        assert!(bursts.len() > 10);
+        let spans: Vec<f64> = bursts.bursts().iter().map(|b| b.span() as f64).collect();
+        let mean = spans.iter().sum::<f64>() / spans.len() as f64;
+        let var = spans.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / spans.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(
+            cv > 0.1,
+            "expected irregular burst sizes, coefficient of variation {cv:.3}"
+        );
+    }
+
+    #[test]
+    fn moderate_bus_demand() {
+        let app = qsort(1);
+        let stats = WindowStats::analyze(&app.trace, 1_000);
+        let buses_lb = stats.peak_window_demand().div_ceil(1_000);
+        assert!(
+            (2..=4).contains(&buses_lb),
+            "unexpected bandwidth lower bound {buses_lb}"
+        );
+    }
+}

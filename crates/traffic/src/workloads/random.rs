@@ -1,0 +1,117 @@
+//! Uniform-random traffic generator for stress and property testing.
+//!
+//! Unlike the structured benchmark generators, this one scatters
+//! transactions uniformly over initiators, targets and time. It is the
+//! "no exploitable structure" extreme: window-based synthesis should
+//! degrade gracefully towards peak-bandwidth designs on such traffic.
+
+use super::Application;
+use crate::ids::{InitiatorId, TargetId};
+use crate::model::{CoreKind, SocSpec};
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the random traffic generator.
+#[derive(Debug, Clone)]
+pub struct RandomParams {
+    /// Number of initiators.
+    pub initiators: usize,
+    /// Number of targets.
+    pub targets: usize,
+    /// Number of transactions to scatter.
+    pub transactions: usize,
+    /// Simulation horizon in cycles.
+    pub horizon: u64,
+    /// Transaction duration range (inclusive).
+    pub duration: (u32, u32),
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        Self {
+            initiators: 4,
+            targets: 8,
+            transactions: 400,
+            horizon: 20_000,
+            duration: (4, 16),
+        }
+    }
+}
+
+/// Generates a uniformly random application.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or the duration range is inverted.
+#[must_use]
+pub fn with_params(params: &RandomParams, seed: u64) -> Application {
+    assert!(params.initiators > 0 && params.targets > 0, "empty system");
+    assert!(params.duration.0 > 0, "durations must be positive");
+    assert!(
+        params.duration.0 <= params.duration.1,
+        "inverted duration range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = SocSpec::new("Random");
+    for i in 0..params.initiators {
+        spec.add_initiator(format!("I{i}"));
+    }
+    for t in 0..params.targets {
+        spec.add_target(format!("T{t}"), CoreKind::Peripheral);
+    }
+    let mut trace = Trace::new(params.initiators, params.targets);
+    for _ in 0..params.transactions {
+        let duration = rng.gen_range(params.duration.0..=params.duration.1);
+        let latest = params.horizon.saturating_sub(u64::from(duration)).max(1);
+        trace.push(TraceEvent::new(
+            InitiatorId::new(rng.gen_range(0..params.initiators)),
+            TargetId::new(rng.gen_range(0..params.targets)),
+            rng.gen_range(0..latest),
+            duration,
+        ));
+    }
+    trace.finish_sorting();
+    Application::new(spec, trace)
+}
+
+/// A random application with default parameters.
+#[must_use]
+pub fn random(seed: u64) -> Application {
+    with_params(&RandomParams::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_transactions() {
+        let app = random(5);
+        assert_eq!(app.trace.len(), 400);
+        assert_eq!(app.spec.num_initiators(), 4);
+        assert_eq!(app.spec.num_targets(), 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random(9).trace, random(9).trace);
+        assert_ne!(random(9).trace, random(10).trace);
+    }
+
+    #[test]
+    fn horizon_respected() {
+        let app = random(5);
+        assert!(app.trace.horizon() <= 20_000 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted duration range")]
+    fn bad_duration_panics() {
+        let params = RandomParams {
+            duration: (10, 2),
+            ..RandomParams::default()
+        };
+        let _ = with_params(&params, 1);
+    }
+}

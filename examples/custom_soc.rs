@@ -1,0 +1,99 @@
+//! Designing a crossbar for your own MPSoC: build a [`SocSpec`], generate
+//! (or import) a traffic trace, tag the real-time streams, and run the
+//! four-phase flow.
+//!
+//! The example models a small video pipeline: a capture DMA engine, two
+//! codec cores and a CPU, with a frame buffer, two scratch memories, a
+//! register file and an interrupt device. The capture stream has a
+//! real-time deadline (dropped frames are unacceptable), so its target is
+//! kept free of overlapping traffic by the conflict pre-processing.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example custom_soc
+//! ```
+
+use stbus::core::{DesignFlow, DesignParams};
+use stbus::traffic::{CoreKind, SocSpec, Trace, TraceEvent, workloads::Application};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Describe the platform. ---
+    let mut spec = SocSpec::new("VideoPipe");
+    let capture = spec.add_initiator("CaptureDMA");
+    let codec0 = spec.add_initiator("Codec0");
+    let codec1 = spec.add_initiator("Codec1");
+    let cpu = spec.add_initiator("CPU");
+
+    let frame_buf = spec.add_target("FrameBuf", CoreKind::SharedMemory);
+    let scratch0 = spec.add_target("Scratch0", CoreKind::PrivateMemory);
+    let scratch1 = spec.add_target("Scratch1", CoreKind::PrivateMemory);
+    let regs = spec.add_target("RegFile", CoreKind::Peripheral);
+    let intr = spec.add_target("IntDevice", CoreKind::InterruptDevice);
+
+    // The capture stream into the frame buffer is hard real-time.
+    spec.mark_critical(capture, frame_buf);
+
+    // --- 2. Produce the traffic trace (here: synthesised by hand; in a
+    //        real flow this comes from platform simulation or silicon
+    //        trace capture). ---
+    let mut trace = Trace::new(spec.num_initiators(), spec.num_targets());
+    for frame in 0..200u64 {
+        let t0 = frame * 2_000;
+        // Capture writes a line burst into the frame buffer every frame.
+        for k in 0..8 {
+            trace.push(TraceEvent::critical(capture, frame_buf, t0 + k * 12, 10));
+        }
+        // The codecs alternately read the frame buffer and chew on their
+        // scratch memories, heavily overlapping each other.
+        for k in 0..10 {
+            trace.push(TraceEvent::new(codec0, scratch0, t0 + 300 + k * 14, 12));
+            trace.push(TraceEvent::new(codec1, scratch1, t0 + 310 + k * 14, 12));
+        }
+        trace.push(TraceEvent::new(codec0, frame_buf, t0 + 600, 24));
+        trace.push(TraceEvent::new(codec1, frame_buf, t0 + 640, 24));
+        // The CPU pokes registers and acknowledges the frame interrupt.
+        trace.push(TraceEvent::new(cpu, regs, t0 + 700, 4));
+        trace.push(TraceEvent::new(cpu, intr, t0 + 720, 2));
+    }
+    trace.finish_sorting();
+    let app = Application::new(spec, trace);
+
+    // --- 3. Design: aggressive threshold, small windows (tight deadlines). ---
+    let params = DesignParams::default()
+        .with_window_size(500)
+        .with_overlap_threshold(0.15)
+        .with_maxtb(3);
+    let report = DesignFlow::new(params).run(&app)?;
+
+    println!("Designed IT crossbar: {}", report.it_synthesis.config);
+    println!("Designed TI crossbar: {}\n", report.ti_synthesis.config);
+    println!(
+        "buses: designed {} vs full {} ({:.2}x saving)",
+        report.designed.total_buses(),
+        report.full.total_buses(),
+        report.component_saving()
+    );
+    println!(
+        "avg latency: designed {:.1} cy, full {:.1} cy, shared {:.1} cy",
+        report.designed.avg_latency, report.full.avg_latency, report.shared.avg_latency
+    );
+    let crit_designed = report.designed.validation.critical_latency();
+    let crit_full = report.full.validation.critical_latency();
+    println!(
+        "critical capture stream: designed {:.1} cy vs full-crossbar {:.1} cy \
+         over {} packets",
+        crit_designed.mean, crit_full.mean, crit_designed.count
+    );
+
+    // The scratch memories overlap heavily, so they must sit on
+    // different buses.
+    let it = &report.it_synthesis.config;
+    assert_ne!(
+        it.bus_of(scratch0.index()),
+        it.bus_of(scratch1.index()),
+        "overlapping codec scratch memories should not share a bus"
+    );
+    println!("\nscratch memories were placed on different buses, as expected.");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Design-space exploration: how the analysis window size and the overlap
+//! threshold trade crossbar size against packet latency (paper §7.2/§7.4).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use stbus::core::{phase1, phase3, phase4, DesignParams, Preprocessed};
+use stbus::report::Table;
+use stbus::traffic::workloads::synthetic;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = synthetic::synthetic20(7);
+    println!("Application: {} (typical burst ~1000 cycles)\n", app.spec);
+
+    // --- Window-size sweep (aggressive = near the burst size,
+    //     conservative = a few times the burst size). ---
+    let mut window_table = Table::new(vec![
+        "window size",
+        "IT buses",
+        "avg latency",
+        "max latency",
+    ]);
+    for ws in [250u64, 500, 1_000, 2_000, 4_000] {
+        let params = DesignParams::default().with_window_size(ws);
+        let (config, validation) = design_and_validate(&app, &params)?;
+        window_table.row(vec![
+            format!("{ws}"),
+            format!("{}", config),
+            format!("{:.1}", validation.avg_latency()),
+            format!("{}", validation.max_latency()),
+        ]);
+    }
+    println!("Window-size sweep (threshold fixed at 25%):\n\n{window_table}");
+
+    // --- Overlap-threshold sweep (10% aggressive .. 50% cap). ---
+    let mut theta_table = Table::new(vec![
+        "threshold",
+        "IT buses",
+        "avg latency",
+        "max latency",
+    ]);
+    for theta in [0.10f64, 0.20, 0.30, 0.40, 0.50] {
+        let params = DesignParams::default().with_overlap_threshold(theta);
+        let (config, validation) = design_and_validate(&app, &params)?;
+        theta_table.row(vec![
+            format!("{:.0}%", theta * 100.0),
+            format!("{}", config),
+            format!("{:.1}", validation.avg_latency()),
+            format!("{}", validation.max_latency()),
+        ]);
+    }
+    println!("Overlap-threshold sweep (window fixed at 1000):\n\n{theta_table}");
+    println!(
+        "Smaller windows / tighter thresholds buy latency with extra buses;\n\
+         the knee sits around 1-4x the typical burst size (paper Fig. 5a)."
+    );
+    Ok(())
+}
+
+/// Designs the IT crossbar under `params` and validates it (responses on a
+/// full TI crossbar so the comparison isolates the request path).
+fn design_and_validate(
+    app: &stbus::traffic::Application,
+    params: &DesignParams,
+) -> Result<(usize, stbus::core::phase4::Validation), Box<dyn std::error::Error>> {
+    let collected = phase1::collect(app, params);
+    let pre = Preprocessed::analyze(&collected.it_trace, params);
+    let outcome = phase3::synthesize(&pre, params)?;
+    let ti_full = stbus::sim::CrossbarConfig::full(app.spec.num_initiators());
+    let validation = phase4::validate(&app.trace, &outcome.config, &ti_full, params);
+    Ok((outcome.num_buses, validation))
+}

@@ -1,0 +1,61 @@
+//! Quickstart: design the crossbar for the paper's running example (Mat2,
+//! 21 cores) and compare it against shared-bus and full-crossbar designs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stbus::core::{DesignFlow, DesignParams};
+use stbus::report::Table;
+use stbus::traffic::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate the 21-core matrix-multiplication MPSoC (9 ARM cores,
+    //    9 private memories, shared memory, semaphore, interrupt device).
+    let app = workloads::matrix::mat2(42);
+    println!("Application: {}\n", app.spec);
+
+    // 2. Run the four-phase design flow with default (conservative)
+    //    parameters: 1000-cycle windows, 25% overlap threshold, maxtb 4.
+    let flow = DesignFlow::new(DesignParams::default());
+    let report = flow.run(&app)?;
+
+    // 3. Designed crossbar structure.
+    println!("Designed initiator->target crossbar:");
+    println!("  {}", report.it_synthesis.config);
+    println!("Designed target->initiator crossbar:");
+    println!("  {}\n", report.ti_synthesis.config);
+    println!(
+        "Binary search probes (IT): {:?} from lower bound {}",
+        report.it_synthesis.probes, report.it_synthesis.lower_bound
+    );
+    println!(
+        "Minimised max per-bus overlap (IT): {} cycles\n",
+        report.it_synthesis.max_bus_overlap
+    );
+
+    // 4. Compare the three architectures, Table-1 style.
+    let mut table = Table::new(vec![
+        "Type", "Avg Lat (cy)", "Max Lat (cy)", "Buses", "Size Ratio",
+    ]);
+    let shared_buses = report.shared.total_buses() as f64;
+    for eval in [&report.shared, &report.full, &report.designed] {
+        table.row(vec![
+            eval.label.clone(),
+            format!("{:.1}", eval.avg_latency),
+            format!("{}", eval.max_latency),
+            format!("{}", eval.total_buses()),
+            format!("{:.2}", eval.total_buses() as f64 / shared_buses),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Bus saving vs full crossbar: {:.2}x  |  avg-based design latency: {:.1} cy ({:.1}x designed)",
+        report.component_saving(),
+        report.avg_based.avg_latency,
+        report.avg_based.avg_latency / report.designed.avg_latency,
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Umbrella crate for the STbus crossbar generation toolkit — a
+//! reproduction of Murali & De Micheli, *"An Application-Specific Design
+//! Methodology for STbus Crossbar Generation"*, DATE 2005.
+//!
+//! This crate re-exports the workspace members under one roof:
+//!
+//! * [`traffic`] — traces, window analysis, conflicts, workloads;
+//! * [`milp`] — exact MILP/binding solvers;
+//! * [`sim`] — the cycle-accurate STbus interconnect simulator;
+//! * [`core`] — the four-phase design methodology and baselines;
+//! * [`report`] — tables and series for result presentation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stbus::core::{DesignFlow, DesignParams};
+//! use stbus::traffic::workloads;
+//!
+//! let app = workloads::matrix::mat2(42);
+//! let report = DesignFlow::new(DesignParams::default())
+//!     .run(&app)
+//!     .expect("synthesis succeeds");
+//! println!(
+//!     "{}: {} buses (full crossbar: {}), {:.1}x saving",
+//!     report.app_name,
+//!     report.designed.total_buses(),
+//!     report.full.total_buses(),
+//!     report.component_saving(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stbus_core as core;
+pub use stbus_milp as milp;
+pub use stbus_report as report;
+pub use stbus_sim as sim;
+pub use stbus_traffic as traffic;

@@ -1,0 +1,178 @@
+//! Property tests over the analysis layer: trace interchange round-trips,
+//! uniform/variable window-plan equivalences, and LP-solver sanity on
+//! random models.
+
+use proptest::prelude::*;
+use stbus::milp::{Cmp, LinExpr, Model, Sense};
+use stbus::milp::simplex::{solve_lp, BoundOverrides, LpOutcome};
+use stbus::traffic::{
+    io, InitiatorId, TargetId, Trace, TraceEvent, WindowPlan, WindowStats,
+};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (1usize..=3, 1usize..=5).prop_flat_map(|(ni, nt)| {
+        prop::collection::vec(
+            (0usize..ni, 0usize..nt, 0u64..3_000, 1u32..50, prop::bool::ANY),
+            1..80,
+        )
+        .prop_map(move |events| {
+            let mut tr = Trace::new(ni, nt);
+            for (i, t, s, d, c) in events {
+                tr.push(TraceEvent {
+                    initiator: InitiatorId::new(i),
+                    target: TargetId::new(t),
+                    start: s,
+                    duration: d,
+                    critical: c,
+                });
+            }
+            tr.finish_sorting();
+            tr
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The textual trace format round-trips exactly (criticality included).
+    #[test]
+    fn trace_io_round_trips(tr in arb_trace()) {
+        let text = io::trace_to_string(&tr);
+        let back = io::trace_from_str(&text).expect("own output parses");
+        prop_assert_eq!(tr, back);
+    }
+
+    /// A uniform WindowPlan reproduces the direct uniform analysis.
+    #[test]
+    fn uniform_plan_equals_direct(tr in arb_trace(), ws in 1u64..500) {
+        let direct = WindowStats::analyze(&tr, ws);
+        let planned = WindowPlan::uniform(tr.horizon(), ws).analyze(&tr);
+        prop_assert_eq!(direct, planned);
+    }
+
+    /// Variable plans conserve totals: per-target busy cycles and the
+    /// aggregate overlap matrix are window-layout-independent.
+    #[test]
+    fn window_layout_conserves_totals(tr in arb_trace(), fine in 50u64..300) {
+        let uniform = WindowStats::analyze(&tr, fine);
+        let adaptive = WindowPlan::adaptive(&tr, fine, fine * 8, 0.1).analyze(&tr);
+        for t in 0..tr.num_targets() {
+            prop_assert_eq!(uniform.total_comm(t), adaptive.total_comm(t));
+        }
+        for i in 0..tr.num_targets() {
+            for j in (i + 1)..tr.num_targets() {
+                prop_assert_eq!(
+                    uniform.overlap_matrix().get(i, j),
+                    adaptive.overlap_matrix().get(i, j)
+                );
+            }
+        }
+        // Window-local bounds hold under any layout.
+        for m in 0..adaptive.num_windows() {
+            for t in 0..tr.num_targets() {
+                prop_assert!(adaptive.comm(t, m) <= adaptive.window_len(m));
+            }
+        }
+    }
+
+    /// Coarsening windows never increases the per-window bandwidth lower
+    /// bound expressed as a fraction (merged demand / merged length is a
+    /// mean of the parts).
+    #[test]
+    fn adaptive_windows_cover_bounds(tr in arb_trace(), fine in 50u64..300) {
+        let adaptive = WindowPlan::adaptive(&tr, fine, fine * 4, 0.1).analyze(&tr);
+        prop_assert!(*adaptive.bounds().last().unwrap() >= tr.horizon());
+        let lens: u64 = (0..adaptive.num_windows())
+            .map(|m| adaptive.window_len(m))
+            .sum();
+        prop_assert_eq!(
+            lens,
+            adaptive.bounds().last().unwrap() - adaptive.bounds().first().unwrap()
+        );
+    }
+}
+
+/// Random small LPs: the simplex answer must be feasible, and no sampled
+/// feasible point may beat it.
+fn arb_lp() -> impl Strategy<Value = (Model, Vec<Vec<f64>>)> {
+    (2usize..=3, 1usize..=4).prop_flat_map(|(nvars, ncons)| {
+        let cons = prop::collection::vec(
+            (
+                prop::collection::vec(-5i32..=5, nvars),
+                0usize..2, // 0 = Le, 1 = Ge
+                0i32..40,
+            ),
+            ncons,
+        );
+        let obj = prop::collection::vec(-5i32..=5, nvars);
+        let samples = prop::collection::vec(
+            prop::collection::vec(0u32..=10, nvars),
+            8,
+        );
+        (cons, obj, samples).prop_map(move |(cons, obj, samples)| {
+            let mut m = Model::new(Sense::Minimize);
+            let vars: Vec<_> = (0..nvars)
+                .map(|i| m.continuous_var(format!("x{i}"), 0.0, 10.0))
+                .collect();
+            for (coefs, kind, rhs) in cons {
+                let mut e = LinExpr::new();
+                for (v, c) in vars.iter().zip(&coefs) {
+                    e.add_term(*v, f64::from(*c));
+                }
+                let cmp = if kind == 0 { Cmp::Le } else { Cmp::Ge };
+                m.constrain(e, cmp, f64::from(rhs));
+            }
+            let mut e = LinExpr::new();
+            for (v, c) in vars.iter().zip(&obj) {
+                e.add_term(*v, f64::from(*c));
+            }
+            m.set_objective(e);
+            let samples = samples
+                .into_iter()
+                .map(|s| s.into_iter().map(f64::from).collect())
+                .collect();
+            (m, samples)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lp_optimum_dominates_sampled_points((model, samples) in arb_lp()) {
+        match solve_lp(&model, &BoundOverrides::none()) {
+            LpOutcome::Optimal { values, objective } => {
+                // The returned point satisfies the model.
+                prop_assert!(
+                    model.is_feasible_point(&values, 1e-5),
+                    "simplex returned an infeasible optimum"
+                );
+                prop_assert!((model.objective().eval(&values) - objective).abs() < 1e-6);
+                // No sampled feasible point is better (minimisation).
+                for s in &samples {
+                    if model.is_feasible_point(s, 1e-9) {
+                        prop_assert!(
+                            model.objective().eval(s) >= objective - 1e-5,
+                            "sampled point beats the 'optimum'"
+                        );
+                    }
+                }
+            }
+            LpOutcome::Infeasible => {
+                // Then no sampled point may be feasible.
+                for s in &samples {
+                    prop_assert!(
+                        !model.is_feasible_point(s, 1e-9),
+                        "solver said infeasible but a feasible point exists"
+                    );
+                }
+            }
+            LpOutcome::Unbounded => {
+                // Bounded boxes cannot be unbounded.
+                prop_assert!(false, "boxed LP reported unbounded");
+            }
+        }
+    }
+}

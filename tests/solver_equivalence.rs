@@ -1,0 +1,127 @@
+//! Cross-validation of the two solver stacks: the specialised exact
+//! binding solver must agree with the generic simplex/branch-and-bound
+//! MILP encoding of Eq. (3)–(9) on both feasibility answers and optimal
+//! `maxov` values, across randomly generated instances.
+
+use proptest::prelude::*;
+use stbus::milp::{crossbar, BindingProblem, SolveLimits};
+
+/// Strategy: small random binding problems (the generic stack is the slow
+/// reference, so instances stay compact).
+fn arb_problem() -> impl Strategy<Value = BindingProblem> {
+    (2usize..=4, 2usize..=6, 1usize..=3).prop_flat_map(|(buses, targets, windows)| {
+        let demands =
+            prop::collection::vec(prop::collection::vec(0u64..=100, windows), targets);
+        let conflicts = prop::collection::vec((0usize..targets, 0usize..targets), 0..3);
+        let overlaps = prop::collection::vec(0u64..50, targets * targets);
+        (demands, conflicts, overlaps).prop_map(move |(demands, conflicts, overlaps)| {
+            let n = demands.len();
+            let mut p = BindingProblem::new(buses, 100, demands);
+            for (i, j) in conflicts {
+                if i != j {
+                    p.add_conflict(i, j);
+                }
+            }
+            p.set_overlaps(|i, j| overlaps[i * n + j] % 50);
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MILP-1: feasibility answers agree.
+    #[test]
+    fn feasibility_agrees(problem in arb_problem()) {
+        let specialised = problem
+            .find_feasible(&SolveLimits::default())
+            .expect("within limits");
+        let generic = crossbar::solve_feasibility_milp(&problem);
+        prop_assert_eq!(
+            specialised.is_some(),
+            generic.is_some(),
+            "solvers disagree on feasibility"
+        );
+        if let Some(b) = &specialised {
+            prop_assert!(problem.verify(b).is_some());
+        }
+        if let Some(b) = &generic {
+            prop_assert!(problem.verify(b).is_some());
+        }
+    }
+
+    /// MILP-2: optimal max-overlap objectives agree.
+    #[test]
+    fn optimal_objective_agrees(problem in arb_problem()) {
+        let specialised = problem
+            .optimize(&SolveLimits::default())
+            .expect("within limits");
+        let generic = crossbar::solve_optimization_milp(&problem);
+        match (&specialised, &generic) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    a.max_bus_overlap(),
+                    b.max_bus_overlap(),
+                    "optimal objectives diverge"
+                );
+            }
+            _ => prop_assert!(false, "solvers disagree on feasibility in optimisation"),
+        }
+    }
+
+    /// Adding buses never hurts: if feasible with k buses, feasible with
+    /// k+1 (the monotonicity that justifies the binary search of §6).
+    #[test]
+    fn feasibility_is_monotone_in_buses(problem in arb_problem()) {
+        let feasible = problem
+            .find_feasible(&SolveLimits::default())
+            .expect("within limits")
+            .is_some();
+        if feasible {
+            let bigger = BindingProblem::new(
+                problem.num_buses() + 1,
+                problem.window_size(),
+                (0..problem.num_targets())
+                    .map(|t| {
+                        (0..problem.num_windows())
+                            .map(|m| problem.demand(t, m))
+                            .collect()
+                    })
+                    .collect(),
+            );
+            let mut bigger = bigger.with_maxtb(problem.maxtb());
+            for i in 0..problem.num_targets() {
+                for j in (i + 1)..problem.num_targets() {
+                    if problem.conflicts(i, j) {
+                        bigger.add_conflict(i, j);
+                    }
+                }
+            }
+            prop_assert!(bigger
+                .find_feasible(&SolveLimits::default())
+                .expect("within limits")
+                .is_some());
+        }
+    }
+
+    /// The optimum is no worse than any feasible binding's objective.
+    #[test]
+    fn optimum_dominates_feasible(problem in arb_problem()) {
+        let optimal = problem
+            .optimize(&SolveLimits::default())
+            .expect("within limits");
+        let feasible = problem
+            .find_feasible(&SolveLimits::default())
+            .expect("within limits");
+        match (optimal, feasible) {
+            (Some(o), Some(f)) => {
+                let f_obj = problem.verify(&f).expect("feasible verifies");
+                prop_assert!(o.max_bus_overlap() <= f_obj);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "optimize/feasible disagree"),
+        }
+    }
+}
