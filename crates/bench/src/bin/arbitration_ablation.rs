@@ -4,32 +4,57 @@
 //! numbers assume fair arbitration. This experiment quantifies how the
 //! three modelled policies (static priority, round-robin, LRU) move the
 //! average/maximum packet latency on each suite's *designed* crossbar.
+//!
+//! Arbitration shapes the collected reference traffic (it is part of the
+//! [`stbus_core::CollectionKey`]), so each policy is its own batch over
+//! the suite.
 
 use stbus_bench::{paper_suite, suite_params};
-use stbus_core::DesignFlow;
+use stbus_core::pipeline::BaselineSet;
+use stbus_core::Batch;
 use stbus_report::Table;
 use stbus_sim::Arbitration;
 
 fn main() {
+    let apps = paper_suite();
+    let policies = [
+        Arbitration::FixedPriority,
+        Arbitration::RoundRobin,
+        Arbitration::LeastRecentlyUsed,
+    ];
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for policy in policies {
+        // Only the designed crossbar's latency matters here — skip the
+        // baseline simulations entirely.
+        let results = Batch::per_app(&apps, |app| {
+            suite_params(app.name()).with_arbitration(policy)
+        })
+        .with_baselines(BaselineSet::none())
+        .run();
+        columns.push(
+            results
+                .into_iter()
+                .map(|point| {
+                    let eval = point.result.expect("flow succeeds");
+                    format!(
+                        "{:.1}/{}",
+                        eval.designed.avg_latency, eval.designed.max_latency
+                    )
+                })
+                .collect(),
+        );
+    }
+
     let mut table = Table::new(vec![
         "Application",
         "fixed avg/max",
         "round-robin avg/max",
         "LRU avg/max",
     ]);
-    for app in paper_suite() {
+    for (a, app) in apps.iter().enumerate() {
         let mut cells = vec![app.name().to_string()];
-        for policy in [
-            Arbitration::FixedPriority,
-            Arbitration::RoundRobin,
-            Arbitration::LeastRecentlyUsed,
-        ] {
-            let params = suite_params(app.name()).with_arbitration(policy);
-            let report = DesignFlow::new(params).run(&app).expect("flow succeeds");
-            cells.push(format!(
-                "{:.1}/{}",
-                report.designed.avg_latency, report.designed.max_latency
-            ));
+        for column in &columns {
+            cells.push(column[a].clone());
         }
         table.row(cells);
     }

@@ -13,7 +13,7 @@
 //! good ones from the bad ones.
 
 use stbus_bench::{paper_suite, suite_params, SEED};
-use stbus_core::{baselines, phase1, phase3, phase4, Preprocessed};
+use stbus_core::{baselines, phase4, Exact, Pipeline, Synthesizer};
 use stbus_report::Table;
 
 fn main() {
@@ -28,25 +28,21 @@ fn main() {
         let params = suite_params(app.name())
             .with_overlap_threshold(0.5)
             .with_window_size(4_000);
-        let collected = phase1::collect(&app, &params);
-        let pre_it = Preprocessed::analyze(&collected.it_trace, &params);
-        let pre_ti = Preprocessed::analyze(&collected.ti_trace, &params);
-        let it = phase3::synthesize(&pre_it, &params).expect("synthesis ok");
-        let ti = phase3::synthesize(&pre_ti, &params).expect("synthesis ok");
+        let collected = Pipeline::collect(&app, &params);
+        let analyzed = collected.analyze(&params);
+        let (pre_it, pre_ti) = (analyzed.pre_it(), analyzed.pre_ti());
+        let exact = Exact::default();
+        let it = exact.synthesize(pre_it, &params).expect("synthesis ok");
+        let ti = exact.synthesize(pre_ti, &params).expect("synthesis ok");
         let optimal = phase4::validate(&app.trace, &it.config, &ti.config, &params);
 
         let mut random_lat = Vec::new();
         for seed in 0..7u64 {
-            let r_it = baselines::random_binding_design(
-                &pre_it,
-                it.num_buses,
-                SEED ^ seed,
-                &params,
-            )
-            .expect("within limits")
-            .expect("feasible at optimal size");
+            let r_it = baselines::random_binding_design(pre_it, it.num_buses, SEED ^ seed, &params)
+                .expect("within limits")
+                .expect("feasible at optimal size");
             let r_ti = baselines::random_binding_design(
-                &pre_ti,
+                pre_ti,
                 ti.num_buses,
                 SEED ^ (seed + 100),
                 &params,

@@ -5,7 +5,7 @@
 //! experiment expresses the designed-vs-full saving in the first-order
 //! area/energy model of [`stbus_sim::cost`].
 
-use stbus_bench::{paper_suite, run_suite_app};
+use stbus_bench::run_suite;
 use stbus_report::Table;
 use stbus_sim::CostModel;
 
@@ -20,10 +20,10 @@ fn main() {
         "energy full",
         "energy saving",
     ]);
-    for app in paper_suite() {
-        let report = run_suite_app(&app);
-        let ni = app.spec.num_initiators();
-        let nt = app.spec.num_targets();
+    // The five suite evaluations run in parallel through the batch runner.
+    for report in run_suite() {
+        let ni = report.num_initiators;
+        let nt = report.num_targets;
         let cost = |eval: &stbus_core::ConfigEval| {
             // Request path + response path (the TI crossbar serves the
             // targets as masters).

@@ -1,7 +1,7 @@
 //! Developer diagnostic: dump the window-analysis structure for one suite.
 
 use stbus_bench::{paper_suite, suite_params};
-use stbus_core::{phase1, Preprocessed};
+use stbus_core::Pipeline;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "Mat2".into());
@@ -10,8 +10,9 @@ fn main() {
         .find(|a| a.name() == which)
         .expect("known app");
     let params = suite_params(app.name());
-    let collected = phase1::collect(&app, &params);
-    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let pre = analyzed.pre_it();
     let stats = &pre.stats;
     println!(
         "{}: {} targets, {} windows of {} cycles, horizon {}",
@@ -34,8 +35,10 @@ fn main() {
     );
     println!("overall bus lower bound: {}", pre.bus_lower_bound());
     let n = stats.num_targets();
-    println!("\nmax-window pairwise overlap matrix (threshold limit {}):",
-        (params.overlap_threshold * stats.window_size() as f64) as u64);
+    println!(
+        "\nmax-window pairwise overlap matrix (threshold limit {}):",
+        (params.overlap_threshold * stats.window_size() as f64) as u64
+    );
     for i in 0..n {
         let row: Vec<String> = (0..n)
             .map(|j| {

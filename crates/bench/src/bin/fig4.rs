@@ -4,7 +4,7 @@
 //! Paper reference: the `avg` bars sit 4–7× above the full crossbar while
 //! the `win` bars stay within a small factor of it, across all five suites.
 
-use stbus_bench::{paper_suite, run_suite_app};
+use stbus_bench::run_suite;
 use stbus_report::Table;
 
 fn main() {
@@ -19,8 +19,8 @@ fn main() {
         "designed buses",
         "avg/win ratio",
     ]);
-    for app in paper_suite() {
-        let report = run_suite_app(&app);
+    // The five suite evaluations run in parallel through the batch runner.
+    for report in run_suite() {
         fig4a.row(vec![
             report.app_name.clone(),
             format!("{:.2}", report.relative_avg_latency(&report.avg_based)),

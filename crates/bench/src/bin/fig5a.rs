@@ -5,26 +5,36 @@
 //! approaches a full crossbar; at 1–4× the burst size it drops to roughly
 //! a quarter of the full size; very large windows approach the
 //! average-flow design.
+//!
+//! The ten window sizes are ten analyses of *one* phase-1 artifact — the
+//! staged pipeline collects the reference traffic once.
 
 use stbus_bench::SEED;
-use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_core::{DesignParams, Exact, Pipeline, Synthesizer};
 use stbus_report::Series;
 use stbus_traffic::workloads::synthetic;
 
 fn main() {
     let app = synthetic::synthetic20(SEED);
     // Same x grid as the paper (window size in 100s of cycles).
-    let window_sizes: [u64; 10] =
-        [200, 300, 400, 750, 1_000, 2_000, 3_000, 4_000, 5_000, 7_500];
+    let window_sizes: [u64; 10] = [200, 300, 400, 750, 1_000, 2_000, 3_000, 4_000, 5_000, 7_500];
+
+    let base = DesignParams::default();
+    let collected = Pipeline::collect(&app, &base); // phase 1, once
+    let exact = Exact::default();
 
     let mut series = Series::new("IT crossbar size vs window size (Fig 5a)");
-    println!("window size | IT crossbar size (full = {})", app.spec.num_targets());
+    println!(
+        "window size | IT crossbar size (full = {})",
+        app.spec.num_targets()
+    );
     println!("------------+------------------");
     for ws in window_sizes {
-        let params = DesignParams::default().with_window_size(ws);
-        let collected = phase1::collect(&app, &params);
-        let pre = Preprocessed::analyze(&collected.it_trace, &params);
-        let outcome = phase3::synthesize(&pre, &params).expect("synthesis ok");
+        let params = base.clone().with_window_size(ws);
+        let analyzed = collected.analyze(&params);
+        let outcome = exact
+            .synthesize(analyzed.pre_it(), &params)
+            .expect("synthesis ok");
         series.point(ws as f64, outcome.num_buses as f64);
         println!("{ws:>11} | {:>3}", outcome.num_buses);
     }

@@ -4,17 +4,21 @@
 //! analysis window whose design already reaches the economical size the
 //! methodology converges to for that burst (the knee of Fig. 5a). The
 //! paper reports a near-linear relation (window ≈ a few × burst).
+//!
+//! Each burst-size application is collected once; the window search then
+//! re-analyses that artifact per candidate window.
 
 use stbus_bench::SEED;
-use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_core::pipeline::Collected;
+use stbus_core::{DesignParams, Exact, Pipeline, Synthesizer};
 use stbus_report::Series;
 use stbus_traffic::workloads::synthetic::{self, SyntheticParams};
 
-fn design_size(app: &stbus_traffic::Application, ws: u64) -> usize {
+fn design_size(collected: &Collected<'_>, ws: u64) -> usize {
     let params = DesignParams::default().with_window_size(ws);
-    let collected = phase1::collect(app, &params);
-    let pre = Preprocessed::analyze(&collected.it_trace, &params);
-    phase3::synthesize(&pre, &params)
+    let analyzed = collected.analyze(&params);
+    Exact::default()
+        .synthesize(analyzed.pre_it(), &params)
         .expect("synthesis ok")
         .num_buses
 }
@@ -28,8 +32,9 @@ fn main() {
             &SyntheticParams::default().with_burst_span(burst),
             SEED.wrapping_add(burst),
         );
+        let collected = Pipeline::collect(&app, &DesignParams::default());
         // The economical size the design converges to for large windows.
-        let converged = design_size(&app, 4 * burst);
+        let converged = design_size(&collected, 4 * burst);
         // Smallest window (on a burst-relative grid) reaching that size.
         let mut acceptable = 4 * burst;
         for frac_num in 1..=16u64 {
@@ -37,7 +42,7 @@ fn main() {
             if ws == 0 {
                 continue;
             }
-            if design_size(&app, ws) <= converged {
+            if design_size(&collected, ws) <= converged {
                 acceptable = ws;
                 break;
             }
@@ -49,7 +54,7 @@ fn main() {
     println!("{}", series.to_csv());
     // Least-squares slope through the origin, for the linearity claim.
     let pts = series.points();
-    let slope: f64 = pts.iter().map(|&(x, y)| x * y).sum::<f64>()
-        / pts.iter().map(|&(x, _)| x * x).sum::<f64>();
+    let slope: f64 =
+        pts.iter().map(|&(x, y)| x * y).sum::<f64>() / pts.iter().map(|&(x, _)| x * x).sum::<f64>();
     println!("fitted window/burst slope: {slope:.2} (paper: roughly linear)");
 }

@@ -5,15 +5,21 @@
 //! beyond 50 % of the window are meaningless (such pairs violate the
 //! window bandwidth constraint outright). Aggressive designs sit around
 //! 10 %, conservative ones at 30–40 %.
+//!
+//! All seven thresholds re-analyse one phase-1 artifact.
 
 use stbus_bench::SEED;
-use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_core::{DesignParams, Exact, Pipeline, Synthesizer};
 use stbus_report::Series;
 use stbus_traffic::workloads::synthetic;
 
 fn main() {
     let app = synthetic::synthetic20(SEED);
     let thresholds = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50];
+
+    let base = DesignParams::default();
+    let collected = Pipeline::collect(&app, &base); // phase 1, once
+    let exact = Exact::default();
 
     let mut series = Series::new("IT crossbar size vs overlap threshold (Fig 6)");
     println!(
@@ -22,10 +28,11 @@ fn main() {
     );
     println!("------------+------------------");
     for theta in thresholds {
-        let params = DesignParams::default().with_overlap_threshold(theta);
-        let collected = phase1::collect(&app, &params);
-        let pre = Preprocessed::analyze(&collected.it_trace, &params);
-        let outcome = phase3::synthesize(&pre, &params).expect("synthesis ok");
+        let params = base.clone().with_overlap_threshold(theta);
+        let analyzed = collected.analyze(&params);
+        let outcome = exact
+            .synthesize(analyzed.pre_it(), &params)
+            .expect("synthesis ok");
         series.point(theta * 100.0, outcome.num_buses as f64);
         println!("{:>10}% | {:>3}", (theta * 100.0) as u32, outcome.num_buses);
     }

@@ -1,12 +1,16 @@
-//! Exact vs heuristic synthesis: solution quality and runtime.
+//! Exact vs heuristic vs portfolio synthesis: solution quality and
+//! runtime, through the [`Synthesizer`] strategy interface.
 //!
 //! The exact branch-and-bound is the production path for STbus-scale
 //! crossbars (≤ 32 targets). The greedy + local-search heuristic trades
-//! optimality proofs for polynomial time; this experiment quantifies the
-//! trade on the paper suites and on a 32-target stress instance.
+//! optimality proofs for polynomial time, and the portfolio strategy runs
+//! exact within a node budget with heuristic fallback; this experiment
+//! quantifies the trade on the paper suites and on a 32-target stress
+//! instance.
 
 use stbus_bench::{paper_suite, suite_params, SEED};
-use stbus_core::{phase1, phase3, DesignParams, Preprocessed};
+use stbus_core::{DesignParams, Exact, Heuristic, Pipeline, Portfolio, Preprocessed, Synthesizer};
+use stbus_milp::SolveLimits;
 use stbus_report::Table;
 use stbus_traffic::workloads::synthetic::{self, SyntheticParams};
 use std::time::Instant;
@@ -20,12 +24,13 @@ fn main() {
         "heur maxov",
         "exact time",
         "heur time",
+        "portfolio engine",
     ]);
     for app in paper_suite() {
         let params = suite_params(app.name());
-        let collected = phase1::collect(&app, &params);
-        let pre = Preprocessed::analyze(&collected.it_trace, &params);
-        row(&mut table, app.name(), &pre, &params);
+        let collected = Pipeline::collect(&app, &params);
+        let analyzed = collected.analyze(&params);
+        row(&mut table, app.name(), analyzed.pre_it(), &params);
     }
 
     // Stress instance: 16 processors + 16 memories (32 targets across both
@@ -38,9 +43,9 @@ fn main() {
         SEED,
     );
     let params = DesignParams::default();
-    let collected = phase1::collect(&stress, &params);
-    let pre = Preprocessed::analyze(&collected.it_trace, &params);
-    row(&mut table, "Stress16", &pre, &params);
+    let collected = Pipeline::collect(&stress, &params);
+    let analyzed = collected.analyze(&params);
+    row(&mut table, "Stress16", analyzed.pre_it(), &params);
 
     println!("Exact vs heuristic synthesis (IT direction):\n");
     println!("{table}");
@@ -48,11 +53,18 @@ fn main() {
 
 fn row(table: &mut Table, name: &str, pre: &Preprocessed, params: &DesignParams) {
     let t0 = Instant::now();
-    let exact = phase3::synthesize(pre, params).expect("exact ok");
+    let exact = Exact::default().synthesize(pre, params).expect("exact ok");
     let exact_time = t0.elapsed();
     let t0 = Instant::now();
-    let heur = phase3::synthesize_heuristic(pre, params).expect("heuristic ok");
+    let heur = Heuristic::default()
+        .synthesize(pre, params)
+        .expect("heuristic ok");
     let heur_time = t0.elapsed();
+    // A mid-sized budget: big enough for the easy suites, small enough
+    // that pathological instances would fall back.
+    let portfolio = Portfolio::with_budget(SolveLimits { max_nodes: 200_000 })
+        .synthesize(pre, params)
+        .expect("portfolio never fails");
     table.row(vec![
         name.to_string(),
         format!("{}", exact.num_buses),
@@ -61,5 +73,6 @@ fn row(table: &mut Table, name: &str, pre: &Preprocessed, params: &DesignParams)
         format!("{}", heur.max_bus_overlap),
         format!("{exact_time:.2?}"),
         format!("{heur_time:.2?}"),
+        format!("{}", portfolio.engine),
     ]);
 }

@@ -5,7 +5,7 @@
 //! show a very low packet latency (almost equal to the latency of perfect
 //! communication using a full crossbar) for such streams."
 
-use stbus_bench::{paper_suite, run_suite_app};
+use stbus_bench::run_suite;
 use stbus_report::Table;
 
 fn main() {
@@ -16,13 +16,13 @@ fn main() {
         "full crit avg lat",
         "designed/full",
     ]);
-    for app in paper_suite() {
-        let report = run_suite_app(&app);
+    // The five suite evaluations run in parallel through the batch runner.
+    for report in run_suite() {
         let designed = report.designed.validation.critical_latency();
         let full = report.full.validation.critical_latency();
         if designed.count == 0 {
             table.row(vec![
-                app.name().to_string(),
+                report.app_name.clone(),
                 "0".into(),
                 "-".into(),
                 "-".into(),
@@ -31,7 +31,7 @@ fn main() {
             continue;
         }
         table.row(vec![
-            app.name().to_string(),
+            report.app_name.clone(),
             format!("{}", designed.count),
             format!("{:.1}", designed.mean),
             format!("{:.1}", full.mean),

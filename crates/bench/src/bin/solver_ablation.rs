@@ -5,7 +5,7 @@
 //! optimal crossbar configuration").
 
 use stbus_bench::{paper_suite, suite_params};
-use stbus_core::{phase1, phase3, Preprocessed};
+use stbus_core::{phase3, Pipeline};
 use stbus_milp::{crossbar, SolveLimits};
 use stbus_report::Table;
 use std::time::Instant;
@@ -17,8 +17,9 @@ fn main() {
         .find(|a| a.name() == "Mat2")
         .expect("Mat2 present");
     let params = suite_params(app.name());
-    let collected = phase1::collect(&app, &params);
-    let pre = Preprocessed::analyze(&collected.it_trace, &params);
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let pre = analyzed.pre_it();
 
     let mut table = Table::new(vec!["buses", "specialised", "generic MILP", "agree"]);
     for buses in 2..=4usize {
@@ -49,16 +50,18 @@ fn main() {
     ]);
     for app in paper_suite() {
         let params = suite_params(app.name());
-        let collected = phase1::collect(&app, &params);
-        let pre = Preprocessed::analyze(&collected.it_trace, &params);
+        // One collection, two analyses: with conflicts and with the
+        // threshold opened to the 50% cap (conflict-free pre-processing).
+        let collected = Pipeline::collect(&app, &params);
+        let analyzed = collected.analyze(&params);
         let t0 = Instant::now();
-        let with = phase3::synthesize(&pre, &params).expect("ok");
+        let with = phase3::synthesize(analyzed.pre_it(), &params).expect("ok");
         let with_time = t0.elapsed();
 
         let no_conflict_params = params.clone().with_overlap_threshold(0.5);
-        let pre2 = Preprocessed::analyze(&collected.it_trace, &no_conflict_params);
+        let analyzed2 = collected.analyze(&no_conflict_params);
         let t0 = Instant::now();
-        let without = phase3::synthesize(&pre2, &no_conflict_params).expect("ok");
+        let without = phase3::synthesize(analyzed2.pre_it(), &no_conflict_params).expect("ok");
         let without_time = t0.elapsed();
         table.row(vec![
             app.name().to_string(),

@@ -4,7 +4,7 @@
 //! Mat1 25→8 (3.13), Mat2 21→6 (3.5), FFT 29→15 (1.93),
 //! QSort 15→6 (2.5), DES 19→6 (3.12).
 
-use stbus_bench::{paper_suite, run_suite_app};
+use stbus_bench::run_suite;
 use stbus_report::Table;
 
 fn main() {
@@ -18,8 +18,8 @@ fn main() {
         "Avg lat (designed)",
         "Avg lat (full)",
     ]);
-    for app in paper_suite() {
-        let report = run_suite_app(&app);
+    // The five suite evaluations run in parallel through the batch runner.
+    for report in run_suite() {
         table.row(vec![
             report.app_name.clone(),
             format!("{}", report.full.total_buses()),

@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use stbus_core::{DesignFlow, DesignParams, DesignReport};
+use stbus_core::pipeline::Pipeline;
+use stbus_core::synthesizer::Exact;
+use stbus_core::{Batch, DesignParams, DesignReport};
 use stbus_traffic::workloads::{self, Application};
 
 /// The base seed every experiment uses (reproducibility).
@@ -72,9 +74,37 @@ pub fn paper_suite() -> Vec<Application> {
 /// shipped suites).
 #[must_use]
 pub fn run_suite_app(app: &Application) -> DesignReport {
-    DesignFlow::new(suite_params(app.name()))
-        .run(app)
+    let params = suite_params(app.name());
+    let collected = Pipeline::collect(app, &params);
+    let analyzed = collected.analyze(&params);
+    analyzed
+        .synthesize(&Exact::default())
+        .and_then(|synthesized| synthesized.report())
         .expect("suite synthesis stays within solver limits")
+}
+
+/// Runs the whole paper suite in parallel through [`Batch`], returning
+/// one classic [`DesignReport`] per application in suite order.
+///
+/// # Panics
+///
+/// Panics if synthesis exceeds solver limits (does not happen for the
+/// shipped suites).
+#[must_use]
+pub fn run_suite() -> Vec<DesignReport> {
+    let apps = paper_suite();
+    let reports: Vec<DesignReport> = Batch::per_app(&apps, |app| suite_params(app.name()))
+        .run()
+        .into_iter()
+        .map(|point| {
+            point
+                .result
+                .expect("suite synthesis stays within solver limits")
+                .into_report()
+                .expect("paper baseline set carries full/shared/avg")
+        })
+        .collect();
+    reports
 }
 
 #[cfg(test)]

@@ -103,6 +103,9 @@ pub fn random_binding_design(
     let mut assignment = vec![usize::MAX; n];
     let mut nodes = 0u64;
 
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    // The DFS threads its whole search state explicitly; window loops
+    // index `used` and `problem.demand` in lockstep.
     fn dfs(
         problem: &BindingProblem,
         order: &[usize],
@@ -142,7 +145,15 @@ pub fn random_binding_design(
             members[k].push(t);
             assignment[t] = k;
             if dfs(
-                problem, order, depth + 1, used, members, assignment, rng, nodes, max_nodes,
+                problem,
+                order,
+                depth + 1,
+                used,
+                members,
+                assignment,
+                rng,
+                nodes,
+                max_nodes,
             )? {
                 return Ok(true);
             }
@@ -219,7 +230,10 @@ fn minimum_feasible(
     let mut best: Option<Binding> = None;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match pre.binding_problem(mid).find_feasible(&params.solve_limits)? {
+        match pre
+            .binding_problem(mid)
+            .find_feasible(&params.solve_limits)?
+        {
             Some(b) => {
                 best = Some(b);
                 hi = mid;
@@ -282,8 +296,18 @@ mod tests {
         // Two targets overlapping for a single cycle: peak design splits
         // them; the window design (threshold 30%) does not.
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 9, 10));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            10,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            9,
+            10,
+        ));
         let params = DesignParams::default().with_window_size(100);
         let peak = peak_bandwidth_design(&tr, &params).unwrap();
         assert_eq!(peak.num_buses, 2);
@@ -322,9 +346,7 @@ mod tests {
         let synth = crate::phase3::synthesize(&pre, &params).unwrap();
         let mut distinct = std::collections::HashSet::new();
         for seed in 0..8 {
-            if let Some(d) =
-                random_binding_design(&pre, synth.num_buses, seed, &params).unwrap()
-            {
+            if let Some(d) = random_binding_design(&pre, synth.num_buses, seed, &params).unwrap() {
                 distinct.insert(d.config.assignment().to_vec());
             }
         }

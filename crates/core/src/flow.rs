@@ -4,13 +4,19 @@
 //! directions and evaluates the designed system against the full-crossbar,
 //! shared-bus and average-flow baselines on the same traffic — producing
 //! everything needed to regenerate the paper's Tables 1–2 and Fig. 4.
+//!
+//! Since the staged-pipeline redesign this type is a thin compatibility
+//! wrapper over [`crate::pipeline`]: `run` is exactly
+//! `collect → analyze → synthesize(Exact) → report()`. Parameter sweeps
+//! and batch evaluations should use the staged API (or [`crate::Batch`])
+//! directly so phase 1 is paid once per application.
 
-use crate::baselines::{average_flow_design, BaselineDesign};
 use crate::params::DesignParams;
-use crate::phase1::{collect, CollectedTraffic};
-use crate::phase2::Preprocessed;
-use crate::phase3::{synthesize, SynthesisOutcome};
+use crate::phase1::CollectedTraffic;
+use crate::phase3::SynthesisOutcome;
 use crate::phase4::{validate, Validation};
+use crate::pipeline::Pipeline;
+use crate::synthesizer::Exact;
 use stbus_milp::NodeLimitExceeded;
 use stbus_sim::CrossbarConfig;
 use stbus_traffic::workloads::Application;
@@ -64,7 +70,7 @@ pub struct ConfigEval {
 }
 
 impl ConfigEval {
-    fn new(
+    pub(crate) fn new(
         label: &str,
         it_config: CrossbarConfig,
         ti_config: CrossbarConfig,
@@ -96,8 +102,7 @@ impl ConfigEval {
     pub fn total_components(&self, num_initiators: usize, num_targets: usize) -> usize {
         // On the response path the roles are reversed: the "initiators" of
         // the TI crossbar are the targets of the design.
-        self.it_config.component_count(num_initiators)
-            + self.ti_config.component_count(num_targets)
+        self.it_config.component_count(num_initiators) + self.ti_config.component_count(num_targets)
     }
 }
 
@@ -176,66 +181,30 @@ impl DesignFlow {
         &self,
         app: &Application,
     ) -> Result<(SynthesisOutcome, SynthesisOutcome, CollectedTraffic), FlowError> {
-        let collected = collect(app, &self.params);
-        let pre_it = Preprocessed::analyze(&collected.it_trace, &self.params);
-        let pre_ti = Preprocessed::analyze(&collected.ti_trace, &self.params);
-        let it = synthesize(&pre_it, &self.params)?;
-        let ti = synthesize(&pre_ti, &self.params)?;
-        Ok((it, ti, collected))
+        let collected = Pipeline::collect(app, &self.params);
+        let analyzed = collected.analyze(&self.params);
+        let synthesized = analyzed.synthesize(&Exact::default())?;
+        let (it, ti) = (synthesized.it, synthesized.ti);
+        drop(analyzed);
+        Ok((it, ti, collected.into_traffic()))
     }
 
     /// Runs the complete flow: collection, pre-processing, synthesis and
     /// validation, plus the baseline evaluations.
     ///
+    /// Equivalent to the staged
+    /// `Pipeline::collect(app, params).analyze(params)
+    /// .synthesize(&Exact::default())?.report()` — kept as the one-call
+    /// convenience entry point.
+    ///
     /// # Errors
     ///
     /// [`FlowError::SolverLimit`] if the exact solver exhausts its budget.
     pub fn run(&self, app: &Application) -> Result<DesignReport, FlowError> {
-        let (it_synthesis, ti_synthesis, collected) = self.synthesize_only(app)?;
-        let num_initiators = app.spec.num_initiators();
-        let num_targets = app.spec.num_targets();
-
-        let designed = ConfigEval::new(
-            "designed",
-            it_synthesis.config.clone(),
-            ti_synthesis.config.clone(),
-            app,
-            &self.params,
-        );
-        let full = ConfigEval::new(
-            "full",
-            CrossbarConfig::full(num_targets).with_arbitration(self.params.arbitration),
-            CrossbarConfig::full(num_initiators).with_arbitration(self.params.arbitration),
-            app,
-            &self.params,
-        );
-        let shared = ConfigEval::new(
-            "shared",
-            CrossbarConfig::shared_bus(num_targets).with_arbitration(self.params.arbitration),
-            CrossbarConfig::shared_bus(num_initiators)
-                .with_arbitration(self.params.arbitration),
-            app,
-            &self.params,
-        );
-        let BaselineDesign {
-            config: avg_it, ..
-        } = average_flow_design(&collected.it_trace, &self.params)?;
-        let BaselineDesign {
-            config: avg_ti, ..
-        } = average_flow_design(&collected.ti_trace, &self.params)?;
-        let avg_based = ConfigEval::new("avg-based", avg_it, avg_ti, app, &self.params);
-
-        Ok(DesignReport {
-            app_name: app.name().to_string(),
-            num_initiators,
-            num_targets,
-            it_synthesis,
-            ti_synthesis,
-            designed,
-            full,
-            shared,
-            avg_based,
-        })
+        Pipeline::collect(app, &self.params)
+            .analyze(&self.params)
+            .synthesize(&Exact::default())?
+            .report()
     }
 }
 

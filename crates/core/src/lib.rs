@@ -25,34 +25,73 @@
 //! average-flow design, peak-bandwidth (contention-elimination) design,
 //! random binding, shared bus and full crossbar.
 //!
-//! # Quick start
+//! # Quick start — the staged pipeline
+//!
+//! The flow is a pipeline of typed, reusable artifacts. Collect once
+//! (phase 1, the expensive reference simulation), then analyze,
+//! synthesize and validate as often as the exploration needs:
 //!
 //! ```
-//! use stbus_core::{DesignFlow, DesignParams};
+//! use stbus_core::pipeline::{BaselineSet, Pipeline};
+//! use stbus_core::synthesizer::Exact;
+//! use stbus_core::DesignParams;
 //! use stbus_traffic::workloads;
 //!
 //! let app = workloads::matrix::mat2(42);
-//! let flow = DesignFlow::new(DesignParams::default());
-//! let report = flow.run(&app).expect("synthesis succeeds");
+//! let params = DesignParams::default();
+//!
+//! let collected = Pipeline::collect(&app, &params);        // phase 1
+//! let report = collected
+//!     .analyze(&params)                                    // phase 2
+//!     .synthesize(&Exact::default())                       // phase 3
+//!     .expect("synthesis succeeds")
+//!     .report()                                            // phase 4
+//!     .expect("validation succeeds");
+//!
 //! // The designed crossbar uses far fewer buses than the full crossbar…
 //! assert!(report.designed.total_buses() < report.full.total_buses());
 //! // …while keeping latency within a small factor of it.
 //! assert!(report.designed.avg_latency < 4.0 * report.full.avg_latency);
+//!
+//! // Sweeps reuse the collection artifact and pick their baselines:
+//! let aggressive = params.clone().with_overlap_threshold(0.10);
+//! let lean = collected
+//!     .analyze(&aggressive)
+//!     .synthesize(&Exact::default())
+//!     .expect("synthesis succeeds")
+//!     .validate(&BaselineSet::none())                      // no baselines
+//!     .expect("validation succeeds");
+//! assert!(lean.baselines.is_empty());
 //! ```
+//!
+//! [`DesignFlow::run`] remains as the one-call convenience wrapper over
+//! exactly this pipeline. [`Batch`] evaluates `applications × parameter
+//! grid` in parallel, collecting once per application. Synthesis
+//! strategies ([`synthesizer::Exact`], [`synthesizer::Heuristic`],
+//! [`synthesizer::Portfolio`]) plug into phase 3 via the
+//! [`synthesizer::Synthesizer`] trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod batch;
 pub mod flow;
 pub mod params;
 pub mod phase1;
 pub mod phase2;
 pub mod phase3;
 pub mod phase4;
+pub mod pipeline;
+pub mod synthesizer;
 
+pub use batch::{Batch, BatchResult};
 pub use flow::{ConfigEval, DesignFlow, DesignReport, FlowError};
 pub use params::{DesignParams, Windowing};
 pub use phase2::Preprocessed;
+pub use phase3::{synthesize, synthesize_heuristic, SynthesisEngine, SynthesisOutcome};
 pub use phase4::{QosReport, QosStream, Validation};
-pub use phase3::{synthesize, synthesize_heuristic, SynthesisOutcome};
+pub use pipeline::{
+    Analyzed, BaselineSet, Collected, CollectionKey, Evaluation, Pipeline, Synthesized,
+};
+pub use synthesizer::{Exact, Heuristic, Portfolio, SolverKind, Synthesizer};

@@ -8,7 +8,28 @@
 
 use crate::params::DesignParams;
 use stbus_sim::{simulate_with, CrossbarConfig, SimReport};
-use stbus_traffic::{Trace, workloads::Application};
+use stbus_traffic::{workloads::Application, Trace};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`collect`] invocations.
+///
+/// Phase 1 is the expensive full-crossbar reference simulation, so the
+/// staged pipeline promises to run it *once* per application per sweep.
+/// This diagnostic counter lets tests and benches assert that promise
+/// instead of trusting it.
+static COLLECT_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times phase-1 collection has run in this process.
+///
+/// The counter is process-global: deltas are only meaningful when no
+/// other thread collects concurrently (single-threaded binaries like the
+/// bench experiments, or a batch run observed from outside). Do not
+/// assert deltas from concurrently scheduled unit tests — use
+/// [`crate::Batch::collection_plan`] to check phase-1 dedup instead.
+#[must_use]
+pub fn collect_runs() -> u64 {
+    COLLECT_RUNS.load(Ordering::Relaxed)
+}
 
 /// The traces collected from the full-crossbar reference run.
 #[derive(Debug, Clone)]
@@ -28,6 +49,7 @@ pub struct CollectedTraffic {
 /// Runs the application on full crossbars and collects both traces.
 #[must_use]
 pub fn collect(app: &Application, params: &DesignParams) -> CollectedTraffic {
+    COLLECT_RUNS.fetch_add(1, Ordering::Relaxed);
     let num_initiators = app.spec.num_initiators();
     let num_targets = app.spec.num_targets();
 

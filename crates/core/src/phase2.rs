@@ -73,14 +73,12 @@ impl Preprocessed {
     #[must_use]
     pub fn binding_problem(&self, num_buses: usize) -> BindingProblem {
         let n = self.stats.num_targets();
-        let demands: Vec<Vec<u64>> = (0..n)
-            .map(|t| self.stats.demand_row(t).to_vec())
-            .collect();
+        let demands: Vec<Vec<u64>> = (0..n).map(|t| self.stats.demand_row(t).to_vec()).collect();
         let capacities: Vec<u64> = (0..self.stats.num_windows())
             .map(|m| self.stats.window_len(m))
             .collect();
-        let mut problem = BindingProblem::with_capacities(num_buses, capacities, demands)
-            .with_maxtb(self.maxtb);
+        let mut problem =
+            BindingProblem::with_capacities(num_buses, capacities, demands).with_maxtb(self.maxtb);
         for (i, j) in self.conflicts.pairs() {
             problem.add_conflict(i, j);
         }
@@ -97,9 +95,24 @@ mod tests {
     fn two_peak_trace() -> Trace {
         // Two targets fully overlapping in window 0, a third alone later.
         let mut tr = Trace::new(2, 3);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 80));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 0, 80));
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(2), 200, 40));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            80,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            0,
+            80,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(2),
+            200,
+            40,
+        ));
         tr.finish_sorting();
         tr
     }
@@ -161,9 +174,19 @@ mod tests {
         // the quiet stretches without changing the design outcome.
         let mut tr = Trace::new(1, 2);
         for k in 0..5u64 {
-            tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), k * 30, 25));
+            tr.push(TraceEvent::new(
+                InitiatorId::new(0),
+                TargetId::new(0),
+                k * 30,
+                25,
+            ));
         }
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(1), 5_000, 40));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(1),
+            5_000,
+            40,
+        ));
         tr.finish_sorting();
         let uniform = params().with_window_size(100);
         let adaptive = uniform.clone().with_adaptive_windows(1_600, 0.05);

@@ -12,8 +12,31 @@
 
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use stbus_milp::{Binding, NodeLimitExceeded};
+use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded};
 use stbus_sim::CrossbarConfig;
+use std::fmt;
+
+/// Which solving engine produced a [`SynthesisOutcome`].
+///
+/// Mostly informational, but [`crate::synthesizer::Portfolio`] callers use
+/// it to detect that the exact search ran out of budget and the heuristic
+/// fallback supplied the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthesisEngine {
+    /// The exact backtracking solver (optimality/infeasibility proofs).
+    Exact,
+    /// The greedy + local-search heuristic (no proofs).
+    Heuristic,
+}
+
+impl fmt::Display for SynthesisEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisEngine::Exact => write!(f, "exact"),
+            SynthesisEngine::Heuristic => write!(f, "heuristic"),
+        }
+    }
+}
 
 /// Result of the synthesis phase for one crossbar direction.
 #[derive(Debug, Clone)]
@@ -30,6 +53,8 @@ pub struct SynthesisOutcome {
     pub probes: Vec<(usize, bool)>,
     /// The minimised maximum per-bus overlap (`maxov`).
     pub max_bus_overlap: u64,
+    /// The engine that produced this outcome.
+    pub engine: SynthesisEngine,
 }
 
 /// Synthesises the minimum crossbar and its optimal binding.
@@ -53,6 +78,7 @@ pub fn synthesize(
             lower_bound: 1,
             probes: Vec::new(),
             max_bus_overlap: 0,
+            engine: SynthesisEngine::Exact,
         });
     }
 
@@ -108,6 +134,7 @@ pub fn synthesize(
         probes,
         binding,
         max_bus_overlap,
+        engine: SynthesisEngine::Exact,
     })
 }
 
@@ -126,22 +153,34 @@ pub fn synthesize_heuristic(
     pre: &Preprocessed,
     params: &DesignParams,
 ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
+    synthesize_heuristic_with(pre, params, &HeuristicOptions::default())
+}
+
+/// [`synthesize_heuristic`] with explicit [`HeuristicOptions`] — the entry
+/// point [`crate::synthesizer::Heuristic`] plumbs its options through.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors [`synthesize`].
+pub fn synthesize_heuristic_with(
+    pre: &Preprocessed,
+    params: &DesignParams,
+    options: &HeuristicOptions,
+) -> Result<SynthesisOutcome, NodeLimitExceeded> {
     let n = pre.stats.num_targets();
     if n == 0 {
         return synthesize(pre, params);
     }
-    let options = stbus_milp::HeuristicOptions::default();
     let lower_bound = pre.bus_lower_bound();
     let mut probes = Vec::new();
     for buses in lower_bound..=n {
         let problem = pre.binding_problem(buses);
-        match stbus_milp::solve_heuristic(&problem, &options) {
+        match stbus_milp::solve_heuristic(&problem, options) {
             Some(binding) => {
                 probes.push((buses, true));
-                let config =
-                    CrossbarConfig::from_assignment(binding.assignment().to_vec(), buses)
-                        .expect("heuristic produced a valid assignment")
-                        .with_arbitration(params.arbitration);
+                let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), buses)
+                    .expect("heuristic produced a valid assignment")
+                    .with_arbitration(params.arbitration);
                 let max_bus_overlap = binding.max_bus_overlap();
                 return Ok(SynthesisOutcome {
                     config,
@@ -150,6 +189,7 @@ pub fn synthesize_heuristic(
                     probes,
                     binding,
                     max_bus_overlap,
+                    engine: SynthesisEngine::Heuristic,
                 });
             }
             None => probes.push((buses, false)),
@@ -168,6 +208,7 @@ pub fn synthesize_heuristic(
         probes,
         binding,
         max_bus_overlap: 0,
+        engine: SynthesisEngine::Heuristic,
     })
 }
 
@@ -189,7 +230,12 @@ mod tests {
     #[test]
     fn single_idle_target_gets_one_bus() {
         let mut tr = Trace::new(1, 1);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            10,
+        ));
         let p = params(100, 0.5);
         let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
         assert_eq!(out.num_buses, 1);
@@ -202,7 +248,12 @@ mod tests {
         // 180/100 → at least 2 buses; pairwise any two = 120 > 100 → 3.
         let mut tr = Trace::new(3, 3);
         for t in 0..3 {
-            tr.push(TraceEvent::new(InitiatorId::new(t), TargetId::new(t), 0, 60));
+            tr.push(TraceEvent::new(
+                InitiatorId::new(t),
+                TargetId::new(t),
+                0,
+                60,
+            ));
         }
         let p = params(100, 1.0); // threshold above 0.6 → no conflicts
         let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
@@ -249,8 +300,18 @@ mod tests {
     fn conflicts_expand_the_crossbar() {
         // Two targets with full overlap and a tight threshold must split.
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 40));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 0, 40));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            40,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            0,
+            40,
+        ));
         let loose = params(100, 0.5);
         let out = synthesize(&pre_of(&tr, &loose), &loose).unwrap();
         assert_eq!(out.num_buses, 1);
@@ -291,10 +352,7 @@ mod tests {
         }
         // And the chosen size itself must be feasible.
         let problem = pre.binding_problem(out.num_buses);
-        assert!(problem
-            .find_feasible(&p.solve_limits)
-            .unwrap()
-            .is_some());
+        assert!(problem.find_feasible(&p.solve_limits).unwrap().is_some());
     }
 
     #[test]

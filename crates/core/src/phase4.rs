@@ -94,7 +94,9 @@ impl Validation {
     /// Maximum latency over all packets.
     #[must_use]
     pub fn max_latency(&self) -> u64 {
-        self.it_report.max_latency().max(self.ti_report.max_latency())
+        self.it_report
+            .max_latency()
+            .max(self.ti_report.max_latency())
     }
 
     /// Summary over the combined packet population.
@@ -213,7 +215,7 @@ mod tests {
 
     #[test]
     fn qos_deadlines_checked() {
-        use stbus_traffic::{CoreKind, TraceEvent, workloads::Application};
+        use stbus_traffic::{workloads::Application, CoreKind, TraceEvent};
         let mut spec = stbus_traffic::SocSpec::new("qos");
         let a = spec.add_initiator("A");
         let b = spec.add_initiator("B");

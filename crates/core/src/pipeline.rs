@@ -1,0 +1,558 @@
+//! The staged design pipeline — explicit, reusable artifacts for the four
+//! phases of the methodology.
+//!
+//! [`DesignFlow::run`](crate::DesignFlow::run) bundles all four phases
+//! behind one call, which is convenient but wasteful for design-space
+//! exploration: every parameter point pays the phase-1 full-crossbar
+//! reference simulation again even though the collected traffic does not
+//! depend on the analysis parameters at all. This module splits the flow
+//! into typed stages whose artifacts are cheap to reuse:
+//!
+//! ```text
+//! Pipeline::collect(&app, &params)   -> Collected      (phase 1, expensive)
+//! Collected::analyze(&params)        -> Analyzed       (phase 2)
+//! Analyzed::synthesize(&strategy)    -> Synthesized    (phase 3)
+//! Synthesized::validate(&baselines)  -> Evaluation     (phase 4)
+//! ```
+//!
+//! A sweep over window sizes, overlap thresholds or synthesis strategies
+//! holds one [`Collected`] and fans out phases 2–4 per point. Collection
+//! *does* depend on the simulation-facing parameters (arbitration policy,
+//! outstanding-transaction depth, response scaling); [`CollectionKey`]
+//! captures exactly that dependency and [`Collected::analyze`] enforces
+//! it, so an artifact can never silently be reused across parameters that
+//! would have produced different traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use stbus_core::pipeline::{BaselineSet, Pipeline};
+//! use stbus_core::synthesizer::Exact;
+//! use stbus_core::DesignParams;
+//! use stbus_traffic::workloads;
+//!
+//! let app = workloads::matrix::mat2(42);
+//! let base = DesignParams::default();
+//! let collected = Pipeline::collect(&app, &base); // phase 1 runs once…
+//! for ws in [500, 1_000, 2_000] {
+//!     // …and phases 2–4 sweep the grid on the same artifact.
+//!     let params = base.clone().with_window_size(ws);
+//!     let evaluation = collected
+//!         .analyze(&params)
+//!         .synthesize(&Exact::default())
+//!         .expect("within solver limits")
+//!         .validate(&BaselineSet::none())
+//!         .expect("validation succeeds");
+//!     assert!(evaluation.designed.total_buses() >= 2);
+//! }
+//! ```
+
+use crate::baselines::{average_flow_design, peak_bandwidth_design, random_binding_design};
+use crate::flow::{ConfigEval, DesignReport, FlowError};
+use crate::params::DesignParams;
+use crate::phase1::{collect, CollectedTraffic};
+use crate::phase2::Preprocessed;
+use crate::phase3::SynthesisOutcome;
+use crate::synthesizer::Synthesizer;
+use stbus_sim::{Arbitration, CrossbarConfig};
+use stbus_traffic::workloads::Application;
+
+/// The subset of [`DesignParams`] that phase-1 collection depends on.
+///
+/// Two parameter sets with equal keys produce byte-identical collected
+/// traffic, so phases 2–4 can sweep everything else on one artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionKey {
+    /// Arbitration policy of the reference full-crossbar simulation.
+    pub arbitration: Arbitration,
+    /// Outstanding-transaction depth per master.
+    pub max_outstanding: usize,
+    /// Response duration scale (bit pattern, for exact comparison).
+    pub response_scale_bits: u64,
+}
+
+impl CollectionKey {
+    /// Extracts the collection-relevant subset of `params`.
+    #[must_use]
+    pub fn of(params: &DesignParams) -> Self {
+        Self {
+            arbitration: params.arbitration,
+            max_outstanding: params.max_outstanding,
+            response_scale_bits: params.response_scale.to_bits(),
+        }
+    }
+}
+
+/// Entry point of the staged pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline;
+
+impl Pipeline {
+    /// Phase 1: runs the application on full crossbars and captures the
+    /// arbitrated traffic as a reusable artifact.
+    ///
+    /// Only the [`CollectionKey`] subset of `params` matters here; the
+    /// analysis knobs (window size, threshold, maxtb, windowing, solver
+    /// limits) are free to vary in later stages.
+    #[must_use]
+    pub fn collect<'a>(app: &'a Application, params: &DesignParams) -> Collected<'a> {
+        Collected {
+            app,
+            key: CollectionKey::of(params),
+            traffic: collect(app, params),
+        }
+    }
+}
+
+/// Phase-1 artifact: the observed traffic of one application under one
+/// [`CollectionKey`].
+#[derive(Debug, Clone)]
+pub struct Collected<'a> {
+    app: &'a Application,
+    key: CollectionKey,
+    traffic: CollectedTraffic,
+}
+
+impl<'a> Collected<'a> {
+    /// The application this traffic was collected from.
+    #[must_use]
+    pub fn app(&self) -> &'a Application {
+        self.app
+    }
+
+    /// The collection-relevant parameters this artifact was built under.
+    #[must_use]
+    pub fn key(&self) -> CollectionKey {
+        self.key
+    }
+
+    /// The raw collected traces and reference simulations.
+    #[must_use]
+    pub fn traffic(&self) -> &CollectedTraffic {
+        &self.traffic
+    }
+
+    /// Unwraps the artifact into the raw collected traffic.
+    #[must_use]
+    pub fn into_traffic(self) -> CollectedTraffic {
+        self.traffic
+    }
+
+    /// Whether `params` can legally reuse this artifact.
+    #[must_use]
+    pub fn is_compatible(&self, params: &DesignParams) -> bool {
+        self.key == CollectionKey::of(params)
+    }
+
+    /// Phase 2: window analysis and conflict extraction for both crossbar
+    /// directions under `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` differs from the collection parameters in any
+    /// [`CollectionKey`] field — the collected traffic would not match the
+    /// traffic those parameters produce. Re-run [`Pipeline::collect`] (or
+    /// let [`crate::Batch`] group the grid by key) instead.
+    #[must_use]
+    pub fn analyze(&self, params: &DesignParams) -> Analyzed<'_> {
+        assert!(
+            self.is_compatible(params),
+            "analysis params change the collected traffic (arbitration, \
+             max_outstanding or response_scale differ from the collection \
+             run); collect again for these parameters"
+        );
+        Analyzed {
+            collected: self,
+            params: params.clone(),
+            pre_it: Preprocessed::analyze(&self.traffic.it_trace, params),
+            pre_ti: Preprocessed::analyze(&self.traffic.ti_trace, params),
+        }
+    }
+}
+
+/// Phase-2 artifact: windowed statistics and conflicts for both
+/// directions, bound to the parameters that produced them.
+#[derive(Debug, Clone)]
+pub struct Analyzed<'a> {
+    collected: &'a Collected<'a>,
+    params: DesignParams,
+    pre_it: Preprocessed,
+    pre_ti: Preprocessed,
+}
+
+impl<'a> Analyzed<'a> {
+    /// The parameters in force for this analysis.
+    #[must_use]
+    pub fn params(&self) -> &DesignParams {
+        &self.params
+    }
+
+    /// Request-path (initiator→target) analysis.
+    #[must_use]
+    pub fn pre_it(&self) -> &Preprocessed {
+        &self.pre_it
+    }
+
+    /// Response-path (target→initiator) analysis.
+    #[must_use]
+    pub fn pre_ti(&self) -> &Preprocessed {
+        &self.pre_ti
+    }
+
+    /// The collection artifact this analysis was derived from.
+    #[must_use]
+    pub fn collected(&self) -> &'a Collected<'a> {
+        self.collected
+    }
+
+    /// Phase 3: synthesises both crossbar directions with `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SolverLimit`] if the strategy's exact search exhausts
+    /// its node budget (the [`crate::synthesizer::Portfolio`] strategy
+    /// never does — it falls back to the heuristic).
+    pub fn synthesize(&self, strategy: &dyn Synthesizer) -> Result<Synthesized<'_>, FlowError> {
+        let it = strategy.synthesize(&self.pre_it, &self.params)?;
+        let ti = strategy.synthesize(&self.pre_ti, &self.params)?;
+        Ok(Synthesized {
+            analyzed: self,
+            it,
+            ti,
+        })
+    }
+}
+
+/// Phase-3 artifact: the synthesised crossbars for both directions.
+#[derive(Debug, Clone)]
+pub struct Synthesized<'a> {
+    analyzed: &'a Analyzed<'a>,
+    /// Request-path synthesis outcome.
+    pub it: SynthesisOutcome,
+    /// Response-path synthesis outcome.
+    pub ti: SynthesisOutcome,
+}
+
+impl Synthesized<'_> {
+    /// Total bus count of the design over both directions.
+    #[must_use]
+    pub fn total_buses(&self) -> usize {
+        self.it.num_buses + self.ti.num_buses
+    }
+
+    /// The analysis this synthesis came from.
+    #[must_use]
+    pub fn analyzed(&self) -> &Analyzed<'_> {
+        self.analyzed
+    }
+
+    /// Phase 4: validates the design end to end and evaluates exactly the
+    /// requested baselines on the same traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SolverLimit`] if a baseline's own design search (the
+    /// avg-flow and peak baselines solve MILPs too) exhausts its budget.
+    pub fn validate(&self, baselines: &BaselineSet) -> Result<Evaluation, FlowError> {
+        let app = self.analyzed.collected.app();
+        let params = &self.analyzed.params;
+        let traffic = self.analyzed.collected.traffic();
+        let num_initiators = app.spec.num_initiators();
+        let num_targets = app.spec.num_targets();
+
+        let designed = ConfigEval::new(
+            "designed",
+            self.it.config.clone(),
+            self.ti.config.clone(),
+            app,
+            params,
+        );
+
+        let mut evals = Vec::new();
+        if baselines.full {
+            evals.push(ConfigEval::new(
+                "full",
+                CrossbarConfig::full(num_targets).with_arbitration(params.arbitration),
+                CrossbarConfig::full(num_initiators).with_arbitration(params.arbitration),
+                app,
+                params,
+            ));
+        }
+        if baselines.shared {
+            evals.push(ConfigEval::new(
+                "shared",
+                CrossbarConfig::shared_bus(num_targets).with_arbitration(params.arbitration),
+                CrossbarConfig::shared_bus(num_initiators).with_arbitration(params.arbitration),
+                app,
+                params,
+            ));
+        }
+        if baselines.avg_flow {
+            let avg_it = average_flow_design(&traffic.it_trace, params)?.config;
+            let avg_ti = average_flow_design(&traffic.ti_trace, params)?.config;
+            evals.push(ConfigEval::new("avg-based", avg_it, avg_ti, app, params));
+        }
+        if baselines.peak {
+            let peak_it = peak_bandwidth_design(&traffic.it_trace, params)?.config;
+            let peak_ti = peak_bandwidth_design(&traffic.ti_trace, params)?.config;
+            evals.push(ConfigEval::new("peak-based", peak_it, peak_ti, app, params));
+        }
+        for &seed in &baselines.random_seeds {
+            // A random permutation can be infeasible at the optimal size;
+            // such seeds are skipped rather than failing the evaluation.
+            let rnd_it =
+                random_binding_design(&self.analyzed.pre_it, self.it.num_buses, seed, params)?;
+            let rnd_ti =
+                random_binding_design(&self.analyzed.pre_ti, self.ti.num_buses, seed, params)?;
+            if let (Some(it), Some(ti)) = (rnd_it, rnd_ti) {
+                evals.push(ConfigEval::new(
+                    &format!("random-{seed}"),
+                    it.config,
+                    ti.config,
+                    app,
+                    params,
+                ));
+            }
+        }
+
+        Ok(Evaluation {
+            app_name: app.name().to_string(),
+            num_initiators,
+            num_targets,
+            it_synthesis: self.it.clone(),
+            ti_synthesis: self.ti.clone(),
+            designed,
+            baselines: evals,
+        })
+    }
+
+    /// Validates against the paper's baseline set (full, shared,
+    /// avg-flow) and packages the result as the classic [`DesignReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SolverLimit`] as for [`Synthesized::validate`].
+    pub fn report(&self) -> Result<DesignReport, FlowError> {
+        let evaluation = self.validate(&BaselineSet::paper())?;
+        Ok(evaluation
+            .into_report()
+            .expect("paper baseline set carries full, shared and avg-flow"))
+    }
+}
+
+/// Selector for the comparison designs phase 4 should evaluate.
+///
+/// Every baseline costs a cycle-accurate simulation pair (and the
+/// avg-flow/peak baselines an extra MILP solve), so sweeps that only need
+/// the designed crossbar's latency use [`BaselineSet::none`] and pay for
+/// nothing else.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineSet {
+    /// Evaluate the full crossbar (latency reference).
+    pub full: bool,
+    /// Evaluate the single shared bus (cost reference).
+    pub shared: bool,
+    /// Evaluate the average-flow prior-work design.
+    pub avg_flow: bool,
+    /// Evaluate the peak-bandwidth (contention-elimination) design.
+    pub peak: bool,
+    /// Evaluate a random-but-feasible binding per listed seed.
+    pub random_seeds: Vec<u64>,
+}
+
+impl BaselineSet {
+    /// No baselines: only the designed configuration is simulated.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's evaluation set: full crossbar, shared bus, avg-flow.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            full: true,
+            shared: true,
+            avg_flow: true,
+            ..Self::default()
+        }
+    }
+
+    /// Every deterministic baseline (paper set plus peak-bandwidth).
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            peak: true,
+            ..Self::paper()
+        }
+    }
+
+    /// Adds the full-crossbar baseline (builder style).
+    #[must_use]
+    pub fn with_full(mut self) -> Self {
+        self.full = true;
+        self
+    }
+
+    /// Adds the shared-bus baseline (builder style).
+    #[must_use]
+    pub fn with_shared(mut self) -> Self {
+        self.shared = true;
+        self
+    }
+
+    /// Adds the average-flow baseline (builder style).
+    #[must_use]
+    pub fn with_avg_flow(mut self) -> Self {
+        self.avg_flow = true;
+        self
+    }
+
+    /// Adds the peak-bandwidth baseline (builder style).
+    #[must_use]
+    pub fn with_peak(mut self) -> Self {
+        self.peak = true;
+        self
+    }
+
+    /// Adds a random-binding baseline for `seed` (builder style).
+    #[must_use]
+    pub fn with_random(mut self, seed: u64) -> Self {
+        self.random_seeds.push(seed);
+        self
+    }
+}
+
+/// Phase-4 artifact: the designed configuration evaluated next to the
+/// requested baselines.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Application name.
+    pub app_name: String,
+    /// Initiator count.
+    pub num_initiators: usize,
+    /// Target count.
+    pub num_targets: usize,
+    /// Request-path synthesis detail.
+    pub it_synthesis: SynthesisOutcome,
+    /// Response-path synthesis detail.
+    pub ti_synthesis: SynthesisOutcome,
+    /// The methodology's design, evaluated.
+    pub designed: ConfigEval,
+    /// The evaluated baselines, labelled `full` / `shared` / `avg-based` /
+    /// `peak-based` / `random-<seed>`.
+    pub baselines: Vec<ConfigEval>,
+}
+
+impl Evaluation {
+    /// Looks up an evaluated baseline by label.
+    #[must_use]
+    pub fn baseline(&self, label: &str) -> Option<&ConfigEval> {
+        self.baselines.iter().find(|e| e.label == label)
+    }
+
+    /// Repackages a paper-baseline evaluation as the classic
+    /// [`DesignReport`]. Returns `None` when the `full`, `shared` or
+    /// `avg-based` baseline was not evaluated.
+    #[must_use]
+    pub fn into_report(self) -> Option<DesignReport> {
+        let find = |label: &str| self.baselines.iter().find(|e| e.label == label).cloned();
+        let full = find("full")?;
+        let shared = find("shared")?;
+        let avg_based = find("avg-based")?;
+        Some(DesignReport {
+            app_name: self.app_name,
+            num_initiators: self.num_initiators,
+            num_targets: self.num_targets,
+            it_synthesis: self.it_synthesis,
+            ti_synthesis: self.ti_synthesis,
+            designed: self.designed,
+            full,
+            shared,
+            avg_based,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesizer::{Exact, Heuristic};
+    use stbus_traffic::workloads;
+
+    #[test]
+    fn staged_pipeline_reuses_collection() {
+        // Phase-1-once is structural here — `Pipeline::collect` is called
+        // once and every sweep point analyses the same artifact. (The
+        // global `phase1::collect_runs()` counter is not asserted in unit
+        // tests: sibling tests collect concurrently, so deltas race. The
+        // single-threaded `variable_windows` bench bin asserts it.)
+        let app = workloads::matrix::mat2(42);
+        let base = DesignParams::default();
+        let collected = Pipeline::collect(&app, &base);
+        let mut buses = Vec::new();
+        for ws in [500u64, 1_000, 2_000] {
+            let params = base.clone().with_window_size(ws);
+            assert!(collected.is_compatible(&params));
+            let analyzed = collected.analyze(&params);
+            let synthesized = analyzed
+                .synthesize(&Exact::default())
+                .expect("within limits");
+            buses.push(synthesized.total_buses());
+        }
+        // Smaller windows never shrink the crossbar.
+        assert!(buses[0] >= buses[1] && buses[1] >= buses[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collect again")]
+    fn incompatible_params_rejected() {
+        let app = workloads::matrix::mat2(42);
+        let base = DesignParams::default();
+        let collected = Pipeline::collect(&app, &base);
+        let other = base.with_response_scale(0.5);
+        let _ = collected.analyze(&other);
+    }
+
+    #[test]
+    fn baseline_selection_controls_simulation() {
+        let app = workloads::qsort::qsort(44);
+        let params = DesignParams::default();
+        let collected = Pipeline::collect(&app, &params);
+        let analyzed = collected.analyze(&params);
+        let synthesized = analyzed.synthesize(&Heuristic::default()).expect("ok");
+
+        let lean = synthesized.validate(&BaselineSet::none()).expect("ok");
+        assert!(lean.baselines.is_empty());
+
+        let rich = synthesized
+            .validate(&BaselineSet::all().with_random(3))
+            .expect("ok");
+        assert!(rich.baseline("full").is_some());
+        assert!(rich.baseline("shared").is_some());
+        assert!(rich.baseline("avg-based").is_some());
+        assert!(rich.baseline("peak-based").is_some());
+        // The random seed may or may not be feasible; if present it is
+        // labelled by seed.
+        for b in &rich.baselines {
+            assert!(["full", "shared", "avg-based", "peak-based", "random-3"]
+                .contains(&b.label.as_str()));
+        }
+    }
+
+    #[test]
+    fn report_round_trip_matches_baselines() {
+        let app = workloads::fft::fft(7);
+        let params = DesignParams::default().with_overlap_threshold(0.5);
+        let report = Pipeline::collect(&app, &params)
+            .analyze(&params)
+            .synthesize(&Exact::default())
+            .expect("ok")
+            .report()
+            .expect("ok");
+        assert_eq!(report.full.label, "full");
+        assert_eq!(report.shared.label, "shared");
+        assert_eq!(report.avg_based.label, "avg-based");
+        assert!(report.component_saving() >= 1.0);
+    }
+}

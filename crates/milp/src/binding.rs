@@ -176,11 +176,7 @@ impl BindingProblem {
     /// Panics under the same conditions as [`BindingProblem::new`], or if
     /// the capacity vector's length disagrees with the demand rows.
     #[must_use]
-    pub fn with_capacities(
-        num_buses: usize,
-        capacities: Vec<u64>,
-        demands: Vec<Vec<u64>>,
-    ) -> Self {
+    pub fn with_capacities(num_buses: usize, capacities: Vec<u64>, demands: Vec<Vec<u64>>) -> Self {
         assert!(num_buses > 0, "at least one bus required");
         let num_targets = demands.len();
         let num_windows = demands.first().map_or(0, Vec::len);
@@ -437,7 +433,9 @@ impl BindingProblem {
         let key = |t: usize| {
             let max_d = self.demands[t].iter().copied().max().unwrap_or(0);
             let total: u64 = self.demands[t].iter().sum();
-            let degree = (0..self.num_targets).filter(|&u| self.conflicts(t, u)).count();
+            let degree = (0..self.num_targets)
+                .filter(|&u| self.conflicts(t, u))
+                .count();
             (max_d, degree as u64, total)
         };
         order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
@@ -472,6 +470,7 @@ impl BindingProblem {
 
         // Iterative DFS with explicit stack of (depth, bus-to-try-next).
         // Simpler: recursive closure via a helper function.
+        #[allow(clippy::too_many_arguments)] // explicit search state, one hop deep
         fn dfs(
             problem: &BindingProblem,
             order: &[usize],
@@ -516,10 +515,7 @@ impl BindingProblem {
                     }
                     tried_empty = true;
                 }
-                let added: u64 = st.members[k]
-                    .iter()
-                    .map(|&u| problem.overlap(t, u))
-                    .sum();
+                let added: u64 = st.members[k].iter().map(|&u| problem.overlap(t, u)).sum();
                 candidates.push((added, k));
             }
             if optimizing {
@@ -559,8 +555,17 @@ impl BindingProblem {
                 assignment.push(k);
 
                 let done = dfs(
-                    problem, order, sparse, st, depth + 1, nodes, limits, bound,
-                    optimizing, best, assignment,
+                    problem,
+                    order,
+                    sparse,
+                    st,
+                    depth + 1,
+                    nodes,
+                    limits,
+                    bound,
+                    optimizing,
+                    best,
+                    assignment,
                 )?;
 
                 // Undo.
@@ -644,7 +649,11 @@ mod tests {
     #[test]
     fn conflict_triangle_needs_three_buses() {
         let demands = vec![vec![1], vec![1], vec![1]];
-        let triangle = |p: BindingProblem| p.with_conflict(0, 1).with_conflict(1, 2).with_conflict(0, 2);
+        let triangle = |p: BindingProblem| {
+            p.with_conflict(0, 1)
+                .with_conflict(1, 2)
+                .with_conflict(0, 2)
+        };
         let p2 = triangle(BindingProblem::new(2, 100, demands.clone()));
         assert_eq!(p2.find_feasible(&limits()).unwrap(), None);
         let p3 = triangle(BindingProblem::new(3, 100, demands));
@@ -682,7 +691,11 @@ mod tests {
 
     #[test]
     fn optimize_matches_verify() {
-        let mut p = BindingProblem::new(3, 100, vec![vec![40, 10], vec![30, 20], vec![20, 60], vec![10, 30]]);
+        let mut p = BindingProblem::new(
+            3,
+            100,
+            vec![vec![40, 10], vec![30, 20], vec![20, 60], vec![10, 30]],
+        );
         p.set_overlaps(|i, j| ((i + 1) * (j + 1)) as u64);
         let b = p.optimize(&limits()).unwrap().expect("feasible");
         assert_eq!(p.verify(&b), Some(b.max_bus_overlap()));
@@ -697,8 +710,7 @@ mod tests {
         let best = p.optimize(&limits()).unwrap().expect("feasible");
         let mut brute = u64::MAX;
         for mask in 0..(1u32 << 4) {
-            let assignment: Vec<usize> =
-                (0..4).map(|t| ((mask >> t) & 1) as usize).collect();
+            let assignment: Vec<usize> = (0..4).map(|t| ((mask >> t) & 1) as usize).collect();
             let candidate = Binding {
                 assignment,
                 max_bus_overlap: 0,
@@ -740,11 +752,8 @@ mod tests {
         // Window 0 is tight (cap 50), window 1 roomy (cap 200): targets
         // peaking together in window 0 must split even though a uniform
         // 200-capacity plan would let them share.
-        let p = BindingProblem::with_capacities(
-            2,
-            vec![50, 200],
-            vec![vec![30, 100], vec![30, 80]],
-        );
+        let p =
+            BindingProblem::with_capacities(2, vec![50, 200], vec![vec![30, 100], vec![30, 80]]);
         let b = p.find_feasible(&limits()).unwrap().expect("feasible");
         assert_ne!(b.bus_of(0), b.bus_of(1));
         assert_eq!(p.verify(&b), Some(0));

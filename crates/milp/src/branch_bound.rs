@@ -151,7 +151,7 @@ pub fn solve(model: &Model, options: &MilpOptions) -> MilpOutcome {
                         }
                         let accept = incumbent
                             .as_ref()
-                            .map_or(true, |(_, inc)| better(objective, *inc));
+                            .is_none_or(|(_, inc)| better(objective, *inc));
                         if accept {
                             incumbent = Some((rounded, objective));
                         }

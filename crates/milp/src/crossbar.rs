@@ -8,6 +8,10 @@
 //! custom solver against CPLEX. It is exercised extensively in tests and
 //! available for users who want to inspect the raw MILP.
 
+// Index-based loops here mirror the i/j/k subscripts of the paper's
+// equations on purpose; iterator forms obscure the transcription.
+#![allow(clippy::needless_range_loop)]
+
 use crate::binding::{Binding, BindingProblem};
 use crate::branch_bound::{solve, MilpOptions, MilpOutcome};
 use crate::model::{Cmp, LinExpr, Model, Sense, VarId};
@@ -92,11 +96,7 @@ fn make_binding_vars(model: &mut Model, problem: &BindingProblem) -> Vec<Vec<Var
         .collect()
 }
 
-fn add_structural_constraints(
-    model: &mut Model,
-    problem: &BindingProblem,
-    x: &[Vec<VarId>],
-) {
+fn add_structural_constraints(model: &mut Model, problem: &BindingProblem, x: &[Vec<VarId>]) {
     let n = problem.num_targets();
     let b = problem.num_buses();
 
@@ -155,7 +155,11 @@ fn add_structural_constraints(
 /// Decodes a MILP solution into a [`Binding`], recomputing the objective
 /// through [`BindingProblem::verify`].
 #[must_use]
-pub fn decode(problem: &BindingProblem, encoded: &EncodedCrossbar, values: &[f64]) -> Option<Binding> {
+pub fn decode(
+    problem: &BindingProblem,
+    encoded: &EncodedCrossbar,
+    values: &[f64],
+) -> Option<Binding> {
     let mut assignment = vec![usize::MAX; problem.num_targets()];
     for (i, row) in encoded.x.iter().enumerate() {
         for (k, &v) in row.iter().enumerate() {
@@ -221,8 +225,7 @@ mod tests {
             BindingProblem::new(1, 100, vec![vec![60], vec![50]]),
             BindingProblem::new(2, 100, vec![vec![60], vec![50]]),
             BindingProblem::new(2, 100, vec![vec![60], vec![50], vec![45]]),
-            BindingProblem::new(3, 100, vec![vec![60], vec![50], vec![45]])
-                .with_conflict(0, 1),
+            BindingProblem::new(3, 100, vec![vec![60], vec![50], vec![45]]).with_conflict(0, 1),
             BindingProblem::new(2, 100, vec![vec![10]; 5]).with_maxtb(2),
             BindingProblem::new(3, 100, vec![vec![10]; 5]).with_maxtb(2),
         ];

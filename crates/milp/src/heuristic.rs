@@ -57,7 +57,10 @@ impl<'p> State<'p> {
         if self.members[k].len() >= self.problem.maxtb() {
             return false;
         }
-        if self.members[k].iter().any(|&u| self.problem.conflicts(t, u)) {
+        if self.members[k]
+            .iter()
+            .any(|&u| self.problem.conflicts(t, u))
+        {
             return false;
         }
         (0..self.problem.num_windows())
@@ -127,9 +130,16 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
             .max()
             .unwrap_or(0)
     };
-    let total = |t: usize| -> u64 { (0..problem.num_windows()).map(|m| problem.demand(t, m)).sum() };
-    let degree =
-        |t: usize| (0..n).filter(|&u| u != t && problem.conflicts(t, u)).count();
+    let total = |t: usize| -> u64 {
+        (0..problem.num_windows())
+            .map(|m| problem.demand(t, m))
+            .sum()
+    };
+    let degree = |t: usize| {
+        (0..n)
+            .filter(|&u| u != t && problem.conflicts(t, u))
+            .count()
+    };
 
     // --- Construction: first-fit-decreasing under several orderings
     //     (greedy packing is order-sensitive; retrying a handful of
@@ -283,8 +293,7 @@ mod tests {
 
     #[test]
     fn respects_conflicts_and_capacity() {
-        let p = BindingProblem::new(3, 100, vec![vec![60], vec![60], vec![30]])
-            .with_conflict(0, 2);
+        let p = BindingProblem::new(3, 100, vec![vec![60], vec![60], vec![30]]).with_conflict(0, 2);
         let b = solve_heuristic(&p, &options()).expect("feasible");
         assert_ne!(b.bus_of(0), b.bus_of(2));
         assert!(p.verify(&b).is_some());

@@ -47,6 +47,6 @@ pub mod model;
 pub mod simplex;
 
 pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SolveLimits};
-pub use heuristic::{solve_heuristic, HeuristicOptions};
 pub use branch_bound::{solve, MilpOptions, MilpOutcome};
+pub use heuristic::{solve_heuristic, HeuristicOptions};
 pub use model::{Cmp, LinExpr, Model, Sense, VarId};

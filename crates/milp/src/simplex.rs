@@ -5,6 +5,11 @@
 //! and fast enough. Termination is guaranteed by switching from Dantzig
 //! pricing to Bland's rule after a fixed number of iterations.
 
+// Tableau pivoting is textbook row/column index arithmetic; iterator
+// rewrites of these loops hide the math without helping the borrow
+// checker. The row triple is local plumbing, not an API type.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
 use crate::model::{Cmp, Model, Sense, VarKind};
 
 /// Absolute numerical tolerance used throughout the solver.
@@ -217,9 +222,7 @@ pub fn solve_lp(model: &Model, overrides: &BoundOverrides) -> LpOutcome {
         // Pivot artificials out of the basis where possible.
         for i in 0..m {
             if artificial_cols.contains(&basis[i]) {
-                if let Some(j) = (0..first_artificial)
-                    .find(|&j| tableau[i][j].abs() > TOL)
-                {
+                if let Some(j) = (0..first_artificial).find(|&j| tableau[i][j].abs() > TOL) {
                     pivot(&mut tableau, &mut cost, &mut basis, i, j, rhs_col);
                 }
             }
@@ -313,8 +316,7 @@ fn iterate(
             if row[j] > TOL {
                 let ratio = row[rhs_col] / row[j];
                 let better = ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && leave.is_some_and(|l| basis[i] < basis[l]));
+                    || (ratio < best_ratio + TOL && leave.is_some_and(|l| basis[i] < basis[l]));
                 if leave.is_none() || better {
                     best_ratio = ratio;
                     leave = Some(i);
@@ -541,11 +543,7 @@ mod tests {
         let y = m.continuous_var("y", 0.0, f64::INFINITY);
         for k in 1..=6 {
             let kf = k as f64;
-            m.constrain(
-                LinExpr::new().term(x, kf).term(y, kf),
-                Cmp::Le,
-                4.0 * kf,
-            );
+            m.constrain(LinExpr::new().term(x, kf).term(y, kf), Cmp::Le, 4.0 * kf);
         }
         m.set_objective(LinExpr::new().term(x, 1.0).term(y, 1.0));
         match solve_lp(&m, &BoundOverrides::none()) {

@@ -67,7 +67,11 @@ impl Timeline {
             // Cell c covers [c·h/w, (c+1)·h/w).
             let first = (s * self.width as u64 / self.horizon) as usize;
             let last = ((e - 1) * self.width as u64 / self.horizon) as usize;
-            for cell in cells.iter_mut().take(last.min(self.width - 1) + 1).skip(first) {
+            for cell in cells
+                .iter_mut()
+                .take(last.min(self.width - 1) + 1)
+                .skip(first)
+            {
                 *cell = true;
             }
         }
@@ -92,11 +96,7 @@ impl fmt::Display for Timeline {
             self.horizon
         )?;
         for (label, intervals) in &self.rows {
-            writeln!(
-                f,
-                "{label:label_width$} |{}|",
-                self.render_row(intervals)
-            )?;
+            writeln!(f, "{label:label_width$} |{}|", self.render_row(intervals))?;
         }
         Ok(())
     }

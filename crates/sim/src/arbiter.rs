@@ -71,7 +71,9 @@ impl Arbiter {
         let winner = match self.policy {
             Arbitration::FixedPriority => *candidates.iter().min().expect("non-empty"),
             Arbitration::RoundRobin => {
-                let start = self.last_winner.map_or(0, |w| (w + 1) % self.num_initiators);
+                let start = self
+                    .last_winner
+                    .map_or(0, |w| (w + 1) % self.num_initiators);
                 // Smallest (candidate - start) mod n: the first candidate at
                 // or after the rotating pointer.
                 *candidates

@@ -92,10 +92,7 @@ impl CrossbarConfig {
     ///
     /// [`ConfigError`] if any bus index is out of range, or if targets
     /// exist but `num_buses == 0`.
-    pub fn from_assignment(
-        assignment: Vec<usize>,
-        num_buses: usize,
-    ) -> Result<Self, ConfigError> {
+    pub fn from_assignment(assignment: Vec<usize>, num_buses: usize) -> Result<Self, ConfigError> {
         if num_buses == 0 && !assignment.is_empty() {
             return Err(ConfigError::NoBuses);
         }
@@ -134,7 +131,10 @@ impl CrossbarConfig {
             self.assignment.len(),
             "one clock ratio per target required"
         );
-        assert!(ratios.iter().all(|&r| r > 0), "clock ratios must be positive");
+        assert!(
+            ratios.iter().all(|&r| r > 0),
+            "clock ratios must be positive"
+        );
         self.clock_ratios = ratios;
         self
     }

@@ -89,11 +89,10 @@ impl CostModel {
         let stats = report.bus_stats();
         let busy: u64 = stats.iter().map(|b| b.busy_cycles).sum();
         let grants: u64 = stats.iter().map(|b| b.grants).sum();
-        let dynamic_energy = busy as f64 * self.energy_per_busy_cycle
-            + grants as f64 * self.energy_per_grant;
-        let leakage_energy = config.num_buses() as f64
-            * report.horizon() as f64
-            * self.leakage_per_bus_cycle;
+        let dynamic_energy =
+            busy as f64 * self.energy_per_busy_cycle + grants as f64 * self.energy_per_grant;
+        let leakage_energy =
+            config.num_buses() as f64 * report.horizon() as f64 * self.leakage_per_bus_cycle;
         CostEstimate {
             area: self.area(config, num_initiators),
             dynamic_energy,
@@ -113,8 +112,8 @@ mod tests {
         let model = CostModel::default();
         let shared = CrossbarConfig::shared_bus(12);
         let full = CrossbarConfig::full(12);
-        let partial = CrossbarConfig::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2], 3)
-            .unwrap();
+        let partial =
+            CrossbarConfig::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2], 3).unwrap();
         let a_shared = model.area(&shared, 9);
         let a_partial = model.area(&partial, 9);
         let a_full = model.area(&full, 9);

@@ -10,8 +10,8 @@ use crate::arbiter::Arbiter;
 use crate::config::CrossbarConfig;
 use crate::metrics::{BusStats, PacketRecord};
 use stbus_traffic::{InitiatorId, Summary, Trace, TraceEvent};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,8 +228,7 @@ pub fn simulate_with(trace: &Trace, config: &CrossbarConfig, options: &SimOption
     };
 
     for i in 0..num_initiators {
-        if let Some((ready, i, idx)) = arm(i, 0, &queues, &next_issue, &completed, &mut armed)
-        {
+        if let Some((ready, i, idx)) = arm(i, 0, &queues, &next_issue, &completed, &mut armed) {
             heap.push(Reverse((ready, 1, i, idx)));
         }
     }
@@ -287,8 +286,7 @@ pub fn simulate_with(trace: &Trace, config: &CrossbarConfig, options: &SimOption
             // Grant while the bus is idle and work is pending (the grant
             // makes it busy, so at most one grant fires here).
             while busy_until[k] <= t && !pending[k].is_empty() {
-                let mut candidates: Vec<usize> =
-                    pending[k].iter().map(|&(i, _, _)| i).collect();
+                let mut candidates: Vec<usize> = pending[k].iter().map(|&(i, _, _)| i).collect();
                 candidates.sort_unstable();
                 candidates.dedup();
                 let winner = arbiters[k]
@@ -472,8 +470,7 @@ mod tests {
             2,
             &[ev(1, 1, 0, 10), ev(0, 0, 0, 10)], // both ready at cycle 0
         );
-        let cfg =
-            CrossbarConfig::shared_bus(2).with_arbitration(Arbitration::FixedPriority);
+        let cfg = CrossbarConfig::shared_bus(2).with_arbitration(Arbitration::FixedPriority);
         let report = simulate(&tr, &cfg);
         let first = report.packets()[0];
         assert_eq!(first.initiator, InitiatorId::new(0));
@@ -482,7 +479,12 @@ mod tests {
     #[test]
     fn critical_flag_carried_through() {
         let mut tr = Trace::new(1, 1);
-        tr.push(TraceEvent::critical(InitiatorId::new(0), TargetId::new(0), 0, 4));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            4,
+        ));
         let report = simulate(&tr, &CrossbarConfig::full(1));
         assert!(report.packets()[0].critical);
         assert_eq!(report.critical_latency().count, 1);

@@ -88,8 +88,8 @@ impl ConflictMatrix {
             .collect();
         for i in 0..n {
             for j in (i + 1)..n {
-                let over_threshold = (0..stats.num_windows())
-                    .any(|m| stats.window_overlap(i, j, m) > limits[m]);
+                let over_threshold =
+                    (0..stats.num_windows()).any(|m| stats.window_overlap(i, j, m) > limits[m]);
                 let critical_clash = stats.critical_streams_overlap(i, j);
                 if over_threshold || critical_clash {
                     cm.forbid(i, j);
@@ -233,8 +233,18 @@ mod tests {
     fn threshold_drives_conflicts() {
         // Two targets overlapping 40 cycles out of a 100-cycle window.
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 60));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 20, 60));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            60,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            20,
+            60,
+        ));
         let stats = WindowStats::analyze(&tr, 100);
         let s = spec(2, 2);
         // Overlap is 40 cycles: threshold 0.3 (30 cy) flags it...
@@ -248,8 +258,18 @@ mod tests {
     #[test]
     fn zero_threshold_flags_any_overlap() {
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 9, 10));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            10,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            9,
+            10,
+        ));
         let stats = WindowStats::analyze(&tr, 100);
         let cm = ConflictMatrix::from_stats(&stats, 0.0, &spec(2, 2));
         assert!(cm.conflicts(0, 1)); // 1 cycle overlap > 0
@@ -258,8 +278,18 @@ mod tests {
     #[test]
     fn disjoint_targets_never_conflict() {
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 10));
-        tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 50, 10));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            10,
+        ));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            50,
+            10,
+        ));
         let stats = WindowStats::analyze(&tr, 100);
         let cm = ConflictMatrix::from_stats(&stats, 0.0, &spec(2, 2));
         assert!(!cm.conflicts(0, 1));
@@ -268,8 +298,18 @@ mod tests {
     #[test]
     fn critical_overlap_forces_conflict_even_at_high_threshold() {
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::critical(InitiatorId::new(0), TargetId::new(0), 0, 5));
-        tr.push(TraceEvent::critical(InitiatorId::new(1), TargetId::new(1), 3, 5));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            5,
+        ));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            3,
+            5,
+        ));
         let stats = WindowStats::analyze(&tr, 1000);
         // 2-cycle overlap, far below a 40% threshold — but critical.
         let cm = ConflictMatrix::from_stats(&stats, 0.4, &spec(2, 2));

@@ -213,10 +213,7 @@ impl IntervalSet {
     /// clipped set.
     #[must_use]
     pub fn len_within(&self, lo: u64, hi: u64) -> u64 {
-        self.intervals
-            .iter()
-            .map(|iv| iv.clip(lo, hi).len())
-            .sum()
+        self.intervals.iter().map(|iv| iv.clip(lo, hi).len()).sum()
     }
 }
 

@@ -201,7 +201,12 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut tr = Trace::new(2, 3);
-        tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(2), 10, 8));
+        tr.push(TraceEvent::new(
+            InitiatorId::new(0),
+            TargetId::new(2),
+            10,
+            8,
+        ));
         tr.push(TraceEvent::critical(
             InitiatorId::new(1),
             TargetId::new(0),
@@ -282,6 +287,8 @@ mod tests {
     fn error_display() {
         let e = ParseTraceError::BadLine(3, "x".into());
         assert!(e.to_string().contains("line 3"));
-        assert!(ParseTraceError::MissingHeader.to_string().contains("header"));
+        assert!(ParseTraceError::MissingHeader
+            .to_string()
+            .contains("header"));
     }
 }

@@ -46,7 +46,7 @@ pub mod window;
 pub mod window_plan;
 pub mod workloads;
 
-pub use burst::{BurstStats, Burst};
+pub use burst::{Burst, BurstStats};
 pub use conflict::ConflictMatrix;
 pub use ids::{InitiatorId, TargetId};
 pub use io::{read_trace, trace_from_str, trace_to_string, write_trace, ParseTraceError};

@@ -42,12 +42,7 @@ impl TraceEvent {
 
     /// Creates a critical (real-time) event.
     #[must_use]
-    pub fn critical(
-        initiator: InitiatorId,
-        target: TargetId,
-        start: u64,
-        duration: u32,
-    ) -> Self {
+    pub fn critical(initiator: InitiatorId, target: TargetId, start: u64, duration: u32) -> Self {
         Self {
             initiator,
             target,

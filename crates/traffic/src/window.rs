@@ -9,9 +9,9 @@
 //! `om(i,j) = Σ_m wo(i,j,m)` (Eq. 1), the objective coefficients of the
 //! optimal-binding MILP.
 
+use crate::ids::TargetId;
 use crate::interval::{Interval, IntervalSet};
 use crate::trace::Trace;
-use crate::ids::TargetId;
 use serde::{Deserialize, Serialize};
 
 /// Symmetric matrix of aggregate pairwise overlaps `om(i,j)` (Eq. 1).
@@ -151,11 +151,10 @@ impl WindowStats {
     pub fn analyze(trace: &Trace, window_size: u64) -> Self {
         assert!(window_size > 0, "window size must be positive");
         let horizon = trace.horizon();
-        let num_windows =
-            usize::try_from(horizon.div_ceil(window_size)).unwrap_or(0).max(1);
-        let bounds: Vec<u64> = (0..=num_windows)
-            .map(|m| m as u64 * window_size)
-            .collect();
+        let num_windows = usize::try_from(horizon.div_ceil(window_size))
+            .unwrap_or(0)
+            .max(1);
+        let bounds: Vec<u64> = (0..=num_windows).map(|m| m as u64 * window_size).collect();
         Self::analyze_with_bounds(trace, bounds)
     }
 
@@ -450,7 +449,7 @@ mod tests {
         assert_eq!(stats.window_overlap(0, 1, 0), 0);
         assert_eq!(stats.window_overlap(0, 1, 1), 50);
         assert_eq!(stats.window_overlap(1, 0, 1), 50); // symmetric
-        // T1 vs T2: [140,150) -> window 2.
+                                                       // T1 vs T2: [140,150) -> window 2.
         assert_eq!(stats.window_overlap(1, 2, 2), 10);
         assert_eq!(stats.overlap_matrix().get(0, 1), 50);
         assert_eq!(stats.overlap_matrix().get(1, 2), 10);
@@ -474,8 +473,18 @@ mod tests {
     #[test]
     fn critical_overlap_detection() {
         let mut tr = Trace::new(2, 2);
-        tr.push(TraceEvent::critical(InitiatorId::new(0), TargetId::new(0), 0, 50));
-        tr.push(TraceEvent::critical(InitiatorId::new(1), TargetId::new(1), 25, 50));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            50,
+        ));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            25,
+            50,
+        ));
         let stats = WindowStats::analyze(&tr, 100);
         assert!(stats.critical_streams_overlap(0, 1));
         assert!(!stats.critical_streams_overlap(0, 0));

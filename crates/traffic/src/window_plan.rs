@@ -71,7 +71,10 @@ impl WindowPlan {
     #[must_use]
     pub fn adaptive(trace: &Trace, fine: u64, coarse: u64, quiet_threshold: f64) -> Self {
         assert!(fine > 0, "fine window size must be positive");
-        assert!(coarse >= fine, "coarse windows cannot be finer than fine ones");
+        assert!(
+            coarse >= fine,
+            "coarse windows cannot be finer than fine ones"
+        );
         assert!(
             quiet_threshold.is_finite() && quiet_threshold >= 0.0,
             "quiet threshold must be a non-negative finite fraction"
@@ -113,8 +116,7 @@ impl WindowPlan {
                 // Quiet: merge following quiet cells up to `coarse`.
                 let mut end = start + fine;
                 m += 1;
-                while m < cells && activity[m] <= quiet_limit && end - start + fine <= coarse
-                {
+                while m < cells && activity[m] <= quiet_limit && end - start + fine <= coarse {
                     end += fine;
                     m += 1;
                 }

@@ -65,15 +65,13 @@ pub fn with_params(params: &DesParams, seed: u64) -> Application {
             if c == n - 1 {
                 shared_targets.push((output, 3, false));
             }
-            let span =
-                u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
+            let span = u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
             let period = params.compute_cycles + span;
             CoreProfile {
                 private_target: private[c],
                 compute_cycles: params.compute_cycles,
                 // Round-key schedules shrink down the pipeline waves.
-                burst_transactions: params.burst_transactions + 4
-                    - 4 * (c % 3) as u32,
+                burst_transactions: params.burst_transactions + 4 - 4 * (c % 3) as u32,
                 txn_len: params.txn_len,
                 txn_gap: 1,
                 shared_period: 4,

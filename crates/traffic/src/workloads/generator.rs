@@ -108,8 +108,8 @@ pub fn generate(
         // pipeline-stage semantics): jitter perturbs individual iterations
         // but does not accumulate into unbounded drift, exactly like cores
         // that re-join a barrier or a pipeline handshake every iteration.
-        let nominal_span = u64::from(profile.burst_transactions)
-            * u64::from(profile.txn_len + profile.txn_gap);
+        let nominal_span =
+            u64::from(profile.burst_transactions) * u64::from(profile.txn_len + profile.txn_gap);
         let period = params
             .nominal_period
             .unwrap_or(profile.compute_cycles + nominal_span);
@@ -123,9 +123,7 @@ pub fn generate(
                 0
             };
             let nominal = base + u64::from(iter_no) * period + profile.compute_cycles;
-            let mut now = nominal
-                .saturating_add_signed(jitter)
-                .max(prev_end);
+            let mut now = nominal.saturating_add_signed(jitter).max(prev_end);
 
             // Shared-resource accesses every `shared_period` iterations.
             if profile.shared_period > 0 && iter_no % profile.shared_period == 0 {
@@ -278,7 +276,7 @@ mod tests {
         let profiles = vec![profile(0), profile(1)];
         let p = GeneratorParams::default();
         let tr = generate(2, 3, &profiles, &p, 5);
-        assert!(tr.len() > 0);
+        assert!(!tr.is_empty());
         assert!(tr.is_sorted());
     }
 }

@@ -92,8 +92,8 @@ pub fn with_params(name: &str, params: &MatrixParams, seed: u64) -> Application 
     });
 
     // Estimated iteration period, used to spread the phase groups evenly.
-    let burst_span = u64::from(params.burst_transactions)
-        * u64::from(params.txn_len + params.txn_gap);
+    let burst_span =
+        u64::from(params.burst_transactions) * u64::from(params.txn_len + params.txn_gap);
     let period = params.compute_cycles + burst_span;
     let groups = params.phase_groups.max(1);
 
@@ -180,16 +180,10 @@ mod tests {
         assert_eq!(app.spec.num_initiators(), 9);
         assert_eq!(app.spec.num_targets(), 12);
         assert_eq!(app.spec.num_cores(), 21);
-        assert_eq!(
-            app.spec.targets_of_kind(CoreKind::PrivateMemory).len(),
-            9
-        );
+        assert_eq!(app.spec.targets_of_kind(CoreKind::PrivateMemory).len(), 9);
         assert_eq!(app.spec.targets_of_kind(CoreKind::SharedMemory).len(), 1);
         assert_eq!(app.spec.targets_of_kind(CoreKind::Semaphore).len(), 1);
-        assert_eq!(
-            app.spec.targets_of_kind(CoreKind::InterruptDevice).len(),
-            1
-        );
+        assert_eq!(app.spec.targets_of_kind(CoreKind::InterruptDevice).len(), 1);
     }
 
     #[test]
@@ -207,11 +201,7 @@ mod tests {
         let app = mat2(5);
         let busy = app.trace.busy_cycles_per_target();
         let privates = app.spec.targets_of_kind(CoreKind::PrivateMemory);
-        let min_private = privates
-            .iter()
-            .map(|t| busy[t.index()])
-            .min()
-            .unwrap();
+        let min_private = privates.iter().map(|t| busy[t.index()]).min().unwrap();
         for kind in [
             CoreKind::SharedMemory,
             CoreKind::Semaphore,

@@ -52,8 +52,7 @@ pub fn with_params(params: &QsortParams, seed: u64) -> Application {
     let sem = spec.add_target("Semaphore", CoreKind::Semaphore);
     let intr = spec.add_target("IntDevice", CoreKind::InterruptDevice);
 
-    let burst_span =
-        u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
+    let burst_span = u64::from(params.burst_transactions) * u64::from(params.txn_len + 1);
     let period = params.compute_cycles + burst_span;
     let profiles: Vec<CoreProfile> = (0..params.processors)
         .map(|c| CoreProfile {
@@ -94,7 +93,6 @@ pub fn with_params(params: &QsortParams, seed: u64) -> Application {
         &gen_params,
         seed,
     );
-    let mut spec = spec;
     spec.mark_critical(crate::ids::InitiatorId::new(0), intr);
     Application::new(spec, trace)
 }

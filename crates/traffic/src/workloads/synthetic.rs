@@ -72,7 +72,9 @@ pub fn with_params(params: &SyntheticParams, seed: u64) -> Application {
     // A burst of span S with txn_len L and gap 1 holds ~S / (L+1) txns.
     let txns = (params.burst_span / u64::from(params.txn_len) / 2).max(1) as u32;
     let txn_gap = u32::try_from(
-        (params.burst_span.saturating_sub(u64::from(txns) * u64::from(params.txn_len)))
+        (params
+            .burst_span
+            .saturating_sub(u64::from(txns) * u64::from(params.txn_len)))
             / u64::from(txns.max(1)),
     )
     .unwrap_or(1)

@@ -14,8 +14,8 @@
 //! cargo run --release --example custom_soc
 //! ```
 
-use stbus::core::{DesignFlow, DesignParams};
-use stbus::traffic::{CoreKind, SocSpec, Trace, TraceEvent, workloads::Application};
+use stbus::core::{DesignParams, Pipeline, Portfolio};
+use stbus::traffic::{workloads::Application, CoreKind, SocSpec, Trace, TraceEvent};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Describe the platform. ---
@@ -59,12 +59,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     trace.finish_sorting();
     let app = Application::new(spec, trace);
 
-    // --- 3. Design: aggressive threshold, small windows (tight deadlines). ---
+    // --- 3. Design: aggressive threshold, small windows (tight deadlines).
+    //        The portfolio strategy answers exactly where affordable and
+    //        degrades to the heuristic on pathological instances — the
+    //        right default for imported, unvetted traffic. ---
     let params = DesignParams::default()
         .with_window_size(500)
         .with_overlap_threshold(0.15)
         .with_maxtb(3);
-    let report = DesignFlow::new(params).run(&app)?;
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let report = analyzed.synthesize(&Portfolio::default())?.report()?;
 
     println!("Designed IT crossbar: {}", report.it_synthesis.config);
     println!("Designed TI crossbar: {}\n", report.ti_synthesis.config);

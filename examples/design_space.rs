@@ -1,55 +1,71 @@
 //! Design-space exploration: how the analysis window size and the overlap
 //! threshold trade crossbar size against packet latency (paper §7.2/§7.4).
 //!
+//! This is the staged pipeline's home turf: the whole grid shares one
+//! phase-1 collection per application, and [`Batch`] evaluates the points
+//! in parallel — identical results to a sequential sweep, a core-count
+//! speedup in wall-clock.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use stbus::core::{phase1, phase3, phase4, DesignParams, Preprocessed};
+use stbus::core::{phase1, BaselineSet, Batch, DesignParams};
 use stbus::report::Table;
 use stbus::traffic::workloads::synthetic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let app = synthetic::synthetic20(7);
-    println!("Application: {} (typical burst ~1000 cycles)\n", app.spec);
+    let apps = vec![synthetic::synthetic20(7)];
+    println!(
+        "Application: {} (typical burst ~1000 cycles)\n",
+        apps[0].spec
+    );
+    let collections_before = phase1::collect_runs();
 
     // --- Window-size sweep (aggressive = near the burst size,
     //     conservative = a few times the burst size). ---
+    let window_grid: Vec<DesignParams> = [250u64, 500, 1_000, 2_000, 4_000]
+        .iter()
+        .map(|&ws| DesignParams::default().with_window_size(ws))
+        .collect();
     let mut window_table = Table::new(vec![
         "window size",
         "IT buses",
         "avg latency",
         "max latency",
     ]);
-    for ws in [250u64, 500, 1_000, 2_000, 4_000] {
-        let params = DesignParams::default().with_window_size(ws);
-        let (config, validation) = design_and_validate(&app, &params)?;
+    for point in Batch::over(&apps, window_grid)
+        .with_baselines(BaselineSet::none())
+        .run()
+    {
+        let eval = point.result?;
         window_table.row(vec![
-            format!("{ws}"),
-            format!("{}", config),
-            format!("{:.1}", validation.avg_latency()),
-            format!("{}", validation.max_latency()),
+            format!("{}", point.params.window_size),
+            format!("{}", eval.it_synthesis.num_buses),
+            format!("{:.1}", eval.designed.avg_latency),
+            format!("{}", eval.designed.max_latency),
         ]);
     }
     println!("Window-size sweep (threshold fixed at 25%):\n\n{window_table}");
 
     // --- Overlap-threshold sweep (10% aggressive .. 50% cap). ---
-    let mut theta_table = Table::new(vec![
-        "threshold",
-        "IT buses",
-        "avg latency",
-        "max latency",
-    ]);
-    for theta in [0.10f64, 0.20, 0.30, 0.40, 0.50] {
-        let params = DesignParams::default().with_overlap_threshold(theta);
-        let (config, validation) = design_and_validate(&app, &params)?;
+    let theta_grid: Vec<DesignParams> = [0.10f64, 0.20, 0.30, 0.40, 0.50]
+        .iter()
+        .map(|&theta| DesignParams::default().with_overlap_threshold(theta))
+        .collect();
+    let mut theta_table = Table::new(vec!["threshold", "IT buses", "avg latency", "max latency"]);
+    for point in Batch::over(&apps, theta_grid)
+        .with_baselines(BaselineSet::none())
+        .run()
+    {
+        let eval = point.result?;
         theta_table.row(vec![
-            format!("{:.0}%", theta * 100.0),
-            format!("{}", config),
-            format!("{:.1}", validation.avg_latency()),
-            format!("{}", validation.max_latency()),
+            format!("{:.0}%", point.params.overlap_threshold * 100.0),
+            format!("{}", eval.it_synthesis.num_buses),
+            format!("{:.1}", eval.designed.avg_latency),
+            format!("{}", eval.designed.max_latency),
         ]);
     }
     println!("Overlap-threshold sweep (window fixed at 1000):\n\n{theta_table}");
@@ -57,19 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Smaller windows / tighter thresholds buy latency with extra buses;\n\
          the knee sits around 1-4x the typical burst size (paper Fig. 5a)."
     );
+    println!(
+        "\n10 design points evaluated, {} phase-1 collections (one per batch).",
+        phase1::collect_runs() - collections_before
+    );
     Ok(())
-}
-
-/// Designs the IT crossbar under `params` and validates it (responses on a
-/// full TI crossbar so the comparison isolates the request path).
-fn design_and_validate(
-    app: &stbus::traffic::Application,
-    params: &DesignParams,
-) -> Result<(usize, stbus::core::phase4::Validation), Box<dyn std::error::Error>> {
-    let collected = phase1::collect(app, params);
-    let pre = Preprocessed::analyze(&collected.it_trace, params);
-    let outcome = phase3::synthesize(&pre, params)?;
-    let ti_full = stbus::sim::CrossbarConfig::full(app.spec.num_initiators());
-    let validation = phase4::validate(&app.trace, &outcome.config, &ti_full, params);
-    Ok((outcome.num_buses, validation))
 }

@@ -1,6 +1,7 @@
 //! Run the complete paper evaluation suite (all five MPSoC benchmarks)
 //! and print a combined report: Table 2 savings plus Fig. 4 relative
-//! latencies.
+//! latencies. The five applications are designed and validated in
+//! parallel by a [`Batch`] with per-application parameters.
 //!
 //! Run with:
 //!
@@ -8,11 +9,24 @@
 //! cargo run --release --example paper_suite
 //! ```
 
-use stbus::core::{DesignFlow, DesignParams};
+use stbus::core::{Batch, DesignParams};
 use stbus::report::Table;
 use stbus::traffic::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let apps = workloads::paper_suite(0xDA7E_2005);
+    // Per-application thresholds as discussed in the paper (§7.4):
+    // aggressive for the pipelined suites, the 50% cap for FFT's
+    // uniformly overlapping barrier traffic.
+    let results = Batch::per_app(&apps, |app| match app.name() {
+        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+        "FFT" => DesignParams::default()
+            .with_overlap_threshold(0.50)
+            .with_response_scale(0.9),
+        _ => DesignParams::default(),
+    })
+    .run();
+
     let mut table = Table::new(vec![
         "Application",
         "Cores",
@@ -22,18 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "avg rel lat (designed)",
         "avg rel lat (avg-based)",
     ]);
-    for app in workloads::paper_suite(0xDA7E_2005) {
-        // Per-application thresholds as discussed in the paper (§7.4):
-        // aggressive for the pipelined suites, the 50% cap for FFT's
-        // uniformly overlapping barrier traffic.
-        let params = match app.name() {
-            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-            "FFT" => DesignParams::default()
-                .with_overlap_threshold(0.50)
-                .with_response_scale(0.9),
-            _ => DesignParams::default(),
-        };
-        let report = DesignFlow::new(params).run(&app)?;
+    for point in results {
+        let app = &apps[point.app_index];
+        let report = point
+            .result?
+            .into_report()
+            .expect("paper baseline set carries full/shared/avg");
         table.row(vec![
             report.app_name.clone(),
             format!("{}", app.spec.num_cores()),
@@ -46,8 +54,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("Paper evaluation suite (Table 2 + Fig. 4 shapes):\n");
     println!("{table}");
-    println!(
-        "Paper reference savings: Mat1 3.13x, Mat2 3.5x, FFT 1.93x, QSort 2.5x, DES 3.12x"
-    );
+    println!("Paper reference savings: Mat1 3.13x, Mat2 3.5x, FFT 1.93x, QSort 2.5x, DES 3.12x");
     Ok(())
 }

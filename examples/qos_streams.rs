@@ -9,7 +9,7 @@
 //! cargo run --release --example qos_streams
 //! ```
 
-use stbus::core::{DesignFlow, DesignParams};
+use stbus::core::{DesignParams, Exact, Pipeline};
 use stbus::traffic::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = DesignParams::default()
         .with_overlap_threshold(0.15)
         .with_adaptive_windows(8_000, 0.05);
-    let report = DesignFlow::new(params).run(&app)?;
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let report = analyzed.synthesize(&Exact::default())?.report()?;
 
     println!("Designed IT crossbar: {}", report.it_synthesis.config);
     println!(

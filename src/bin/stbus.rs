@@ -3,16 +3,20 @@
 //! ```text
 //! stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
 //! stbus analyze    --trace FILE [--window N] [--threshold F]
-//! stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N] [--heuristic]
+//! stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
+//!                  [--solver exact|heuristic|portfolio] [--json]
 //! stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-//! stbus suite
+//! stbus suite      [--solver exact|heuristic|portfolio] [--json]
 //! ```
 //!
 //! Traces use the textual interchange format of
 //! [`stbus::traffic::io`]; `generate` writes it, the other commands read
-//! it, so the subcommands compose through files or pipes.
+//! it, so the subcommands compose through files or pipes. `--json` swaps
+//! the human-readable output of `synthesize` and `suite` for
+//! machine-readable JSON on stdout. The `suite` command evaluates the
+//! five paper benchmarks in parallel through [`stbus::core::Batch`].
 
-use stbus::core::{phase3, DesignParams, Preprocessed};
+use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
 use stbus::report::Table;
 use stbus::sim::{simulate, CrossbarConfig};
 use stbus::traffic::{io, workloads, Trace, WindowStats};
@@ -34,9 +38,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
   stbus analyze    --trace FILE [--window N] [--threshold F]
-  stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N] [--heuristic]
+  stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
+                   [--solver exact|heuristic|portfolio] [--json]
   stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-  stbus suite";
+  stbus suite      [--solver exact|heuristic|portfolio] [--json]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut args = args.iter().map(String::as_str);
@@ -45,7 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("analyze") => analyze(&mut args),
         Some("synthesize") => synthesize(&mut args),
         Some("simulate") => simulate_cmd(&mut args),
-        Some("suite") => suite(),
+        Some("suite") => suite(&mut args),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -57,7 +62,8 @@ fn value<'a>(args: &mut impl Iterator<Item = &'a str>, flag: &str) -> Result<&'a
 }
 
 fn parse<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, String> {
-    text.parse::<T>().map_err(|_| format!("invalid {what}: `{text}`"))
+    text.parse::<T>()
+        .map_err(|_| format!("invalid {what}: `{text}`"))
 }
 
 fn load_trace(path: Option<&str>) -> Result<Trace, String> {
@@ -124,8 +130,7 @@ fn analyze<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
         stats.peak_window_demand(),
         stats.peak_window_demand().div_ceil(window)
     );
-    let conflicts =
-        stbus::traffic::ConflictMatrix::from_stats_only(&stats, threshold);
+    let conflicts = stbus::traffic::ConflictMatrix::from_stats_only(&stats, threshold);
     println!(
         "conflicts at threshold {:.0}%: {} pairs (clique lower bound {})",
         threshold * 100.0,
@@ -135,12 +140,18 @@ fn analyze<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut table = Table::new(vec!["target", "busy cycles", "peak window", "share"]);
     for t in 0..trace.num_targets() {
         let total = stats.total_comm(t);
-        let peak = (0..stats.num_windows()).map(|m| stats.comm(t, m)).max().unwrap_or(0);
+        let peak = (0..stats.num_windows())
+            .map(|m| stats.comm(t, m))
+            .max()
+            .unwrap_or(0);
         table.row(vec![
             format!("T{t}"),
             format!("{total}"),
             format!("{peak}"),
-            format!("{:.1}%", 100.0 * total as f64 / trace.horizon().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * total as f64 / trace.horizon().max(1) as f64
+            ),
         ]);
     }
     println!("\n{table}");
@@ -162,7 +173,8 @@ fn analyze<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
 fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut trace_path = None;
     let mut params = DesignParams::default();
-    let mut heuristic = false;
+    let mut solver = SolverKind::Exact;
+    let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
             "--trace" => trace_path = Some(value(args, flag)?.to_string()),
@@ -170,26 +182,32 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
                 params = params.with_window_size(parse(value(args, flag)?, "window size")?);
             }
             "--threshold" => {
-                params =
-                    params.with_overlap_threshold(parse(value(args, flag)?, "threshold")?);
+                params = params.with_overlap_threshold(parse(value(args, flag)?, "threshold")?);
             }
             "--maxtb" => params = params.with_maxtb(parse(value(args, flag)?, "maxtb")?),
-            "--heuristic" => heuristic = true,
+            "--solver" => solver = value(args, flag)?.parse()?,
+            "--heuristic" => {
+                eprintln!("note: --heuristic is deprecated; use --solver heuristic");
+                solver = SolverKind::Heuristic;
+            }
+            "--json" => json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let trace = load_trace(trace_path.as_deref())?;
     let pre = Preprocessed::analyze(&trace, &params);
-    let outcome = if heuristic {
-        phase3::synthesize_heuristic(&pre, &params)
-    } else {
-        phase3::synthesize(&pre, &params)
+    let outcome = solver
+        .synthesizer()
+        .synthesize(&pre, &params)
+        .map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", synthesis_json(solver, &outcome));
+        return Ok(());
     }
-    .map_err(|e| e.to_string())?;
     println!("designed crossbar: {}", outcome.config);
     println!(
-        "buses: {} (lower bound {}), max per-bus overlap {} cycles",
-        outcome.num_buses, outcome.lower_bound, outcome.max_bus_overlap
+        "buses: {} (lower bound {}), max per-bus overlap {} cycles, engine {}",
+        outcome.num_buses, outcome.lower_bound, outcome.max_bus_overlap, outcome.engine
     );
     println!(
         "assignment: {}",
@@ -202,6 +220,47 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             .join(",")
     );
     Ok(())
+}
+
+/// Machine-readable rendering of a [`SynthesisOutcome`]. Hand-rolled: the
+/// offline build carries no JSON dependency, and the shape is small.
+fn synthesis_json(solver: SolverKind, outcome: &SynthesisOutcome) -> String {
+    let assignment = outcome
+        .config
+        .assignment()
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let probes = outcome
+        .probes
+        .iter()
+        .map(|&(buses, feasible)| format!("[{buses},{feasible}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"solver\":\"{solver}\",\"engine\":\"{engine}\",\"num_buses\":{buses},\
+         \"lower_bound\":{lb},\"max_bus_overlap\":{maxov},\
+         \"assignment\":[{assignment}],\"probes\":[{probes}]}}",
+        engine = outcome.engine,
+        buses = outcome.num_buses,
+        lb = outcome.lower_bound,
+        maxov = outcome.max_bus_overlap,
+    )
+}
+
+/// Minimal JSON string escaping for application names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn simulate_cmd<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
@@ -256,19 +315,49 @@ fn simulate_cmd<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), Stri
     Ok(())
 }
 
-fn suite() -> Result<(), String> {
+fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
+    let mut solver = SolverKind::Exact;
+    let mut json = false;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--solver" => solver = value(args, flag)?.parse()?,
+            "--json" => json = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let apps = workloads::paper_suite(0xDA7E_2005);
+    // One batch over the whole suite: phase 1 runs once per application
+    // and the five evaluations spread across the worker pool.
+    let results = Batch::per_app(&apps, |app| match app.name() {
+        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+        "FFT" => DesignParams::default()
+            .with_overlap_threshold(0.50)
+            .with_response_scale(0.9),
+        _ => DesignParams::default(),
+    })
+    .with_strategy_kind(solver)
+    .run();
+
     let mut table = Table::new(vec!["Application", "Full buses", "Designed", "Saving"]);
-    for app in workloads::paper_suite(0xDA7E_2005) {
-        let params = match app.name() {
-            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-            "FFT" => DesignParams::default()
-                .with_overlap_threshold(0.50)
-                .with_response_scale(0.9),
-            _ => DesignParams::default(),
-        };
-        let report = stbus::core::DesignFlow::new(params)
-            .run(&app)
-            .map_err(|e| e.to_string())?;
+    let mut rows = Vec::new();
+    for point in results {
+        let report = point
+            .result
+            .map_err(|e| e.to_string())?
+            .into_report()
+            .expect("paper baseline set");
+        rows.push(format!(
+            "{{\"app\":\"{name}\",\"solver\":\"{solver}\",\
+             \"full_buses\":{full},\"designed_buses\":{designed},\
+             \"saving\":{saving:.4},\"avg_latency\":{avg:.4},\
+             \"max_latency\":{max}}}",
+            name = json_escape(&report.app_name),
+            full = report.full.total_buses(),
+            designed = report.designed.total_buses(),
+            saving = report.component_saving(),
+            avg = report.designed.avg_latency,
+            max = report.designed.max_latency,
+        ));
         table.row(vec![
             report.app_name.clone(),
             format!("{}", report.full.total_buses()),
@@ -276,7 +365,11 @@ fn suite() -> Result<(), String> {
             format!("{:.2}x", report.component_saving()),
         ]);
     }
-    println!("{table}");
+    if json {
+        println!("[{}]", rows.join(","));
+    } else {
+        println!("{table}");
+    }
     Ok(())
 }
 

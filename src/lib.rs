@@ -12,14 +12,23 @@
 //!
 //! # Quick start
 //!
+//! The core API is a staged pipeline: collect traffic once (phase 1, the
+//! expensive reference simulation), then analyze / synthesize / validate
+//! as often as the exploration needs:
+//!
 //! ```
-//! use stbus::core::{DesignFlow, DesignParams};
+//! use stbus::core::{DesignParams, Exact, Pipeline};
 //! use stbus::traffic::workloads;
 //!
 //! let app = workloads::matrix::mat2(42);
-//! let report = DesignFlow::new(DesignParams::default())
-//!     .run(&app)
-//!     .expect("synthesis succeeds");
+//! let params = DesignParams::default();
+//! let collected = Pipeline::collect(&app, &params);   // phase 1
+//! let analyzed = collected.analyze(&params);          // phase 2
+//! let report = analyzed
+//!     .synthesize(&Exact::default())                  // phase 3
+//!     .expect("synthesis succeeds")
+//!     .report()                                       // phase 4
+//!     .expect("validation succeeds");
 //! println!(
 //!     "{}: {} buses (full crossbar: {}), {:.1}x saving",
 //!     report.app_name,
@@ -28,6 +37,11 @@
 //!     report.component_saving(),
 //! );
 //! ```
+//!
+//! `stbus::core::DesignFlow::run` wraps exactly this pipeline for
+//! one-call use, and `stbus::core::Batch` sweeps `apps × parameter grid`
+//! in parallel, reusing each application's collected traffic across the
+//! whole grid.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,16 +3,20 @@
 //! random models.
 
 use proptest::prelude::*;
-use stbus::milp::{Cmp, LinExpr, Model, Sense};
 use stbus::milp::simplex::{solve_lp, BoundOverrides, LpOutcome};
-use stbus::traffic::{
-    io, InitiatorId, TargetId, Trace, TraceEvent, WindowPlan, WindowStats,
-};
+use stbus::milp::{Cmp, LinExpr, Model, Sense};
+use stbus::traffic::{io, InitiatorId, TargetId, Trace, TraceEvent, WindowPlan, WindowStats};
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (1usize..=3, 1usize..=5).prop_flat_map(|(ni, nt)| {
         prop::collection::vec(
-            (0usize..ni, 0usize..nt, 0u64..3_000, 1u32..50, prop::bool::ANY),
+            (
+                0usize..ni,
+                0usize..nt,
+                0u64..3_000,
+                1u32..50,
+                prop::bool::ANY,
+            ),
             1..80,
         )
         .prop_map(move |events| {
@@ -106,10 +110,7 @@ fn arb_lp() -> impl Strategy<Value = (Model, Vec<Vec<f64>>)> {
             ncons,
         );
         let obj = prop::collection::vec(-5i32..=5, nvars);
-        let samples = prop::collection::vec(
-            prop::collection::vec(0u32..=10, nvars),
-            8,
-        );
+        let samples = prop::collection::vec(prop::collection::vec(0u32..=10, nvars), 8);
         (cons, obj, samples).prop_map(move |(cons, obj, samples)| {
             let mut m = Model::new(Sense::Minimize);
             let vars: Vec<_> = (0..nvars)

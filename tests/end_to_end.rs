@@ -20,7 +20,13 @@ fn suite_params(app_name: &str) -> DesignParams {
 /// exactly for every suite.
 #[test]
 fn table2_bus_counts_match_paper() {
-    let expected = [("Mat1", 8), ("Mat2", 6), ("FFT", 15), ("QSort", 6), ("DES", 6)];
+    let expected = [
+        ("Mat1", 8),
+        ("Mat2", 6),
+        ("FFT", 15),
+        ("QSort", 6),
+        ("DES", 6),
+    ];
     for (app, (name, buses)) in workloads::paper_suite(SEED).iter().zip(expected) {
         assert_eq!(app.name(), name);
         let report = DesignFlow::new(suite_params(name))
@@ -101,7 +107,9 @@ fn designed_sizes_are_minimal() {
             let pre = Preprocessed::analyze(&collected.it_trace, &params);
             let smaller = pre.binding_problem(it.num_buses - 1);
             assert_eq!(
-                smaller.find_feasible(&SolveLimits::default()).expect("limits"),
+                smaller
+                    .find_feasible(&SolveLimits::default())
+                    .expect("limits"),
                 None,
                 "{}: IT crossbar is not minimal",
                 app.name()

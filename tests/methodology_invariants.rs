@@ -10,18 +10,16 @@ use stbus::traffic::{InitiatorId, TargetId, Trace, TraceEvent};
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (2usize..=4, 2usize..=7).prop_flat_map(|(ni, nt)| {
-        prop::collection::vec(
-            (0usize..ni, 0usize..nt, 0u64..8_000, 1u32..60),
-            5..100,
+        prop::collection::vec((0usize..ni, 0usize..nt, 0u64..8_000, 1u32..60), 5..100).prop_map(
+            move |events| {
+                let mut tr = Trace::new(ni, nt);
+                for (i, t, s, d) in events {
+                    tr.push(TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d));
+                }
+                tr.finish_sorting();
+                tr
+            },
         )
-        .prop_map(move |events| {
-            let mut tr = Trace::new(ni, nt);
-            for (i, t, s, d) in events {
-                tr.push(TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d));
-            }
-            tr.finish_sorting();
-            tr
-        })
     })
 }
 

@@ -1,0 +1,149 @@
+//! The staged pipeline and the legacy one-call flow must be two routes to
+//! the same answer: identical `DesignReport`s on the whole paper suite,
+//! whether the stages run inline, sequentially batched, or in parallel.
+//! Plus the `Portfolio` strategy's budget-fallback contract.
+
+use stbus::core::{
+    Batch, ConfigEval, DesignFlow, DesignParams, DesignReport, Exact, Pipeline, Portfolio,
+    SynthesisEngine, SynthesisOutcome,
+};
+use stbus::milp::SolveLimits;
+use stbus::traffic::workloads;
+
+fn suite_params(name: &str) -> DesignParams {
+    match name {
+        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+        "FFT" => DesignParams::default()
+            .with_overlap_threshold(0.50)
+            .with_response_scale(0.9),
+        _ => DesignParams::default(),
+    }
+}
+
+fn assert_same_synthesis(label: &str, a: &SynthesisOutcome, b: &SynthesisOutcome) {
+    assert_eq!(a.num_buses, b.num_buses, "{label}: bus count");
+    assert_eq!(a.lower_bound, b.lower_bound, "{label}: lower bound");
+    assert_eq!(a.probes, b.probes, "{label}: probe sequence");
+    assert_eq!(a.max_bus_overlap, b.max_bus_overlap, "{label}: maxov");
+    assert_eq!(
+        a.config.assignment(),
+        b.config.assignment(),
+        "{label}: binding"
+    );
+    assert_eq!(a.engine, b.engine, "{label}: engine");
+}
+
+fn assert_same_eval(label: &str, a: &ConfigEval, b: &ConfigEval) {
+    assert_eq!(a.label, b.label, "{label}: label");
+    assert_eq!(
+        a.it_config.assignment(),
+        b.it_config.assignment(),
+        "{label}: IT config"
+    );
+    assert_eq!(
+        a.ti_config.assignment(),
+        b.ti_config.assignment(),
+        "{label}: TI config"
+    );
+    // The simulator is deterministic, so latencies must match exactly,
+    // not approximately.
+    assert_eq!(a.avg_latency, b.avg_latency, "{label}: avg latency");
+    assert_eq!(a.max_latency, b.max_latency, "{label}: max latency");
+}
+
+fn assert_same_report(label: &str, a: &DesignReport, b: &DesignReport) {
+    assert_eq!(a.app_name, b.app_name, "{label}: app");
+    assert_eq!(a.num_initiators, b.num_initiators, "{label}: initiators");
+    assert_eq!(a.num_targets, b.num_targets, "{label}: targets");
+    assert_same_synthesis(&format!("{label}/it"), &a.it_synthesis, &b.it_synthesis);
+    assert_same_synthesis(&format!("{label}/ti"), &a.ti_synthesis, &b.ti_synthesis);
+    assert_same_eval(&format!("{label}/designed"), &a.designed, &b.designed);
+    assert_same_eval(&format!("{label}/full"), &a.full, &b.full);
+    assert_same_eval(&format!("{label}/shared"), &a.shared, &b.shared);
+    assert_same_eval(&format!("{label}/avg"), &a.avg_based, &b.avg_based);
+}
+
+/// Legacy `DesignFlow::run`, the inline staged pipeline, and the parallel
+/// and sequential `Batch` runners all produce identical reports on the
+/// five paper applications.
+#[test]
+fn staged_pipeline_matches_legacy_flow_on_paper_suite() {
+    let apps = workloads::paper_suite(0xDA7E_2005);
+
+    let batch_parallel = Batch::per_app(&apps, |app| suite_params(app.name())).run();
+    let batch_sequential = Batch::per_app(&apps, |app| suite_params(app.name()))
+        .threads(1)
+        .run();
+
+    for ((app, parallel), sequential) in apps.iter().zip(batch_parallel).zip(batch_sequential) {
+        let params = suite_params(app.name());
+
+        // Route 1: the legacy one-call flow.
+        let legacy = DesignFlow::new(params.clone()).run(app).expect("flow ok");
+
+        // Route 2: the staged pipeline, spelled out.
+        let collected = Pipeline::collect(app, &params);
+        let analyzed = collected.analyze(&params);
+        let staged = analyzed
+            .synthesize(&Exact::default())
+            .expect("synthesis ok")
+            .report()
+            .expect("validation ok");
+
+        // Routes 3 and 4: the batch runner, parallel and sequential.
+        let parallel = parallel
+            .result
+            .expect("batch ok")
+            .into_report()
+            .expect("paper baselines");
+        let sequential = sequential
+            .result
+            .expect("batch ok")
+            .into_report()
+            .expect("paper baselines");
+
+        let name = app.name();
+        assert_same_report(&format!("{name}: staged vs legacy"), &staged, &legacy);
+        assert_same_report(&format!("{name}: parallel vs legacy"), &parallel, &legacy);
+        assert_same_report(
+            &format!("{name}: parallel vs sequential"),
+            &parallel,
+            &sequential,
+        );
+    }
+}
+
+/// A starved node budget flips the portfolio to its heuristic fallback;
+/// a comfortable budget keeps the exact engine — and both answers are
+/// valid designs.
+#[test]
+fn portfolio_falls_back_under_tiny_node_budget() {
+    let app = workloads::matrix::mat2(42);
+    let params = DesignParams::default();
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+
+    let starved = analyzed
+        .synthesize(&Portfolio::with_budget(SolveLimits { max_nodes: 1 }))
+        .expect("portfolio never fails");
+    assert_eq!(starved.it.engine, SynthesisEngine::Heuristic);
+    assert_eq!(starved.ti.engine, SynthesisEngine::Heuristic);
+
+    let comfortable = analyzed
+        .synthesize(&Portfolio::default())
+        .expect("portfolio never fails");
+    assert_eq!(comfortable.it.engine, SynthesisEngine::Exact);
+
+    // The fallback's design is feasible at a size no smaller than the
+    // exact optimum (the heuristic cannot beat a proven minimum).
+    assert!(starved.it.num_buses >= comfortable.it.num_buses);
+    assert!(starved.it.num_buses <= app.spec.num_targets());
+
+    // An exact strategy with the same starved budget must error instead
+    // of guessing.
+    let exact_starved = analyzed.synthesize(&Exact::with_limits(SolveLimits { max_nodes: 1 }));
+    assert!(
+        exact_starved.is_err(),
+        "exact must surface the budget error"
+    );
+}

@@ -8,26 +8,23 @@ use stbus::traffic::{InitiatorId, TargetId, Trace, TraceEvent};
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     (1usize..=4, 1usize..=6).prop_flat_map(|(ni, nt)| {
-        prop::collection::vec(
-            (0usize..ni, 0usize..nt, 0u64..5_000, 1u32..40),
-            1..120,
+        prop::collection::vec((0usize..ni, 0usize..nt, 0u64..5_000, 1u32..40), 1..120).prop_map(
+            move |events| {
+                let mut tr = Trace::new(ni, nt);
+                for (i, t, s, d) in events {
+                    tr.push(TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d));
+                }
+                tr.finish_sorting();
+                tr
+            },
         )
-        .prop_map(move |events| {
-            let mut tr = Trace::new(ni, nt);
-            for (i, t, s, d) in events {
-                tr.push(TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d));
-            }
-            tr.finish_sorting();
-            tr
-        })
     })
 }
 
 fn arb_config(num_targets: usize) -> impl Strategy<Value = CrossbarConfig> {
     (1usize..=num_targets.max(1)).prop_flat_map(move |buses| {
         prop::collection::vec(0usize..buses, num_targets).prop_map(move |assignment| {
-            CrossbarConfig::from_assignment(assignment, buses)
-                .expect("assignment within bus range")
+            CrossbarConfig::from_assignment(assignment, buses).expect("assignment within bus range")
         })
     })
 }

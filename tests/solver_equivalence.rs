@@ -10,8 +10,7 @@ use stbus::milp::{crossbar, BindingProblem, SolveLimits};
 /// reference, so instances stay compact).
 fn arb_problem() -> impl Strategy<Value = BindingProblem> {
     (2usize..=4, 2usize..=6, 1usize..=3).prop_flat_map(|(buses, targets, windows)| {
-        let demands =
-            prop::collection::vec(prop::collection::vec(0u64..=100, windows), targets);
+        let demands = prop::collection::vec(prop::collection::vec(0u64..=100, windows), targets);
         let conflicts = prop::collection::vec((0usize..targets, 0usize..targets), 0..3);
         let overlaps = prop::collection::vec(0u64..50, targets * targets);
         (demands, conflicts, overlaps).prop_map(move |(demands, conflicts, overlaps)| {

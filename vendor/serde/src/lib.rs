@@ -1,0 +1,20 @@
+//! API-compatible stand-in for the `serde` facade.
+//!
+//! The build environment has no network access, so the real serde cannot
+//! be fetched from crates.io. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers (no serialisation format is
+//! ever invoked), so this stub provides the two traits with blanket
+//! implementations and re-exports no-op derive macros. Swapping back to
+//! real serde is a one-line Cargo change; no source edits are required.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

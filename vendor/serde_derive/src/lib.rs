@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace builds offline, so the real serde cannot be fetched. The
+//! codebase only *derives* `Serialize`/`Deserialize` (nothing is actually
+//! serialised through serde — the trace interchange format in
+//! `stbus_traffic::io` is hand-rolled), so the derives can expand to
+//! nothing: the companion `serde` stub provides blanket implementations.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
