@@ -1,9 +1,9 @@
 //! Kernel benchmarks for the window-based traffic analysis (the
 //! measurement machinery behind Figs. 5–6 and every design run).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use stbus_bench::SEED;
-use stbus_traffic::{workloads, ConflictMatrix, WindowStats};
+use stbus_traffic::{workloads, ConflictGraph, WindowStats};
 
 fn bench_window_analysis(c: &mut Criterion) {
     let app = workloads::matrix::mat2(SEED);
@@ -21,17 +21,51 @@ fn bench_window_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-refactor conflict construction, inlined as the benchmark
+/// baseline: an unconditional nested per-pair scan over every window's
+/// overlap. (`ConflictMatrix::from_stats_only` now delegates to the graph,
+/// so benching it would compare the new algorithm against itself.)
+fn pre_refactor_conflict_count(stats: &WindowStats, threshold: f64) -> usize {
+    let n = stats.num_targets();
+    let limits: Vec<u64> = (0..stats.num_windows())
+        .map(|m| (threshold * stats.window_len(m) as f64).floor() as u64)
+        .collect();
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let over_threshold =
+                (0..stats.num_windows()).any(|m| stats.window_overlap(i, j, m) > limits[m]);
+            if over_threshold || stats.critical_streams_overlap(i, j) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
 fn bench_conflict_matrix(c: &mut Criterion) {
     let app = workloads::matrix::mat2(SEED);
     let stats = WindowStats::analyze(&app.trace, 1_000);
     let mut group = c.benchmark_group("conflict_matrix");
     group.sample_size(20);
     for theta in [0.10f64, 0.25, 0.50] {
+        // Same answer, then same-run timing of new vs pre-refactor.
+        assert_eq!(
+            ConflictGraph::from_stats(&stats, theta).num_conflicts(),
+            pre_refactor_conflict_count(&stats, theta)
+        );
         group.bench_with_input(
-            BenchmarkId::new("mat2", format!("{:.0}%", theta * 100.0)),
+            BenchmarkId::new("mat2_graph", format!("{:.0}%", theta * 100.0)),
             &theta,
             |b, &theta| {
-                b.iter(|| ConflictMatrix::from_stats_only(&stats, theta));
+                b.iter(|| ConflictGraph::from_stats(&stats, theta));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mat2_pre_refactor", format!("{:.0}%", theta * 100.0)),
+            &theta,
+            |b, &theta| {
+                b.iter(|| black_box(pre_refactor_conflict_count(&stats, theta)));
             },
         );
     }

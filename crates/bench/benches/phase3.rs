@@ -1,0 +1,167 @@
+//! Phase-3 solve benchmark on a synthetic 24-target SoC — the scale story
+//! of the bitset conflict-graph refactor.
+//!
+//! Measures the exact, heuristic and portfolio synthesis modes on an SoC
+//! roughly twice the paper's largest suite, and — in the same run — the
+//! **pre-refactor dense-matrix baseline** (dense `Vec<bool>` conflicts,
+//! member-list rescans, plain greedy-clique lower bound) so the speedup is
+//! always a measured number, never a remembered one. The wall-clock
+//! results are snapshotted to `BENCH_phase3.json` at the workspace root to
+//! populate the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stbus_core::synthesizer::{Exact, Heuristic, Portfolio, Synthesizer};
+use stbus_core::{DesignParams, Preprocessed};
+use stbus_milp::{dense, Binding, BindingProblem, SolveLimits};
+use stbus_traffic::workloads::synthetic::{self, SyntheticParams};
+use std::time::Instant;
+
+const SEED: u64 = 0xDA7E_2005;
+const TARGETS: usize = 24;
+
+fn large_soc_pre() -> (Preprocessed, DesignParams) {
+    // A conflict-dense operating point (≈190 conflict pairs over 24
+    // targets, deep MILP-2 tree): the regime the refactor targets.
+    let params = DesignParams::default()
+        .with_overlap_threshold(0.12)
+        .with_window_size(2_000)
+        .with_maxtb(6);
+    let app = synthetic::with_params(
+        &SyntheticParams {
+            processors: TARGETS,
+            duty: 0.35,
+            ..SyntheticParams::default()
+        },
+        SEED,
+    );
+    assert_eq!(app.spec.num_targets(), TARGETS);
+    (Preprocessed::analyze(&app.trace, &params), params)
+}
+
+/// The pre-refactor bus lower bound: bandwidth, **plain greedy clique**
+/// (not the coloring-strengthened bound) and the maxtb pigeonhole.
+fn dense_lower_bound(pre: &Preprocessed) -> usize {
+    let bw = (0..pre.stats.num_windows())
+        .map(|m| pre.stats.window_demand(m).div_ceil(pre.stats.window_len(m)))
+        .max()
+        .unwrap_or(0);
+    let bw = usize::try_from(bw).unwrap_or(usize::MAX);
+    let pigeonhole = pre.stats.num_targets().div_ceil(pre.maxtb);
+    bw.max(pre.conflicts.clique_lower_bound())
+        .max(pigeonhole)
+        .max(1)
+}
+
+/// Phase-3 exact solve skeleton (binary-searched MILP-1 + MILP-2 at the
+/// minimum size), parameterised over the solver pair so the bitset path
+/// and the dense reference run the *same* algorithm.
+fn phase3_exact(
+    pre: &Preprocessed,
+    lower_bound: usize,
+    find: impl Fn(&BindingProblem) -> Option<Binding>,
+    optimize: impl Fn(&BindingProblem) -> Option<Binding>,
+) -> (usize, u64) {
+    let n = pre.stats.num_targets();
+    let mut lo = lower_bound;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if find(&pre.binding_problem(mid)).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let binding = optimize(&pre.binding_problem(lo)).expect("minimum size is feasible");
+    (lo, binding.max_bus_overlap())
+}
+
+fn solve_bitset(pre: &Preprocessed, params: &DesignParams) -> (usize, u64) {
+    let out = Exact::default()
+        .synthesize(pre, params)
+        .expect("within limits");
+    (out.num_buses, out.max_bus_overlap)
+}
+
+fn solve_dense(pre: &Preprocessed, params: &DesignParams) -> (usize, u64) {
+    let limits = params.solve_limits;
+    phase3_exact(
+        pre,
+        dense_lower_bound(pre),
+        |p| dense::find_feasible_dense(p, &limits).expect("within limits"),
+        |p| dense::optimize_dense(p, &limits).expect("within limits"),
+    )
+}
+
+/// Times `f` over `iters` runs and returns the minimum wall-clock seconds.
+fn min_time<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_phase3(c: &mut Criterion) {
+    let (pre, params) = large_soc_pre();
+
+    // Same answer before measuring speed: the bitset solver must be
+    // bit-identical to the dense-matrix baseline.
+    let bitset = solve_bitset(&pre, &params);
+    let dense_result = solve_dense(&pre, &params);
+    assert_eq!(
+        bitset, dense_result,
+        "bitset and dense phase-3 answers diverged"
+    );
+
+    let mut group = c.benchmark_group("phase3_24target");
+    group.sample_size(10);
+    group.bench_function("exact_bitset", |b| {
+        b.iter(|| solve_bitset(&pre, &params));
+    });
+    group.bench_function("exact_dense_baseline", |b| {
+        b.iter(|| solve_dense(&pre, &params));
+    });
+    group.bench_function("heuristic", |b| {
+        b.iter(|| Heuristic::default().synthesize(&pre, &params).unwrap());
+    });
+    group.bench_function("portfolio", |b| {
+        b.iter(|| Portfolio::default().synthesize(&pre, &params).unwrap());
+    });
+    group.bench_function("portfolio_starved", |b| {
+        b.iter(|| {
+            Portfolio::with_budget(SolveLimits { max_nodes: 1_000 })
+                .synthesize(&pre, &params)
+                .unwrap()
+        });
+    });
+    group.finish();
+
+    // JSON snapshot for the perf trajectory (workspace root).
+    let exact_bitset_s = min_time(5, || solve_bitset(&pre, &params));
+    let exact_dense_s = min_time(5, || solve_dense(&pre, &params));
+    let heuristic_s = min_time(5, || {
+        Heuristic::default().synthesize(&pre, &params).unwrap()
+    });
+    let portfolio_s = min_time(5, || {
+        Portfolio::default().synthesize(&pre, &params).unwrap()
+    });
+    let snapshot = format!(
+        "{{\n  \"bench\": \"phase3_24target\",\n  \"soc\": {{\"targets\": {TARGETS}, \"initiators\": {TARGETS}, \"workload\": \"synthetic\", \"seed\": {SEED}}},\n  \"design\": {{\"num_buses\": {}, \"max_bus_overlap\": {}, \"conflict_pairs\": {}, \"lower_bound_coloring\": {}, \"lower_bound_clique\": {}}},\n  \"seconds\": {{\n    \"exact_bitset\": {exact_bitset_s:.6},\n    \"exact_dense_baseline\": {exact_dense_s:.6},\n    \"heuristic\": {heuristic_s:.6},\n    \"portfolio\": {portfolio_s:.6}\n  }},\n  \"speedup_exact_bitset_vs_dense\": {:.2}\n}}\n",
+        bitset.0,
+        bitset.1,
+        pre.conflicts.num_conflicts(),
+        pre.bus_lower_bound(),
+        dense_lower_bound(&pre),
+        exact_dense_s / exact_bitset_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
+    std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");
+    println!("wrote {path}");
+    print!("{snapshot}");
+}
+
+criterion_group!(benches, bench_phase3);
+criterion_main!(benches);

@@ -28,9 +28,10 @@ fn main() {
         stats.peak_window_demand().div_ceil(stats.window_size())
     );
     println!(
-        "conflicts: {} pairs, clique LB {}, pigeonhole {}",
+        "conflicts: {} pairs, clique LB {}, coloring LB {}, pigeonhole {}",
         pre.conflicts.num_conflicts(),
         pre.conflicts.clique_lower_bound(),
+        pre.conflicts.greedy_coloring_bound(),
         stats.num_targets().div_ceil(pre.maxtb)
     );
     println!("overall bus lower bound: {}", pre.bus_lower_bound());

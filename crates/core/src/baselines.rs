@@ -18,7 +18,7 @@ use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
 use stbus_milp::{Binding, BindingProblem, NodeLimitExceeded};
 use stbus_sim::CrossbarConfig;
-use stbus_traffic::{ConflictMatrix, Trace, WindowStats};
+use stbus_traffic::{ConflictGraph, TargetSet, Trace, WindowStats};
 
 /// A baseline design for one crossbar direction.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ pub fn average_flow_design(
 ) -> Result<BaselineDesign, NodeLimitExceeded> {
     let horizon = trace.horizon().max(1);
     let stats = WindowStats::analyze(trace, horizon);
-    let conflicts = ConflictMatrix::none(stats.num_targets());
+    let conflicts = ConflictGraph::none(stats.num_targets());
     // Prior average-flow approaches have neither overlap constraints nor a
     // serialisation cap: maxtb is part of the proposed methodology.
     let pre = Preprocessed {
@@ -64,7 +64,7 @@ pub fn peak_bandwidth_design(
     params: &DesignParams,
 ) -> Result<BaselineDesign, NodeLimitExceeded> {
     let stats = WindowStats::analyze(trace, params.window_size);
-    let conflicts = ConflictMatrix::from_stats_only(&stats, 0.0);
+    let conflicts = ConflictGraph::from_stats(&stats, 0.0);
     let pre = Preprocessed {
         stats,
         conflicts,
@@ -99,7 +99,10 @@ pub fn random_binding_design(
 
     let num_windows = pre.stats.num_windows();
     let mut used = vec![vec![0u64; num_windows]; num_buses];
-    let mut members: Vec<Vec<usize>> = vec![Vec::new(); num_buses];
+    let mut bus_sizes = vec![0usize; num_buses];
+    // Incremental member bitsets: the conflict veto is one word-parallel
+    // intersection of the candidate's row against the bus mask.
+    let mut masks = vec![TargetSet::empty(n); num_buses];
     let mut assignment = vec![usize::MAX; n];
     let mut nodes = 0u64;
 
@@ -111,7 +114,8 @@ pub fn random_binding_design(
         order: &[usize],
         depth: usize,
         used: &mut [Vec<u64>],
-        members: &mut [Vec<usize>],
+        bus_sizes: &mut [usize],
+        masks: &mut [TargetSet],
         assignment: &mut [usize],
         rng: &mut Lcg,
         nodes: &mut u64,
@@ -128,10 +132,10 @@ pub fn random_binding_design(
             if *nodes > max_nodes {
                 return Err(NodeLimitExceeded { limit: max_nodes });
             }
-            if members[k].len() >= problem.maxtb() {
+            if bus_sizes[k] >= problem.maxtb() {
                 continue;
             }
-            if members[k].iter().any(|&u| problem.conflicts(t, u)) {
+            if problem.conflicts_with_set(t, &masks[k]) {
                 continue;
             }
             let fits = (0..problem.num_windows())
@@ -142,14 +146,16 @@ pub fn random_binding_design(
             for m in 0..problem.num_windows() {
                 used[k][m] += problem.demand(t, m);
             }
-            members[k].push(t);
+            bus_sizes[k] += 1;
+            masks[k].insert(t);
             assignment[t] = k;
             if dfs(
                 problem,
                 order,
                 depth + 1,
                 used,
-                members,
+                bus_sizes,
+                masks,
                 assignment,
                 rng,
                 nodes,
@@ -158,7 +164,8 @@ pub fn random_binding_design(
                 return Ok(true);
             }
             assignment[t] = usize::MAX;
-            members[k].pop();
+            masks[k].remove(t);
+            bus_sizes[k] -= 1;
             for m in 0..problem.num_windows() {
                 used[k][m] -= problem.demand(t, m);
             }
@@ -171,7 +178,8 @@ pub fn random_binding_design(
         &order,
         0,
         &mut used,
-        &mut members,
+        &mut bus_sizes,
+        &mut masks,
         &mut assignment,
         &mut rng,
         &mut nodes,

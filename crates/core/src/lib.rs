@@ -9,9 +9,10 @@
 //!
 //! 1. **Traffic collection** ([`phase1`]) — simulate the application on a
 //!    *full* crossbar and record the arbitrated traffic trace;
-//! 2. **Pre-processing** ([`phase2`]) — window-based analysis of the trace:
-//!    per-window bandwidth `comm(i,m)`, pairwise overlaps `wo(i,j,m)`, the
-//!    conflict matrix from the overlap threshold and critical-stream
+//! 2. **Pre-processing** ([`phase2`]) — window-based analysis of the trace
+//!    (a sweep-line pass over sorted interval endpoints): per-window
+//!    bandwidth `comm(i,m)`, pairwise overlaps `wo(i,j,m)`, the bitset
+//!    conflict graph from the overlap threshold and critical-stream
 //!    clashes, and the `maxtb` cap;
 //! 3. **Synthesis** ([`phase3`]) — binary search for the minimum feasible
 //!    bus count (MILP-1) followed by optimal binding minimising the maximum

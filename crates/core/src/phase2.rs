@@ -10,18 +10,23 @@
 //! * pairs of targets with overlapping *critical* streams — separating them
 //!   is what makes per-stream real-time guarantees possible;
 //! * the `maxtb` cap bounding worst-case serialisation.
+//!
+//! The conflict relation is carried as a word-parallel bitset
+//! [`ConflictGraph`] — the same rows the binding solvers intersect against
+//! their per-bus member masks, so phase 2's artifact flows into phase 3
+//! without re-encoding.
 
 use crate::params::{DesignParams, Windowing};
 use stbus_milp::BindingProblem;
-use stbus_traffic::{ConflictMatrix, Trace, WindowPlan, WindowStats};
+use stbus_traffic::{ConflictGraph, Trace, WindowPlan, WindowStats};
 
 /// Products of the pre-processing phase for one crossbar direction.
 #[derive(Debug, Clone)]
 pub struct Preprocessed {
     /// Windowed traffic statistics.
     pub stats: WindowStats,
-    /// The conflict matrix `c(i,j)` of Eq. (2).
-    pub conflicts: ConflictMatrix,
+    /// The conflict relation `c(i,j)` of Eq. (2) as a bitset graph.
+    pub conflicts: ConflictGraph,
     /// The per-bus target cap in force.
     pub maxtb: usize,
 }
@@ -39,7 +44,7 @@ impl Preprocessed {
             } => WindowPlan::adaptive(trace, params.window_size, coarse, quiet_threshold)
                 .analyze(trace),
         };
-        let conflicts = ConflictMatrix::from_stats_only(&stats, params.overlap_threshold);
+        let conflicts = ConflictGraph::from_stats(&stats, params.overlap_threshold);
         Self {
             stats,
             conflicts,
@@ -48,9 +53,11 @@ impl Preprocessed {
     }
 
     /// Lower bound on the number of buses any feasible design needs:
-    /// the max over windows of total demand divided by `WS`, the greedy
-    /// clique bound of the conflict graph, and the `maxtb` pigeonhole
-    /// bound.
+    /// the max over windows of total demand divided by `WS`, the
+    /// greedy-coloring clique bound of the conflict graph (a strictly
+    /// stronger certificate than the plain greedy clique on dense graphs,
+    /// so the binary search starts higher and exact search prunes
+    /// earlier), and the `maxtb` pigeonhole bound.
     #[must_use]
     pub fn bus_lower_bound(&self) -> usize {
         // Per-window bandwidth bound (each window uses its own length, so
@@ -64,7 +71,7 @@ impl Preprocessed {
             .max()
             .unwrap_or(0);
         let bw = usize::try_from(bw).unwrap_or(usize::MAX);
-        let clique = self.conflicts.clique_lower_bound();
+        let clique = self.conflicts.greedy_coloring_bound();
         let pigeonhole = self.stats.num_targets().div_ceil(self.maxtb);
         bw.max(clique).max(pigeonhole).max(1)
     }
@@ -77,11 +84,9 @@ impl Preprocessed {
         let capacities: Vec<u64> = (0..self.stats.num_windows())
             .map(|m| self.stats.window_len(m))
             .collect();
-        let mut problem =
-            BindingProblem::with_capacities(num_buses, capacities, demands).with_maxtb(self.maxtb);
-        for (i, j) in self.conflicts.pairs() {
-            problem.add_conflict(i, j);
-        }
+        let mut problem = BindingProblem::with_capacities(num_buses, capacities, demands)
+            .with_maxtb(self.maxtb)
+            .with_conflict_graph(self.conflicts.clone());
         problem.set_overlaps(|i, j| self.stats.overlap_matrix().get(i, j));
         problem
     }

@@ -9,6 +9,12 @@
 //! 2. **Optimal binding (MILP-2)** — for the minimum size, minimise
 //!    `maxov`, the maximum aggregate pairwise overlap on any single bus
 //!    (Eq. 11), which is what reduces average and peak latency.
+//!
+//! Every feasibility probe runs on the word-parallel bitset conflict
+//! graph produced by phase 2 (see [`stbus_traffic::ConflictGraph`] and
+//! [`stbus_milp::binding`]), and the binary search starts from the
+//! greedy-coloring clique bound — the two changes that let phase 3 scale
+//! to SoCs several times larger than the paper suite.
 
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;

@@ -8,9 +8,14 @@
 //! objective — ideal territory for a backtracking search with:
 //!
 //! * **per-window bandwidth propagation** — a candidate bus is rejected the
-//!   moment any window would overflow `WS`;
-//! * **conflict forward-checking** — buses containing a conflicting target
-//!   are never tried;
+//!   moment any window would overflow `WS`, with incremental per-bus
+//!   min/total slack giving O(1) accept and reject fast paths around the
+//!   window scan;
+//! * **word-parallel conflict forward-checking** — each bus keeps an
+//!   incremental member bitset ([`stbus_traffic::TargetSet`]), so buses
+//!   containing a conflicting target are ruled out with one `AND` pass of
+//!   the candidate's [`stbus_traffic::ConflictGraph`] row instead of a
+//!   member-list rescan;
 //! * **bus symmetry breaking** — empty buses are interchangeable, so only
 //!   the first one is branched on;
 //! * **decreasing-demand target ordering** — the classic first-fail
@@ -23,13 +28,18 @@
 //! rather than silently returning a wrong answer).
 
 use serde::{Deserialize, Serialize};
+use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
 use std::fmt;
 
 /// Search effort limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveLimits {
-    /// Maximum number of (target, bus) branch attempts.
+    /// Maximum number of (target, bus) branch attempts. Candidates vetoed
+    /// outright by the conflict mask or the `maxtb` cap are filtered
+    /// before they reach the budget, so a given budget buys strictly more
+    /// search than it did under the pre-refactor accounting preserved in
+    /// [`crate::dense`] (which charges every candidate).
     pub max_nodes: u64,
 }
 
@@ -143,8 +153,9 @@ pub struct BindingProblem {
     capacities: Vec<u64>,
     /// `demands[t][m]` = `comm(t, m)`.
     demands: Vec<Vec<u64>>,
-    /// Packed symmetric conflict matrix.
-    conflicts: Vec<bool>,
+    /// Word-parallel adjacency bitsets of the conflict relation (Eq. 2):
+    /// group feasibility is `row(t) ∩ members(k) ≠ ∅`, one `AND` per word.
+    conflicts: ConflictGraph,
     maxtb: usize,
     /// Full symmetric overlap matrix `om` (may be all zeros when only
     /// feasibility matters).
@@ -211,7 +222,7 @@ impl BindingProblem {
             window_size,
             capacities,
             demands,
-            conflicts: vec![false; num_targets * num_targets],
+            conflicts: ConflictGraph::none(num_targets),
             maxtb: usize::MAX,
             overlap: vec![0; num_targets * num_targets],
         }
@@ -236,8 +247,25 @@ impl BindingProblem {
     pub fn add_conflict(&mut self, i: usize, j: usize) {
         assert!(i != j, "self-conflict");
         assert!(i < self.num_targets && j < self.num_targets);
-        self.conflicts[i * self.num_targets + j] = true;
-        self.conflicts[j * self.num_targets + i] = true;
+        self.conflicts.forbid(i, j);
+    }
+
+    /// Installs a whole conflict graph at once (builder style) — the bulk
+    /// path phase 2 uses so its bitset graph is shared rather than
+    /// re-added pair by pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's target count differs from the problem's.
+    #[must_use]
+    pub fn with_conflict_graph(mut self, conflicts: ConflictGraph) -> Self {
+        assert_eq!(
+            conflicts.num_targets(),
+            self.num_targets,
+            "conflict graph arity mismatch"
+        );
+        self.conflicts = conflicts;
+        self
     }
 
     /// Sets the per-bus target cap `maxtb` (Eq. 8) and returns `self`.
@@ -327,7 +355,25 @@ impl BindingProblem {
     /// Whether targets `i` and `j` conflict.
     #[must_use]
     pub fn conflicts(&self, i: usize, j: usize) -> bool {
-        self.conflicts[i * self.num_targets + j]
+        self.conflicts.conflicts(i, j)
+    }
+
+    /// The conflict relation as a word-parallel bitset graph.
+    #[must_use]
+    pub fn conflict_graph(&self) -> &ConflictGraph {
+        &self.conflicts
+    }
+
+    /// Word-parallel group feasibility: whether `target` conflicts with
+    /// any member of `bus` — one `AND` per 64 targets.
+    #[must_use]
+    pub fn conflicts_with_set(&self, target: usize, bus: &TargetSet) -> bool {
+        self.conflicts.conflicts_with_set(target, bus)
+    }
+
+    /// Iterates all conflicting pairs `(i, j)` with `i < j`.
+    pub fn conflict_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.conflicts.pairs()
     }
 
     /// The overlap coefficient `om(i,j)`.
@@ -348,17 +394,19 @@ impl BindingProblem {
         }
         let buses = binding.buses(self.num_buses);
         let mut max_ov = 0u64;
+        let mut mask = TargetSet::empty(self.num_targets);
         for members in &buses {
             if members.len() > self.maxtb {
                 return None;
             }
-            // Conflicts.
-            for (a, &i) in members.iter().enumerate() {
-                for &j in &members[a + 1..] {
-                    if self.conflicts(i, j) {
-                        return None;
-                    }
-                }
+            // Conflicts, word-parallel: a member clashing with any other
+            // member intersects the bus mask (rows are irreflexive).
+            mask.clear();
+            for &t in members {
+                mask.insert(t);
+            }
+            if members.iter().any(|&t| self.conflicts_with_set(t, &mask)) {
+                return None;
             }
             // Window capacity.
             for m in 0..self.num_windows {
@@ -433,14 +481,13 @@ impl BindingProblem {
         let key = |t: usize| {
             let max_d = self.demands[t].iter().copied().max().unwrap_or(0);
             let total: u64 = self.demands[t].iter().sum();
-            let degree = (0..self.num_targets)
-                .filter(|&u| self.conflicts(t, u))
-                .count();
+            let degree = self.conflicts.degree(t);
             (max_d, degree as u64, total)
         };
         order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
 
-        // Sparse demand lists.
+        // Sparse demand lists plus per-target peak/total demand (the
+        // operands of the O(1) capacity fast paths below).
         let sparse: Vec<Vec<(usize, u64)>> = (0..self.num_targets)
             .map(|t| {
                 self.demands[t]
@@ -451,22 +498,52 @@ impl BindingProblem {
                     .collect()
             })
             .collect();
+        let peak: Vec<u64> = sparse
+            .iter()
+            .map(|s| s.iter().map(|&(_, d)| d).max().unwrap_or(0))
+            .collect();
+        let total: Vec<u64> = sparse
+            .iter()
+            .map(|s| s.iter().map(|&(_, d)| d).sum())
+            .collect();
 
         struct State {
             used: Vec<Vec<u64>>,      // [bus][window]
             members: Vec<Vec<usize>>, // [bus]
+            /// Incremental member bitset per bus: conflict feasibility of a
+            /// candidate is one word-parallel intersection against this
+            /// mask instead of a rescan of the member list.
+            masks: Vec<TargetSet>, // [bus]
             bus_overlap: Vec<u64>,    // [bus]
+            /// Exact per-bus minimum window slack `min_m (cap(m) − used(k,m))`,
+            /// refreshed on every placement: a candidate whose *peak* demand
+            /// fits the minimum slack fits every window without a scan.
+            min_slack: Vec<u64>, // [bus]
+            /// Exact per-bus total slack `Σ_m (cap(m) − used(k,m))`: a
+            /// candidate whose *total* demand exceeds it must overflow some
+            /// window — rejected without a scan.
+            total_slack: Vec<u64>, // [bus]
         }
+        let initial_min_slack = self.capacities.iter().copied().min().unwrap_or(u64::MAX);
+        let initial_total_slack: u64 = self.capacities.iter().sum();
         let mut st = State {
             used: vec![vec![0; self.num_windows]; self.num_buses],
             members: vec![Vec::new(); self.num_buses],
+            masks: vec![TargetSet::empty(self.num_targets); self.num_buses],
             bus_overlap: vec![0; self.num_buses],
+            min_slack: vec![initial_min_slack; self.num_buses],
+            total_slack: vec![initial_total_slack; self.num_buses],
         };
 
         let mut nodes = 0u64;
         let mut best: Option<Binding> = None;
         let mut bound = incumbent_bound;
         let optimizing = incumbent_bound.is_some();
+        // Per-depth candidate buffers: the DFS reuses one preallocated
+        // buffer per level instead of allocating a Vec at every node.
+        let mut cand_store: Vec<Vec<(u64, usize)>> = (0..self.num_targets)
+            .map(|_| Vec::with_capacity(self.num_buses))
+            .collect();
 
         // Iterative DFS with explicit stack of (depth, bus-to-try-next).
         // Simpler: recursive closure via a helper function.
@@ -475,8 +552,10 @@ impl BindingProblem {
             problem: &BindingProblem,
             order: &[usize],
             sparse: &[Vec<(usize, u64)>],
+            peak: &[u64],
+            total: &[u64],
             st: &mut State,
-            depth: usize,
+            cands: &mut [Vec<(u64, usize)>],
             nodes: &mut u64,
             limits: &SolveLimits,
             bound: &mut Option<u64>,
@@ -484,8 +563,28 @@ impl BindingProblem {
             best: &mut Option<Binding>,
             assignment: &mut Vec<usize>,
         ) -> Result<bool, NodeLimitExceeded> {
+            let depth = assignment.len();
             if depth == order.len() {
-                let max_ov = st.bus_overlap.iter().copied().max().unwrap_or(0);
+                // In pure feasibility mode the per-bus overlap sums are not
+                // maintained during the descent (they are dead weight on
+                // every node); recompute the objective once at the leaf.
+                let max_ov = if optimizing {
+                    st.bus_overlap.iter().copied().max().unwrap_or(0)
+                } else {
+                    st.members
+                        .iter()
+                        .map(|ms| {
+                            let mut ov = 0u64;
+                            for (a, &i) in ms.iter().enumerate() {
+                                for &j in &ms[a + 1..] {
+                                    ov += problem.overlap(i, j);
+                                }
+                            }
+                            ov
+                        })
+                        .max()
+                        .unwrap_or(0)
+                };
                 let binding = Binding {
                     assignment: {
                         let mut a = vec![0usize; order.len()];
@@ -506,8 +605,18 @@ impl BindingProblem {
             }
             let t = order[depth];
             let mut tried_empty = false;
-            // Candidate buses; in optimisation mode order by added overlap.
-            let mut candidates: Vec<(u64, usize)> = Vec::with_capacity(problem.num_buses);
+            // Candidate buses. The cheap vetoes — maxtb and the
+            // word-parallel conflict intersection against the incremental
+            // member mask — run *before* the per-bus overlap sums, so the
+            // ~90 % of buses a dense conflict graph rules out never pay
+            // for an objective estimate or a slot in the sort. The checks
+            // are conjunctive filters, so the explored placements (and
+            // hence the result) are unchanged. Vetoed buses no longer
+            // count against the node budget (see [`SolveLimits`]): under
+            // a finite budget this search completes strictly more work
+            // than the pre-refactor accounting in [`crate::dense`].
+            let (candidates, rest) = cands.split_first_mut().expect("depth < num_targets");
+            candidates.clear();
             for k in 0..problem.num_buses {
                 if st.members[k].is_empty() {
                     if tried_empty {
@@ -515,63 +624,78 @@ impl BindingProblem {
                     }
                     tried_empty = true;
                 }
-                let added: u64 = st.members[k].iter().map(|&u| problem.overlap(t, u)).sum();
+                if st.members[k].len() >= problem.maxtb {
+                    continue;
+                }
+                if problem.conflicts_with_set(t, &st.masks[k]) {
+                    continue;
+                }
+                // In feasibility mode the sums are skipped — nothing reads
+                // them and the enumeration order is the plain bus order.
+                let added: u64 = if optimizing {
+                    st.members[k].iter().map(|&u| problem.overlap(t, u)).sum()
+                } else {
+                    0
+                };
                 candidates.push((added, k));
             }
             if optimizing {
                 candidates.sort_by_key(|&(added, _)| added);
             }
-            for (added, k) in candidates {
+            for &(added, k) in candidates.iter() {
                 *nodes += 1;
                 if *nodes > limits.max_nodes {
                     return Err(NodeLimitExceeded {
                         limit: limits.max_nodes,
                     });
                 }
-                if st.members[k].len() >= problem.maxtb {
-                    continue;
-                }
-                if st.members[k].iter().any(|&u| problem.conflicts(t, u)) {
-                    continue;
-                }
                 if let Some(b) = *bound {
                     if st.bus_overlap[k] + added >= b {
                         continue;
                     }
                 }
-                // Window capacity check.
-                let fits = sparse[t]
-                    .iter()
-                    .all(|&(m, d)| st.used[k][m] + d <= problem.capacities[m]);
+                // Window capacity check: O(1) accept when the peak demand
+                // fits the bus's minimum window slack, O(1) reject when the
+                // total demand exceeds its total slack, full scan only in
+                // the ambiguous band between them. All three agree exactly
+                // with the scan, so search decisions are unchanged.
+                let fits = peak[t] <= st.min_slack[k]
+                    || (total[t] <= st.total_slack[k]
+                        && sparse[t]
+                            .iter()
+                            .all(|&(m, d)| st.used[k][m] + d <= problem.capacities[m]));
                 if !fits {
                     continue;
                 }
-                // Apply.
+                // Apply. `min_slack` is refreshed from the touched windows
+                // alone: the untouched windows' slack is no smaller than
+                // the old global minimum, so `min(old, touched)` is a valid
+                // (and usually tight) lower bound on the new minimum.
+                let saved_min_slack = st.min_slack[k];
+                let mut new_min = saved_min_slack;
                 for &(m, d) in &sparse[t] {
                     st.used[k][m] += d;
+                    new_min = new_min.min(problem.capacities[m] - st.used[k][m]);
                 }
+                st.min_slack[k] = new_min;
+                st.total_slack[k] -= total[t];
                 st.members[k].push(t);
+                st.masks[k].insert(t);
                 st.bus_overlap[k] += added;
                 assignment.push(k);
 
                 let done = dfs(
-                    problem,
-                    order,
-                    sparse,
-                    st,
-                    depth + 1,
-                    nodes,
-                    limits,
-                    bound,
-                    optimizing,
-                    best,
-                    assignment,
+                    problem, order, sparse, peak, total, st, rest, nodes, limits, bound,
+                    optimizing, best, assignment,
                 )?;
 
                 // Undo.
                 assignment.pop();
                 st.bus_overlap[k] -= added;
                 st.members[k].pop();
+                st.masks[k].remove(t);
+                st.total_slack[k] += total[t];
+                st.min_slack[k] = saved_min_slack;
                 for &(m, d) in &sparse[t] {
                     st.used[k][m] -= d;
                 }
@@ -587,8 +711,10 @@ impl BindingProblem {
             self,
             &order,
             &sparse,
+            &peak,
+            &total,
             &mut st,
-            0,
+            &mut cand_store,
             &mut nodes,
             limits,
             &mut bound,

@@ -125,18 +125,16 @@ fn add_structural_constraints(model: &mut Model, problem: &BindingProblem, x: &[
         }
     }
 
-    // Eq. 7 (via Eq. 2): conflicting targets never share a bus.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if problem.conflicts(i, j) {
-                for k in 0..b {
-                    model.constrain(
-                        LinExpr::new().term(x[i][k], 1.0).term(x[j][k], 1.0),
-                        Cmp::Le,
-                        1.0,
-                    );
-                }
-            }
+    // Eq. 7 (via Eq. 2): conflicting targets never share a bus. The bitset
+    // graph enumerates exactly the conflicting pairs, so dense graphs no
+    // longer pay an n² probe loop here.
+    for (i, j) in problem.conflict_pairs() {
+        for k in 0..b {
+            model.constrain(
+                LinExpr::new().term(x[i][k], 1.0).term(x[j][k], 1.0),
+                Cmp::Le,
+                1.0,
+            );
         }
     }
 

@@ -1,0 +1,324 @@
+//! The pre-refactor **dense-matrix reference solver**, kept verbatim.
+//!
+//! Before the bitset [`stbus_traffic::ConflictGraph`] refactor, the exact
+//! binding search stored conflicts as an `n × n` `Vec<bool>` and vetted
+//! every candidate bus by rescanning its member list. This module
+//! preserves that implementation — same target ordering, same candidate
+//! enumeration, same symmetry breaking — for two jobs:
+//!
+//! * **equivalence testing**: the word-parallel solver in
+//!   [`crate::binding`] must return *bit-identical* bindings (the
+//!   `solver_equivalence` suite and the binding unit tests assert it);
+//! * **benchmarking**: the `phase3` criterion bench measures the bitset
+//!   solver against this baseline in the same run, so the speedup claim is
+//!   always measured, never remembered.
+//!
+//! One deliberate divergence: node-budget *accounting*. This reference
+//! charges every candidate bus against [`SolveLimits::max_nodes`] before
+//! vetoing it (the pre-refactor behaviour); the bitset solver filters
+//! conflict/`maxtb`-vetoed candidates before they reach the budget.
+//! Bit-identical equivalence therefore holds whenever **both** searches
+//! complete within the budget — under a budget tight enough to interrupt
+//! one of them, the bitset solver may finish where this reference reports
+//! [`NodeLimitExceeded`].
+//!
+//! Production code should never call into this module.
+
+// The loops mirror the pre-refactor code verbatim; iterator forms would
+// change exactly the code this module exists to preserve.
+#![allow(clippy::needless_range_loop)]
+
+use crate::binding::{Binding, BindingProblem, NodeLimitExceeded, SolveLimits};
+
+/// Dense mirror of a [`BindingProblem`]'s conflict relation plus the
+/// pre-refactor search state.
+struct DenseSearch<'p> {
+    problem: &'p BindingProblem,
+    /// Row-major symmetric `n × n` boolean conflict matrix.
+    conflicts: Vec<bool>,
+}
+
+impl<'p> DenseSearch<'p> {
+    fn new(problem: &'p BindingProblem) -> Self {
+        let n = problem.num_targets();
+        let mut conflicts = vec![false; n * n];
+        for (i, j) in problem.conflict_pairs() {
+            conflicts[i * n + j] = true;
+            conflicts[j * n + i] = true;
+        }
+        Self { problem, conflicts }
+    }
+
+    fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.conflicts[i * self.problem.num_targets() + j]
+    }
+
+    /// The pre-refactor DFS: identical branching order to
+    /// [`BindingProblem::find_feasible`]/[`BindingProblem::optimize`], but
+    /// with the dense matrix and O(|members|) conflict rescans.
+    fn search(
+        &self,
+        limits: &SolveLimits,
+        incumbent_bound: Option<u64>,
+    ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        let problem = self.problem;
+        let n = problem.num_targets();
+        if n == 0 {
+            return Ok(Some(Binding::from_assignment(Vec::new())));
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let key = |t: usize| {
+            let max_d = (0..problem.num_windows())
+                .map(|m| problem.demand(t, m))
+                .max()
+                .unwrap_or(0);
+            let total: u64 = (0..problem.num_windows())
+                .map(|m| problem.demand(t, m))
+                .sum();
+            let degree = (0..n).filter(|&u| self.conflicts(t, u)).count();
+            (max_d, degree as u64, total)
+        };
+        order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
+
+        let sparse: Vec<Vec<(usize, u64)>> = (0..n)
+            .map(|t| {
+                (0..problem.num_windows())
+                    .filter(|&m| problem.demand(t, m) > 0)
+                    .map(|m| (m, problem.demand(t, m)))
+                    .collect()
+            })
+            .collect();
+
+        let mut used = vec![vec![0u64; problem.num_windows()]; problem.num_buses()];
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); problem.num_buses()];
+        let mut bus_overlap = vec![0u64; problem.num_buses()];
+
+        let mut nodes = 0u64;
+        let mut best: Option<Binding> = None;
+        let mut bound = incumbent_bound;
+        let optimizing = incumbent_bound.is_some();
+
+        #[allow(clippy::too_many_arguments)] // explicit search state, one hop deep
+        fn dfs(
+            search: &DenseSearch<'_>,
+            order: &[usize],
+            sparse: &[Vec<(usize, u64)>],
+            used: &mut [Vec<u64>],
+            members: &mut [Vec<usize>],
+            bus_overlap: &mut [u64],
+            depth: usize,
+            nodes: &mut u64,
+            limits: &SolveLimits,
+            bound: &mut Option<u64>,
+            optimizing: bool,
+            best: &mut Option<Binding>,
+            assignment: &mut Vec<usize>,
+        ) -> Result<bool, NodeLimitExceeded> {
+            let problem = search.problem;
+            if depth == order.len() {
+                let max_ov = bus_overlap.iter().copied().max().unwrap_or(0);
+                let mut a = vec![0usize; order.len()];
+                for (d, &t) in order.iter().enumerate() {
+                    a[t] = assignment[d];
+                }
+                let binding = Binding::from_assignment_with_overlap(a, max_ov);
+                if optimizing {
+                    *bound = Some(max_ov);
+                    *best = Some(binding);
+                    return Ok(false);
+                }
+                *best = Some(binding);
+                return Ok(true);
+            }
+            let t = order[depth];
+            let mut tried_empty = false;
+            let mut candidates: Vec<(u64, usize)> = Vec::with_capacity(problem.num_buses());
+            for k in 0..problem.num_buses() {
+                if members[k].is_empty() {
+                    if tried_empty {
+                        continue;
+                    }
+                    tried_empty = true;
+                }
+                let added: u64 = members[k].iter().map(|&u| problem.overlap(t, u)).sum();
+                candidates.push((added, k));
+            }
+            if optimizing {
+                candidates.sort_by_key(|&(added, _)| added);
+            }
+            for (added, k) in candidates {
+                *nodes += 1;
+                if *nodes > limits.max_nodes {
+                    return Err(NodeLimitExceeded {
+                        limit: limits.max_nodes,
+                    });
+                }
+                if members[k].len() >= problem.maxtb() {
+                    continue;
+                }
+                if members[k].iter().any(|&u| search.conflicts(t, u)) {
+                    continue;
+                }
+                if let Some(b) = *bound {
+                    if bus_overlap[k] + added >= b {
+                        continue;
+                    }
+                }
+                let fits = sparse[t]
+                    .iter()
+                    .all(|&(m, d)| used[k][m] + d <= problem.capacity(m));
+                if !fits {
+                    continue;
+                }
+                for &(m, d) in &sparse[t] {
+                    used[k][m] += d;
+                }
+                members[k].push(t);
+                bus_overlap[k] += added;
+                assignment.push(k);
+
+                let done = dfs(
+                    search,
+                    order,
+                    sparse,
+                    used,
+                    members,
+                    bus_overlap,
+                    depth + 1,
+                    nodes,
+                    limits,
+                    bound,
+                    optimizing,
+                    best,
+                    assignment,
+                )?;
+
+                assignment.pop();
+                bus_overlap[k] -= added;
+                members[k].pop();
+                for &(m, d) in &sparse[t] {
+                    used[k][m] -= d;
+                }
+                if done {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+
+        let mut assignment = Vec::with_capacity(n);
+        dfs(
+            self,
+            &order,
+            &sparse,
+            &mut used,
+            &mut members,
+            &mut bus_overlap,
+            0,
+            &mut nodes,
+            limits,
+            &mut bound,
+            optimizing,
+            &mut best,
+            &mut assignment,
+        )?;
+        Ok(best)
+    }
+}
+
+/// Dense-matrix reference for [`BindingProblem::find_feasible`].
+///
+/// # Errors
+///
+/// [`NodeLimitExceeded`] when the search budget runs out before a
+/// definitive answer.
+pub fn find_feasible_dense(
+    problem: &BindingProblem,
+    limits: &SolveLimits,
+) -> Result<Option<Binding>, NodeLimitExceeded> {
+    DenseSearch::new(problem).search(limits, None)
+}
+
+/// Dense-matrix reference for [`BindingProblem::optimize`].
+///
+/// # Errors
+///
+/// [`NodeLimitExceeded`] when the search budget runs out before optimality
+/// is proven.
+pub fn optimize_dense(
+    problem: &BindingProblem,
+    limits: &SolveLimits,
+) -> Result<Option<Binding>, NodeLimitExceeded> {
+    let search = DenseSearch::new(problem);
+    let seed = search.search(limits, None)?;
+    match seed {
+        None => Ok(None),
+        Some(feasible) => {
+            let best = search.search(limits, Some(feasible.max_bus_overlap()))?;
+            Ok(Some(best.unwrap_or(feasible)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> SolveLimits {
+        SolveLimits::default()
+    }
+
+    /// Deterministic pseudo-random instances: the bitset solver and the
+    /// dense reference must agree bit for bit, in both modes.
+    #[test]
+    fn bitset_solver_is_bit_identical_to_dense_reference() {
+        let mut state = 0xC0FF_EE00_1234_5678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..25 {
+            let n = 3 + (rand() % 6) as usize;
+            let buses = 2 + (rand() % 3) as usize;
+            let demands: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..3).map(|_| rand() % 50).collect())
+                .collect();
+            let mut p = BindingProblem::new(buses, 100, demands);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rand() % 4 == 0 {
+                        p.add_conflict(i, j);
+                    }
+                }
+            }
+            let values: Vec<u64> = (0..n * n).map(|_| rand() % 30).collect();
+            p.set_overlaps(|i, j| values[i * n + j]);
+
+            let feas_bitset = p.find_feasible(&limits()).unwrap();
+            let feas_dense = find_feasible_dense(&p, &limits()).unwrap();
+            assert_eq!(feas_bitset, feas_dense, "case {case}: feasibility");
+
+            let opt_bitset = p.optimize(&limits()).unwrap();
+            let opt_dense = optimize_dense(&p, &limits()).unwrap();
+            assert_eq!(opt_bitset, opt_dense, "case {case}: optimisation");
+        }
+    }
+
+    #[test]
+    fn dense_reference_handles_edges() {
+        let empty = BindingProblem::new(2, 100, Vec::new());
+        assert!(find_feasible_dense(&empty, &limits()).unwrap().is_some());
+
+        let infeasible = BindingProblem::new(1, 100, vec![vec![60], vec![50]]);
+        assert_eq!(find_feasible_dense(&infeasible, &limits()).unwrap(), None);
+        assert_eq!(optimize_dense(&infeasible, &limits()).unwrap(), None);
+
+        let tiny_budget = BindingProblem::new(4, 100, vec![vec![26]; 12]);
+        let err = find_feasible_dense(&tiny_budget, &SolveLimits { max_nodes: 3 })
+            .expect_err("should exceed");
+        assert_eq!(err.limit, 3);
+    }
+}

@@ -17,6 +17,7 @@
 //! `heuristic_quality` bench quantifies the gap against the exact solver.
 
 use crate::binding::{Binding, BindingProblem};
+use stbus_traffic::TargetSet;
 
 /// Options for the heuristic search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,9 @@ struct State<'p> {
     assignment: Vec<Option<usize>>,
     used: Vec<Vec<u64>>,
     members: Vec<Vec<usize>>,
+    /// Incremental member bitset per bus, mirroring `members` — conflict
+    /// feasibility in `fits` is one word-parallel intersection.
+    masks: Vec<TargetSet>,
     bus_overlap: Vec<u64>,
 }
 
@@ -47,6 +51,7 @@ impl<'p> State<'p> {
             assignment: vec![None; problem.num_targets()],
             used: vec![vec![0; problem.num_windows()]; problem.num_buses()],
             members: vec![Vec::new(); problem.num_buses()],
+            masks: vec![TargetSet::empty(problem.num_targets()); problem.num_buses()],
             bus_overlap: vec![0; problem.num_buses()],
         }
     }
@@ -57,10 +62,7 @@ impl<'p> State<'p> {
         if self.members[k].len() >= self.problem.maxtb() {
             return false;
         }
-        if self.members[k]
-            .iter()
-            .any(|&u| self.problem.conflicts(t, u))
-        {
+        if self.problem.conflicts_with_set(t, &self.masks[k]) {
             return false;
         }
         (0..self.problem.num_windows())
@@ -81,6 +83,7 @@ impl<'p> State<'p> {
         }
         self.bus_overlap[k] += self.added_overlap(t, k);
         self.members[k].push(t);
+        self.masks[k].insert(t);
         self.assignment[t] = Some(k);
     }
 
@@ -91,6 +94,7 @@ impl<'p> State<'p> {
             .position(|&u| u == t)
             .expect("member listed");
         self.members[k].swap_remove(pos);
+        self.masks[k].remove(t);
         self.bus_overlap[k] -= self.added_overlap(t, k);
         for m in 0..self.problem.num_windows() {
             self.used[k][m] -= self.problem.demand(t, m);
@@ -135,11 +139,7 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
             .map(|m| problem.demand(t, m))
             .sum()
     };
-    let degree = |t: usize| {
-        (0..n)
-            .filter(|&u| u != t && problem.conflicts(t, u))
-            .count()
-    };
+    let degree = |t: usize| problem.conflict_graph().degree(t);
 
     // --- Construction: first-fit-decreasing under several orderings
     //     (greedy packing is order-sensitive; retrying a handful of

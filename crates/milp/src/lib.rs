@@ -11,9 +11,14 @@
 //!   variables; and
 //! * a **specialised binding solver** ([`binding`]) — an exact
 //!   backtracking search over target→bus assignments with per-window
-//!   bandwidth propagation, conflict forward-checking and bus symmetry
-//!   breaking, plus a branch-and-bound mode minimising the maximum per-bus
-//!   overlap (the paper's MILP-2).
+//!   bandwidth propagation, **word-parallel conflict forward-checking**
+//!   (each bus carries an incremental member bitset, so the Eq. 2/7
+//!   feasibility of a candidate is a handful of `AND`s against its
+//!   [`stbus_traffic::ConflictGraph`] row) and bus symmetry breaking, plus
+//!   a branch-and-bound mode minimising the maximum per-bus overlap (the
+//!   paper's MILP-2). The pre-refactor dense-matrix search survives in
+//!   [`dense`] as the reference the bitset solver is proven bit-identical
+//!   to (and benchmarked against).
 //!
 //! Both return provably optimal/feasible answers; the generic layer
 //! cross-validates the specialised one in the test-suite. The instances the
@@ -42,6 +47,7 @@
 pub mod binding;
 pub mod branch_bound;
 pub mod crossbar;
+pub mod dense;
 pub mod heuristic;
 pub mod model;
 pub mod simplex;

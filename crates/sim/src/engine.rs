@@ -104,11 +104,18 @@ impl SimReport {
     pub fn observed_trace(&self, num_initiators: usize, num_targets: usize) -> Trace {
         let mut trace = Trace::new(num_initiators, num_targets);
         for p in &self.packets {
+            // Transfer durations fit u32 on any sane trace; a pathological
+            // long-stall replay saturates instead of aborting the analysis.
+            let transfer = p.complete - p.grant;
+            debug_assert!(
+                u32::try_from(transfer).is_ok(),
+                "transfer duration {transfer} exceeds u32::MAX cycles"
+            );
             trace.push(TraceEvent {
                 initiator: p.initiator,
                 target: p.target,
                 start: p.grant,
-                duration: u32::try_from(p.complete - p.grant).expect("duration fits u32"),
+                duration: u32::try_from(transfer).unwrap_or(u32::MAX),
                 critical: p.critical,
             });
         }

@@ -12,6 +12,7 @@
 //! window size makes the bandwidth constraint of Eq. (4) unsatisfiable for
 //! a shared bus, so thresholds are meaningful in `(0, 0.5]`.
 
+use crate::conflict_graph::ConflictGraph;
 use crate::model::SocSpec;
 use crate::window::WindowStats;
 use serde::{Deserialize, Serialize};
@@ -70,33 +71,36 @@ impl ConflictMatrix {
     /// Builds the conflict matrix from windowed statistics alone (the
     /// criticality information is carried by the trace events themselves).
     ///
+    /// Construction is delegated to the word-parallel
+    /// [`ConflictGraph`](crate::ConflictGraph); this matrix form remains
+    /// for display and for callers that want the packed triangle.
+    ///
     /// # Panics
     ///
     /// Panics if `threshold` is negative or not finite.
     #[must_use]
     pub fn from_stats_only(stats: &WindowStats, threshold: f64) -> Self {
-        assert!(
-            threshold.is_finite() && threshold >= 0.0,
-            "overlap threshold must be a non-negative finite fraction"
-        );
-        let n = stats.num_targets();
-        let mut cm = Self::none(n);
-        // Per-window limits: for variable-size plans the threshold scales
-        // with each window's own length.
-        let limits: Vec<u64> = (0..stats.num_windows())
-            .map(|m| (threshold * stats.window_len(m) as f64).floor() as u64)
-            .collect();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let over_threshold =
-                    (0..stats.num_windows()).any(|m| stats.window_overlap(i, j, m) > limits[m]);
-                let critical_clash = stats.critical_streams_overlap(i, j);
-                if over_threshold || critical_clash {
-                    cm.forbid(i, j);
-                }
-            }
+        Self::from_graph(&ConflictGraph::from_stats(stats, threshold))
+    }
+
+    /// Packs a bitset [`ConflictGraph`] into matrix form.
+    #[must_use]
+    pub fn from_graph(graph: &ConflictGraph) -> Self {
+        let mut cm = Self::none(graph.num_targets());
+        for (i, j) in graph.pairs() {
+            cm.forbid(i, j);
         }
         cm
+    }
+
+    /// Expands this matrix into the word-parallel bitset form.
+    #[must_use]
+    pub fn to_graph(&self) -> ConflictGraph {
+        let mut graph = ConflictGraph::none(self.n);
+        for (i, j) in self.pairs() {
+            graph.forbid(i, j);
+        }
+        graph
     }
 
     /// Number of targets.

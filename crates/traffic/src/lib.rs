@@ -11,8 +11,11 @@
 //!   ([`WindowStats`]): per-window received cycles `comm(i,m)`, pairwise
 //!   per-window overlap `wo(i,j,m)` and the aggregate overlap matrix
 //!   `om(i,j)` of Eq. (1);
-//! * the pre-processing products: the [`ConflictMatrix`] of Eq. (2) built
-//!   from overlap thresholds and overlapping critical streams;
+//! * the pre-processing products of Eq. (2): the word-parallel bitset
+//!   [`ConflictGraph`] built from overlap thresholds and overlapping
+//!   critical streams (with [`ConflictMatrix`] as its packed-triangle
+//!   display form) — the shared feasibility core every binding solver
+//!   queries in its innermost loop;
 //! * burst detection ([`burst`]) used by the window-sizing study (Fig. 5);
 //! * parameterised MPSoC [`workloads`] reproducing the traffic structure of
 //!   the paper's benchmark suites (matrix multiplication, FFT, quicksort,
@@ -36,6 +39,7 @@
 
 pub mod burst;
 pub mod conflict;
+pub mod conflict_graph;
 pub mod ids;
 pub mod interval;
 pub mod io;
@@ -48,6 +52,7 @@ pub mod workloads;
 
 pub use burst::{Burst, BurstStats};
 pub use conflict::ConflictMatrix;
+pub use conflict_graph::{ConflictGraph, TargetSet};
 pub use ids::{InitiatorId, TargetId};
 pub use io::{read_trace, trace_from_str, trace_to_string, write_trace, ParseTraceError};
 pub use model::{CoreKind, InitiatorSpec, SocSpec, TargetSpec};

@@ -8,6 +8,12 @@
 //! transaction. Summing over windows yields the overlap matrix
 //! `om(i,j) = Σ_m wo(i,j,m)` (Eq. 1), the objective coefficients of the
 //! optimal-binding MILP.
+//!
+//! The pairwise overlaps are computed by a single **sweep-line pass** over
+//! the sorted busy-interval endpoints: between consecutive endpoints the
+//! set of active targets is constant, so every active pair accrues the
+//! elementary segment's length — no nested per-pair interval
+//! intersections.
 
 use crate::ids::TargetId;
 use crate::interval::{Interval, IntervalSet};
@@ -220,22 +226,74 @@ impl WindowStats {
             }
         }
 
-        // wo(i, j, m): per-window pairwise overlap via global intersections.
+        // wo(i, j, m): per-window pairwise overlap via one sweep-line pass
+        // over the sorted busy-interval endpoints. Between two consecutive
+        // endpoints the active-target set is constant, so every active pair
+        // accrues exactly the elementary segment's length; the segment is
+        // cut at window boundaries so each piece lies in a single window.
+        // This replaces the former nested per-pair interval intersection
+        // (O(n² · intervals)) with work proportional to the endpoint count
+        // plus the pairwise overlap that actually exists.
         let npairs = n * n.saturating_sub(1) / 2;
         let mut wo = vec![0u64; npairs * num_windows];
         let mut overlap = OverlapMatrix::zeros(n);
-        let mut pair = 0usize;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let inter = busy[i].intersection(&busy[j]);
-                if !inter.is_empty() {
-                    let row = &mut wo[pair * num_windows..(pair + 1) * num_windows];
-                    for iv in inter.intervals() {
-                        spread(iv, row);
-                    }
-                    overlap.add(i, j, inter.total_len());
+        {
+            // Endpoint events: (time, target, is_start). Per-target busy
+            // sets are already disjoint and coalesced, so a target never
+            // ends and restarts at the same cycle.
+            let mut events: Vec<(u64, usize, bool)> =
+                Vec::with_capacity(busy.iter().map(|s| 2 * s.intervals().len()).sum());
+            for (t, set) in busy.iter().enumerate() {
+                for iv in set.intervals() {
+                    events.push((iv.start, t, true));
+                    events.push((iv.end, t, false));
                 }
-                pair += 1;
+            }
+            events.sort_unstable();
+
+            let mut members: Vec<usize> = Vec::new(); // sorted active targets
+            let mut pieces: Vec<(usize, u64)> = Vec::new(); // (window, cycles)
+            let mut prev = 0u64;
+            let mut e = 0usize;
+            while e < events.len() {
+                let now = events[e].0;
+                if now > prev && members.len() >= 2 {
+                    // Window pieces of the segment [prev, now), mirroring
+                    // the `spread` clipping rules.
+                    pieces.clear();
+                    let seg = Interval::new(prev, now);
+                    let mut m = bounds.partition_point(|&b| b <= prev).saturating_sub(1);
+                    while m < num_windows && bounds[m] < now {
+                        let len = seg.clip(bounds[m], bounds[m + 1]).len();
+                        if len > 0 {
+                            pieces.push((m, len));
+                        }
+                        m += 1;
+                    }
+                    let full = now - prev;
+                    for (a, &i) in members.iter().enumerate() {
+                        let base = i * n - i * (i + 1) / 2;
+                        for &j in &members[a + 1..] {
+                            let row = &mut wo[(base + (j - i - 1)) * num_windows..][..num_windows];
+                            for &(m, len) in &pieces {
+                                row[m] += len;
+                            }
+                            overlap.add(i, j, full);
+                        }
+                    }
+                }
+                while e < events.len() && events[e].0 == now {
+                    let (_, t, is_start) = events[e];
+                    match members.binary_search(&t) {
+                        Err(pos) if is_start => members.insert(pos, t),
+                        Ok(pos) if !is_start => {
+                            members.remove(pos);
+                        }
+                        _ => unreachable!("busy sets are disjoint per target"),
+                    }
+                    e += 1;
+                }
+                prev = now;
             }
         }
 

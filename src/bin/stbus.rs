@@ -130,12 +130,12 @@ fn analyze<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
         stats.peak_window_demand(),
         stats.peak_window_demand().div_ceil(window)
     );
-    let conflicts = stbus::traffic::ConflictMatrix::from_stats_only(&stats, threshold);
+    let conflicts = stbus::traffic::ConflictGraph::from_stats(&stats, threshold);
     println!(
-        "conflicts at threshold {:.0}%: {} pairs (clique lower bound {})",
+        "conflicts at threshold {:.0}%: {} pairs (coloring lower bound {})",
         threshold * 100.0,
         conflicts.num_conflicts(),
-        conflicts.clique_lower_bound()
+        conflicts.greedy_coloring_bound()
     );
     let mut table = Table::new(vec!["target", "busy cycles", "peak window", "share"]);
     for t in 0..trace.num_targets() {

@@ -4,11 +4,13 @@
 //! Plus the `Portfolio` strategy's budget-fallback contract.
 
 use stbus::core::{
-    Batch, ConfigEval, DesignFlow, DesignParams, DesignReport, Exact, Pipeline, Portfolio,
-    SynthesisEngine, SynthesisOutcome,
+    Batch, ConfigEval, DesignFlow, DesignParams, DesignReport, Exact, Heuristic, Pipeline,
+    Portfolio, SynthesisEngine, SynthesisOutcome,
 };
 use stbus::milp::SolveLimits;
 use stbus::traffic::workloads;
+use stbus::traffic::workloads::synthetic::{self, SyntheticParams};
+use stbus::traffic::workloads::Application;
 
 fn suite_params(name: &str) -> DesignParams {
     match name {
@@ -109,6 +111,102 @@ fn staged_pipeline_matches_legacy_flow_on_paper_suite() {
             &format!("{name}: parallel vs sequential"),
             &parallel,
             &sequential,
+        );
+    }
+}
+
+/// A generated 24-target SoC — roughly twice the paper's largest suite,
+/// the scale the bitset conflict-graph refactor targets.
+fn large_soc() -> Application {
+    synthetic::with_params(
+        &SyntheticParams {
+            processors: 24,
+            ..SyntheticParams::default()
+        },
+        0xDA7E_2005,
+    )
+}
+
+fn large_soc_params() -> DesignParams {
+    // A conflict-dense point that still solves exactly in well under a
+    // second, so the four-route comparison stays test-suite friendly.
+    DesignParams::default()
+        .with_overlap_threshold(0.10)
+        .with_window_size(2_000)
+}
+
+/// The four routes agree on the generated 24-target SoC too, not just the
+/// paper suite: legacy one-call flow, inline staged pipeline, and the
+/// parallel and sequential batch runners produce identical reports.
+#[test]
+fn large_soc_staged_matches_legacy_and_batch() {
+    let app = large_soc();
+    assert_eq!(app.spec.num_targets(), 24);
+    let params = large_soc_params();
+    let apps = [app];
+
+    let legacy = DesignFlow::new(params.clone())
+        .run(&apps[0])
+        .expect("flow ok");
+
+    let staged = Pipeline::collect(&apps[0], &params)
+        .analyze(&params)
+        .synthesize(&Exact::default())
+        .expect("synthesis ok")
+        .report()
+        .expect("validation ok");
+
+    let run_batch = |threads: Option<usize>| {
+        let mut batch = Batch::per_app(&apps, |_| params.clone());
+        if let Some(n) = threads {
+            batch = batch.threads(n);
+        }
+        batch
+            .run()
+            .pop()
+            .expect("one point")
+            .result
+            .expect("batch ok")
+            .into_report()
+            .expect("paper baselines")
+    };
+    let parallel = run_batch(None);
+    let sequential = run_batch(Some(1));
+
+    assert_same_report("large-soc: staged vs legacy", &staged, &legacy);
+    assert_same_report("large-soc: parallel vs legacy", &parallel, &legacy);
+    assert_same_report("large-soc: parallel vs sequential", &parallel, &sequential);
+}
+
+/// Smoke test for the large-SoC scale path with the polynomial heuristic:
+/// must synthesize a valid design quickly and verify end to end.
+#[test]
+fn large_soc_heuristic_smoke() {
+    let app = large_soc();
+    let params = large_soc_params();
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let synthesized = analyzed
+        .synthesize(&Heuristic::default())
+        .expect("heuristic never exceeds a node budget");
+    assert_eq!(synthesized.it.engine, SynthesisEngine::Heuristic);
+
+    // The design is feasible at a size between the lower bound and a full
+    // crossbar, and its binding verifies against its own constraints.
+    for (label, outcome, pre) in [
+        ("it", &synthesized.it, analyzed.pre_it()),
+        ("ti", &synthesized.ti, analyzed.pre_ti()),
+    ] {
+        assert!(
+            outcome.num_buses >= outcome.lower_bound,
+            "{label}: below lower bound"
+        );
+        assert!(outcome.num_buses <= 24, "{label}: oversized");
+        let problem = pre.binding_problem(outcome.num_buses);
+        assert_eq!(
+            problem.verify(&outcome.binding),
+            Some(outcome.max_bus_overlap),
+            "{label}: binding does not verify"
         );
     }
 }

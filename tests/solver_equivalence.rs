@@ -124,3 +124,53 @@ proptest! {
         }
     }
 }
+
+/// The word-parallel bitset solver is **bit-identical** to the
+/// pre-refactor dense-matrix implementation (`stbus::milp::dense`) on the
+/// whole paper suite: same feasibility probes, same optimal bindings,
+/// assignment for assignment — for every direction and candidate size the
+/// phase-3 binary search can visit.
+#[test]
+fn bitset_solver_bit_identical_to_dense_reference_on_paper_suite() {
+    use stbus::core::{DesignParams, Pipeline, Preprocessed};
+    use stbus::milp::dense;
+    use stbus::traffic::workloads;
+
+    let suite_params = |name: &str| match name {
+        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+        "FFT" => DesignParams::default()
+            .with_overlap_threshold(0.50)
+            .with_response_scale(0.9),
+        _ => DesignParams::default(),
+    };
+    let limits = SolveLimits::default();
+    for app in workloads::paper_suite(0xDA7E_2005) {
+        let params = suite_params(app.name());
+        let collected = Pipeline::collect(&app, &params);
+        let analyzed = collected.analyze(&params);
+        for (dir, pre) in [("it", analyzed.pre_it()), ("ti", analyzed.pre_ti())] {
+            let n = pre.stats.num_targets();
+            let lb = pre.bus_lower_bound();
+            for buses in lb..=n {
+                let problem: BindingProblem = Preprocessed::binding_problem(pre, buses);
+                let feas_new = problem.find_feasible(&limits).expect("within limits");
+                let feas_ref =
+                    dense::find_feasible_dense(&problem, &limits).expect("within limits");
+                assert_eq!(
+                    feas_new,
+                    feas_ref,
+                    "{}/{dir}@{buses}: feasibility diverged",
+                    app.name()
+                );
+                let opt_new = problem.optimize(&limits).expect("within limits");
+                let opt_ref = dense::optimize_dense(&problem, &limits).expect("within limits");
+                assert_eq!(
+                    opt_new,
+                    opt_ref,
+                    "{}/{dir}@{buses}: optimisation diverged",
+                    app.name()
+                );
+            }
+        }
+    }
+}
