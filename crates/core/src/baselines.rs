@@ -18,7 +18,7 @@ use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
 use stbus_milp::{Binding, BindingProblem, NodeLimitExceeded};
 use stbus_sim::CrossbarConfig;
-use stbus_traffic::{ConflictGraph, TargetSet, Trace, WindowStats};
+use stbus_traffic::{ConflictGraph, OverlapProfile, TargetSet, Trace, WindowStats};
 
 /// A baseline design for one crossbar direction.
 #[derive(Debug, Clone)]
@@ -44,9 +44,12 @@ pub fn average_flow_design(
     let stats = WindowStats::analyze(trace, horizon);
     let conflicts = ConflictGraph::none(stats.num_targets());
     // Prior average-flow approaches have neither overlap constraints nor a
-    // serialisation cap: maxtb is part of the proposed methodology.
+    // serialisation cap: maxtb is part of the proposed methodology. The
+    // artifact is solved once and dropped, so it carries no real overlap
+    // profile (baselines are never re-thresholded).
     let pre = Preprocessed {
         maxtb: stats.num_targets().max(1),
+        profile: OverlapProfile::empty(stats.num_targets()),
         stats,
         conflicts,
     };
@@ -64,8 +67,11 @@ pub fn peak_bandwidth_design(
     params: &DesignParams,
 ) -> Result<BaselineDesign, NodeLimitExceeded> {
     let stats = WindowStats::analyze(trace, params.window_size);
+    // The contention-elimination relation is fixed at θ = 0 and the
+    // artifact is dropped after one solve; no profile needed.
     let conflicts = ConflictGraph::from_stats(&stats, 0.0);
     let pre = Preprocessed {
+        profile: OverlapProfile::empty(stats.num_targets()),
         stats,
         conflicts,
         maxtb: params.maxtb,

@@ -37,12 +37,13 @@
 
 use crate::flow::FlowError;
 use crate::params::DesignParams;
-use crate::pipeline::{BaselineSet, Collected, CollectionKey, Evaluation, Pipeline};
+use crate::pipeline::{
+    AnalysisArtifact, AnalysisKey, BaselineSet, Collected, CollectionKey, Evaluation, Pipeline,
+};
+use crate::pool::{default_parallelism, par_map};
 use crate::synthesizer::{Exact, SolverKind, Synthesizer};
 use stbus_traffic::workloads::Application;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One evaluated point of the design space.
 #[derive(Debug)]
@@ -157,14 +158,9 @@ impl<'a> Batch<'a> {
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
-        let available = self.threads.map_or_else(
-            || {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            },
-            NonZeroUsize::get,
-        );
+        let available = self
+            .threads
+            .map_or_else(default_parallelism, NonZeroUsize::get);
         available.min(jobs).max(1)
     }
 
@@ -190,12 +186,40 @@ impl<'a> Batch<'a> {
         collect_specs
     }
 
+    /// The deduplicated window-analysis specs stage A2 of [`Batch::run`]
+    /// will execute: one `(app_index, params)` entry per distinct
+    /// `(application, `[`CollectionKey`]`, `[`AnalysisKey`]`)` triple, in
+    /// first-job order.
+    ///
+    /// This is the batch's phase-2 *sweep-line* cost: a θ/`maxtb`/strategy
+    /// sweep yields one entry per application no matter how many grid
+    /// points it has — every further point is an O(pairs) re-threshold of
+    /// the shared [`AnalysisArtifact`].
+    #[must_use]
+    pub fn analysis_plan(&self) -> Vec<(usize, DesignParams)> {
+        let mut specs: Vec<(usize, DesignParams)> = Vec::new();
+        for &(a, _, ref params) in &self.jobs {
+            let ckey = CollectionKey::of(params);
+            let akey = AnalysisKey::of(params);
+            let seen = specs.iter().any(|(sa, sp)| {
+                *sa == a && CollectionKey::of(sp) == ckey && AnalysisKey::of(sp) == akey
+            });
+            if !seen {
+                specs.push((a, params.clone()));
+            }
+        }
+        specs
+    }
+
     /// Evaluates every `(app, grid point)` pair and returns the results in
     /// app-major, grid-minor order.
     ///
     /// Phase 1 runs exactly once per `(application, `[`CollectionKey`]`)`
     /// pair regardless of how many grid points share it (see
-    /// [`Batch::collection_plan`]); phases 2–4 run per point, spread
+    /// [`Batch::collection_plan`]); the phase-2 window analysis runs once
+    /// per `(application, `[`CollectionKey`]`, `[`AnalysisKey`]`)` triple
+    /// (see [`Batch::analysis_plan`]) with every further grid point paying
+    /// only an O(pairs) re-threshold; phases 3–4 run per point, spread
     /// across the worker pool.
     #[must_use]
     pub fn run(&self) -> Vec<BatchResult> {
@@ -206,7 +230,7 @@ impl<'a> Batch<'a> {
             self.worker_count(collect_specs.len()),
             |(a, params)| Pipeline::collect(&self.apps[*a], params),
         );
-        let artifact_for = |a: usize, params: &DesignParams| -> &Collected<'a> {
+        let collected_for = |a: usize, params: &DesignParams| -> &Collected<'a> {
             let key = CollectionKey::of(params);
             collect_specs
                 .iter()
@@ -215,13 +239,32 @@ impl<'a> Batch<'a> {
                 .expect("every job's collection was prepared in stage A")
         };
 
-        // --- Stage B: evaluate every point against its artifact. ---
+        // --- Stage A2: one window analysis per (app, ckey, akey). ---
+        let analysis_specs = self.analysis_plan();
+        let artifacts: Vec<AnalysisArtifact> = par_map(
+            &analysis_specs,
+            self.worker_count(analysis_specs.len()),
+            |(a, params)| collected_for(*a, params).analysis_artifact(params),
+        );
+        let artifact_for = |a: usize, params: &DesignParams| -> &AnalysisArtifact {
+            let ckey = CollectionKey::of(params);
+            let akey = AnalysisKey::of(params);
+            analysis_specs
+                .iter()
+                .position(|(sa, sp)| {
+                    *sa == a && CollectionKey::of(sp) == ckey && AnalysisKey::of(sp) == akey
+                })
+                .map(|i| &artifacts[i])
+                .expect("every job's analysis was prepared in stage A2")
+        };
+
+        // --- Stage B: evaluate every point against its artifacts. ---
         par_map(
             &self.jobs,
             self.worker_count(self.jobs.len()),
             |&(a, g, ref params)| {
-                let result = artifact_for(a, params)
-                    .analyze(params)
+                let result = collected_for(a, params)
+                    .analyze_with(artifact_for(a, params), params)
                     .synthesize(self.strategy.as_ref())
                     .and_then(|synthesized| synthesized.validate(&self.baselines));
                 BatchResult {
@@ -234,40 +277,6 @@ impl<'a> Batch<'a> {
             },
         )
     }
-}
-
-/// Order-preserving parallel map on a scoped worker pool.
-///
-/// Workers pull indices from an atomic counter, so there is no
-/// partitioning skew; results land in their input slots, so the output
-/// order (and therefore the whole run) is independent of scheduling.
-fn par_map<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker pool filled every slot")
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -352,6 +361,33 @@ mod tests {
         // Two apps sharing a key still collect per app.
         let two_apps = vec![workloads::fft::fft(9), workloads::qsort::qsort(9)];
         assert_eq!(Batch::over(&two_apps, grid()).collection_plan().len(), 2);
+    }
+
+    #[test]
+    fn theta_sweep_shares_one_window_analysis() {
+        // Five thresholds, one window plan: one collection, one window
+        // analysis, five O(pairs) re-thresholds.
+        let apps = vec![workloads::fft::fft(9)];
+        let theta_grid: Vec<DesignParams> = [0.05, 0.15, 0.25, 0.35, 0.45]
+            .iter()
+            .map(|&t| DesignParams::default().with_overlap_threshold(t))
+            .collect();
+        let batch = Batch::over(&apps, theta_grid.clone())
+            .with_strategy(Heuristic::default())
+            .with_baselines(BaselineSet::none());
+        assert_eq!(batch.collection_plan().len(), 1);
+        assert_eq!(batch.analysis_plan().len(), 1);
+
+        // Distinct window sizes still fork the analysis (but not the
+        // collection).
+        let mut mixed = theta_grid;
+        mixed.push(DesignParams::default().with_window_size(500));
+        let batch = Batch::over(&apps, mixed)
+            .with_strategy(Heuristic::default())
+            .with_baselines(BaselineSet::none());
+        assert_eq!(batch.collection_plan().len(), 1);
+        assert_eq!(batch.analysis_plan().len(), 2);
+        assert_eq!(batch.run().len(), 6);
     }
 
     #[test]

@@ -84,15 +84,19 @@ pub mod phase2;
 pub mod phase3;
 pub mod phase4;
 pub mod pipeline;
+mod pool;
 pub mod synthesizer;
 
 pub use batch::{Batch, BatchResult};
 pub use flow::{ConfigEval, DesignFlow, DesignReport, FlowError};
 pub use params::{DesignParams, Windowing};
 pub use phase2::Preprocessed;
-pub use phase3::{synthesize, synthesize_heuristic, SynthesisEngine, SynthesisOutcome};
+pub use phase3::{
+    synthesize, synthesize_heuristic, ProbeScheduler, SynthesisEngine, SynthesisOutcome,
+};
 pub use phase4::{QosReport, QosStream, Validation};
 pub use pipeline::{
-    Analyzed, BaselineSet, Collected, CollectionKey, Evaluation, Pipeline, Synthesized,
+    AnalysisArtifact, AnalysisKey, Analyzed, BaselineSet, Collected, CollectionKey, Evaluation,
+    Pipeline, Synthesized,
 };
 pub use synthesizer::{Exact, Heuristic, Portfolio, SolverKind, Synthesizer};

@@ -18,13 +18,16 @@
 
 use crate::params::{DesignParams, Windowing};
 use stbus_milp::BindingProblem;
-use stbus_traffic::{ConflictGraph, Trace, WindowPlan, WindowStats};
+use stbus_traffic::{ConflictGraph, OverlapProfile, Trace, WindowPlan, WindowStats};
 
 /// Products of the pre-processing phase for one crossbar direction.
 #[derive(Debug, Clone)]
 pub struct Preprocessed {
     /// Windowed traffic statistics.
     pub stats: WindowStats,
+    /// Sweep-resident per-pair peak overlaps: re-derives `conflicts` for
+    /// any threshold in O(pairs) (see [`Preprocessed::at_threshold`]).
+    pub profile: OverlapProfile,
     /// The conflict relation `c(i,j)` of Eq. (2) as a bitset graph.
     pub conflicts: ConflictGraph,
     /// The per-bus target cap in force.
@@ -44,11 +47,48 @@ impl Preprocessed {
             } => WindowPlan::adaptive(trace, params.window_size, coarse, quiet_threshold)
                 .analyze(trace),
         };
-        let conflicts = ConflictGraph::from_stats(&stats, params.overlap_threshold);
+        Self::from_stats(stats, params)
+    }
+
+    /// Builds the pre-processing artifact from already-computed window
+    /// statistics — the entry point sweep runners use to share one window
+    /// analysis across many parameter points.
+    #[must_use]
+    pub fn from_stats(stats: WindowStats, params: &DesignParams) -> Self {
+        let profile = stats.overlap_profile();
+        Self::from_profile(stats, profile, params)
+    }
+
+    /// Assembles the artifact from a window analysis and its extracted
+    /// [`OverlapProfile`] (both typically cloned out of a sweep-resident
+    /// cache), re-thresholding in O(pairs).
+    #[must_use]
+    pub fn from_profile(
+        stats: WindowStats,
+        profile: OverlapProfile,
+        params: &DesignParams,
+    ) -> Self {
+        let conflicts = profile.conflict_graph(params.overlap_threshold);
         Self {
             stats,
+            profile,
             conflicts,
             maxtb: params.maxtb,
+        }
+    }
+
+    /// Re-thresholds this analysis at a new overlap threshold without
+    /// re-running the window analysis: the stats and profile are shared
+    /// (cloned), only the conflict graph is re-derived — O(pairs) instead
+    /// of O(events log events + pairs × windows). Bit-identical to
+    /// [`Preprocessed::analyze`] at the same threshold.
+    #[must_use]
+    pub fn at_threshold(&self, threshold: f64) -> Self {
+        Self {
+            stats: self.stats.clone(),
+            profile: self.profile.clone(),
+            conflicts: self.profile.conflict_graph(threshold),
+            maxtb: self.maxtb,
         }
     }
 
@@ -201,6 +241,20 @@ mod tests {
         // The binding problem still carries one capacity per window.
         let prob = pre_a.binding_problem(2);
         assert_eq!(prob.num_windows(), pre_a.stats.num_windows());
+    }
+
+    #[test]
+    fn rethreshold_matches_fresh_analysis() {
+        let tr = two_peak_trace();
+        let base = params();
+        let pre = Preprocessed::analyze(&tr, &base);
+        for theta in [0.0, 0.1, 0.25, 0.5, 0.9] {
+            let fresh = Preprocessed::analyze(&tr, &base.clone().with_overlap_threshold(theta));
+            let swept = pre.at_threshold(theta);
+            assert_eq!(swept.conflicts, fresh.conflicts, "threshold {theta}");
+            assert_eq!(swept.stats, fresh.stats);
+            assert_eq!(swept.maxtb, fresh.maxtb);
+        }
     }
 
     #[test]

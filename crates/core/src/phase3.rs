@@ -18,9 +18,14 @@
 
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded};
+use crate::pool::default_parallelism;
+use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded, SearchInterrupted};
 use stbus_sim::CrossbarConfig;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Which solving engine produced a [`SynthesisOutcome`].
 ///
@@ -218,6 +223,410 @@ pub fn synthesize_heuristic_with(
     })
 }
 
+/// One resolved feasibility probe held in the scheduler's cache.
+#[derive(Debug, Clone)]
+struct ProbeOutcome {
+    /// `Some(binding)` when the probe proved its bus count feasible.
+    feasible: Option<Binding>,
+    /// Whether the proof came from the exact engine (`false` when the
+    /// heuristic pre-pass won the race — sound for the feasibility bit,
+    /// but not the binding the exact search would have produced).
+    exact: bool,
+}
+
+/// Parallel feasibility-probe scheduler for the MILP-1 binary search —
+/// same answers as [`synthesize`], less wall-clock.
+///
+/// The binary search of [`synthesize`] probes one bus count at a time,
+/// yet the probe at `mid` only ever leads to two possible follow-ups: the
+/// midpoint of `[lo, mid]` if feasible, of `[mid+1, hi]` if not. All
+/// candidate probes in the next few levels of that decision tree are
+/// **independent** solver calls, so the scheduler solves a speculative
+/// wave of them on a scoped worker pool (the same order-preserving pool
+/// [`crate::Batch`] uses), then *replays the sequential search* against
+/// the cached answers. Determinism falls out by construction:
+///
+/// * each probe is a pure function of its bus count — which thread solves
+///   it, and in which order, cannot change its answer;
+/// * the replay consumes exactly the probes the sequential search would
+///   have executed, in the same order, so [`SynthesisOutcome::probes`],
+///   the chosen size and the final MILP-2 binding are **bit-identical**
+///   to [`synthesize`] — the `probe_scheduler` equivalence suite proves
+///   it on the paper workloads and on random instances;
+/// * speculative probes the replay never consumes are discarded, errors
+///   included, so node-budget behaviour matches the sequential search.
+///
+/// With [`ProbeScheduler::with_race`], every probe additionally runs the
+/// polynomial heuristic as a *deterministic pre-pass*: if the heuristic
+/// finds a feasible binding, the probe is feasible and the exact solver
+/// is skipped for it (a heuristic witness is a genuine feasibility
+/// certificate, so the feasibility bit — the only thing a probe
+/// contributes to the search — is unchanged). This is the
+/// exact-vs-heuristic race of the [`crate::synthesizer::Portfolio`]
+/// strategy, made deterministic by structure rather than by timing: the
+/// winner is decided by whether the heuristic succeeds, never by which
+/// thread finishes first. Outcomes remain bit-identical to the
+/// sequential exact search whenever that search completes within its
+/// node budget; under a starved budget the raced search can only succeed
+/// *more* often (it errors only where the heuristic also failed to
+/// certify the probe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeScheduler {
+    jobs: NonZeroUsize,
+    race: Option<HeuristicOptions>,
+}
+
+impl ProbeScheduler {
+    /// A scheduler speculating up to `jobs` probes at a time. `jobs = 1`
+    /// degenerates to the plain sequential binary search (no speculation,
+    /// no threads).
+    #[must_use]
+    pub fn new(jobs: NonZeroUsize) -> Self {
+        Self { jobs, race: None }
+    }
+
+    /// A scheduler sized to [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn available() -> Self {
+        Self::new(NonZeroUsize::new(default_parallelism()).expect("parallelism is positive"))
+    }
+
+    /// Enables the deterministic exact-vs-heuristic race per probe.
+    #[must_use]
+    pub fn with_race(mut self, options: HeuristicOptions) -> Self {
+        self.race = Some(options);
+        self
+    }
+
+    /// The speculation width.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs.get()
+    }
+
+    /// The probes the search *could* reach from the interval `[lo, hi)`,
+    /// breadth-first with the certain next probe first, skipping `known`
+    /// ones — capped at the worker count so speculation never outruns the
+    /// pool.
+    fn wave(&self, lo: usize, hi: usize, known: &HashSet<usize>) -> Vec<usize> {
+        let mut wave = Vec::new();
+        let mut intervals = VecDeque::from([(lo, hi)]);
+        while let Some((l, h)) = intervals.pop_front() {
+            if wave.len() >= self.jobs.get() {
+                break;
+            }
+            if l >= h {
+                continue;
+            }
+            let mid = l + (h - l) / 2;
+            if !known.contains(&mid) && !wave.contains(&mid) {
+                wave.push(mid);
+            }
+            intervals.push_back((l, mid)); // follow-up if `mid` is feasible
+            intervals.push_back((mid + 1, h)); // … and if it is not
+        }
+        wave
+    }
+
+    /// Every probe the binary search over `[lo, hi)` could still consume:
+    /// the midpoints of the whole decision tree. Intervals only narrow,
+    /// so this set shrinks monotonically — once a probe falls out it can
+    /// never be asked for again, which is what makes cancelling it sound.
+    fn reachable(lo: usize, hi: usize, out: &mut HashSet<usize>) {
+        if lo >= hi {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        out.insert(mid);
+        Self::reachable(lo, mid, out);
+        Self::reachable(mid + 1, hi, out);
+    }
+
+    /// Solves one feasibility probe sequentially: heuristic pre-pass
+    /// first when racing, exact search otherwise.
+    fn probe(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        buses: usize,
+    ) -> Result<ProbeOutcome, NodeLimitExceeded> {
+        let problem = pre.binding_problem(buses);
+        if let Some(options) = &self.race {
+            if let Some(binding) = stbus_milp::solve_heuristic(&problem, options) {
+                return Ok(ProbeOutcome {
+                    feasible: Some(binding),
+                    exact: false,
+                });
+            }
+        }
+        problem
+            .find_feasible(&params.solve_limits)
+            .map(|feasible| ProbeOutcome {
+                feasible,
+                exact: true,
+            })
+    }
+
+    /// Worker-side probe with a cancellation flag. `None` means the probe
+    /// was cancelled (its answer became unreachable) — the result is
+    /// dropped, never recorded.
+    fn probe_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        buses: usize,
+        cancel: &AtomicBool,
+    ) -> Option<ProbeResult> {
+        let problem = pre.binding_problem(buses);
+        if let Some(options) = &self.race {
+            if let Some(binding) = stbus_milp::solve_heuristic(&problem, options) {
+                return Some(Ok(ProbeOutcome {
+                    feasible: Some(binding),
+                    exact: false,
+                }));
+            }
+        }
+        match problem.find_feasible_cancellable(&params.solve_limits, cancel) {
+            Ok(feasible) => Some(Ok(ProbeOutcome {
+                feasible,
+                exact: true,
+            })),
+            Err(SearchInterrupted::Budget(e)) => Some(Err(e)),
+            Err(SearchInterrupted::Cancelled) => None,
+        }
+    }
+
+    /// Worker loop: pull a probe off the queue, solve it (cancellably),
+    /// publish the result.
+    fn worker(&self, pre: &Preprocessed, params: &DesignParams, shared: &Shared) {
+        loop {
+            let (buses, flag) = {
+                let mut st = shared.state.lock().expect("scheduler state poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if let Some(buses) = st.queue.pop_front() {
+                        let flag = Arc::new(AtomicBool::new(false));
+                        st.running.insert(buses, Arc::clone(&flag));
+                        break (buses, flag);
+                    }
+                    st = shared.work.wait(st).expect("scheduler state poisoned");
+                }
+            };
+            let result = self.probe_cancellable(pre, params, buses, &flag);
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            st.running.remove(&buses);
+            if let Some(result) = result {
+                st.results.insert(buses, result);
+            }
+            drop(st);
+            shared.ready.notify_all();
+        }
+    }
+
+    /// The sequential replay core: the exact binary search of
+    /// [`synthesize`], with probe answers supplied by `resolve`.
+    fn binary_search(
+        lower_bound: usize,
+        n: usize,
+        mut resolve: impl FnMut(usize, usize, usize) -> ProbeResult,
+    ) -> Result<SearchSummary, NodeLimitExceeded> {
+        let mut lo = lower_bound;
+        let mut hi = n;
+        let mut probes = Vec::new();
+        let mut best_feasible = None;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match resolve(lo, hi, mid)? {
+                ProbeOutcome {
+                    feasible: Some(binding),
+                    exact,
+                } => {
+                    probes.push((mid, true));
+                    best_feasible = Some((mid, binding, exact));
+                    hi = mid;
+                }
+                ProbeOutcome { feasible: None, .. } => {
+                    probes.push((mid, false));
+                    lo = mid + 1;
+                }
+            }
+        }
+        Ok(SearchSummary {
+            num_buses: lo,
+            probes,
+            best_feasible,
+        })
+    }
+
+    /// Runs the binary search with speculative parallel probes: workers
+    /// keep solving the reachable frontier while the replay consumes
+    /// answers in sequential order; probes whose answers become
+    /// unreachable are cancelled mid-solve.
+    fn parallel_search(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        lower_bound: usize,
+        n: usize,
+    ) -> Result<SearchSummary, NodeLimitExceeded> {
+        let shared = Shared {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                running: HashMap::new(),
+                results: HashMap::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            ready: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.get() {
+                scope.spawn(|| self.worker(pre, params, &shared));
+            }
+            let summary = Self::binary_search(lower_bound, n, |lo, hi, mid| {
+                let mut st = shared.state.lock().expect("scheduler state poisoned");
+                // Prune work that this interval can no longer consume:
+                // drop queued probes, cancel running ones.
+                let mut reachable = HashSet::new();
+                Self::reachable(lo, hi, &mut reachable);
+                st.queue.retain(|b| reachable.contains(b));
+                for (buses, flag) in &st.running {
+                    if !reachable.contains(buses) {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                }
+                // Top the frontier up to the speculation budget.
+                let mut known: HashSet<usize> = st.results.keys().copied().collect();
+                known.extend(st.running.keys().copied());
+                known.extend(st.queue.iter().copied());
+                let wave = self.wave(lo, hi, &known);
+                let queued = !wave.is_empty();
+                st.queue.extend(wave);
+                drop(st);
+                if queued {
+                    shared.work.notify_all();
+                }
+                // Consume the one probe the sequential search needs next.
+                let mut st = shared.state.lock().expect("scheduler state poisoned");
+                while !st.results.contains_key(&mid) {
+                    st = shared.ready.wait(st).expect("scheduler state poisoned");
+                }
+                st.results.get(&mid).expect("just waited for it").clone()
+            });
+            // Wind the pool down before MILP-2 takes the cores: unneeded
+            // speculation is cancelled, parked workers are woken to exit.
+            let mut st = shared.state.lock().expect("scheduler state poisoned");
+            st.shutdown = true;
+            st.queue.clear();
+            for flag in st.running.values() {
+                flag.store(true, Ordering::Relaxed);
+            }
+            drop(st);
+            shared.work.notify_all();
+            summary
+        })
+    }
+
+    /// Synthesises the minimum crossbar and its optimal binding —
+    /// bit-identical to [`synthesize`], with the feasibility probes
+    /// solved speculatively in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NodeLimitExceeded`] exactly when the sequential
+    /// search would: from a probe the replay consumes, or from the final
+    /// MILP-2 optimisation. Errors of discarded speculative probes are
+    /// dropped with them.
+    pub fn synthesize(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+    ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
+        let n = pre.stats.num_targets();
+        if n == 0 {
+            return synthesize(pre, params);
+        }
+
+        let lower_bound = pre.bus_lower_bound();
+        let summary = if self.jobs.get() <= 1 {
+            // No speculation requested: solve each consumed probe inline.
+            Self::binary_search(lower_bound, n, |_, _, mid| self.probe(pre, params, mid))
+        } else {
+            self.parallel_search(pre, params, lower_bound, n)
+        }?;
+        let SearchSummary {
+            num_buses,
+            probes,
+            best_feasible,
+        } = summary;
+
+        // MILP-2 at the minimum size, with the same fallback ladder as the
+        // sequential search. A heuristic-won probe does not carry the
+        // binding the sequential search's probe produced, so that corner
+        // re-runs the (deterministic) exact probe to stay bit-identical.
+        let problem = pre.binding_problem(num_buses);
+        let binding = match problem.optimize(&params.solve_limits)? {
+            Some(b) => b,
+            None => match best_feasible {
+                Some((buses, b, true)) if buses == num_buses => b,
+                Some((buses, _, false)) if buses == num_buses => {
+                    match problem.find_feasible(&params.solve_limits)? {
+                        Some(b) => b,
+                        None => unreachable!("probe certified this size feasible"),
+                    }
+                }
+                _ => {
+                    let full: Vec<usize> = (0..n).collect();
+                    Binding::from_assignment(full)
+                }
+            },
+        };
+
+        let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), num_buses)
+            .expect("solver produced a valid assignment")
+            .with_arbitration(params.arbitration);
+        let max_bus_overlap = binding.max_bus_overlap();
+        Ok(SynthesisOutcome {
+            config,
+            num_buses,
+            lower_bound,
+            probes,
+            binding,
+            max_bus_overlap,
+            engine: SynthesisEngine::Exact,
+        })
+    }
+}
+
+type ProbeResult = Result<ProbeOutcome, NodeLimitExceeded>;
+
+/// What the configuration search hands to MILP-2: the minimum size, the
+/// consumed probe log, and the best feasible probe for the fallback path.
+struct SearchSummary {
+    num_buses: usize,
+    probes: Vec<(usize, bool)>,
+    best_feasible: Option<(usize, Binding, bool)>,
+}
+
+/// Shared scheduler state: the speculative work queue, in-flight probes
+/// with their cancellation flags, and the published results.
+struct SchedState {
+    queue: VecDeque<usize>,
+    running: HashMap<usize, Arc<AtomicBool>>,
+    results: HashMap<usize, ProbeResult>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<SchedState>,
+    /// Signalled when work is queued or the pool shuts down.
+    work: Condvar,
+    /// Signalled when a probe result is published.
+    ready: Condvar,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +795,74 @@ mod tests {
         let out = synthesize(&pre_of(&tr, &p), &p).unwrap();
         assert_eq!(out.num_buses, 1);
         assert!(out.binding.assignment().is_empty());
+    }
+
+    fn assert_same_outcome(label: &str, a: &SynthesisOutcome, b: &SynthesisOutcome) {
+        assert_eq!(a.num_buses, b.num_buses, "{label}: bus count");
+        assert_eq!(a.lower_bound, b.lower_bound, "{label}: lower bound");
+        assert_eq!(a.probes, b.probes, "{label}: probe sequence");
+        assert_eq!(a.max_bus_overlap, b.max_bus_overlap, "{label}: maxov");
+        assert_eq!(a.binding, b.binding, "{label}: binding");
+        assert_eq!(
+            a.config.assignment(),
+            b.config.assignment(),
+            "{label}: config"
+        );
+        assert_eq!(a.engine, b.engine, "{label}: engine");
+    }
+
+    #[test]
+    fn scheduler_matches_sequential_search() {
+        let app = stbus_traffic::workloads::matrix::mat2(23);
+        let p = DesignParams::default().with_overlap_threshold(0.15);
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let sequential = synthesize(&pre, &p).unwrap();
+        for jobs in [1usize, 2, 4, 16] {
+            let jobs = NonZeroUsize::new(jobs).unwrap();
+            let plain = ProbeScheduler::new(jobs).synthesize(&pre, &p).unwrap();
+            assert_same_outcome("plain", &plain, &sequential);
+            let raced = ProbeScheduler::new(jobs)
+                .with_race(HeuristicOptions::default())
+                .synthesize(&pre, &p)
+                .unwrap();
+            assert_same_outcome("raced", &raced, &sequential);
+        }
+    }
+
+    #[test]
+    fn scheduler_wave_leads_with_certain_probe() {
+        let s = ProbeScheduler::new(NonZeroUsize::new(3).unwrap());
+        let known = HashSet::new();
+        // [3, 10): mid 6; feasible branch [3,6) → 4; infeasible [7,10) → 8.
+        assert_eq!(s.wave(3, 10, &known), vec![6, 4, 8]);
+        // One more slot reaches the third level breadth-first.
+        let s4 = ProbeScheduler::new(NonZeroUsize::new(4).unwrap());
+        assert_eq!(s4.wave(3, 10, &known), vec![6, 4, 8, 3]);
+        // Budget 1: no speculation beyond the certain probe.
+        let s1 = ProbeScheduler::new(NonZeroUsize::new(1).unwrap());
+        assert_eq!(s1.wave(3, 10, &known), vec![6]);
+        // Known probes drop out of the wave.
+        let known: HashSet<usize> = [6, 4].into_iter().collect();
+        assert_eq!(s.wave(3, 10, &known), vec![8, 3, 5]);
+    }
+
+    #[test]
+    fn reachable_set_is_the_decision_tree() {
+        let mut reachable = HashSet::new();
+        ProbeScheduler::reachable(3, 10, &mut reachable);
+        // Midpoints of [3,10) and all subintervals.
+        let expected: HashSet<usize> = [6, 4, 3, 5, 8, 7, 9].into_iter().collect();
+        assert_eq!(reachable, expected);
+    }
+
+    #[test]
+    fn scheduler_empty_system() {
+        let tr = Trace::new(0, 0);
+        let p = params(100, 0.3);
+        let out = ProbeScheduler::available()
+            .synthesize(&pre_of(&tr, &p), &p)
+            .unwrap();
+        assert_eq!(out.num_buses, 1);
     }
 }

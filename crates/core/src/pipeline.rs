@@ -50,12 +50,14 @@
 use crate::baselines::{average_flow_design, peak_bandwidth_design, random_binding_design};
 use crate::flow::{ConfigEval, DesignReport, FlowError};
 use crate::params::DesignParams;
+use crate::params::Windowing;
 use crate::phase1::{collect, CollectedTraffic};
 use crate::phase2::Preprocessed;
 use crate::phase3::SynthesisOutcome;
 use crate::synthesizer::Synthesizer;
 use stbus_sim::{Arbitration, CrossbarConfig};
 use stbus_traffic::workloads::Application;
+use stbus_traffic::{OverlapProfile, WindowStats};
 
 /// The subset of [`DesignParams`] that phase-1 collection depends on.
 ///
@@ -79,6 +81,33 @@ impl CollectionKey {
             arbitration: params.arbitration,
             max_outstanding: params.max_outstanding,
             response_scale_bits: params.response_scale.to_bits(),
+        }
+    }
+}
+
+/// The subset of [`DesignParams`] the *window analysis* of phase 2 depends
+/// on (given fixed collected traffic).
+///
+/// Two parameter sets with equal [`CollectionKey`]s **and** equal
+/// `AnalysisKey`s produce byte-identical [`WindowStats`] and
+/// [`OverlapProfile`]s, so a sweep over the remaining knobs — overlap
+/// threshold, `maxtb`, solver limits, synthesis strategy — can share one
+/// [`AnalysisArtifact`] and re-threshold in O(pairs) per point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisKey {
+    /// Analysis window size `WS`.
+    pub window_size: u64,
+    /// Window layout policy (uniform or adaptive, with its knobs).
+    pub windowing: Windowing,
+}
+
+impl AnalysisKey {
+    /// Extracts the analysis-relevant subset of `params`.
+    #[must_use]
+    pub fn of(params: &DesignParams) -> Self {
+        Self {
+            window_size: params.window_size,
+            windowing: params.windowing,
         }
     }
 }
@@ -168,6 +197,127 @@ impl<'a> Collected<'a> {
             pre_ti: Preprocessed::analyze(&self.traffic.ti_trace, params),
         }
     }
+
+    /// Runs the window analysis once and captures it as a sweep-resident
+    /// [`AnalysisArtifact`]: stats and overlap profiles for both crossbar
+    /// directions, independent of the overlap threshold, `maxtb` and
+    /// solver knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is incompatible with this collection (see
+    /// [`Collected::analyze`]).
+    #[must_use]
+    pub fn analysis_artifact(&self, params: &DesignParams) -> AnalysisArtifact {
+        assert!(
+            self.is_compatible(params),
+            "analysis params change the collected traffic (arbitration, \
+             max_outstanding or response_scale differ from the collection \
+             run); collect again for these parameters"
+        );
+        // Route through `Preprocessed::analyze` so the windowing policy is
+        // interpreted in exactly one place.
+        let pre_it = Preprocessed::analyze(&self.traffic.it_trace, params);
+        let pre_ti = Preprocessed::analyze(&self.traffic.ti_trace, params);
+        AnalysisArtifact {
+            collection: self.key,
+            key: AnalysisKey::of(params),
+            it: (pre_it.stats, pre_it.profile),
+            ti: (pre_ti.stats, pre_ti.profile),
+        }
+    }
+
+    /// Phase 2 from a sweep-resident artifact: re-thresholds the cached
+    /// profiles for `params` in O(pairs) instead of re-running the window
+    /// analysis. Bit-identical to [`Collected::analyze`] for every
+    /// compatible `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is incompatible with this collection, or if the
+    /// artifact was built under a different [`CollectionKey`] or
+    /// [`AnalysisKey`] than `params` describes.
+    #[must_use]
+    pub fn analyze_with(&self, artifact: &AnalysisArtifact, params: &DesignParams) -> Analyzed<'_> {
+        assert!(
+            self.is_compatible(params),
+            "analysis params change the collected traffic; collect again \
+             for these parameters"
+        );
+        assert!(
+            artifact.collection == self.key && artifact.key == AnalysisKey::of(params),
+            "analysis artifact was built under a different collection or \
+             window plan; call `analysis_artifact` for these parameters"
+        );
+        Analyzed {
+            collected: self,
+            params: params.clone(),
+            pre_it: Preprocessed::from_profile(
+                artifact.it.0.clone(),
+                artifact.it.1.clone(),
+                params,
+            ),
+            pre_ti: Preprocessed::from_profile(
+                artifact.ti.0.clone(),
+                artifact.ti.1.clone(),
+                params,
+            ),
+        }
+    }
+
+    /// Analyzes a whole θ-sweep on one window analysis: the first point
+    /// pays the sweep-line pass, every further threshold re-derives its
+    /// conflict graphs in O(pairs). Each returned [`Analyzed`] is
+    /// bit-identical to a fresh [`Collected::analyze`] at that threshold.
+    #[must_use]
+    pub fn analyze_sweep(&self, base: &DesignParams, thresholds: &[f64]) -> Vec<Analyzed<'_>> {
+        if thresholds.is_empty() {
+            return Vec::new();
+        }
+        let artifact = self.analysis_artifact(base);
+        thresholds
+            .iter()
+            .map(|&theta| self.analyze_with(&artifact, &base.clone().with_overlap_threshold(theta)))
+            .collect()
+    }
+}
+
+/// Sweep-resident phase-2 artifact: the window statistics and
+/// [`OverlapProfile`]s of both crossbar directions under one
+/// ([`CollectionKey`], [`AnalysisKey`]) pair.
+///
+/// Everything here is threshold-independent, so a θ/`maxtb`/strategy sweep
+/// holds one artifact and fans out [`Collected::analyze_with`] per point —
+/// window analysis runs once per `(app, key)` instead of once per point.
+#[derive(Debug, Clone)]
+pub struct AnalysisArtifact {
+    collection: CollectionKey,
+    key: AnalysisKey,
+    /// Request-path (initiator→target) stats and profile.
+    it: (WindowStats, OverlapProfile),
+    /// Response-path (target→initiator) stats and profile.
+    ti: (WindowStats, OverlapProfile),
+}
+
+impl AnalysisArtifact {
+    /// The analysis-relevant parameter subset this artifact was built for.
+    #[must_use]
+    pub fn key(&self) -> AnalysisKey {
+        self.key
+    }
+
+    /// The collection key of the traffic this artifact analyzed.
+    #[must_use]
+    pub fn collection_key(&self) -> CollectionKey {
+        self.collection
+    }
+
+    /// Whether `params` can legally reuse this artifact (same collection
+    /// and window plan; threshold/`maxtb`/solver knobs are free).
+    #[must_use]
+    pub fn is_compatible(&self, params: &DesignParams) -> bool {
+        self.collection == CollectionKey::of(params) && self.key == AnalysisKey::of(params)
+    }
 }
 
 /// Phase-2 artifact: windowed statistics and conflicts for both
@@ -203,6 +353,24 @@ impl<'a> Analyzed<'a> {
     #[must_use]
     pub fn collected(&self) -> &'a Collected<'a> {
         self.collected
+    }
+
+    /// Re-thresholds this analysis at a new overlap threshold without
+    /// re-running the window analysis (O(pairs) per direction via the
+    /// sweep-resident [`OverlapProfile`]). The result is bit-identical to
+    /// `self.collected().analyze(&params_at_theta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    #[must_use]
+    pub fn at_threshold(&self, threshold: f64) -> Analyzed<'a> {
+        Analyzed {
+            collected: self.collected,
+            params: self.params.clone().with_overlap_threshold(threshold),
+            pre_it: self.pre_it.at_threshold(threshold),
+            pre_ti: self.pre_ti.at_threshold(threshold),
+        }
     }
 
     /// Phase 3: synthesises both crossbar directions with `strategy`.
@@ -502,6 +670,55 @@ mod tests {
         }
         // Smaller windows never shrink the crossbar.
         assert!(buses[0] >= buses[1] && buses[1] >= buses[2]);
+    }
+
+    #[test]
+    fn threshold_sweep_reuses_window_analysis() {
+        let app = workloads::matrix::mat2(42);
+        let base = DesignParams::default();
+        let collected = Pipeline::collect(&app, &base);
+        let thresholds = [0.05, 0.15, 0.25, 0.40];
+
+        // Route 1: fresh analysis per point (the pre-PR sweep cost).
+        // Route 2: one artifact, O(pairs) re-threshold per point.
+        // Route 3: re-threshold from an existing Analyzed.
+        let swept = collected.analyze_sweep(&base, &thresholds);
+        let first = collected.analyze(&base.clone().with_overlap_threshold(thresholds[0]));
+        assert_eq!(swept.len(), thresholds.len());
+        for (&theta, incremental) in thresholds.iter().zip(&swept) {
+            let params = base.clone().with_overlap_threshold(theta);
+            let fresh = collected.analyze(&params);
+            let hopped = first.at_threshold(theta);
+            for (label, a) in [("sweep", incremental), ("hop", &hopped)] {
+                assert_eq!(
+                    a.pre_it().conflicts,
+                    fresh.pre_it().conflicts,
+                    "{label} IT conflicts at θ={theta}"
+                );
+                assert_eq!(a.pre_ti().conflicts, fresh.pre_ti().conflicts);
+                assert_eq!(a.pre_it().stats, fresh.pre_it().stats);
+                assert_eq!(a.params().overlap_threshold, theta);
+            }
+            // And the synthesis downstream agrees bit for bit.
+            let s_fresh = fresh.synthesize(&Exact::default()).expect("ok");
+            let s_sweep = incremental.synthesize(&Exact::default()).expect("ok");
+            assert_eq!(
+                s_fresh.it.config.assignment(),
+                s_sweep.it.config.assignment()
+            );
+            assert_eq!(s_fresh.it.probes, s_sweep.it.probes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different collection or window plan")]
+    fn artifact_window_mismatch_rejected() {
+        let app = workloads::matrix::mat2(42);
+        let base = DesignParams::default();
+        let collected = Pipeline::collect(&app, &base);
+        let artifact = collected.analysis_artifact(&base);
+        let other = base.with_window_size(500);
+        let _ = collected.analyze_with(&artifact, &other);
     }
 
     #[test]

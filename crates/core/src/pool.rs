@@ -1,0 +1,89 @@
+//! Scoped worker-pool primitives shared by the parallel front ends.
+//!
+//! Both the design-space [`crate::Batch`] runner and the phase-3
+//! [`crate::phase3::ProbeScheduler`] need the same thing: run a slice of
+//! independent jobs on a bounded number of threads and get the results
+//! back **in input order**, so the surrounding algorithm stays
+//! deterministic no matter how the OS schedules the workers. `rayon` would
+//! be the natural substrate, but the workspace builds offline without
+//! third-party crates; `std::thread::scope` plus an atomic work queue has
+//! the same semantics in a few lines.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers a caller gets when it doesn't specify one:
+/// [`std::thread::available_parallelism`], with a fallback of 1.
+#[must_use]
+pub(crate) fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map on a scoped worker pool.
+///
+/// Workers pull indices from an atomic counter, so there is no
+/// partitioning skew; results land in their input slots, so the output
+/// order (and therefore the whole run) is independent of scheduling.
+/// `workers <= 1` degenerates to a plain sequential map with no threads
+/// spawned.
+pub(crate) fn par_map<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers <= 1 || items.len() == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker pool filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 7, 64] {
+            let out = par_map(&items, workers, |&x| x * 2);
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[41], 8, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+    }
+}

@@ -19,8 +19,9 @@
 
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use crate::phase3::{synthesize, synthesize_heuristic_with, SynthesisOutcome};
+use crate::phase3::{synthesize, synthesize_heuristic_with, ProbeScheduler, SynthesisOutcome};
 use stbus_milp::{HeuristicOptions, NodeLimitExceeded, SolveLimits};
+use std::num::NonZeroUsize;
 
 /// A phase-3 solving strategy: turns a preprocessed analysis into a
 /// synthesised crossbar for one direction.
@@ -47,6 +48,12 @@ pub trait Synthesizer: Sync {
 pub struct Exact {
     /// Overrides [`DesignParams::solve_limits`] when set.
     pub limits: Option<SolveLimits>,
+    /// Speculative feasibility-probe parallelism: `None` runs the classic
+    /// sequential binary search; `Some(j)` solves probe waves of up to `j`
+    /// on a scoped [`ProbeScheduler`] pool. Outcomes are bit-identical
+    /// either way (the scheduler replays the sequential search against
+    /// cached probe answers), so this is purely a wall-clock knob.
+    pub jobs: Option<NonZeroUsize>,
 }
 
 impl Exact {
@@ -55,7 +62,15 @@ impl Exact {
     pub fn with_limits(limits: SolveLimits) -> Self {
         Self {
             limits: Some(limits),
+            ..Self::default()
         }
+    }
+
+    /// Exact solving with speculative probe parallelism (builder style).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: NonZeroUsize) -> Self {
+        self.jobs = Some(jobs);
+        self
     }
 
     fn effective_params(&self, params: &DesignParams) -> DesignParams {
@@ -80,7 +95,11 @@ impl Synthesizer for Exact {
         pre: &Preprocessed,
         params: &DesignParams,
     ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
-        synthesize(pre, &self.effective_params(params))
+        let params = self.effective_params(params);
+        match self.jobs {
+            None => synthesize(pre, &params),
+            Some(jobs) => ProbeScheduler::new(jobs).synthesize(pre, &params),
+        }
     }
 }
 
@@ -118,13 +137,25 @@ impl Synthesizer for Heuristic {
 ///
 /// The outcome's [`SynthesisOutcome::engine`] records which engine
 /// answered, so sweeps can count how often the budget sufficed.
+///
+/// With [`Portfolio::with_jobs`], the exact attempt runs on the parallel
+/// [`ProbeScheduler`] with the deterministic per-probe
+/// exact-vs-heuristic race enabled ([`ProbeScheduler::with_race`]): each
+/// feasibility probe tries the polynomial heuristic first and only calls
+/// the exact solver when the heuristic fails to certify the bus count.
+/// When the exact search is within budget the outcome is bit-identical
+/// to the sequential portfolio; under starvation the raced attempt can
+/// only succeed more often before the heuristic fallback engages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Portfolio {
     /// Node budget for the exact attempt. Defaults to
     /// [`DesignParams::solve_limits`] when `None`.
     pub exact_limits: Option<SolveLimits>,
-    /// Options for the heuristic fallback.
+    /// Options for the heuristic fallback (and, in raced mode, for the
+    /// per-probe heuristic pre-pass).
     pub heuristic: HeuristicOptions,
+    /// Probe parallelism of the exact attempt; `None` = sequential.
+    pub jobs: Option<NonZeroUsize>,
 }
 
 impl Portfolio {
@@ -135,6 +166,13 @@ impl Portfolio {
             exact_limits: Some(limits),
             ..Self::default()
         }
+    }
+
+    /// Portfolio with parallel raced probes (builder style).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: NonZeroUsize) -> Self {
+        self.jobs = Some(jobs);
+        self
     }
 }
 
@@ -148,10 +186,18 @@ impl Synthesizer for Portfolio {
         pre: &Preprocessed,
         params: &DesignParams,
     ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
-        let exact = Exact {
+        let effective = Exact {
             limits: self.exact_limits,
+            jobs: None,
+        }
+        .effective_params(params);
+        let attempt = match self.jobs {
+            None => synthesize(pre, &effective),
+            Some(jobs) => ProbeScheduler::new(jobs)
+                .with_race(self.heuristic)
+                .synthesize(pre, &effective),
         };
-        match exact.synthesize(pre, params) {
+        match attempt {
             Ok(outcome) => Ok(outcome),
             Err(NodeLimitExceeded { .. }) => {
                 synthesize_heuristic_with(pre, params, &self.heuristic)
@@ -175,10 +221,22 @@ impl SolverKind {
     /// Instantiates the default-configured strategy for this kind.
     #[must_use]
     pub fn synthesizer(self) -> Box<dyn Synthesizer> {
+        self.synthesizer_with_jobs(None)
+    }
+
+    /// Instantiates the strategy with explicit probe parallelism for the
+    /// kinds that search (the heuristic's upward scan has no probes to
+    /// speculate, so `jobs` is ignored there). This is what the CLI's
+    /// `--jobs` flag plumbs through.
+    #[must_use]
+    pub fn synthesizer_with_jobs(self, jobs: Option<NonZeroUsize>) -> Box<dyn Synthesizer> {
         match self {
-            SolverKind::Exact => Box::new(Exact::default()),
+            SolverKind::Exact => Box::new(Exact { limits: None, jobs }),
             SolverKind::Heuristic => Box::new(Heuristic::default()),
-            SolverKind::Portfolio => Box::new(Portfolio::default()),
+            SolverKind::Portfolio => Box::new(Portfolio {
+                jobs,
+                ..Portfolio::default()
+            }),
         }
     }
 }
@@ -242,6 +300,28 @@ mod tests {
         let comfortable = Portfolio::default();
         let outcome = comfortable.synthesize(&pre, &params).unwrap();
         assert_eq!(outcome.engine, SynthesisEngine::Exact);
+    }
+
+    #[test]
+    fn parallel_strategies_match_sequential() {
+        let (pre, params) = mat2_pre();
+        let seq_exact = Exact::default().synthesize(&pre, &params).unwrap();
+        let par_exact = Exact::default()
+            .with_jobs(NonZeroUsize::new(8).unwrap())
+            .synthesize(&pre, &params)
+            .unwrap();
+        assert_eq!(par_exact.probes, seq_exact.probes);
+        assert_eq!(par_exact.binding, seq_exact.binding);
+        assert_eq!(par_exact.engine, seq_exact.engine);
+
+        let seq_pf = Portfolio::default().synthesize(&pre, &params).unwrap();
+        let par_pf = Portfolio::default()
+            .with_jobs(NonZeroUsize::new(8).unwrap())
+            .synthesize(&pre, &params)
+            .unwrap();
+        assert_eq!(par_pf.probes, seq_pf.probes);
+        assert_eq!(par_pf.binding, seq_pf.binding);
+        assert_eq!(par_pf.engine, SynthesisEngine::Exact);
     }
 
     #[test]

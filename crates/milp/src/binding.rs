@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Search effort limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +40,7 @@ pub struct SolveLimits {
     /// outright by the conflict mask or the `maxtb` cap are filtered
     /// before they reach the budget, so a given budget buys strictly more
     /// search than it did under the pre-refactor accounting preserved in
-    /// [`crate::dense`] (which charges every candidate).
+    /// `crate::dense` (which charges every candidate).
     pub max_nodes: u64,
 }
 
@@ -67,6 +68,44 @@ impl fmt::Display for NodeLimitExceeded {
 }
 
 impl Error for NodeLimitExceeded {}
+
+/// Why a cancellable search stopped before reaching a definitive answer.
+///
+/// Speculative callers (the phase-3 probe scheduler) solve bindings whose
+/// answers may become irrelevant while they are being computed; raising
+/// the cancellation flag makes the search bail at the next node-count
+/// checkpoint instead of finishing a proof nobody will read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchInterrupted {
+    /// The node budget ran out before the search completed.
+    Budget(NodeLimitExceeded),
+    /// The caller raised the cancellation flag; the partial answer is
+    /// withheld (an interrupted search proves nothing), but unlike a
+    /// budget error the caller asked for the interruption.
+    Cancelled,
+}
+
+impl From<NodeLimitExceeded> for SearchInterrupted {
+    fn from(e: NodeLimitExceeded) -> Self {
+        SearchInterrupted::Budget(e)
+    }
+}
+
+impl fmt::Display for SearchInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchInterrupted::Budget(e) => e.fmt(f),
+            SearchInterrupted::Cancelled => write!(f, "binding search cancelled by the caller"),
+        }
+    }
+}
+
+impl Error for SearchInterrupted {}
+
+/// How many branch attempts pass between two polls of the cancellation
+/// flag: rare enough to stay off the profile, frequent enough that a
+/// cancelled search returns within microseconds.
+const CANCEL_POLL_MASK: u64 = 0xFFF;
 
 /// A complete target→bus assignment together with its objective value.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -442,6 +481,25 @@ impl BindingProblem {
         self.search(limits, None)
     }
 
+    /// [`BindingProblem::find_feasible`] with a cooperative cancellation
+    /// flag: when `cancel` becomes `true` the search returns
+    /// [`SearchInterrupted::Cancelled`] at its next checkpoint (within a
+    /// few thousand nodes). An un-cancelled run behaves exactly like
+    /// `find_feasible` — same branching, same node accounting, same
+    /// answer.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchInterrupted::Budget`] when the node budget runs out,
+    /// [`SearchInterrupted::Cancelled`] when the flag was raised.
+    pub fn find_feasible_cancellable(
+        &self,
+        limits: &SolveLimits,
+        cancel: &AtomicBool,
+    ) -> Result<Option<Binding>, SearchInterrupted> {
+        self.search_with(limits, None, Some(cancel))
+    }
+
     /// Finds the binding minimising the maximum per-bus overlap (the
     /// paper's MILP-2, Eq. 11). Returns `Ok(None)` when infeasible.
     ///
@@ -462,13 +520,30 @@ impl BindingProblem {
         }
     }
 
-    /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
-    /// binding with max overlap strictly below `b` and keeps improving.
+    /// [`BindingProblem::search_with`] without cancellation; the only
+    /// interruption left is the node budget.
     fn search(
         &self,
         limits: &SolveLimits,
         incumbent_bound: Option<u64>,
     ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        self.search_with(limits, incumbent_bound, None)
+            .map_err(|e| match e {
+                SearchInterrupted::Budget(b) => b,
+                SearchInterrupted::Cancelled => {
+                    unreachable!("no cancellation flag was supplied")
+                }
+            })
+    }
+
+    /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
+    /// binding with max overlap strictly below `b` and keeps improving.
+    fn search_with(
+        &self,
+        limits: &SolveLimits,
+        incumbent_bound: Option<u64>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Binding>, SearchInterrupted> {
         if self.num_targets == 0 {
             return Ok(Some(Binding {
                 assignment: Vec::new(),
@@ -558,11 +633,12 @@ impl BindingProblem {
             cands: &mut [Vec<(u64, usize)>],
             nodes: &mut u64,
             limits: &SolveLimits,
+            cancel: Option<&AtomicBool>,
             bound: &mut Option<u64>,
             optimizing: bool,
             best: &mut Option<Binding>,
             assignment: &mut Vec<usize>,
-        ) -> Result<bool, NodeLimitExceeded> {
+        ) -> Result<bool, SearchInterrupted> {
             let depth = assignment.len();
             if depth == order.len() {
                 // In pure feasibility mode the per-bus overlap sums are not
@@ -614,7 +690,7 @@ impl BindingProblem {
             // hence the result) are unchanged. Vetoed buses no longer
             // count against the node budget (see [`SolveLimits`]): under
             // a finite budget this search completes strictly more work
-            // than the pre-refactor accounting in [`crate::dense`].
+            // than the pre-refactor accounting in `crate::dense`.
             let (candidates, rest) = cands.split_first_mut().expect("depth < num_targets");
             candidates.clear();
             for k in 0..problem.num_buses {
@@ -645,9 +721,19 @@ impl BindingProblem {
             for &(added, k) in candidates.iter() {
                 *nodes += 1;
                 if *nodes > limits.max_nodes {
-                    return Err(NodeLimitExceeded {
+                    return Err(SearchInterrupted::Budget(NodeLimitExceeded {
                         limit: limits.max_nodes,
-                    });
+                    }));
+                }
+                // The poll is outside the budget accounting, so an
+                // un-cancelled run explores exactly the nodes the plain
+                // search explores.
+                if *nodes & CANCEL_POLL_MASK == 0 {
+                    if let Some(flag) = cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            return Err(SearchInterrupted::Cancelled);
+                        }
+                    }
                 }
                 if let Some(b) = *bound {
                     if st.bus_overlap[k] + added >= b {
@@ -685,7 +771,7 @@ impl BindingProblem {
                 assignment.push(k);
 
                 let done = dfs(
-                    problem, order, sparse, peak, total, st, rest, nodes, limits, bound,
+                    problem, order, sparse, peak, total, st, rest, nodes, limits, cancel, bound,
                     optimizing, best, assignment,
                 )?;
 
@@ -717,6 +803,7 @@ impl BindingProblem {
             &mut cand_store,
             &mut nodes,
             limits,
+            cancel,
             &mut bound,
             optimizing,
             &mut best,
@@ -865,6 +952,41 @@ mod tests {
             .expect_err("should exceed");
         assert_eq!(err.limit, 3);
         assert!(err.to_string().contains("3-node"));
+    }
+
+    #[test]
+    fn cancellable_search_matches_plain_when_not_cancelled() {
+        let mut p = BindingProblem::new(3, 100, vec![vec![60], vec![50], vec![40], vec![30]]);
+        p.add_conflict(0, 1);
+        let flag = AtomicBool::new(false);
+        let cancellable = p
+            .find_feasible_cancellable(&limits(), &flag)
+            .expect("within limits");
+        let plain = p.find_feasible(&limits()).expect("within limits");
+        assert_eq!(cancellable, plain);
+    }
+
+    #[test]
+    fn pre_raised_flag_cancels_hard_instances() {
+        // An instance whose infeasibility proof takes far more than one
+        // poll interval: the pre-raised flag must stop it early.
+        let n = 24usize;
+        let p = BindingProblem::new(5, 100, vec![vec![18]; n]).with_maxtb(4);
+        let flag = AtomicBool::new(true);
+        match p.find_feasible_cancellable(&SolveLimits::default(), &flag) {
+            Err(SearchInterrupted::Cancelled) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_error_survives_the_cancellable_path() {
+        let p = BindingProblem::new(4, 100, vec![vec![26]; 12]);
+        let flag = AtomicBool::new(false);
+        match p.find_feasible_cancellable(&SolveLimits { max_nodes: 3 }, &flag) {
+            Err(SearchInterrupted::Budget(e)) => assert_eq!(e.limit, 3),
+            other => panic!("expected budget error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //!   [`stbus_traffic::ConflictGraph`] row) and bus symmetry breaking, plus
 //!   a branch-and-bound mode minimising the maximum per-bus overlap (the
 //!   paper's MILP-2). The pre-refactor dense-matrix search survives in
-//!   [`dense`] as the reference the bitset solver is proven bit-identical
-//!   to (and benchmarked against).
+//!   `dense` as the reference the bitset solver is proven bit-identical
+//!   to (and benchmarked against) — gated behind the default-off
+//!   `dense-reference` cargo feature so production builds carry only the
+//!   bitset solver; the equivalence suites and the phase3 bench enable it.
 //!
 //! Both return provably optimal/feasible answers; the generic layer
 //! cross-validates the specialised one in the test-suite. The instances the
@@ -47,12 +49,13 @@
 pub mod binding;
 pub mod branch_bound;
 pub mod crossbar;
+#[cfg(feature = "dense-reference")]
 pub mod dense;
 pub mod heuristic;
 pub mod model;
 pub mod simplex;
 
-pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SolveLimits};
+pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SolveLimits};
 pub use branch_bound::{solve, MilpOptions, MilpOutcome};
 pub use heuristic::{solve_heuristic, HeuristicOptions};
 pub use model::{Cmp, LinExpr, Model, Sense, VarId};

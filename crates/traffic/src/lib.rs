@@ -16,6 +16,10 @@
 //!   critical streams (with [`ConflictMatrix`] as its packed-triangle
 //!   display form) — the shared feasibility core every binding solver
 //!   queries in its innermost loop;
+//! * the sweep-resident [`OverlapProfile`]: per-pair peak overlaps
+//!   extracted once from the window analysis, after which any overlap
+//!   threshold re-derives its conflict graph in O(pairs) instead of
+//!   re-scanning every window;
 //! * burst detection ([`burst`]) used by the window-sizing study (Fig. 5);
 //! * parameterised MPSoC [`workloads`] reproducing the traffic structure of
 //!   the paper's benchmark suites (matrix multiplication, FFT, quicksort,
@@ -44,6 +48,7 @@ pub mod ids;
 pub mod interval;
 pub mod io;
 pub mod model;
+pub mod overlap_profile;
 pub mod stats;
 pub mod trace;
 pub mod window;
@@ -56,6 +61,7 @@ pub use conflict_graph::{ConflictGraph, TargetSet};
 pub use ids::{InitiatorId, TargetId};
 pub use io::{read_trace, trace_from_str, trace_to_string, write_trace, ParseTraceError};
 pub use model::{CoreKind, InitiatorSpec, SocSpec, TargetSpec};
+pub use overlap_profile::OverlapProfile;
 pub use stats::Summary;
 pub use trace::{Trace, TraceEvent};
 pub use window::{OverlapMatrix, WindowStats};

@@ -1,0 +1,429 @@
+//! Sweep-resident overlap profiles — pay window analysis once, re-threshold
+//! in O(pairs).
+//!
+//! The design flow is fundamentally a parameter sweep: the same windowed
+//! trace is re-examined across many `overlap_threshold` settings while the
+//! underlying [`WindowStats`] never change. [`ConflictGraph::from_stats`]
+//! re-derives the conflict relation from scratch at every sweep point —
+//! O(pairs × windows) each time — even though the threshold test only ever
+//! consults two per-pair facts:
+//!
+//! * the **peak** per-window overlap of the pair, separately for every
+//!   distinct window *length* (variable plans threshold each window
+//!   against its own length, so one peak per length class is exact); and
+//! * whether the pair's critical streams clash (threshold-independent).
+//!
+//! [`OverlapProfile`] extracts exactly those facts in one pass. After
+//! that, [`OverlapProfile::conflict_graph`] (or the equivalent
+//! [`ConflictGraph::at_threshold`]) rebuilds the graph for any θ in
+//! O(pairs × length-classes) — no window scan, no interval sets, and
+//! **bit-identical** to a fresh [`ConflictGraph::from_stats`] at the same
+//! threshold (a property test in this module proves it on random traces).
+//!
+//! A pair conflicts at threshold θ exactly when
+//!
+//! ```text
+//! ∃ length class L:  peak_overlap(i, j, L) > floor(θ · L)   or   critical(i, j)
+//! ```
+//!
+//! which matches the per-window rule `wo(i,j,m) > floor(θ · len(m))`
+//! because maximising over the windows of one length commutes with the
+//! fixed per-length limit.
+
+use crate::conflict_graph::ConflictGraph;
+use crate::window::WindowStats;
+use serde::{Deserialize, Serialize};
+
+/// Per-pair overlap facts of one pair that ever overlaps: indices, the
+/// critical-stream clash flag; the peaks live in the profile's flat
+/// `peaks` table at `pair_index * num_length_classes`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct PairFacts {
+    i: u32,
+    j: u32,
+    critical: bool,
+}
+
+/// Threshold-independent summary of a [`WindowStats`]: everything conflict
+/// extraction will ever ask, for any overlap threshold.
+///
+/// ```
+/// use stbus_traffic::{ConflictGraph, InitiatorId, TargetId, Trace, TraceEvent, WindowStats};
+///
+/// let mut tr = Trace::new(2, 2);
+/// tr.push(TraceEvent::new(InitiatorId::new(0), TargetId::new(0), 0, 60));
+/// tr.push(TraceEvent::new(InitiatorId::new(1), TargetId::new(1), 20, 60));
+/// let stats = WindowStats::analyze(&tr, 100);
+/// let profile = stats.overlap_profile();
+/// for theta in [0.1, 0.3, 0.5] {
+///     assert_eq!(
+///         profile.conflict_graph(theta),
+///         ConflictGraph::from_stats(&stats, theta),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapProfile {
+    n: usize,
+    /// Distinct window lengths, ascending — one peak column per entry.
+    lengths: Vec<u64>,
+    /// One entry per pair with non-zero aggregate overlap, in `(i, j)`
+    /// lexicographic order with `i < j`.
+    pairs: Vec<PairFacts>,
+    /// `peaks[p * lengths.len() + c]` = max over windows of length
+    /// `lengths[c]` of `wo(pairs[p], m)`.
+    peaks: Vec<u64>,
+}
+
+impl OverlapProfile {
+    /// A profile with no overlapping pairs: every threshold re-derives a
+    /// conflict-free graph.
+    ///
+    /// This is the placeholder for artifacts that are never re-thresholded
+    /// (baseline designs fix their conflict relation once and are dropped
+    /// after one solve) — it makes skipping the extraction cost explicit
+    /// rather than paying [`OverlapProfile::from_stats`] for data nobody
+    /// reads. Do **not** use it for anything a θ-sweep might touch.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            lengths: Vec::new(),
+            pairs: Vec::new(),
+            peaks: Vec::new(),
+        }
+    }
+
+    /// Extracts the profile from windowed statistics in one pass over the
+    /// non-zero overlap pairs (pairs that never overlap cost nothing, and
+    /// can never conflict at any threshold).
+    #[must_use]
+    pub fn from_stats(stats: &WindowStats) -> Self {
+        let n = stats.num_targets();
+        let num_windows = stats.num_windows();
+
+        // Distinct window lengths and each window's class index.
+        let mut lengths: Vec<u64> = (0..num_windows).map(|m| stats.window_len(m)).collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+        let class: Vec<usize> = (0..num_windows)
+            .map(|m| {
+                lengths
+                    .binary_search(&stats.window_len(m))
+                    .expect("every window length is catalogued")
+            })
+            .collect();
+
+        let mut pairs = Vec::new();
+        let mut peaks = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if stats.overlap_matrix().get(i, j) == 0 {
+                    continue;
+                }
+                let base = peaks.len();
+                peaks.resize(base + lengths.len(), 0u64);
+                for m in 0..num_windows {
+                    let wo = stats.window_overlap(i, j, m);
+                    let slot = &mut peaks[base + class[m]];
+                    *slot = (*slot).max(wo);
+                }
+                pairs.push(PairFacts {
+                    i: u32::try_from(i).expect("target index fits u32"),
+                    j: u32::try_from(j).expect("target index fits u32"),
+                    critical: stats.critical_streams_overlap(i, j),
+                });
+            }
+        }
+        Self {
+            n,
+            lengths,
+            pairs,
+            peaks,
+        }
+    }
+
+    /// Number of targets the profile spans.
+    #[must_use]
+    pub fn num_targets(&self) -> usize {
+        self.n
+    }
+
+    /// Number of pairs with a non-zero aggregate overlap — the work one
+    /// re-threshold pays.
+    #[must_use]
+    pub fn num_overlapping_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The distinct window lengths of the underlying plan (one for uniform
+    /// plans, a handful for adaptive ones).
+    #[must_use]
+    pub fn length_classes(&self) -> &[u64] {
+        &self.lengths
+    }
+
+    /// The pair's peak overlap as a fraction of its window length, taking
+    /// the most conflict-prone length class: the smallest θ at which the
+    /// pair still escapes a (non-critical) conflict. Reporting-oriented;
+    /// thresholding itself stays in exact integer arithmetic.
+    #[must_use]
+    pub fn peak_overlap_fraction(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "overlap index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let (a, b) = (a as u32, b as u32);
+        match self.pairs.binary_search_by(|p| (p.i, p.j).cmp(&(a, b))) {
+            Err(_) => 0.0,
+            Ok(p) => self
+                .peak_row(p)
+                .iter()
+                .zip(&self.lengths)
+                .map(|(&peak, &len)| peak as f64 / len as f64)
+                .fold(0.0, f64::max),
+        }
+    }
+
+    fn peak_row(&self, pair_index: usize) -> &[u64] {
+        let stride = self.lengths.len();
+        &self.peaks[pair_index * stride..(pair_index + 1) * stride]
+    }
+
+    /// Re-derives the conflict graph for `threshold` in
+    /// O(pairs × length-classes) — bit-identical to
+    /// [`ConflictGraph::from_stats`] on the stats this profile came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite (same contract as
+    /// [`ConflictGraph::from_stats`]).
+    #[must_use]
+    pub fn conflict_graph(&self, threshold: f64) -> ConflictGraph {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "overlap threshold must be a non-negative finite fraction"
+        );
+        let limits: Vec<u64> = self
+            .lengths
+            .iter()
+            .map(|&len| (threshold * len as f64).floor() as u64)
+            .collect();
+        let mut graph = ConflictGraph::none(self.n);
+        for (p, pair) in self.pairs.iter().enumerate() {
+            let over = pair.critical
+                || self
+                    .peak_row(p)
+                    .iter()
+                    .zip(&limits)
+                    .any(|(&peak, &limit)| peak > limit);
+            if over {
+                graph.forbid(pair.i as usize, pair.j as usize);
+            }
+        }
+        graph
+    }
+}
+
+impl WindowStats {
+    /// Extracts the sweep-resident [`OverlapProfile`] for these stats —
+    /// one pass, after which any overlap threshold re-derives its
+    /// [`ConflictGraph`] in O(pairs).
+    #[must_use]
+    pub fn overlap_profile(&self) -> OverlapProfile {
+        OverlapProfile::from_stats(self)
+    }
+}
+
+impl ConflictGraph {
+    /// Re-thresholds a sweep-resident [`OverlapProfile`] — the incremental
+    /// counterpart of [`ConflictGraph::from_stats`] for θ-sweeps, and
+    /// bit-identical to it at every threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    #[must_use]
+    pub fn at_threshold(profile: &OverlapProfile, threshold: f64) -> Self {
+        profile.conflict_graph(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{InitiatorId, TargetId};
+    use crate::trace::{Trace, TraceEvent};
+    use crate::window_plan::WindowPlan;
+
+    fn ev(i: usize, t: usize, start: u64, dur: u32) -> TraceEvent {
+        TraceEvent::new(InitiatorId::new(i), TargetId::new(t), start, dur)
+    }
+
+    fn overlapping_trace() -> Trace {
+        let mut tr = Trace::new(3, 4);
+        tr.push(ev(0, 0, 0, 80));
+        tr.push(ev(1, 1, 20, 80));
+        tr.push(ev(2, 2, 60, 30));
+        tr.push(ev(0, 3, 500, 40)); // never overlaps anyone
+        tr.finish_sorting();
+        tr
+    }
+
+    #[test]
+    fn profile_dimensions_and_pair_set() {
+        let stats = WindowStats::analyze(&overlapping_trace(), 100);
+        let profile = stats.overlap_profile();
+        assert_eq!(profile.num_targets(), 4);
+        assert_eq!(profile.length_classes(), &[100]);
+        // Pairs (0,1), (0,2), (1,2) overlap; target 3 never does.
+        assert_eq!(profile.num_overlapping_pairs(), 3);
+    }
+
+    #[test]
+    fn rethreshold_matches_from_stats_across_sweep() {
+        let stats = WindowStats::analyze(&overlapping_trace(), 100);
+        let profile = stats.overlap_profile();
+        for theta in [0.0, 0.05, 0.1, 0.2, 0.25, 0.3, 0.4, 0.5, 0.79, 1.0] {
+            assert_eq!(
+                profile.conflict_graph(theta),
+                ConflictGraph::from_stats(&stats, theta),
+                "threshold {theta}"
+            );
+            assert_eq!(
+                ConflictGraph::at_threshold(&profile, theta),
+                ConflictGraph::from_stats(&stats, theta),
+            );
+        }
+    }
+
+    #[test]
+    fn variable_window_plans_keep_per_length_limits() {
+        // Adaptive plan: fine 100-cycle windows over the dense region, one
+        // coarse window over the quiet tail. The same absolute overlap is
+        // a conflict in a fine window but not in the coarse one, so the
+        // profile must keep the peaks per length class.
+        let mut tr = Trace::new(2, 2);
+        tr.push(ev(0, 0, 0, 60));
+        tr.push(ev(1, 1, 20, 60));
+        tr.push(ev(0, 0, 4_000, 60));
+        tr.push(ev(1, 1, 4_020, 60));
+        tr.finish_sorting();
+        let plan = WindowPlan::adaptive(&tr, 100, 1_600, 0.05);
+        let stats = plan.analyze(&tr);
+        assert!(!stats.is_uniform(), "plan must mix window lengths");
+        let profile = stats.overlap_profile();
+        assert!(profile.length_classes().len() >= 2);
+        for theta in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+            assert_eq!(
+                profile.conflict_graph(theta),
+                ConflictGraph::from_stats(&stats, theta),
+                "threshold {theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_fraction_reports_worst_class() {
+        // 40 cycles of overlap inside one 100-cycle window.
+        let mut tr = Trace::new(2, 2);
+        tr.push(ev(0, 0, 0, 60));
+        tr.push(ev(1, 1, 20, 60));
+        tr.finish_sorting();
+        let profile = WindowStats::analyze(&tr, 100).overlap_profile();
+        assert!((profile.peak_overlap_fraction(0, 1) - 0.4).abs() < 1e-12);
+        assert!((profile.peak_overlap_fraction(1, 0) - 0.4).abs() < 1e-12);
+        assert_eq!(profile.peak_overlap_fraction(0, 0), 0.0);
+    }
+
+    #[test]
+    fn critical_pairs_conflict_at_every_threshold() {
+        let mut tr = Trace::new(2, 2);
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(0),
+            TargetId::new(0),
+            0,
+            5,
+        ));
+        tr.push(TraceEvent::critical(
+            InitiatorId::new(1),
+            TargetId::new(1),
+            3,
+            5,
+        ));
+        let profile = WindowStats::analyze(&tr, 1_000).overlap_profile();
+        for theta in [0.0, 0.25, 0.5, 2.0] {
+            assert!(profile.conflict_graph(theta).conflicts(0, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap threshold")]
+    fn invalid_threshold_panics() {
+        let profile = WindowStats::analyze(&Trace::new(1, 1), 100).overlap_profile();
+        let _ = profile.conflict_graph(f64::NAN);
+    }
+
+    #[test]
+    fn empty_stats_profile() {
+        let profile = WindowStats::analyze(&Trace::new(0, 0), 100).overlap_profile();
+        assert_eq!(profile.num_targets(), 0);
+        assert_eq!(profile.num_overlapping_pairs(), 0);
+        assert_eq!(profile.conflict_graph(0.25), ConflictGraph::none(0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_trace() -> impl Strategy<Value = Trace> {
+            prop::collection::vec(
+                (
+                    0usize..3,
+                    0usize..6,
+                    0u64..500,
+                    1u32..80,
+                    proptest::bool::ANY,
+                ),
+                1..60,
+            )
+            .prop_map(|events| {
+                let mut tr = Trace::new(3, 6);
+                for (i, t, s, d, critical) in events {
+                    tr.push(if critical {
+                        TraceEvent::critical(InitiatorId::new(i), TargetId::new(t), s, d)
+                    } else {
+                        TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d)
+                    });
+                }
+                tr.finish_sorting();
+                tr
+            })
+        }
+
+        proptest! {
+            /// One profile, any threshold: the re-thresholded graph equals
+            /// a fresh `ConflictGraph::from_stats` bit for bit — on both
+            /// uniform and adaptive window plans.
+            #[test]
+            fn rethreshold_equals_fresh_graph(
+                tr in arb_trace(),
+                ws in 1u64..250,
+                theta in 0u32..=60,
+            ) {
+                let threshold = f64::from(theta) / 100.0;
+                for stats in [
+                    WindowStats::analyze(&tr, ws),
+                    WindowPlan::adaptive(&tr, ws, ws * 8, 0.05).analyze(&tr),
+                ] {
+                    let profile = stats.overlap_profile();
+                    prop_assert_eq!(
+                        profile.conflict_graph(threshold),
+                        ConflictGraph::from_stats(&stats, threshold)
+                    );
+                }
+            }
+        }
+    }
+}

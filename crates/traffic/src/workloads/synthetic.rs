@@ -122,6 +122,41 @@ pub fn synthetic20(seed: u64) -> Application {
     with_params(&SyntheticParams::default(), seed)
 }
 
+/// The scaled SoC family for the phase-3 size sweep: `targets` processors
+/// with `targets` private memories, same burst structure as the paper's
+/// synthetic benchmark.
+///
+/// This is the multi-word [`crate::TargetSet`] stress workload — at 48 and
+/// 96 targets the conflict rows span one and two full `u64` words beyond
+/// the paper's largest suite. The duty cycle eases slightly as the SoC
+/// grows so the conflict graph stays dense enough to exercise the solvers
+/// without making exact infeasibility proofs intractable at bench time.
+///
+/// # Panics
+///
+/// Panics if `targets == 0`.
+#[must_use]
+pub fn scaled_soc(targets: usize, seed: u64) -> Application {
+    assert!(targets > 0, "the SoC needs at least one target");
+    // 12/24 keep the historical 0.35 duty (the 24-target point must stay
+    // comparable with the PR-2 snapshot); larger SoCs back off so the
+    // aggregate bandwidth pressure — and with it the exact search depth —
+    // grows sub-linearly with the target count.
+    let duty = match targets {
+        0..=24 => 0.35,
+        25..=48 => 0.28,
+        _ => 0.22,
+    };
+    with_params(
+        &SyntheticParams {
+            processors: targets,
+            duty,
+            ..SyntheticParams::default()
+        },
+        seed,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +191,24 @@ mod tests {
             ml > 3.0 * ms,
             "burst span did not scale: small {ms:.0}, large {ml:.0}"
         );
+    }
+
+    #[test]
+    fn scaled_family_spans_multiple_words() {
+        for targets in [12usize, 24, 48, 96] {
+            let app = scaled_soc(targets, 7);
+            assert_eq!(app.spec.num_targets(), targets);
+            assert_eq!(app.spec.num_initiators(), targets);
+            assert!(!app.trace.is_empty());
+        }
+        // 96 targets span two bitset words — the multi-word stress case.
+        assert!(scaled_soc(96, 7).spec.num_targets() > 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn scaled_family_rejects_empty_soc() {
+        let _ = scaled_soc(0, 1);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
 //! stbus analyze    --trace FILE [--window N] [--threshold F]
 //! stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
-//!                  [--solver exact|heuristic|portfolio] [--json]
+//!                  [--solver exact|heuristic|portfolio] [--jobs N] [--json]
 //! stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-//! stbus suite      [--solver exact|heuristic|portfolio] [--json]
+//! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N] [--json]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -15,11 +15,18 @@
 //! the human-readable output of `synthesize` and `suite` for
 //! machine-readable JSON on stdout. The `suite` command evaluates the
 //! five paper benchmarks in parallel through [`stbus::core::Batch`].
+//!
+//! `--jobs N` caps the worker threads: for `synthesize` it sizes the
+//! speculative feasibility-probe scheduler of phase 3, for `suite` the
+//! batch worker pool. It defaults to the machine's available parallelism;
+//! `--jobs 1` forces a fully sequential run. Results are bit-identical at
+//! every setting — the flag only trades wall-clock for cores.
 
 use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
 use stbus::report::Table;
 use stbus::sim::{simulate, CrossbarConfig};
 use stbus::traffic::{io, workloads, Trace, WindowStats};
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -39,9 +46,15 @@ const USAGE: &str = "usage:
   stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
   stbus analyze    --trace FILE [--window N] [--threshold F]
   stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
-                   [--solver exact|heuristic|portfolio] [--json]
+                   [--solver exact|heuristic|portfolio] [--jobs N] [--json]
   stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-  stbus suite      [--solver exact|heuristic|portfolio] [--json]";
+  stbus suite      [--solver exact|heuristic|portfolio] [--jobs N] [--json]";
+
+/// Parses a `--jobs` value (≥ 1).
+fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
+    parse::<usize>(text, "jobs")
+        .and_then(|n| NonZeroUsize::new(n).ok_or_else(|| "--jobs needs at least 1".to_string()))
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut args = args.iter().map(String::as_str);
@@ -174,6 +187,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     let mut trace_path = None;
     let mut params = DesignParams::default();
     let mut solver = SolverKind::Exact;
+    let mut jobs: Option<NonZeroUsize> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
@@ -186,6 +200,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             }
             "--maxtb" => params = params.with_maxtb(parse(value(args, flag)?, "maxtb")?),
             "--solver" => solver = value(args, flag)?.parse()?,
+            "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
             "--heuristic" => {
                 eprintln!("note: --heuristic is deprecated; use --solver heuristic");
                 solver = SolverKind::Heuristic;
@@ -194,10 +209,13 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    // Default: one probe worker per available core (results are
+    // bit-identical at any width, so parallel is always safe).
+    let jobs = jobs.or_else(|| std::thread::available_parallelism().ok());
     let trace = load_trace(trace_path.as_deref())?;
     let pre = Preprocessed::analyze(&trace, &params);
     let outcome = solver
-        .synthesizer()
+        .synthesizer_with_jobs(jobs)
         .synthesize(&pre, &params)
         .map_err(|e| e.to_string())?;
     if json {
@@ -317,26 +335,32 @@ fn simulate_cmd<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), Stri
 
 fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut solver = SolverKind::Exact;
+    let mut jobs: Option<NonZeroUsize> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
             "--solver" => solver = value(args, flag)?.parse()?,
+            "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
             "--json" => json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     let apps = workloads::paper_suite(0xDA7E_2005);
     // One batch over the whole suite: phase 1 runs once per application
-    // and the five evaluations spread across the worker pool.
-    let results = Batch::per_app(&apps, |app| match app.name() {
+    // and the five evaluations spread across the worker pool (sized by
+    // --jobs; the batch defaults to all available cores on its own).
+    let mut batch = Batch::per_app(&apps, |app| match app.name() {
         "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
         "FFT" => DesignParams::default()
             .with_overlap_threshold(0.50)
             .with_response_scale(0.9),
         _ => DesignParams::default(),
     })
-    .with_strategy_kind(solver)
-    .run();
+    .with_strategy_kind(solver);
+    if let Some(jobs) = jobs {
+        batch = batch.threads(jobs.get());
+    }
+    let results = batch.run();
 
     let mut table = Table::new(vec!["Application", "Full buses", "Designed", "Saving"]);
     let mut rows = Vec::new();
@@ -386,6 +410,14 @@ mod tests {
         let mut it = ["7"].into_iter();
         assert_eq!(value(&mut it, "--n").unwrap(), "7");
         assert!(value(&mut it, "--n").is_err());
+    }
+
+    #[test]
+    fn jobs_must_be_positive() {
+        assert_eq!(parse_jobs("3").unwrap().get(), 3);
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("-1").is_err());
+        assert!(parse_jobs("many").is_err());
     }
 
     #[test]
