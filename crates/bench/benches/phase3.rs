@@ -1,49 +1,66 @@
-//! Phase-3 **size-sweep** benchmark: 12/24/48/96-target synthetic SoCs —
-//! the scaling curve of the solver stack, not a single point.
+//! Phase-3 **size-sweep** benchmark: 12/24/32/48/96-target synthetic SoCs
+//! — the scaling curve of the solver stack, not a single point.
 //!
-//! Three stories in one run, all snapshotted to `BENCH_phase3.json` at the
+//! Four stories in one run, all snapshotted to `BENCH_phase3.json` at the
 //! workspace root (and appended to the file named by the `BENCH_HISTORY`
 //! environment variable, when set — the CI perf-trajectory job):
 //!
 //! * **Size sweep** — exact, heuristic and portfolio synthesis at every
-//!   size, plus the pre-refactor dense-matrix baseline (feature
-//!   `dense-reference`) at the sizes where the exact search is tractable
-//!   (12/24; at 48/96 the exact *infeasibility proofs* below the minimum
-//!   size are intractable for bitset and dense alike, so the portfolio's
-//!   heuristic engine is the production mode there — that cliff is part
-//!   of the curve worth recording).
+//!   size. The exact engine runs with the default per-node pruning
+//!   ([`stbus_milp::PruningLevel::Standard`]); at each exact-tractable
+//!   size the *unpruned* search is also attempted, so the sweep records
+//!   where pruning moves the exact cliff (at 32 targets the pruned
+//!   pipeline completes in seconds while the unpruned search dies on the
+//!   node budget — that flip is the data). The pre-refactor dense-matrix
+//!   baseline (feature `dense-reference`) still runs at 12/24 and its
+//!   answer is asserted bit-identical before any timing happens.
+//! * **Infeasibility frontier** — at the sizes beyond full exact
+//!   tractability (48/96), the pruned exact search proves bus counts
+//!   infeasible from the lower bound upward under a small per-probe node
+//!   budget; the largest proven count is recorded. This is the honest
+//!   residue of the cliff: at 48 targets the proofs reach 13 buses in
+//!   microseconds and stop at the 14/15 feasibility phase transition,
+//!   where witnesses exist (the repair-enabled heuristic finds a 15-bus
+//!   binding) but exact proofs are out of reach for bitset, dense and
+//!   MILP search alike.
 //! * **θ-sweep** — a nine-point overlap-threshold sweep at the largest
-//!   size, per-point rebuild (window analysis + conflict extraction per
-//!   θ, the pre-PR cost) vs the sweep-resident [`OverlapProfile`] path
-//!   (one analysis, O(pairs) re-threshold per θ).
+//!   size, per-point rebuild vs the sweep-resident [`OverlapProfile`]
+//!   path (one analysis, O(pairs) re-threshold per θ).
 //! * **Probe scheduler** — the speculative parallel binary search at 24
-//!   targets, plain and raced, against the sequential search. The
-//!   snapshot records `host_parallelism`: on a single-core host the
-//!   scheduler can only tie the sequential search (its win is wall-clock
-//!   across cores, and its answers are bit-identical by construction).
+//!   targets, plain and raced, against the sequential search, with the
+//!   raced run's heuristic pre-pass attributed separately (on a 1-core
+//!   host `parallel_s` can only tie `sequential_s` plus queue overhead;
+//!   without the pre-pass attribution that read as a scheduler
+//!   regression in the PR-3 snapshot).
 //!
 //! Methodology notes live in `crates/bench/BENCHMARKS.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stbus_core::synthesizer::{Exact, Heuristic, Portfolio, Synthesizer};
 use stbus_core::{synthesize, DesignParams, Preprocessed, ProbeScheduler, SynthesisEngine};
-use stbus_milp::{dense, Binding, BindingProblem, HeuristicOptions, SolveLimits};
+use stbus_milp::{dense, Binding, BindingProblem, HeuristicOptions, PruningLevel, SolveLimits};
 use stbus_traffic::workloads::synthetic;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
 const SEED: u64 = 0xDA7E_2005;
-const SIZES: [usize; 4] = [12, 24, 48, 96];
-/// Sizes where the exact search (bitset and dense) completes within the
-/// default node budget; beyond them the portfolio is the production mode.
-const EXACT_TRACTABLE: [usize; 2] = [12, 24];
-/// Node budget of the portfolio's exact attempt at the intractable sizes:
-/// high enough to finish the paper-scale instances, low enough that the
-/// fallback engages in tenths of a second instead of minutes.
-const PORTFOLIO_BUDGET: SolveLimits = SolveLimits {
-    max_nodes: 2_000_000,
-};
+const SIZES: [usize; 5] = [12, 24, 32, 48, 96];
+/// Sizes where the pruned exact pipeline (probes + MILP-2) completes
+/// within the default node budget. 32 is new in PR 4: the per-node
+/// lower bounds moved the cliff past the ROADMAP's ~32-target wall.
+const EXACT_TRACTABLE: [usize; 3] = [12, 24, 32];
+/// Sizes where the *unpruned* dense-matrix reference is still tractable
+/// (at 32 the unpruned searches — bitset and dense alike — blow the node
+/// budget on the sub-minimum infeasibility proofs; that flip is the
+/// headline of the sweep).
+const DENSE_TRACTABLE: [usize; 2] = [12, 24];
+/// Node budget of the portfolio's exact attempt and the frontier scan at
+/// the intractable sizes. Pruned nodes buy far more search than PR-3's
+/// unpruned nodes (the sub-transition infeasibility proofs that used to
+/// blow 2M nodes now finish in hundreds), so the budget drops to keep
+/// the fallback latency in seconds.
+const PROBE_BUDGET: SolveLimits = SolveLimits::nodes(250_000);
 const THETA_SWEEP: [f64; 9] = [0.08, 0.10, 0.12, 0.16, 0.20, 0.25, 0.30, 0.35, 0.40];
 
 /// The shared conflict-dense operating point (24-target values identical
@@ -157,6 +174,30 @@ struct SizePoint {
     engine: &'static str,
     seconds: Vec<(&'static str, f64)>,
     speedup_vs_dense: Option<f64>,
+    /// `Some(s)` when the unpruned exact pipeline completed in `s`
+    /// seconds, `None` when it blew the node budget (recorded as
+    /// `"budget"` in the snapshot) — the pruning cliff-flip evidence.
+    unpruned_exact: Option<Option<f64>>,
+    /// Largest bus count proven infeasible by the pruned exact search
+    /// under [`PROBE_BUDGET`], scanning up from the lower bound
+    /// (intractable sizes only).
+    frontier: Option<usize>,
+}
+
+/// Scans bus counts upward from the lower bound, proving infeasibility
+/// with the pruned exact search under a small budget; returns the last
+/// proven count (or `lower_bound - 1` when even the first is unproven).
+fn infeasibility_frontier(pre: &Preprocessed) -> usize {
+    let n = pre.stats.num_targets();
+    let lb = pre.bus_lower_bound();
+    let mut proven = lb - 1;
+    for buses in lb..=n {
+        match pre.binding_problem(buses).find_feasible(&PROBE_BUDGET) {
+            Ok(None) => proven = buses,
+            _ => break,
+        }
+    }
+    proven
 }
 
 fn bench_phase3(c: &mut Criterion) {
@@ -170,39 +211,71 @@ fn bench_phase3(c: &mut Criterion) {
     for targets in SIZES {
         let pre = pre_of(targets, &params);
         let exact_ok = EXACT_TRACTABLE.contains(&targets);
+        let dense_ok = DENSE_TRACTABLE.contains(&targets);
         let mut seconds: Vec<(&'static str, f64)> = Vec::new();
         let mut speedup_vs_dense = None;
+        let mut unpruned_exact = None;
+        let mut frontier = None;
 
         let (num_buses, engine) = if exact_ok {
-            // Same answer before measuring speed: the bitset solver must
-            // be bit-identical to the dense-matrix baseline.
             let bitset = solve_bitset(&pre, &params);
-            let dense_result = solve_dense(&pre, &params);
-            assert_eq!(
-                bitset, dense_result,
-                "bitset and dense phase-3 answers diverged at {targets} targets"
-            );
-
+            if dense_ok {
+                // Same answer before measuring speed: the bitset solver
+                // (pruned by default — the prunes are proven answer-
+                // invariant) must be bit-identical to the unpruned
+                // dense-matrix baseline.
+                let dense_result = solve_dense(&pre, &params);
+                assert_eq!(
+                    bitset, dense_result,
+                    "bitset and dense phase-3 answers diverged at {targets} targets"
+                );
+                group.bench_function(format!("exact_dense_baseline/{targets}"), |b| {
+                    b.iter(|| solve_dense(&pre, &params));
+                });
+                let exact_dense_s = min_time(3, || solve_dense(&pre, &params));
+                seconds.push(("exact_dense_baseline", exact_dense_s));
+                let exact_bitset_s = min_time(3, || solve_bitset(&pre, &params));
+                speedup_vs_dense = Some(exact_dense_s / exact_bitset_s);
+            }
             group.bench_function(format!("exact_bitset/{targets}"), |b| {
                 b.iter(|| solve_bitset(&pre, &params));
             });
-            group.bench_function(format!("exact_dense_baseline/{targets}"), |b| {
-                b.iter(|| solve_dense(&pre, &params));
-            });
-            let exact_bitset_s = min_time(3, || solve_bitset(&pre, &params));
-            let exact_dense_s = min_time(3, || solve_dense(&pre, &params));
-            seconds.push(("exact_bitset", exact_bitset_s));
-            seconds.push(("exact_dense_baseline", exact_dense_s));
-            speedup_vs_dense = Some(exact_dense_s / exact_bitset_s);
+            seconds.push(("exact_bitset", min_time(3, || solve_bitset(&pre, &params))));
+
+            // The unpruned bitset pipeline: completes at 12/24 (recorded
+            // for the pruning speedup), dies on the node budget at 32 —
+            // the moved cliff, measured rather than remembered.
+            let unpruned = Exact::default().with_pruning(PruningLevel::Off);
+            let start = Instant::now();
+            match unpruned.synthesize(&pre, &params) {
+                Ok(out) => {
+                    assert_eq!(
+                        (out.num_buses, out.max_bus_overlap),
+                        bitset,
+                        "pruned and unpruned exact answers diverged at {targets} targets"
+                    );
+                    let s = min_time(2, || unpruned.synthesize(&pre, &params).expect("completed"));
+                    seconds.push(("exact_bitset_unpruned", s));
+                    unpruned_exact = Some(Some(s));
+                }
+                Err(_) => {
+                    // Budget death: record how long the budget took to burn.
+                    seconds.push(("exact_unpruned_budget_burn", start.elapsed().as_secs_f64()));
+                    unpruned_exact = Some(None);
+                }
+            }
             (bitset.0, "exact")
         } else {
-            // Exact infeasibility proofs below the minimum size are
-            // intractable at this scale (bitset and dense alike): the
-            // portfolio's budgeted attempt is expected to fall back to
-            // the heuristic — but record whichever engine actually
+            // Beyond the exact frontier: the 14/15-bus feasibility phase
+            // transition at 48 targets (and its analogue at 96) defeats
+            // exact proofs — bitset, dense and MILP alike — so the
+            // portfolio's budgeted attempt falls back to the repair-
+            // enabled heuristic. Record whichever engine actually
             // answered, so the trajectory notices if solver improvements
-            // move the cliff.
-            let out = Portfolio::with_budget(PORTFOLIO_BUDGET)
+            // move the cliff again, plus the infeasibility frontier the
+            // pruned proofs do reach.
+            frontier = Some(infeasibility_frontier(&pre));
+            let out = Portfolio::with_budget(PROBE_BUDGET)
                 .synthesize(&pre, &params)
                 .expect("portfolio never fails");
             let engine = match out.engine {
@@ -224,7 +297,7 @@ fn bench_phase3(c: &mut Criterion) {
         let portfolio = Portfolio::with_budget(if exact_ok {
             params.solve_limits
         } else {
-            PORTFOLIO_BUDGET
+            PROBE_BUDGET
         });
         group.bench_function(format!("portfolio/{targets}"), |b| {
             b.iter(|| portfolio.synthesize(&pre, &params).unwrap());
@@ -242,6 +315,8 @@ fn bench_phase3(c: &mut Criterion) {
             engine,
             seconds,
             speedup_vs_dense,
+            unpruned_exact,
+            frontier,
         });
     }
     group.finish();
@@ -282,9 +357,10 @@ fn bench_phase3(c: &mut Criterion) {
     let rebuild_s = min_time(3, rebuild);
     let incremental_s = min_time(3, incremental);
 
-    // --- Probe scheduler at the largest exact-tractable size. ---
+    // --- Probe scheduler at a fully exact-tractable size. ---
     let sched_targets = 24;
     let pre24 = pre_of(sched_targets, &params);
+    let sequential = synthesize(&pre24, &params).unwrap();
     let sequential_s = min_time(3, || synthesize(&pre24, &params).unwrap());
     let jobs_nz = NonZeroUsize::new(jobs).expect("parallelism is positive");
     let parallel_s = min_time(3, || {
@@ -298,6 +374,25 @@ fn bench_phase3(c: &mut Criterion) {
             .synthesize(&pre24, &params)
             .unwrap()
     });
+    // Phase attribution for the raced run: the heuristic pre-pass over
+    // exactly the probes the sequential search consumes. Without this the
+    // PR-3 snapshot conflated pre-pass and exact time, which on a 1-core
+    // host made `parallel_s`/`raced_s` read as a scheduler regression.
+    let prepass = || {
+        sequential
+            .probes
+            .iter()
+            .filter(|&&(buses, _)| {
+                stbus_milp::solve_heuristic(
+                    &pre24.binding_problem(buses),
+                    &HeuristicOptions::default(),
+                )
+                .is_some()
+            })
+            .count()
+    };
+    let raced_probes_certified = prepass();
+    let raced_prepass_s = min_time(3, prepass);
 
     // --- JSON snapshot for the perf trajectory (workspace root). ---
     let mut sizes_json = String::new();
@@ -315,11 +410,19 @@ fn bench_phase3(c: &mut Criterion) {
         let speedup = p
             .speedup_vs_dense
             .map_or(String::from("null"), |s| format!("{s:.2}"));
+        let unpruned = match p.unpruned_exact {
+            None => String::from("null"),
+            Some(None) => String::from("\"budget\""),
+            Some(Some(s)) => format!("{s:.6}"),
+        };
+        let frontier = p.frontier.map_or(String::from("null"), |f| f.to_string());
         write!(
             sizes_json,
             "    {{\"targets\": {}, \"conflict_pairs\": {}, \"lower_bound\": {}, \
              \"num_buses\": {}, \"engine\": \"{}\", \"seconds\": {{{secs}}}, \
-             \"speedup_exact_bitset_vs_dense\": {speedup}}}",
+             \"speedup_exact_bitset_vs_dense\": {speedup}, \
+             \"unpruned_exact\": {unpruned}, \
+             \"proved_infeasible_through\": {frontier}}}",
             p.targets, p.conflict_pairs, p.lower_bound, p.num_buses, p.engine
         )
         .expect("write to string");
@@ -328,17 +431,22 @@ fn bench_phase3(c: &mut Criterion) {
         "{{\n  \"bench\": \"phase3_size_sweep\",\n  \"date\": \"{date}\",\n  \
          \"host_parallelism\": {jobs},\n  \
          \"workload\": {{\"family\": \"synthetic_scaled_soc\", \"seed\": {SEED}, \
-         \"overlap_threshold\": 0.12, \"window_size\": 2000, \"maxtb\": 6}},\n  \
+         \"overlap_threshold\": 0.12, \"window_size\": 2000, \"maxtb\": 6, \
+         \"pruning\": \"standard\", \"frontier_node_budget\": {frontier_budget}}},\n  \
          \"sizes\": [\n{sizes_json}\n  ],\n  \
          \"theta_sweep\": {{\"targets\": {theta_targets}, \"points\": {points}, \
          \"rebuild_per_point_s\": {rebuild_s:.6}, \"incremental_profile_s\": {incremental_s:.6}, \
          \"speedup_incremental_vs_rebuild\": {theta_speedup:.2}}},\n  \
          \"probe_scheduler\": {{\"targets\": {sched_targets}, \"jobs\": {jobs}, \
          \"sequential_s\": {sequential_s:.6}, \"parallel_s\": {parallel_s:.6}, \
-         \"raced_s\": {raced_s:.6}}}\n}}\n",
+         \"raced_s\": {raced_s:.6}, \"raced_heuristic_prepass_s\": {raced_prepass_s:.6}, \
+         \"raced_probes_certified\": {raced_probes_certified}, \
+         \"consumed_probes\": {consumed_probes}}}\n}}\n",
         date = today_utc(),
         points = THETA_SWEEP.len(),
         theta_speedup = rebuild_s / incremental_s,
+        frontier_budget = PROBE_BUDGET.max_nodes,
+        consumed_probes = sequential.probes.len(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
     std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");

@@ -62,7 +62,7 @@ fn row(table: &mut Table, name: &str, pre: &Preprocessed, params: &DesignParams)
     let heur_time = t0.elapsed();
     // A mid-sized budget: big enough for the easy suites, small enough
     // that pathological instances would fall back.
-    let portfolio = Portfolio::with_budget(SolveLimits { max_nodes: 200_000 })
+    let portfolio = Portfolio::with_budget(SolveLimits::nodes(200_000))
         .synthesize(pre, params)
         .expect("portfolio never fails");
     table.row(vec![

@@ -155,6 +155,18 @@ impl DesignParams {
         self
     }
 
+    /// Sets the per-node lower-bound pruning level of the exact binding
+    /// search (builder style). [`stbus_milp::PruningLevel::Standard`]
+    /// (the default) is bit-identical to `Off` whenever the unpruned
+    /// search completes within its node budget; `Aggressive` keeps
+    /// verdicts and probe logs but may return a different
+    /// (equal-objective) binding.
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: stbus_milp::PruningLevel) -> Self {
+        self.solve_limits.pruning = pruning;
+        self
+    }
+
     /// Switches to adaptive variable-size windows (builder style).
     ///
     /// # Panics

@@ -23,6 +23,14 @@
 //! it, so an artifact can never silently be reused across parameters that
 //! would have produced different traffic.
 //!
+//! Solver knobs ride along in [`DesignParams`] untouched by the staging:
+//! in particular [`DesignParams::with_pruning`] selects the per-node
+//! lower-bound pruning level of the exact binding search
+//! ([`stbus_milp::PruningLevel`]), which [`Analyzed::synthesize`] hands to
+//! whatever strategy is plugged in — the default `Standard` level is
+//! proven bit-identical to the unpruned search, so staged, legacy and
+//! batch routes stay equivalent at every level that claims identity.
+//!
 //! # Example
 //!
 //! ```

@@ -20,7 +20,7 @@
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
 use crate::phase3::{synthesize, synthesize_heuristic_with, ProbeScheduler, SynthesisOutcome};
-use stbus_milp::{HeuristicOptions, NodeLimitExceeded, SolveLimits};
+use stbus_milp::{HeuristicOptions, NodeLimitExceeded, PruningLevel, SolveLimits};
 use std::num::NonZeroUsize;
 
 /// A phase-3 solving strategy: turns a preprocessed analysis into a
@@ -54,6 +54,10 @@ pub struct Exact {
     /// either way (the scheduler replays the sequential search against
     /// cached probe answers), so this is purely a wall-clock knob.
     pub jobs: Option<NonZeroUsize>,
+    /// Overrides the per-node lower-bound pruning level of the exact
+    /// search when set (applied on top of `limits`/the params' own
+    /// [`SolveLimits::pruning`]).
+    pub pruning: Option<PruningLevel>,
 }
 
 impl Exact {
@@ -73,15 +77,22 @@ impl Exact {
         self
     }
 
+    /// Exact solving at an explicit pruning level (builder style).
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: PruningLevel) -> Self {
+        self.pruning = Some(pruning);
+        self
+    }
+
     fn effective_params(&self, params: &DesignParams) -> DesignParams {
-        match self.limits {
-            Some(limits) => {
-                let mut p = params.clone();
-                p.solve_limits = limits;
-                p
-            }
-            None => params.clone(),
+        let mut p = params.clone();
+        if let Some(limits) = self.limits {
+            p.solve_limits = limits;
         }
+        if let Some(pruning) = self.pruning {
+            p.solve_limits.pruning = pruning;
+        }
+        p
     }
 }
 
@@ -156,6 +167,8 @@ pub struct Portfolio {
     pub heuristic: HeuristicOptions,
     /// Probe parallelism of the exact attempt; `None` = sequential.
     pub jobs: Option<NonZeroUsize>,
+    /// Overrides the exact attempt's pruning level when set.
+    pub pruning: Option<PruningLevel>,
 }
 
 impl Portfolio {
@@ -174,6 +187,14 @@ impl Portfolio {
         self.jobs = Some(jobs);
         self
     }
+
+    /// Portfolio with an explicit exact-attempt pruning level (builder
+    /// style).
+    #[must_use]
+    pub fn with_pruning(mut self, pruning: PruningLevel) -> Self {
+        self.pruning = Some(pruning);
+        self
+    }
 }
 
 impl Synthesizer for Portfolio {
@@ -189,6 +210,7 @@ impl Synthesizer for Portfolio {
         let effective = Exact {
             limits: self.exact_limits,
             jobs: None,
+            pruning: self.pruning,
         }
         .effective_params(params);
         let attempt = match self.jobs {
@@ -230,11 +252,29 @@ impl SolverKind {
     /// `--jobs` flag plumbs through.
     #[must_use]
     pub fn synthesizer_with_jobs(self, jobs: Option<NonZeroUsize>) -> Box<dyn Synthesizer> {
+        self.synthesizer_with(jobs, None)
+    }
+
+    /// Instantiates the strategy with explicit probe parallelism and
+    /// pruning level — what the CLI's `--jobs`/`--pruning` flags plumb
+    /// through. Both knobs are ignored by the heuristic (no exact search
+    /// to speculate or prune).
+    #[must_use]
+    pub fn synthesizer_with(
+        self,
+        jobs: Option<NonZeroUsize>,
+        pruning: Option<PruningLevel>,
+    ) -> Box<dyn Synthesizer> {
         match self {
-            SolverKind::Exact => Box::new(Exact { limits: None, jobs }),
+            SolverKind::Exact => Box::new(Exact {
+                limits: None,
+                jobs,
+                pruning,
+            }),
             SolverKind::Heuristic => Box::new(Heuristic::default()),
             SolverKind::Portfolio => Box::new(Portfolio {
                 jobs,
+                pruning,
                 ..Portfolio::default()
             }),
         }
@@ -293,7 +333,7 @@ mod tests {
     #[test]
     fn portfolio_falls_back_on_tiny_budget() {
         let (pre, params) = mat2_pre();
-        let starved = Portfolio::with_budget(SolveLimits { max_nodes: 1 });
+        let starved = Portfolio::with_budget(SolveLimits::nodes(1));
         let outcome = starved.synthesize(&pre, &params).unwrap();
         assert_eq!(outcome.engine, SynthesisEngine::Heuristic);
         // A comfortable budget keeps the exact engine in charge.

@@ -27,28 +27,55 @@
 //! the configurable node limit, which is reported honestly as an error
 //! rather than silently returning a wrong answer).
 
+use crate::bounds::{self, CombinedBound, LowerBound, NodeState, PruningLevel};
 use serde::{Deserialize, Serialize};
 use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Search effort limits.
+/// Search effort limits and pruning policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveLimits {
     /// Maximum number of (target, bus) branch attempts. Candidates vetoed
     /// outright by the conflict mask or the `maxtb` cap are filtered
     /// before they reach the budget, so a given budget buys strictly more
     /// search than it did under the pre-refactor accounting preserved in
-    /// `crate::dense` (which charges every candidate).
+    /// `crate::dense` (which charges every candidate). Subtrees cut by
+    /// the per-node lower bounds (see [`SolveLimits::pruning`]) never
+    /// reach the budget either.
     pub max_nodes: u64,
+    /// Per-node lower-bound pruning level. [`PruningLevel::Standard`]
+    /// (the default) is bit-identical to [`PruningLevel::Off`] whenever
+    /// the unpruned search completes within `max_nodes`; under a starved
+    /// budget the pruned search can only answer *more* often, never
+    /// differently. [`PruningLevel::Aggressive`] is opt-in: verdicts and
+    /// probe logs still match, but returned bindings may differ.
+    pub pruning: PruningLevel,
+}
+
+impl SolveLimits {
+    /// Limits with an explicit node budget and the default
+    /// ([`PruningLevel::Standard`]) pruning level.
+    #[must_use]
+    pub const fn nodes(max_nodes: u64) -> Self {
+        Self {
+            max_nodes,
+            pruning: PruningLevel::Standard,
+        }
+    }
+
+    /// Overrides the pruning level (builder style).
+    #[must_use]
+    pub const fn with_pruning(mut self, pruning: PruningLevel) -> Self {
+        self.pruning = pruning;
+        self
+    }
 }
 
 impl Default for SolveLimits {
     fn default() -> Self {
-        Self {
-            max_nodes: 20_000_000,
-        }
+        Self::nodes(20_000_000)
     }
 }
 
@@ -466,6 +493,24 @@ impl BindingProblem {
         Some(max_ov)
     }
 
+    /// The deterministic branching order of the exact search: decreasing
+    /// maximum window demand, then conflict degree, then total demand —
+    /// the classic first-fail ordering. Exposed so per-node lower bounds
+    /// ([`crate::bounds`]) and their tests can reproduce the DFS state
+    /// exactly.
+    #[must_use]
+    pub fn branching_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.num_targets).collect();
+        let key = |t: usize| {
+            let max_d = self.demands[t].iter().copied().max().unwrap_or(0);
+            let total: u64 = self.demands[t].iter().sum();
+            let degree = self.conflicts.degree(t);
+            (max_d, degree as u64, total)
+        };
+        order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
+        order
+    }
+
     /// Finds any feasible binding (the paper's MILP-1, Eq. 10).
     ///
     /// Returns `Ok(None)` when the instance is provably infeasible.
@@ -479,6 +524,38 @@ impl BindingProblem {
         limits: &SolveLimits,
     ) -> Result<Option<Binding>, NodeLimitExceeded> {
         self.search(limits, None)
+    }
+
+    /// [`BindingProblem::find_feasible`] in **audited** mode: at every
+    /// node of the DFS the incrementally maintained pruning state
+    /// (unbound set, bus masks, slacks, remaining window demand) is
+    /// compared against a from-scratch [`NodeState`] rebuilt from the
+    /// partial assignment, and the incremental [`CombinedBound`] value
+    /// against a fresh recomputation. Any divergence panics. This is the
+    /// self-checking mode the `bound_admissibility` property suite runs;
+    /// answers are identical to [`BindingProblem::find_feasible`], just
+    /// slower.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] when the search budget runs out before a
+    /// definitive answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the incremental state or bound diverges from the
+    /// from-scratch recomputation at any depth.
+    pub fn find_feasible_audited(
+        &self,
+        limits: &SolveLimits,
+    ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        self.search_full(limits, None, None, true)
+            .map_err(|e| match e {
+                SearchInterrupted::Budget(b) => b,
+                SearchInterrupted::Cancelled => {
+                    unreachable!("no cancellation flag was supplied")
+                }
+            })
     }
 
     /// [`BindingProblem::find_feasible`] with a cooperative cancellation
@@ -536,13 +613,27 @@ impl BindingProblem {
             })
     }
 
-    /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
-    /// binding with max overlap strictly below `b` and keeps improving.
+    /// [`BindingProblem::search_full`] without auditing — the production
+    /// path.
     fn search_with(
         &self,
         limits: &SolveLimits,
         incumbent_bound: Option<u64>,
         cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Binding>, SearchInterrupted> {
+        self.search_full(limits, incumbent_bound, cancel, false)
+    }
+
+    /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
+    /// binding with max overlap strictly below `b` and keeps improving.
+    /// With `audit` set, the incremental pruning state is checked against
+    /// a from-scratch rebuild at every node (test-only mode).
+    fn search_full(
+        &self,
+        limits: &SolveLimits,
+        incumbent_bound: Option<u64>,
+        cancel: Option<&AtomicBool>,
+        audit: bool,
     ) -> Result<Option<Binding>, SearchInterrupted> {
         if self.num_targets == 0 {
             return Ok(Some(Binding {
@@ -552,14 +643,7 @@ impl BindingProblem {
         }
 
         // Target order: decreasing max-window demand, then conflict degree.
-        let mut order: Vec<usize> = (0..self.num_targets).collect();
-        let key = |t: usize| {
-            let max_d = self.demands[t].iter().copied().max().unwrap_or(0);
-            let total: u64 = self.demands[t].iter().sum();
-            let degree = self.conflicts.degree(t);
-            (max_d, degree as u64, total)
-        };
-        order.sort_by_key(|&t| std::cmp::Reverse(key(t)));
+        let order = self.branching_order();
 
         // Sparse demand lists plus per-target peak/total demand (the
         // operands of the O(1) capacity fast paths below).
@@ -598,9 +682,24 @@ impl BindingProblem {
             /// candidate whose *total* demand exceeds it must overflow some
             /// window — rejected without a scan.
             total_slack: Vec<u64>, // [bus]
+            /// Targets not yet bound — the induced subgraph the per-node
+            /// clique-cover bound colors.
+            unbound: TargetSet,
+            /// Per-bus member counts (mirrors `members[k].len()`, kept as a
+            /// flat slice for the [`bounds::PruneContext`] view).
+            lens: Vec<usize>, // [bus]
+            /// Remaining (unbound) demand per window — the bandwidth
+            /// bound's operand.
+            rem_window: Vec<u64>, // [window]
         }
         let initial_min_slack = self.capacities.iter().copied().min().unwrap_or(u64::MAX);
         let initial_total_slack: u64 = self.capacities.iter().sum();
+        let column_demand = bounds::column_demand(self);
+        let critical = bounds::critical_windows(&column_demand);
+        let mut all_targets = TargetSet::empty(self.num_targets);
+        for t in 0..self.num_targets {
+            all_targets.insert(t);
+        }
         let mut st = State {
             used: vec![vec![0; self.num_windows]; self.num_buses],
             members: vec![Vec::new(); self.num_buses],
@@ -608,7 +707,11 @@ impl BindingProblem {
             bus_overlap: vec![0; self.num_buses],
             min_slack: vec![initial_min_slack; self.num_buses],
             total_slack: vec![initial_total_slack; self.num_buses],
+            unbound: all_targets,
+            lens: vec![0; self.num_buses],
+            rem_window: column_demand,
         };
+        let mut prune_bound = CombinedBound::default();
 
         let mut nodes = 0u64;
         let mut best: Option<Binding> = None;
@@ -620,6 +723,89 @@ impl BindingProblem {
             .map(|_| Vec::with_capacity(self.num_buses))
             .collect();
 
+        /// Audit hook: rebuilds the pruning state from scratch for the
+        /// current partial assignment and asserts that the incrementally
+        /// maintained state — and the lower bounds computed from it —
+        /// match the [`NodeState`] recomputation exactly.
+        #[allow(clippy::too_many_arguments)] // audit mirrors the dfs state
+        fn audit_node(
+            problem: &BindingProblem,
+            order: &[usize],
+            critical: &[usize],
+            total: &[u64],
+            peak: &[u64],
+            sparse: &[Vec<(usize, u64)>],
+            st: &State,
+            assignment: &[usize],
+        ) {
+            let depth = assignment.len();
+            let pairs: Vec<(usize, usize)> = order
+                .iter()
+                .zip(assignment)
+                .map(|(&t, &k)| (t, k))
+                .collect();
+            let scratch = NodeState::from_partial(problem, &pairs);
+            let fresh = scratch.context(problem);
+            assert_eq!(&st.unbound, fresh.unbound, "unbound set at depth {depth}");
+            assert_eq!(st.masks.as_slice(), fresh.bus_masks, "masks at {depth}");
+            assert_eq!(st.lens.as_slice(), fresh.bus_len, "lens at {depth}");
+            assert_eq!(st.used.as_slice(), fresh.used, "used at {depth}");
+            assert_eq!(
+                st.total_slack.as_slice(),
+                fresh.total_slack,
+                "total slack at depth {depth}"
+            );
+            assert_eq!(
+                st.min_slack.as_slice(),
+                fresh.min_slack,
+                "min slack at depth {depth}"
+            );
+            assert_eq!(
+                st.rem_window.as_slice(),
+                fresh.rem_window,
+                "remaining window demand at depth {depth}"
+            );
+            assert_eq!(order, fresh.order, "branching order");
+            assert_eq!(critical, fresh.critical_windows, "critical windows");
+            assert_eq!(total, fresh.target_total, "target totals");
+            assert_eq!(peak, fresh.peak, "target peaks");
+            assert_eq!(sparse, fresh.sparse, "sparse demand lists");
+            let incremental = bounds::PruneContext {
+                problem,
+                order,
+                critical_windows: critical,
+                target_total: total,
+                unbound: &st.unbound,
+                bus_masks: &st.masks,
+                bus_len: &st.lens,
+                used: &st.used,
+                total_slack: &st.total_slack,
+                min_slack: &st.min_slack,
+                rem_window: &st.rem_window,
+                peak,
+                sparse,
+            };
+            for (inc, scr) in [
+                (
+                    CombinedBound::default().buses_needed(&incremental),
+                    CombinedBound::default().buses_needed(&fresh),
+                ),
+                (
+                    bounds::CliqueCoverBound::default().buses_needed(&incremental),
+                    bounds::CliqueCoverBound::default().buses_needed(&fresh),
+                ),
+                (
+                    bounds::BandwidthPackingBound::default().buses_needed(&incremental),
+                    bounds::BandwidthPackingBound::default().buses_needed(&fresh),
+                ),
+            ] {
+                assert_eq!(
+                    inc, scr,
+                    "incremental bound != from-scratch recomputation at depth {depth}"
+                );
+            }
+        }
+
         // Iterative DFS with explicit stack of (depth, bus-to-try-next).
         // Simpler: recursive closure via a helper function.
         #[allow(clippy::too_many_arguments)] // explicit search state, one hop deep
@@ -629,16 +815,20 @@ impl BindingProblem {
             sparse: &[Vec<(usize, u64)>],
             peak: &[u64],
             total: &[u64],
+            critical: &[usize],
             st: &mut State,
+            prune_bound: &mut CombinedBound,
             cands: &mut [Vec<(u64, usize)>],
             nodes: &mut u64,
             limits: &SolveLimits,
             cancel: Option<&AtomicBool>,
             bound: &mut Option<u64>,
             optimizing: bool,
+            audit: bool,
             best: &mut Option<Binding>,
             assignment: &mut Vec<usize>,
         ) -> Result<bool, SearchInterrupted> {
+            let pruning = limits.pruning;
             let depth = assignment.len();
             if depth == order.len() {
                 // In pure feasibility mode the per-bus overlap sums are not
@@ -679,6 +869,38 @@ impl BindingProblem {
                 *best = Some(binding);
                 return Ok(true); // first feasible suffices
             }
+            // Per-node lower-bound pruning: an admissible bound above the
+            // bus count certifies that no feasible completion exists below
+            // this node, so the subtree is cut. The unpruned search would
+            // have explored it without ever reaching a leaf (leaves are
+            // only reached through all-constraints-satisfied placements),
+            // so `best`/`bound` evolve identically — the cut is invisible
+            // in the answers, it only saves nodes.
+            if pruning != PruningLevel::Off {
+                if audit {
+                    audit_node(
+                        problem, order, critical, total, peak, sparse, st, assignment,
+                    );
+                }
+                let ctx = bounds::PruneContext {
+                    problem,
+                    order,
+                    critical_windows: critical,
+                    target_total: total,
+                    unbound: &st.unbound,
+                    bus_masks: &st.masks,
+                    bus_len: &st.lens,
+                    used: &st.used,
+                    total_slack: &st.total_slack,
+                    min_slack: &st.min_slack,
+                    rem_window: &st.rem_window,
+                    peak,
+                    sparse,
+                };
+                if prune_bound.buses_needed(&ctx) > problem.num_buses {
+                    return Ok(false);
+                }
+            }
             let t = order[depth];
             let mut tried_empty = false;
             // Candidate buses. The cheap vetoes — maxtb and the
@@ -717,6 +939,14 @@ impl BindingProblem {
             }
             if optimizing {
                 candidates.sort_by_key(|&(added, _)| added);
+            } else if pruning == PruningLevel::Aggressive {
+                // Best-fit ordering: try the tightest bus first (classic
+                // packing heuristic). A pure reordering of the same
+                // candidate set — verdicts are unchanged, but the first
+                // feasible leaf (and thus the returned binding) may
+                // differ, which is why this level does not claim
+                // bit-identity.
+                candidates.sort_by_key(|&(_, k)| (st.min_slack[k], k));
             }
             for &(added, k) in candidates.iter() {
                 *nodes += 1;
@@ -761,29 +991,50 @@ impl BindingProblem {
                 let mut new_min = saved_min_slack;
                 for &(m, d) in &sparse[t] {
                     st.used[k][m] += d;
+                    st.rem_window[m] -= d;
                     new_min = new_min.min(problem.capacities[m] - st.used[k][m]);
                 }
                 st.min_slack[k] = new_min;
                 st.total_slack[k] -= total[t];
                 st.members[k].push(t);
+                st.lens[k] += 1;
                 st.masks[k].insert(t);
+                st.unbound.remove(t);
                 st.bus_overlap[k] += added;
                 assignment.push(k);
 
                 let done = dfs(
-                    problem, order, sparse, peak, total, st, rest, nodes, limits, cancel, bound,
-                    optimizing, best, assignment,
+                    problem,
+                    order,
+                    sparse,
+                    peak,
+                    total,
+                    critical,
+                    st,
+                    prune_bound,
+                    rest,
+                    nodes,
+                    limits,
+                    cancel,
+                    bound,
+                    optimizing,
+                    audit,
+                    best,
+                    assignment,
                 )?;
 
                 // Undo.
                 assignment.pop();
                 st.bus_overlap[k] -= added;
+                st.unbound.insert(t);
                 st.members[k].pop();
+                st.lens[k] -= 1;
                 st.masks[k].remove(t);
                 st.total_slack[k] += total[t];
                 st.min_slack[k] = saved_min_slack;
                 for &(m, d) in &sparse[t] {
                     st.used[k][m] -= d;
+                    st.rem_window[m] += d;
                 }
                 if done {
                     return Ok(true);
@@ -799,13 +1050,16 @@ impl BindingProblem {
             &sparse,
             &peak,
             &total,
+            &critical,
             &mut st,
+            &mut prune_bound,
             &mut cand_store,
             &mut nodes,
             limits,
             cancel,
             &mut bound,
             optimizing,
+            audit,
             &mut best,
             &mut assignment,
         )?;
@@ -948,7 +1202,7 @@ mod tests {
         // Big enough to not finish in 3 nodes.
         let p = BindingProblem::new(4, 100, vec![vec![26]; 12]);
         let err = p
-            .find_feasible(&SolveLimits { max_nodes: 3 })
+            .find_feasible(&SolveLimits::nodes(3))
             .expect_err("should exceed");
         assert_eq!(err.limit, 3);
         assert!(err.to_string().contains("3-node"));
@@ -969,11 +1223,15 @@ mod tests {
     #[test]
     fn pre_raised_flag_cancels_hard_instances() {
         // An instance whose infeasibility proof takes far more than one
-        // poll interval: the pre-raised flag must stop it early.
+        // poll interval: the pre-raised flag must stop it early. Pruning
+        // is off because the per-node bounds prove this maxtb-pigeonhole
+        // instance infeasible before the first poll — the very behaviour
+        // `bounds` exists for, but not what this test exercises.
         let n = 24usize;
         let p = BindingProblem::new(5, 100, vec![vec![18]; n]).with_maxtb(4);
         let flag = AtomicBool::new(true);
-        match p.find_feasible_cancellable(&SolveLimits::default(), &flag) {
+        let limits = SolveLimits::default().with_pruning(PruningLevel::Off);
+        match p.find_feasible_cancellable(&limits, &flag) {
             Err(SearchInterrupted::Cancelled) => {}
             other => panic!("expected cancellation, got {other:?}"),
         }
@@ -983,7 +1241,7 @@ mod tests {
     fn budget_error_survives_the_cancellable_path() {
         let p = BindingProblem::new(4, 100, vec![vec![26]; 12]);
         let flag = AtomicBool::new(false);
-        match p.find_feasible_cancellable(&SolveLimits { max_nodes: 3 }, &flag) {
+        match p.find_feasible_cancellable(&SolveLimits::nodes(3), &flag) {
             Err(SearchInterrupted::Budget(e)) => assert_eq!(e.limit, 3),
             other => panic!("expected budget error, got {other:?}"),
         }

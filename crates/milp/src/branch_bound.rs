@@ -8,6 +8,28 @@
 
 use crate::model::{Model, Sense};
 use crate::simplex::{solve_lp, BoundOverrides, LpOutcome, TOL};
+use std::sync::Arc;
+
+/// A problem-aware per-node cut: given the variable bounds in force at a
+/// node, decide whether its subtree can be discarded without solving the
+/// LP relaxation.
+///
+/// The contract is **admissibility**: `prune` may only return `true` when
+/// the subtree provably contains no integer-feasible point. The search
+/// then returns the same answer (and, in optimisation mode, the same
+/// incumbent) it would have without the cut — pruned subtrees never held
+/// a solution, so the exploration of the surviving nodes is unchanged.
+/// This is how the combinatorial lower bounds of [`crate::bounds`] reach
+/// the generic MILP path, which otherwise only bounds against the
+/// incumbent objective (nothing at all in feasibility mode):
+/// [`crate::crossbar::clique_cut`] rebuilds the partial target→bus
+/// assignment from the fixed binaries and asks the clique-cover and
+/// bandwidth-packing bounds whether the node is already dead.
+pub trait NodeCut: std::fmt::Debug + Send + Sync {
+    /// Returns `true` when the node's subtree certainly contains no
+    /// integer-feasible solution.
+    fn prune(&self, model: &Model, overrides: &BoundOverrides) -> bool;
+}
 
 /// Options controlling the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -18,6 +40,10 @@ pub struct MilpOptions {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Optional admissible per-node cut, evaluated before the (far more
+    /// expensive) LP relaxation. Pruned nodes still count against
+    /// `max_nodes`.
+    pub node_cut: Option<Arc<dyn NodeCut>>,
 }
 
 impl Default for MilpOptions {
@@ -26,6 +52,7 @@ impl Default for MilpOptions {
             feasibility_only: false,
             max_nodes: 200_000,
             int_tol: 1e-6,
+            node_cut: None,
         }
     }
 }
@@ -86,6 +113,15 @@ pub fn solve(model: &Model, options: &MilpOptions) -> MilpOutcome {
         nodes += 1;
         if nodes > options.max_nodes {
             return MilpOutcome::NodeLimit;
+        }
+        // Combinatorial cut first: it is much cheaper than the simplex
+        // solve and admissible by contract, so a cut node behaves exactly
+        // like one whose relaxation (or every integral descendant) came
+        // back infeasible.
+        if let Some(cut) = &options.node_cut {
+            if cut.prune(model, &overrides) {
+                continue;
+            }
         }
         match solve_lp(model, &overrides) {
             LpOutcome::Infeasible => continue,

@@ -13,8 +13,11 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::binding::{Binding, BindingProblem};
-use crate::branch_bound::{solve, MilpOptions, MilpOutcome};
+use crate::bounds::{CombinedBound, LowerBound, NodeState, PruningLevel};
+use crate::branch_bound::{solve, MilpOptions, MilpOutcome, NodeCut};
 use crate::model::{Cmp, LinExpr, Model, Sense, VarId};
+use crate::simplex::BoundOverrides;
+use std::sync::Arc;
 
 /// The encoded model plus the handle matrix `x[target][bus]` needed to
 /// decode solutions.
@@ -178,12 +181,83 @@ pub fn decode(
         .map(|ov| Binding::from_assignment_with_overlap(candidate.assignment().to_vec(), ov))
 }
 
-/// Solves MILP-1 (feasibility) through the generic stack.
+/// The per-node combinatorial cut for a crossbar encoding: rebuilds the
+/// partial target→bus assignment from the binaries the branching has
+/// fixed to 1 and asks the clique-cover + bandwidth-packing bounds of
+/// [`crate::bounds`] whether any feasible completion can still exist.
+/// Binaries merely fixed to 0 are ignored — dropping constraints only
+/// weakens the bound, so admissibility is preserved.
+#[derive(Debug)]
+struct CrossbarCliqueCut {
+    problem: BindingProblem,
+    x: Vec<Vec<VarId>>,
+    /// Reused bound scratch: the incompatibility rows inside are keyed on
+    /// the owned problem (whose address is stable behind the `Arc`), so
+    /// they are derived once on the first node instead of per node.
+    scratch: std::sync::Mutex<CombinedBound>,
+}
+
+impl NodeCut for CrossbarCliqueCut {
+    fn prune(&self, model: &Model, overrides: &BoundOverrides) -> bool {
+        let mut bound_pairs = Vec::new();
+        for (i, row) in self.x.iter().enumerate() {
+            for (k, &v) in row.iter().enumerate() {
+                let (lb0, ub0) = model.bounds(v);
+                let (lb, _) = overrides.bounds_for(v.index(), lb0, ub0);
+                if lb > 0.5 {
+                    bound_pairs.push((i, k));
+                    break;
+                }
+            }
+        }
+        let state = NodeState::from_partial(&self.problem, &bound_pairs);
+        let mut bound = self.scratch.lock().expect("cut scratch poisoned");
+        bound.buses_needed(&state.context(&self.problem)) > self.problem.num_buses()
+    }
+}
+
+/// Builds the per-node clique-cover/bandwidth cut for an encoded crossbar
+/// — pass it as [`MilpOptions::node_cut`] to prune the generic search
+/// with the same admissible bounds the specialised solver uses.
+#[must_use]
+pub fn clique_cut(problem: &BindingProblem, encoded: &EncodedCrossbar) -> Arc<dyn NodeCut> {
+    Arc::new(CrossbarCliqueCut {
+        problem: problem.clone(),
+        x: encoded.x.clone(),
+        scratch: std::sync::Mutex::new(CombinedBound::default()),
+    })
+}
+
+fn node_cut_for(
+    problem: &BindingProblem,
+    encoded: &EncodedCrossbar,
+    pruning: PruningLevel,
+) -> Option<Arc<dyn NodeCut>> {
+    match pruning {
+        PruningLevel::Off => None,
+        // The generic path has no candidate ordering to vary, so
+        // `Aggressive` degenerates to `Standard` here.
+        PruningLevel::Standard | PruningLevel::Aggressive => Some(clique_cut(problem, encoded)),
+    }
+}
+
+/// Solves MILP-1 (feasibility) through the generic stack, with the
+/// default ([`PruningLevel::Standard`]) per-node cut.
 #[must_use]
 pub fn solve_feasibility_milp(problem: &BindingProblem) -> Option<Binding> {
+    solve_feasibility_milp_with(problem, PruningLevel::default())
+}
+
+/// [`solve_feasibility_milp`] at an explicit pruning level.
+#[must_use]
+pub fn solve_feasibility_milp_with(
+    problem: &BindingProblem,
+    pruning: PruningLevel,
+) -> Option<Binding> {
     let encoded = encode_feasibility(problem);
     let options = MilpOptions {
         feasibility_only: true,
+        node_cut: node_cut_for(problem, &encoded, pruning),
         ..MilpOptions::default()
     };
     match solve(&encoded.model, &options) {
@@ -192,11 +266,26 @@ pub fn solve_feasibility_milp(problem: &BindingProblem) -> Option<Binding> {
     }
 }
 
-/// Solves MILP-2 (minimise `maxov`) through the generic stack.
+/// Solves MILP-2 (minimise `maxov`) through the generic stack, with the
+/// default ([`PruningLevel::Standard`]) per-node cut — previously this
+/// path only bounded against the incumbent objective.
 #[must_use]
 pub fn solve_optimization_milp(problem: &BindingProblem) -> Option<Binding> {
+    solve_optimization_milp_with(problem, PruningLevel::default())
+}
+
+/// [`solve_optimization_milp`] at an explicit pruning level.
+#[must_use]
+pub fn solve_optimization_milp_with(
+    problem: &BindingProblem,
+    pruning: PruningLevel,
+) -> Option<Binding> {
     let encoded = encode_optimization(problem);
-    match solve(&encoded.model, &MilpOptions::default()) {
+    let options = MilpOptions {
+        node_cut: node_cut_for(problem, &encoded, pruning),
+        ..MilpOptions::default()
+    };
+    match solve(&encoded.model, &options) {
         MilpOutcome::Optimal { values, .. } => decode(problem, &encoded, &values),
         _ => None,
     }

@@ -307,6 +307,113 @@ mod tests {
         }
     }
 
+    /// Pruned (`Standard`) and unpruned searches are both bit-identical
+    /// to the dense reference: the per-node lower bounds may only cut
+    /// subtrees without feasible leaves, so the first feasible leaf and
+    /// the optimal incumbent are untouched.
+    #[test]
+    fn pruned_solver_is_bit_identical_to_dense_reference() {
+        use crate::bounds::PruningLevel;
+        let mut state = 0xBEEF_CAFE_0918_2736u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..25 {
+            let n = 3 + (rand() % 6) as usize;
+            let buses = 2 + (rand() % 3) as usize;
+            let demands: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..3).map(|_| rand() % 60).collect())
+                .collect();
+            let mut p =
+                BindingProblem::new(buses, 100, demands).with_maxtb(1 + (rand() % 4) as usize);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rand() % 3 == 0 {
+                        p.add_conflict(i, j);
+                    }
+                }
+            }
+            let values: Vec<u64> = (0..n * n).map(|_| rand() % 30).collect();
+            p.set_overlaps(|i, j| values[i * n + j]);
+
+            let dense_feas = find_feasible_dense(&p, &limits()).unwrap();
+            let dense_opt = optimize_dense(&p, &limits()).unwrap();
+            for pruning in [PruningLevel::Off, PruningLevel::Standard] {
+                let l = limits().with_pruning(pruning);
+                assert_eq!(
+                    p.find_feasible(&l).unwrap(),
+                    dense_feas,
+                    "case {case} [{pruning}]: feasibility"
+                );
+                assert_eq!(
+                    p.optimize(&l).unwrap(),
+                    dense_opt,
+                    "case {case} [{pruning}]: optimisation"
+                );
+            }
+        }
+    }
+
+    /// Workload-derived instances (raw paper-suite traces through the
+    /// window analysis): the bitset solver, pruned and unpruned, stays
+    /// bit-identical to the dense reference on realistic conflict and
+    /// demand structure — the in-crate successor of the retired
+    /// workspace-level dense equivalence suite.
+    #[test]
+    fn workload_instances_match_dense_reference() {
+        use crate::bounds::PruningLevel;
+        use stbus_traffic::{workloads, ConflictGraph, WindowStats};
+
+        for app in workloads::paper_suite(0xDA7E_2005) {
+            let stats = WindowStats::analyze(&app.trace, 1_000);
+            let n = stats.num_targets();
+            if n == 0 {
+                continue;
+            }
+            let demands: Vec<Vec<u64>> = (0..n).map(|t| stats.demand_row(t).to_vec()).collect();
+            let capacities: Vec<u64> = (0..stats.num_windows())
+                .map(|m| stats.window_len(m))
+                .collect();
+            // Two conflict densities (the aggressive and conservative ends
+            // of the paper's threshold range) crossed with two `maxtb`
+            // caps, over the sizes the phase-3 binary search visits first
+            // **plus** the full crossbar `n` — the size where optimisation
+            // revisits equal-objective ties and ordering bugs would hide.
+            for (threshold, maxtb) in [(0.15, 4), (0.50, 4), (0.15, 3)] {
+                let conflicts = ConflictGraph::from_stats(&stats, threshold);
+                let lb = conflicts.greedy_coloring_bound().max(1);
+                let sizes = (lb..=(lb + 3).min(n)).chain((lb + 3 < n).then_some(n));
+                for buses in sizes {
+                    let mut p =
+                        BindingProblem::with_capacities(buses, capacities.clone(), demands.clone())
+                            .with_maxtb(maxtb)
+                            .with_conflict_graph(conflicts.clone());
+                    p.set_overlaps(|i, j| stats.overlap_matrix().get(i, j));
+                    let dense_feas = find_feasible_dense(&p, &limits()).unwrap();
+                    let dense_opt = optimize_dense(&p, &limits()).unwrap();
+                    for pruning in [PruningLevel::Off, PruningLevel::Standard] {
+                        let l = limits().with_pruning(pruning);
+                        assert_eq!(
+                            p.find_feasible(&l).unwrap(),
+                            dense_feas,
+                            "{}@{buses} θ={threshold} maxtb={maxtb} [{pruning}]: feasibility",
+                            app.name()
+                        );
+                        assert_eq!(
+                            p.optimize(&l).unwrap(),
+                            dense_opt,
+                            "{}@{buses} θ={threshold} maxtb={maxtb} [{pruning}]: optimisation",
+                            app.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn dense_reference_handles_edges() {
         let empty = BindingProblem::new(2, 100, Vec::new());
@@ -317,8 +424,8 @@ mod tests {
         assert_eq!(optimize_dense(&infeasible, &limits()).unwrap(), None);
 
         let tiny_budget = BindingProblem::new(4, 100, vec![vec![26]; 12]);
-        let err = find_feasible_dense(&tiny_budget, &SolveLimits { max_nodes: 3 })
-            .expect_err("should exceed");
+        let err =
+            find_feasible_dense(&tiny_budget, &SolveLimits::nodes(3)).expect_err("should exceed");
         assert_eq!(err.limit, 3);
     }
 }

@@ -7,7 +7,14 @@
 //! 1. **Construction** — first-fit-decreasing over targets (by peak window
 //!    demand), choosing among feasible buses the one whose *added overlap*
 //!    is smallest (a greedy proxy for the MILP-2 objective);
-//! 2. **Improvement** — steepest-descent local search over single-target
+//! 2. **Repair** — when every greedy construction order fails, a seeded
+//!    deterministic annealer searches complete (possibly violating)
+//!    assignments for a zero-violation witness. Greedy construction is
+//!    order-myopic: near the feasibility phase transition, witnesses
+//!    exist that no first-fit order reaches (the 48-target size sweep is
+//!    the motivating case — greedy tops out three buses above the true
+//!    minimum). A repaired witness is verified like any other;
+//! 3. **Improvement** — steepest-descent local search over single-target
 //!    relocations and pairwise swaps, accepting moves that reduce the
 //!    maximum per-bus overlap, until a fixpoint or the move budget runs
 //!    out.
@@ -24,11 +31,22 @@ use stbus_traffic::TargetSet;
 pub struct HeuristicOptions {
     /// Maximum accepted improvement moves in local search.
     pub max_moves: usize,
+    /// Annealing restarts of the feasibility-repair phase that runs when
+    /// every greedy construction order fails. `0` disables repair (the
+    /// pre-repair behaviour). Deterministic: fixed seeds per restart, so
+    /// the heuristic stays bit-identical across runs and thread counts.
+    pub repair_restarts: usize,
+    /// Annealing steps per repair restart.
+    pub repair_steps: usize,
 }
 
 impl Default for HeuristicOptions {
     fn default() -> Self {
-        Self { max_moves: 10_000 }
+        Self {
+            max_moves: 10_000,
+            repair_restarts: 4,
+            repair_steps: 200_000,
+        }
     }
 }
 
@@ -187,7 +205,16 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
         break;
     }
     if !constructed {
-        return None;
+        // Greedy never placed everything: hunt for a witness by annealing
+        // repair. A zero-violation assignment is a genuine feasibility
+        // certificate whatever produced it.
+        let assignment = repair_witness(problem, options)?;
+        let mut repaired = State::new(problem);
+        for (t, &k) in assignment.iter().enumerate() {
+            debug_assert!(repaired.fits(t, k), "repair returned a violating witness");
+            repaired.place(t, k);
+        }
+        st = repaired;
     }
 
     // --- Improvement: relocations and swaps that lower the max overlap. ---
@@ -270,6 +297,140 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
     problem
         .verify(&binding)
         .map(|ov| Binding::from_assignment_with_overlap(binding.assignment().to_vec(), ov))
+}
+
+/// Weight of one structural violation (a co-located conflicting pair or
+/// one seat over `maxtb`) in the repair annealer's cost — large enough
+/// that structural violations always dominate window-overflow cycles.
+const REPAIR_VIOLATION: i64 = 1_000_000;
+
+/// Annealing feasibility repair: searches complete (possibly violating)
+/// assignments for a zero-violation witness with a seeded, deterministic
+/// simulated annealer over single-target relocations. Cost = conflicting
+/// co-located pairs and seat excesses (weighted [`REPAIR_VIOLATION`])
+/// plus window overflow cycles; every move's delta is evaluated
+/// incrementally. Returns a feasible assignment or `None` when the
+/// budget runs out — which, as with greedy construction, proves nothing.
+fn repair_witness(problem: &BindingProblem, options: &HeuristicOptions) -> Option<Vec<usize>> {
+    let n = problem.num_targets();
+    let buses = problem.num_buses();
+    let windows = problem.num_windows();
+    if options.repair_restarts == 0 || options.repair_steps == 0 || buses < 2 {
+        return None;
+    }
+    let graph = problem.conflict_graph();
+    // The step budget scales with the move space: a 12-target instance
+    // plateaus (or proves nothing more) within thousands of moves, while
+    // the 48-target phase-transition witnesses need the full budget.
+    let steps = options.repair_steps.min(500 * n * buses);
+    let sparse: Vec<Vec<(usize, u64)>> = (0..n)
+        .map(|t| {
+            (0..windows)
+                .map(|m| (m, problem.demand(t, m)))
+                .filter(|&(_, d)| d > 0)
+                .collect()
+        })
+        .collect();
+    let maxtb = problem.maxtb();
+    let seat_cost =
+        |len: usize| -> i64 { (len.saturating_sub(maxtb) as i64).saturating_mul(REPAIR_VIOLATION) };
+    let overflow = |load: u64, cap: u64| -> i64 { load.saturating_sub(cap) as i64 };
+    let conflict_count = |t: usize, mask: &TargetSet| -> i64 {
+        graph
+            .row(t)
+            .iter()
+            .zip(mask.words())
+            .map(|(&r, &w)| (r & w).count_ones() as i64)
+            .sum()
+    };
+
+    for restart in 0..options.repair_restarts {
+        let mut state =
+            0x5EED_C0DE_0000_0001u64 ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut assign: Vec<usize> = (0..n).map(|_| (rand() % buses as u64) as usize).collect();
+        let mut loads = vec![vec![0u64; windows]; buses];
+        let mut masks = vec![TargetSet::empty(n); buses];
+        let mut lens = vec![0usize; buses];
+        for (t, &k) in assign.iter().enumerate() {
+            for &(m, d) in &sparse[t] {
+                loads[k][m] += d;
+            }
+            masks[k].insert(t);
+            lens[k] += 1;
+        }
+        let mut cost: i64 = 0;
+        for k in 0..buses {
+            cost += seat_cost(lens[k]);
+            for (m, &load) in loads[k].iter().enumerate() {
+                cost += overflow(load, problem.capacity(m));
+            }
+        }
+        // Each conflicting co-located pair counted once (rows are
+        // symmetric and irreflexive, so the per-target sum double counts).
+        let pair_sum: i64 = (0..n).map(|t| conflict_count(t, &masks[assign[t]])).sum();
+        cost += (pair_sum / 2).saturating_mul(REPAIR_VIOLATION);
+
+        let mut temperature = 2_000.0f64;
+        for step in 0..steps {
+            if cost == 0 {
+                break;
+            }
+            let t = (rand() % n as u64) as usize;
+            let from = assign[t];
+            let to = (rand() % buses as u64) as usize;
+            if to == from {
+                continue;
+            }
+            let mut delta = 0i64;
+            delta -= conflict_count(t, &masks[from]).saturating_mul(REPAIR_VIOLATION);
+            delta += conflict_count(t, &masks[to]).saturating_mul(REPAIR_VIOLATION);
+            delta += seat_cost(lens[from] - 1) - seat_cost(lens[from]);
+            delta += seat_cost(lens[to] + 1) - seat_cost(lens[to]);
+            for &(m, d) in &sparse[t] {
+                let cap = problem.capacity(m);
+                delta += overflow(loads[to][m] + d, cap) - overflow(loads[to][m], cap);
+                delta += overflow(loads[from][m] - d, cap) - overflow(loads[from][m], cap);
+            }
+            let accept = delta <= 0 || {
+                let u = (rand() % 1_000_000) as f64 / 1_000_000.0;
+                u < (-(delta as f64) / temperature).exp()
+            };
+            if accept {
+                assign[t] = to;
+                masks[from].remove(t);
+                masks[to].insert(t);
+                lens[from] -= 1;
+                lens[to] += 1;
+                for &(m, d) in &sparse[t] {
+                    loads[from][m] -= d;
+                    loads[to][m] += d;
+                }
+                cost += delta;
+            }
+            temperature = (temperature * 0.99997).max(1.0);
+            if step % 60_000 == 59_999 {
+                // Reheat: escape the local plateaus that trap a cooled
+                // walk near (but not at) zero violations.
+                temperature = 400.0;
+            }
+        }
+        if cost == 0 {
+            debug_assert!(
+                problem
+                    .verify(&Binding::from_assignment(assign.clone()))
+                    .is_some(),
+                "repair cost model disagrees with verify"
+            );
+            return Some(assign);
+        }
+    }
+    None
 }
 
 #[cfg(test)]

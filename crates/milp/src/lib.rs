@@ -47,15 +47,25 @@
 #![warn(missing_docs)]
 
 pub mod binding;
+pub mod bounds;
 pub mod branch_bound;
 pub mod crossbar;
-#[cfg(feature = "dense-reference")]
+// Step 2 of the dense-reference retirement: the module is compiled for
+// this crate's own unit tests unconditionally (the in-crate equivalence
+// battery in `dense::tests` keeps it honest), and for external users —
+// the phase3 bench — only behind the default-off feature. The workspace
+// root no longer carries the feature at all.
+#[cfg(any(test, feature = "dense-reference"))]
 pub mod dense;
 pub mod heuristic;
 pub mod model;
 pub mod simplex;
 
 pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SolveLimits};
-pub use branch_bound::{solve, MilpOptions, MilpOutcome};
+pub use bounds::{
+    BandwidthPackingBound, CliqueCoverBound, CombinedBound, LowerBound, NodeState, PruneContext,
+    PruningLevel,
+};
+pub use branch_bound::{solve, MilpOptions, MilpOutcome, NodeCut};
 pub use heuristic::{solve_heuristic, HeuristicOptions};
 pub use model::{Cmp, LinExpr, Model, Sense, VarId};

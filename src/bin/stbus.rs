@@ -4,9 +4,11 @@
 //! stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
 //! stbus analyze    --trace FILE [--window N] [--threshold F]
 //! stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
-//!                  [--solver exact|heuristic|portfolio] [--jobs N] [--json]
+//!                  [--solver exact|heuristic|portfolio] [--jobs N]
+//!                  [--pruning off|standard|aggressive] [--json]
 //! stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-//! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N] [--json]
+//! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
+//!                  [--pruning off|standard|aggressive] [--json]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -21,8 +23,16 @@
 //! batch worker pool. It defaults to the machine's available parallelism;
 //! `--jobs 1` forces a fully sequential run. Results are bit-identical at
 //! every setting — the flag only trades wall-clock for cores.
+//!
+//! `--pruning LEVEL` sets the per-node lower-bound pruning of the exact
+//! binding search: `standard` (default) is bit-identical to `off`
+//! whenever the unpruned search fits the node budget and is what lets
+//! exact infeasibility proofs scale past ~32 targets; `aggressive` adds
+//! best-fit candidate ordering — same verdicts and probe logs, possibly
+//! a different (equal-objective) binding.
 
 use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
+use stbus::milp::PruningLevel;
 use stbus::report::Table;
 use stbus::sim::{simulate, CrossbarConfig};
 use stbus::traffic::{io, workloads, Trace, WindowStats};
@@ -46,9 +56,11 @@ const USAGE: &str = "usage:
   stbus generate <mat1|mat2|fft|qsort|des|synthetic> [--seed N] [--out FILE]
   stbus analyze    --trace FILE [--window N] [--threshold F]
   stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
-                   [--solver exact|heuristic|portfolio] [--jobs N] [--json]
+                   [--solver exact|heuristic|portfolio] [--jobs N]
+                   [--pruning off|standard|aggressive] [--json]
   stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
-  stbus suite      [--solver exact|heuristic|portfolio] [--jobs N] [--json]";
+  stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
+                   [--pruning off|standard|aggressive] [--json]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -188,6 +200,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     let mut params = DesignParams::default();
     let mut solver = SolverKind::Exact;
     let mut jobs: Option<NonZeroUsize> = None;
+    let mut pruning: Option<PruningLevel> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
@@ -201,6 +214,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             "--maxtb" => params = params.with_maxtb(parse(value(args, flag)?, "maxtb")?),
             "--solver" => solver = value(args, flag)?.parse()?,
             "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
+            "--pruning" => pruning = Some(value(args, flag)?.parse()?),
             "--heuristic" => {
                 eprintln!("note: --heuristic is deprecated; use --solver heuristic");
                 solver = SolverKind::Heuristic;
@@ -215,7 +229,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     let trace = load_trace(trace_path.as_deref())?;
     let pre = Preprocessed::analyze(&trace, &params);
     let outcome = solver
-        .synthesizer_with_jobs(jobs)
+        .synthesizer_with(jobs, pruning)
         .synthesize(&pre, &params)
         .map_err(|e| e.to_string())?;
     if json {
@@ -336,11 +350,13 @@ fn simulate_cmd<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), Stri
 fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut solver = SolverKind::Exact;
     let mut jobs: Option<NonZeroUsize> = None;
+    let mut pruning: Option<PruningLevel> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
             "--solver" => solver = value(args, flag)?.parse()?,
             "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
+            "--pruning" => pruning = Some(value(args, flag)?.parse()?),
             "--json" => json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -349,12 +365,18 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     // One batch over the whole suite: phase 1 runs once per application
     // and the five evaluations spread across the worker pool (sized by
     // --jobs; the batch defaults to all available cores on its own).
-    let mut batch = Batch::per_app(&apps, |app| match app.name() {
-        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-        "FFT" => DesignParams::default()
-            .with_overlap_threshold(0.50)
-            .with_response_scale(0.9),
-        _ => DesignParams::default(),
+    let mut batch = Batch::per_app(&apps, move |app| {
+        let params = match app.name() {
+            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+            "FFT" => DesignParams::default()
+                .with_overlap_threshold(0.50)
+                .with_response_scale(0.9),
+            _ => DesignParams::default(),
+        };
+        match pruning {
+            Some(level) => params.with_pruning(level),
+            None => params,
+        }
     })
     .with_strategy_kind(solver);
     if let Some(jobs) = jobs {

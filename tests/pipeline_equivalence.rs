@@ -222,7 +222,7 @@ fn portfolio_falls_back_under_tiny_node_budget() {
     let analyzed = collected.analyze(&params);
 
     let starved = analyzed
-        .synthesize(&Portfolio::with_budget(SolveLimits { max_nodes: 1 }))
+        .synthesize(&Portfolio::with_budget(SolveLimits::nodes(1)))
         .expect("portfolio never fails");
     assert_eq!(starved.it.engine, SynthesisEngine::Heuristic);
     assert_eq!(starved.ti.engine, SynthesisEngine::Heuristic);
@@ -239,7 +239,7 @@ fn portfolio_falls_back_under_tiny_node_budget() {
 
     // An exact strategy with the same starved budget must error instead
     // of guessing.
-    let exact_starved = analyzed.synthesize(&Exact::with_limits(SolveLimits { max_nodes: 1 }));
+    let exact_starved = analyzed.synthesize(&Exact::with_limits(SolveLimits::nodes(1)));
     assert!(
         exact_starved.is_err(),
         "exact must surface the budget error"
