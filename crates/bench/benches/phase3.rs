@@ -1,7 +1,7 @@
 //! Phase-3 **size-sweep** benchmark: 12/24/32/48/96-target synthetic SoCs
 //! — the scaling curve of the solver stack, not a single point.
 //!
-//! Four stories in one run, all snapshotted to `BENCH_phase3.json` at the
+//! Five stories in one run, all snapshotted to `BENCH_phase3.json` at the
 //! workspace root (and appended to the file named by the `BENCH_HISTORY`
 //! environment variable, when set — the CI perf-trajectory job):
 //!
@@ -11,9 +11,10 @@
 //!   size the *unpruned* search is also attempted, so the sweep records
 //!   where pruning moves the exact cliff (at 32 targets the pruned
 //!   pipeline completes in seconds while the unpruned search dies on the
-//!   node budget — that flip is the data). The pre-refactor dense-matrix
-//!   baseline (feature `dense-reference`) still runs at 12/24 and its
-//!   answer is asserted bit-identical before any timing happens.
+//!   node budget — that flip is the data). The dense-matrix baseline of
+//!   PR 2–4 is retired; its final measured speedups are snapshotted in
+//!   `crates/bench/BENCHMARKS.md` and the generic MILP remains the sole
+//!   independent reference.
 //! * **Infeasibility frontier** — at the sizes beyond full exact
 //!   tractability (48/96), the pruned exact search proves bus counts
 //!   infeasible from the lower bound upward under a small per-probe node
@@ -21,8 +22,8 @@
 //!   residue of the cliff: at 48 targets the proofs reach 13 buses in
 //!   microseconds and stop at the 14/15 feasibility phase transition,
 //!   where witnesses exist (the repair-enabled heuristic finds a 15-bus
-//!   binding) but exact proofs are out of reach for bitset, dense and
-//!   MILP search alike.
+//!   binding) but exact proofs are out of reach for bitset and MILP
+//!   search alike.
 //! * **θ-sweep** — a nine-point overlap-threshold sweep at the largest
 //!   size, per-point rebuild vs the sweep-resident [`OverlapProfile`]
 //!   path (one analysis, O(pairs) re-threshold per θ).
@@ -32,13 +33,24 @@
 //!   host `parallel_s` can only tie `sequential_s` plus queue overhead;
 //!   without the pre-pass attribution that read as a scheduler
 //!   regression in the PR-3 snapshot).
+//! * **Executor saturation** — a batch of **2** design points × 48-target
+//!   raced probes on the shared executor, recording the peak number of
+//!   simultaneously busy workers. Under the retired stacked pools the
+//!   batch's parallelism was pinned to the batch width (2); with one
+//!   work-stealing executor the inner probe and repair tasks spill onto
+//!   the leftover workers. On a 1-core host the row records scheduling
+//!   concurrency, not parallel speedup, and the snapshot carries an
+//!   explicit warning.
 //!
 //! Methodology notes live in `crates/bench/BENCHMARKS.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use stbus_core::pipeline::BaselineSet;
 use stbus_core::synthesizer::{Exact, Heuristic, Portfolio, Synthesizer};
-use stbus_core::{synthesize, DesignParams, Preprocessed, ProbeScheduler, SynthesisEngine};
-use stbus_milp::{dense, Binding, BindingProblem, HeuristicOptions, PruningLevel, SolveLimits};
+use stbus_core::{
+    exec, synthesize, Batch, DesignParams, Preprocessed, ProbeScheduler, SynthesisEngine,
+};
+use stbus_milp::{HeuristicOptions, PruningLevel, SolveLimits};
 use stbus_traffic::workloads::synthetic;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
@@ -50,11 +62,6 @@ const SIZES: [usize; 5] = [12, 24, 32, 48, 96];
 /// within the default node budget. 32 is new in PR 4: the per-node
 /// lower bounds moved the cliff past the ROADMAP's ~32-target wall.
 const EXACT_TRACTABLE: [usize; 3] = [12, 24, 32];
-/// Sizes where the *unpruned* dense-matrix reference is still tractable
-/// (at 32 the unpruned searches — bitset and dense alike — blow the node
-/// budget on the sub-minimum infeasibility proofs; that flip is the
-/// headline of the sweep).
-const DENSE_TRACTABLE: [usize; 2] = [12, 24];
 /// Node budget of the portfolio's exact attempt and the frontier scan at
 /// the intractable sizes. Pruned nodes buy far more search than PR-3's
 /// unpruned nodes (the sub-transition infeasibility proofs that used to
@@ -78,59 +85,11 @@ fn pre_of(targets: usize, params: &DesignParams) -> Preprocessed {
     Preprocessed::analyze(&app.trace, params)
 }
 
-/// The pre-refactor bus lower bound: bandwidth, **plain greedy clique**
-/// (not the coloring-strengthened bound) and the maxtb pigeonhole.
-fn dense_lower_bound(pre: &Preprocessed) -> usize {
-    let bw = (0..pre.stats.num_windows())
-        .map(|m| pre.stats.window_demand(m).div_ceil(pre.stats.window_len(m)))
-        .max()
-        .unwrap_or(0);
-    let bw = usize::try_from(bw).unwrap_or(usize::MAX);
-    let pigeonhole = pre.stats.num_targets().div_ceil(pre.maxtb);
-    bw.max(pre.conflicts.clique_lower_bound())
-        .max(pigeonhole)
-        .max(1)
-}
-
-/// Phase-3 exact solve skeleton (binary-searched MILP-1 + MILP-2 at the
-/// minimum size), parameterised over the solver pair so the bitset path
-/// and the dense reference run the *same* algorithm.
-fn phase3_exact(
-    pre: &Preprocessed,
-    lower_bound: usize,
-    find: impl Fn(&BindingProblem) -> Option<Binding>,
-    optimize: impl Fn(&BindingProblem) -> Option<Binding>,
-) -> (usize, u64) {
-    let n = pre.stats.num_targets();
-    let mut lo = lower_bound;
-    let mut hi = n;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if find(&pre.binding_problem(mid)).is_some() {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    let binding = optimize(&pre.binding_problem(lo)).expect("minimum size is feasible");
-    (lo, binding.max_bus_overlap())
-}
-
 fn solve_bitset(pre: &Preprocessed, params: &DesignParams) -> (usize, u64) {
     let out = Exact::default()
         .synthesize(pre, params)
         .expect("within limits");
     (out.num_buses, out.max_bus_overlap)
-}
-
-fn solve_dense(pre: &Preprocessed, params: &DesignParams) -> (usize, u64) {
-    let limits = params.solve_limits;
-    phase3_exact(
-        pre,
-        dense_lower_bound(pre),
-        |p| dense::find_feasible_dense(p, &limits).expect("within limits"),
-        |p| dense::optimize_dense(p, &limits).expect("within limits"),
-    )
 }
 
 /// Times `f` over `iters` runs and returns the minimum wall-clock seconds.
@@ -173,7 +132,6 @@ struct SizePoint {
     num_buses: usize,
     engine: &'static str,
     seconds: Vec<(&'static str, f64)>,
-    speedup_vs_dense: Option<f64>,
     /// `Some(s)` when the unpruned exact pipeline completed in `s`
     /// seconds, `None` when it blew the node budget (recorded as
     /// `"budget"` in the snapshot) — the pruning cliff-flip evidence.
@@ -211,32 +169,12 @@ fn bench_phase3(c: &mut Criterion) {
     for targets in SIZES {
         let pre = pre_of(targets, &params);
         let exact_ok = EXACT_TRACTABLE.contains(&targets);
-        let dense_ok = DENSE_TRACTABLE.contains(&targets);
         let mut seconds: Vec<(&'static str, f64)> = Vec::new();
-        let mut speedup_vs_dense = None;
         let mut unpruned_exact = None;
         let mut frontier = None;
 
         let (num_buses, engine) = if exact_ok {
             let bitset = solve_bitset(&pre, &params);
-            if dense_ok {
-                // Same answer before measuring speed: the bitset solver
-                // (pruned by default — the prunes are proven answer-
-                // invariant) must be bit-identical to the unpruned
-                // dense-matrix baseline.
-                let dense_result = solve_dense(&pre, &params);
-                assert_eq!(
-                    bitset, dense_result,
-                    "bitset and dense phase-3 answers diverged at {targets} targets"
-                );
-                group.bench_function(format!("exact_dense_baseline/{targets}"), |b| {
-                    b.iter(|| solve_dense(&pre, &params));
-                });
-                let exact_dense_s = min_time(3, || solve_dense(&pre, &params));
-                seconds.push(("exact_dense_baseline", exact_dense_s));
-                let exact_bitset_s = min_time(3, || solve_bitset(&pre, &params));
-                speedup_vs_dense = Some(exact_dense_s / exact_bitset_s);
-            }
             group.bench_function(format!("exact_bitset/{targets}"), |b| {
                 b.iter(|| solve_bitset(&pre, &params));
             });
@@ -314,7 +252,6 @@ fn bench_phase3(c: &mut Criterion) {
             num_buses,
             engine,
             seconds,
-            speedup_vs_dense,
             unpruned_exact,
             frontier,
         });
@@ -394,6 +331,52 @@ fn bench_phase3(c: &mut Criterion) {
     let raced_probes_certified = prepass();
     let raced_prepass_s = min_time(3, prepass);
 
+    // --- Executor saturation: 2 design points × 48-target probes. ---
+    // The question this row answers is a *scheduling* one: does a batch
+    // narrower than the worker set keep the leftover workers busy with
+    // the points' inner probe/repair tasks? The executor is grown to at
+    // least 4 workers so the answer is observable even on small hosts;
+    // on a 1-core host the peak measures OS-timesliced concurrency, not
+    // parallel speedup, and the snapshot says so.
+    const SATURATION_WORKERS: usize = 4;
+    const SATURATION_POINTS: usize = 2;
+    exec::ensure_workers(SATURATION_WORKERS);
+    let sat_targets = 48;
+    let sat_apps = vec![synthetic::scaled_soc(sat_targets, SEED)];
+    let sat_grid: Vec<DesignParams> = [0.12, 0.16]
+        .iter()
+        .map(|&theta| sweep_params().with_overlap_threshold(theta))
+        .collect();
+    assert_eq!(sat_grid.len(), SATURATION_POINTS);
+    let sat_jobs = NonZeroUsize::new(exec::workers()).expect("workers are positive");
+    exec::reset_peak_busy();
+    let sat_start = Instant::now();
+    let sat_results = Batch::over(&sat_apps, sat_grid)
+        .with_strategy(Portfolio::with_budget(PROBE_BUDGET).with_jobs(sat_jobs))
+        .with_baselines(BaselineSet::none())
+        .threads(SATURATION_POINTS)
+        .run();
+    let sat_wall_s = sat_start.elapsed().as_secs_f64();
+    let sat_peak_busy = exec::peak_busy();
+    assert_eq!(sat_results.len(), SATURATION_POINTS);
+    for point in &sat_results {
+        assert!(point.result.is_ok(), "portfolio point failed");
+    }
+    let sat_warning = if jobs == 1 {
+        "\"host_parallelism is 1: peak_busy_workers measures OS-timesliced \
+         scheduling concurrency, not parallel speedup; capture a multi-core \
+         run for the wall-clock win\""
+            .to_string()
+    } else {
+        String::from("null")
+    };
+    if jobs == 1 {
+        eprintln!(
+            "warning: executor-saturation row measured on a 1-core host — \
+             occupancy shows scheduling concurrency only"
+        );
+    }
+
     // --- JSON snapshot for the perf trajectory (workspace root). ---
     let mut sizes_json = String::new();
     for (i, p) in size_points.iter().enumerate() {
@@ -407,9 +390,6 @@ fn bench_phase3(c: &mut Criterion) {
             }
             write!(secs, "\"{k}\": {v:.6}").expect("write to string");
         }
-        let speedup = p
-            .speedup_vs_dense
-            .map_or(String::from("null"), |s| format!("{s:.2}"));
         let unpruned = match p.unpruned_exact {
             None => String::from("null"),
             Some(None) => String::from("\"budget\""),
@@ -420,7 +400,6 @@ fn bench_phase3(c: &mut Criterion) {
             sizes_json,
             "    {{\"targets\": {}, \"conflict_pairs\": {}, \"lower_bound\": {}, \
              \"num_buses\": {}, \"engine\": \"{}\", \"seconds\": {{{secs}}}, \
-             \"speedup_exact_bitset_vs_dense\": {speedup}, \
              \"unpruned_exact\": {unpruned}, \
              \"proved_infeasible_through\": {frontier}}}",
             p.targets, p.conflict_pairs, p.lower_bound, p.num_buses, p.engine
@@ -441,12 +420,18 @@ fn bench_phase3(c: &mut Criterion) {
          \"sequential_s\": {sequential_s:.6}, \"parallel_s\": {parallel_s:.6}, \
          \"raced_s\": {raced_s:.6}, \"raced_heuristic_prepass_s\": {raced_prepass_s:.6}, \
          \"raced_probes_certified\": {raced_probes_certified}, \
-         \"consumed_probes\": {consumed_probes}}}\n}}\n",
+         \"consumed_probes\": {consumed_probes}}},\n  \
+         \"executor_saturation\": {{\"batch_points\": {SATURATION_POINTS}, \
+         \"targets\": {sat_targets}, \"executor_workers\": {sat_workers}, \
+         \"probe_jobs\": {sat_probe_jobs}, \"peak_busy_workers\": {sat_peak_busy}, \
+         \"wall_s\": {sat_wall_s:.6}, \"warning\": {sat_warning}}}\n}}\n",
         date = today_utc(),
         points = THETA_SWEEP.len(),
         theta_speedup = rebuild_s / incremental_s,
         frontier_budget = PROBE_BUDGET.max_nodes,
         consumed_probes = sequential.probes.len(),
+        sat_workers = exec::workers(),
+        sat_probe_jobs = sat_jobs.get(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
     std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");

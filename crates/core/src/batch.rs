@@ -4,14 +4,17 @@
 //! a set of applications and a parameter grid, groups the grid points by
 //! [`CollectionKey`] so the expensive phase-1 reference simulation runs
 //! once per application per key, and evaluates every point in parallel on
-//! a scoped worker pool. Results are returned in deterministic app-major
-//! order and are bit-identical to a sequential run — jobs share nothing
-//! but immutable artifacts.
+//! the process-wide work-stealing executor ([`crate::exec`]). Results are
+//! returned in deterministic app-major order and are bit-identical to a
+//! sequential run — jobs share nothing but immutable artifacts.
 //!
-//! `rayon` is the natural substrate for this, but the workspace builds
-//! offline without third-party crates, so the pool is a few lines of
-//! `std::thread::scope` with an atomic work queue — same semantics,
-//! no dependency.
+//! Because the stages run as executor tasks rather than on a private
+//! scoped pool, the parallelism inside each design point — the phase-3
+//! probe scheduler's speculative searches, the annealer's repair
+//! restarts — feeds the *same* worker set: a batch of two points on an
+//! eight-core host keeps all eight workers busy instead of pinning the
+//! run to the batch width (the `executor_saturation` row of
+//! `BENCH_phase3.json` records exactly this).
 //!
 //! # Example
 //!
@@ -35,12 +38,12 @@
 //! }
 //! ```
 
+use crate::exec;
 use crate::flow::FlowError;
 use crate::params::DesignParams;
 use crate::pipeline::{
     AnalysisArtifact, AnalysisKey, BaselineSet, Collected, CollectionKey, Evaluation, Pipeline,
 };
-use crate::pool::{default_parallelism, par_map};
 use crate::synthesizer::{Exact, SolverKind, Synthesizer};
 use stbus_traffic::workloads::Application;
 use std::num::NonZeroUsize;
@@ -132,9 +135,13 @@ impl<'a> Batch<'a> {
         self
     }
 
-    /// Caps the worker count (default: all available cores). `threads(1)`
-    /// gives a strictly sequential run — useful for verifying that
-    /// parallel results are identical.
+    /// Caps how many of this batch's jobs are in flight on the shared
+    /// executor at once (default: the executor's parallelism).
+    /// `threads(1)` gives a strictly sequential run on the calling
+    /// thread — useful for verifying that parallel results are
+    /// identical. The cap applies to the batch's own stages only; inner
+    /// probe searches and annealer restarts still spread across every
+    /// executor worker.
     ///
     /// # Panics
     ///
@@ -160,7 +167,7 @@ impl<'a> Batch<'a> {
     fn worker_count(&self, jobs: usize) -> usize {
         let available = self
             .threads
-            .map_or_else(default_parallelism, NonZeroUsize::get);
+            .map_or_else(exec::parallelism, NonZeroUsize::get);
         available.min(jobs).max(1)
     }
 
@@ -220,12 +227,12 @@ impl<'a> Batch<'a> {
     /// per `(application, `[`CollectionKey`]`, `[`AnalysisKey`]`)` triple
     /// (see [`Batch::analysis_plan`]) with every further grid point paying
     /// only an O(pairs) re-threshold; phases 3–4 run per point, spread
-    /// across the worker pool.
+    /// across the shared executor's workers.
     #[must_use]
     pub fn run(&self) -> Vec<BatchResult> {
         // --- Stage A: one collection per (app, collection key). ---
         let collect_specs = self.collection_plan();
-        let collected: Vec<Collected<'a>> = par_map(
+        let collected: Vec<Collected<'a>> = exec::map(
             &collect_specs,
             self.worker_count(collect_specs.len()),
             |(a, params)| Pipeline::collect(&self.apps[*a], params),
@@ -241,7 +248,7 @@ impl<'a> Batch<'a> {
 
         // --- Stage A2: one window analysis per (app, ckey, akey). ---
         let analysis_specs = self.analysis_plan();
-        let artifacts: Vec<AnalysisArtifact> = par_map(
+        let artifacts: Vec<AnalysisArtifact> = exec::map(
             &analysis_specs,
             self.worker_count(analysis_specs.len()),
             |(a, params)| collected_for(*a, params).analysis_artifact(params),
@@ -259,7 +266,7 @@ impl<'a> Batch<'a> {
         };
 
         // --- Stage B: evaluate every point against its artifacts. ---
-        par_map(
+        exec::map(
             &self.jobs,
             self.worker_count(self.jobs.len()),
             |&(a, g, ref params)| {

@@ -77,6 +77,23 @@
 
 pub mod baselines;
 pub mod batch;
+/// The process-wide work-stealing executor every parallel layer of the
+/// toolkit runs on — the [`crate::Batch`] design-space stages, the
+/// phase-3 [`ProbeScheduler`]'s speculative probes, the
+/// [`synthesizer::Portfolio`] exact-vs-heuristic race and the
+/// heuristic's annealing-repair restarts all submit tasks to the same
+/// worker set, so inner work fills whatever cores the outer layer left
+/// idle instead of stacking a second pool.
+///
+/// This is a re-export of the bottom-layer `stbus-exec` crate (it sits
+/// below `stbus-milp` so the solver layers can poll its
+/// [`exec::CancelToken`]); see that crate's documentation for the
+/// determinism contract (results land by submission order; width 1 is a
+/// sequential loop), the cancellation contract (hierarchical cooperative
+/// tokens) and the `STBUS_EXEC_WORKERS` sizing override.
+pub mod exec {
+    pub use stbus_exec::*;
+}
 pub mod flow;
 pub mod params;
 pub mod phase1;
@@ -84,7 +101,6 @@ pub mod phase2;
 pub mod phase3;
 pub mod phase4;
 pub mod pipeline;
-mod pool;
 pub mod synthesizer;
 
 pub use batch::{Batch, BatchResult};

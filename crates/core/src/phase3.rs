@@ -22,16 +22,14 @@
 //! pipeline now completes at 32 targets, where the unpruned search blows
 //! its node budget.
 
+use crate::exec::{self, CancelToken};
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use crate::pool::default_parallelism;
 use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded, SearchInterrupted};
 use stbus_sim::CrossbarConfig;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 
 /// Which solving engine produced a [`SynthesisOutcome`].
 ///
@@ -247,10 +245,11 @@ struct ProbeOutcome {
 /// yet the probe at `mid` only ever leads to two possible follow-ups: the
 /// midpoint of `[lo, mid]` if feasible, of `[mid+1, hi]` if not. All
 /// candidate probes in the next few levels of that decision tree are
-/// **independent** solver calls, so the scheduler solves a speculative
-/// wave of them on a scoped worker pool (the same order-preserving pool
-/// [`crate::Batch`] uses), then *replays the sequential search* against
-/// the cached answers. Determinism falls out by construction:
+/// **independent** solver calls, so the scheduler submits a speculative
+/// wave of them as tasks on the process-wide executor ([`crate::exec`] —
+/// the same worker set [`crate::Batch`] stages and the annealer's repair
+/// restarts run on), then *replays the sequential search* against the
+/// cached answers. Determinism falls out by construction:
 ///
 /// * each probe is a pure function of its bus count — which thread solves
 ///   it, and in which order, cannot change its answer;
@@ -291,10 +290,11 @@ impl ProbeScheduler {
         Self { jobs, race: None }
     }
 
-    /// A scheduler sized to [`std::thread::available_parallelism`].
+    /// A scheduler sized to the executor's parallelism
+    /// ([`exec::parallelism`]).
     #[must_use]
     pub fn available() -> Self {
-        Self::new(NonZeroUsize::new(default_parallelism()).expect("parallelism is positive"))
+        Self::new(NonZeroUsize::new(exec::parallelism()).expect("parallelism is positive"))
     }
 
     /// Enables the deterministic exact-vs-heuristic race per probe.
@@ -312,8 +312,8 @@ impl ProbeScheduler {
 
     /// The probes the search *could* reach from the interval `[lo, hi)`,
     /// breadth-first with the certain next probe first, skipping `known`
-    /// ones — capped at the worker count so speculation never outruns the
-    /// pool.
+    /// ones — capped at the `jobs` width so speculation never outruns
+    /// what the caller asked to keep in flight.
     fn wave(&self, lo: usize, hi: usize, known: &HashSet<usize>) -> Vec<usize> {
         let mut wave = Vec::new();
         let mut intervals = VecDeque::from([(lo, hi)]);
@@ -373,24 +373,31 @@ impl ProbeScheduler {
             })
     }
 
-    /// Worker-side probe with a cancellation flag. `None` means the probe
-    /// was cancelled (its answer became unreachable) — the result is
-    /// dropped, never recorded.
+    /// Task-side probe with a cooperative [`CancelToken`]. `None` means
+    /// the probe was cancelled (its answer became unreachable) — the
+    /// result is dropped, never consumed. In raced mode the heuristic
+    /// pre-pass itself is cancellable, so an abandoned probe stops
+    /// mid-anneal instead of finishing a repair nobody reads.
     fn probe_cancellable(
         &self,
         pre: &Preprocessed,
         params: &DesignParams,
         buses: usize,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> Option<ProbeResult> {
         let problem = pre.binding_problem(buses);
         if let Some(options) = &self.race {
-            if let Some(binding) = stbus_milp::solve_heuristic(&problem, options) {
+            if let Some(binding) =
+                stbus_milp::solve_heuristic_cancellable(&problem, options, cancel)
+            {
                 return Some(Ok(ProbeOutcome {
                     feasible: Some(binding),
                     exact: false,
                 }));
             }
+            // A `None` pre-pass is "no witness" *or* "cancelled"; either
+            // way the exact search below notices a raised token at its
+            // first poll, so the distinction is immaterial here.
         }
         match problem.find_feasible_cancellable(&params.solve_limits, cancel) {
             Ok(feasible) => Some(Ok(ProbeOutcome {
@@ -399,35 +406,6 @@ impl ProbeScheduler {
             })),
             Err(SearchInterrupted::Budget(e)) => Some(Err(e)),
             Err(SearchInterrupted::Cancelled) => None,
-        }
-    }
-
-    /// Worker loop: pull a probe off the queue, solve it (cancellably),
-    /// publish the result.
-    fn worker(&self, pre: &Preprocessed, params: &DesignParams, shared: &Shared) {
-        loop {
-            let (buses, flag) = {
-                let mut st = shared.state.lock().expect("scheduler state poisoned");
-                loop {
-                    if st.shutdown {
-                        return;
-                    }
-                    if let Some(buses) = st.queue.pop_front() {
-                        let flag = Arc::new(AtomicBool::new(false));
-                        st.running.insert(buses, Arc::clone(&flag));
-                        break (buses, flag);
-                    }
-                    st = shared.work.wait(st).expect("scheduler state poisoned");
-                }
-            };
-            let result = self.probe_cancellable(pre, params, buses, &flag);
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
-            st.running.remove(&buses);
-            if let Some(result) = result {
-                st.results.insert(buses, result);
-            }
-            drop(st);
-            shared.ready.notify_all();
         }
     }
 
@@ -466,10 +444,12 @@ impl ProbeScheduler {
         })
     }
 
-    /// Runs the binary search with speculative parallel probes: workers
-    /// keep solving the reachable frontier while the replay consumes
-    /// answers in sequential order; probes whose answers become
-    /// unreachable are cancelled mid-solve.
+    /// Runs the binary search with speculative parallel probes: executor
+    /// tasks keep solving the reachable frontier while the replay
+    /// consumes answers in sequential order; probes whose answers become
+    /// unreachable are cancelled mid-solve. The replay thread *helps*
+    /// while it waits — on a saturated executor it solves probes itself,
+    /// so the scheduler can never be starved by other scopes.
     fn parallel_search(
         &self,
         pre: &Preprocessed,
@@ -477,60 +457,40 @@ impl ProbeScheduler {
         lower_bound: usize,
         n: usize,
     ) -> Result<SearchSummary, NodeLimitExceeded> {
-        let shared = Shared {
-            state: Mutex::new(SchedState {
-                queue: VecDeque::new(),
-                running: HashMap::new(),
-                results: HashMap::new(),
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            ready: Condvar::new(),
-        };
-        std::thread::scope(|scope| {
-            for _ in 0..self.jobs.get() {
-                scope.spawn(|| self.worker(pre, params, &shared));
-            }
+        exec::scope(|s: &exec::TaskScope<'_, '_, Option<ProbeResult>>| {
+            // Bus count → task index of its (possibly finished) probe.
+            // Tasks are never removed: a cancelled probe's bus count is
+            // unreachable forever (intervals only narrow), so it can
+            // never be proposed or consumed again.
+            let mut task_of: HashMap<usize, usize> = HashMap::new();
             let summary = Self::binary_search(lower_bound, n, |lo, hi, mid| {
-                let mut st = shared.state.lock().expect("scheduler state poisoned");
-                // Prune work that this interval can no longer consume:
-                // drop queued probes, cancel running ones.
+                // Prune work this interval can no longer consume: cancel
+                // the probes (queued or mid-solve) outside the tree.
                 let mut reachable = HashSet::new();
                 Self::reachable(lo, hi, &mut reachable);
-                st.queue.retain(|b| reachable.contains(b));
-                for (buses, flag) in &st.running {
-                    if !reachable.contains(buses) {
-                        flag.store(true, Ordering::Relaxed);
+                for (&buses, &task) in &task_of {
+                    if !reachable.contains(&buses) {
+                        s.cancel(task);
                     }
                 }
                 // Top the frontier up to the speculation budget.
-                let mut known: HashSet<usize> = st.results.keys().copied().collect();
-                known.extend(st.running.keys().copied());
-                known.extend(st.queue.iter().copied());
-                let wave = self.wave(lo, hi, &known);
-                let queued = !wave.is_empty();
-                st.queue.extend(wave);
-                drop(st);
-                if queued {
-                    shared.work.notify_all();
+                let known: HashSet<usize> = task_of.keys().copied().collect();
+                for buses in self.wave(lo, hi, &known) {
+                    let task =
+                        s.submit(move |token| self.probe_cancellable(pre, params, buses, token));
+                    task_of.insert(buses, task);
                 }
-                // Consume the one probe the sequential search needs next.
-                let mut st = shared.state.lock().expect("scheduler state poisoned");
-                while !st.results.contains_key(&mid) {
-                    st = shared.ready.wait(st).expect("scheduler state poisoned");
-                }
-                st.results.get(&mid).expect("just waited for it").clone()
+                // Consume the one probe the sequential search needs next
+                // (the wave always leads with it, so it is always
+                // submitted by now). The replay never cancels a probe
+                // still in the reachable set, so the slot cannot hold the
+                // cancellation marker.
+                s.take(task_of[&mid])
+                    .expect("consumed probe is never cancelled")
             });
-            // Wind the pool down before MILP-2 takes the cores: unneeded
-            // speculation is cancelled, parked workers are woken to exit.
-            let mut st = shared.state.lock().expect("scheduler state poisoned");
-            st.shutdown = true;
-            st.queue.clear();
-            for flag in st.running.values() {
-                flag.store(true, Ordering::Relaxed);
-            }
-            drop(st);
-            shared.work.notify_all();
+            // Unconsumed speculation is cancelled here (and drained by
+            // the scope on exit) before MILP-2 takes the cores.
+            s.cancel_all();
             summary
         })
     }
@@ -614,23 +574,6 @@ struct SearchSummary {
     num_buses: usize,
     probes: Vec<(usize, bool)>,
     best_feasible: Option<(usize, Binding, bool)>,
-}
-
-/// Shared scheduler state: the speculative work queue, in-flight probes
-/// with their cancellation flags, and the published results.
-struct SchedState {
-    queue: VecDeque<usize>,
-    running: HashMap<usize, Arc<AtomicBool>>,
-    results: HashMap<usize, ProbeResult>,
-    shutdown: bool,
-}
-
-struct Shared {
-    state: Mutex<SchedState>,
-    /// Signalled when work is queued or the pool shuts down.
-    work: Condvar,
-    /// Signalled when a probe result is published.
-    ready: Condvar,
 }
 
 #[cfg(test)]

@@ -49,10 +49,11 @@ pub struct Exact {
     /// Overrides [`DesignParams::solve_limits`] when set.
     pub limits: Option<SolveLimits>,
     /// Speculative feasibility-probe parallelism: `None` runs the classic
-    /// sequential binary search; `Some(j)` solves probe waves of up to `j`
-    /// on a scoped [`ProbeScheduler`] pool. Outcomes are bit-identical
-    /// either way (the scheduler replays the sequential search against
-    /// cached probe answers), so this is purely a wall-clock knob.
+    /// sequential binary search; `Some(j)` lets the [`ProbeScheduler`]
+    /// keep waves of up to `j` probes in flight on the process-wide
+    /// executor ([`crate::exec`]). Outcomes are bit-identical either way
+    /// (the scheduler replays the sequential search against cached probe
+    /// answers), so this is purely a wall-clock knob.
     pub jobs: Option<NonZeroUsize>,
     /// Overrides the per-node lower-bound pruning level of the exact
     /// search when set (applied on top of `limits`/the params' own

@@ -29,10 +29,10 @@
 
 use crate::bounds::{self, CombinedBound, LowerBound, NodeState, PruningLevel};
 use serde::{Deserialize, Serialize};
+use stbus_exec::CancelToken;
 use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Search effort limits and pruning policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,8 +40,8 @@ pub struct SolveLimits {
     /// Maximum number of (target, bus) branch attempts. Candidates vetoed
     /// outright by the conflict mask or the `maxtb` cap are filtered
     /// before they reach the budget, so a given budget buys strictly more
-    /// search than it did under the pre-refactor accounting preserved in
-    /// `crate::dense` (which charges every candidate). Subtrees cut by
+    /// search than it did under the retired dense-matrix reference's
+    /// accounting (which charged every candidate). Subtrees cut by
     /// the per-node lower bounds (see [`SolveLimits::pruning`]) never
     /// reach the budget either.
     pub max_nodes: u64,
@@ -99,14 +99,16 @@ impl Error for NodeLimitExceeded {}
 /// Why a cancellable search stopped before reaching a definitive answer.
 ///
 /// Speculative callers (the phase-3 probe scheduler) solve bindings whose
-/// answers may become irrelevant while they are being computed; raising
-/// the cancellation flag makes the search bail at the next node-count
-/// checkpoint instead of finishing a proof nobody will read.
+/// answers may become irrelevant while they are being computed; the
+/// executor's [`CancelToken`] threads through
+/// [`BindingProblem::find_feasible_cancellable`], and raising it makes
+/// the search bail at the next node-count checkpoint instead of
+/// finishing a proof nobody will read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchInterrupted {
     /// The node budget ran out before the search completed.
     Budget(NodeLimitExceeded),
-    /// The caller raised the cancellation flag; the partial answer is
+    /// The caller's [`CancelToken`] was raised; the partial answer is
     /// withheld (an interrupted search proves nothing), but unlike a
     /// budget error the caller asked for the interruption.
     Cancelled,
@@ -130,7 +132,7 @@ impl fmt::Display for SearchInterrupted {
 impl Error for SearchInterrupted {}
 
 /// How many branch attempts pass between two polls of the cancellation
-/// flag: rare enough to stay off the profile, frequent enough that a
+/// token: rare enough to stay off the profile, frequent enough that a
 /// cancelled search returns within microseconds.
 const CANCEL_POLL_MASK: u64 = 0xFFF;
 
@@ -558,21 +560,22 @@ impl BindingProblem {
             })
     }
 
-    /// [`BindingProblem::find_feasible`] with a cooperative cancellation
-    /// flag: when `cancel` becomes `true` the search returns
-    /// [`SearchInterrupted::Cancelled`] at its next checkpoint (within a
-    /// few thousand nodes). An un-cancelled run behaves exactly like
-    /// `find_feasible` — same branching, same node accounting, same
-    /// answer.
+    /// [`BindingProblem::find_feasible`] with a cooperative
+    /// [`CancelToken`]: when the token (or any of its ancestors — the
+    /// executor's scopes hand out child tokens) is cancelled, the search
+    /// returns [`SearchInterrupted::Cancelled`] at its next checkpoint
+    /// (within a few thousand nodes). An un-cancelled run behaves
+    /// exactly like `find_feasible` — same branching, same node
+    /// accounting, same answer.
     ///
     /// # Errors
     ///
     /// [`SearchInterrupted::Budget`] when the node budget runs out,
-    /// [`SearchInterrupted::Cancelled`] when the flag was raised.
+    /// [`SearchInterrupted::Cancelled`] when the token was raised.
     pub fn find_feasible_cancellable(
         &self,
         limits: &SolveLimits,
-        cancel: &AtomicBool,
+        cancel: &CancelToken,
     ) -> Result<Option<Binding>, SearchInterrupted> {
         self.search_with(limits, None, Some(cancel))
     }
@@ -619,7 +622,7 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
         incumbent_bound: Option<u64>,
-        cancel: Option<&AtomicBool>,
+        cancel: Option<&CancelToken>,
     ) -> Result<Option<Binding>, SearchInterrupted> {
         self.search_full(limits, incumbent_bound, cancel, false)
     }
@@ -632,7 +635,7 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
         incumbent_bound: Option<u64>,
-        cancel: Option<&AtomicBool>,
+        cancel: Option<&CancelToken>,
         audit: bool,
     ) -> Result<Option<Binding>, SearchInterrupted> {
         if self.num_targets == 0 {
@@ -821,7 +824,7 @@ impl BindingProblem {
             cands: &mut [Vec<(u64, usize)>],
             nodes: &mut u64,
             limits: &SolveLimits,
-            cancel: Option<&AtomicBool>,
+            cancel: Option<&CancelToken>,
             bound: &mut Option<u64>,
             optimizing: bool,
             audit: bool,
@@ -912,7 +915,7 @@ impl BindingProblem {
             // hence the result) are unchanged. Vetoed buses no longer
             // count against the node budget (see [`SolveLimits`]): under
             // a finite budget this search completes strictly more work
-            // than the pre-refactor accounting in `crate::dense`.
+            // than the retired dense-matrix reference's accounting did.
             let (candidates, rest) = cands.split_first_mut().expect("depth < num_targets");
             candidates.clear();
             for k in 0..problem.num_buses {
@@ -959,8 +962,8 @@ impl BindingProblem {
                 // un-cancelled run explores exactly the nodes the plain
                 // search explores.
                 if *nodes & CANCEL_POLL_MASK == 0 {
-                    if let Some(flag) = cancel {
-                        if flag.load(Ordering::Relaxed) {
+                    if let Some(token) = cancel {
+                        if token.is_cancelled() {
                             return Err(SearchInterrupted::Cancelled);
                         }
                     }
@@ -1212,26 +1215,43 @@ mod tests {
     fn cancellable_search_matches_plain_when_not_cancelled() {
         let mut p = BindingProblem::new(3, 100, vec![vec![60], vec![50], vec![40], vec![30]]);
         p.add_conflict(0, 1);
-        let flag = AtomicBool::new(false);
+        let token = CancelToken::new();
         let cancellable = p
-            .find_feasible_cancellable(&limits(), &flag)
+            .find_feasible_cancellable(&limits(), &token)
             .expect("within limits");
         let plain = p.find_feasible(&limits()).expect("within limits");
         assert_eq!(cancellable, plain);
     }
 
     #[test]
-    fn pre_raised_flag_cancels_hard_instances() {
+    fn pre_raised_token_cancels_hard_instances() {
         // An instance whose infeasibility proof takes far more than one
-        // poll interval: the pre-raised flag must stop it early. Pruning
+        // poll interval: the pre-raised token must stop it early. Pruning
         // is off because the per-node bounds prove this maxtb-pigeonhole
         // instance infeasible before the first poll — the very behaviour
         // `bounds` exists for, but not what this test exercises.
         let n = 24usize;
         let p = BindingProblem::new(5, 100, vec![vec![18]; n]).with_maxtb(4);
-        let flag = AtomicBool::new(true);
+        let token = CancelToken::new();
+        token.cancel();
         let limits = SolveLimits::default().with_pruning(PruningLevel::Off);
-        match p.find_feasible_cancellable(&limits, &flag) {
+        match p.find_feasible_cancellable(&limits, &token) {
+            Err(SearchInterrupted::Cancelled) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ancestor_cancellation_reaches_the_search() {
+        // The executor hands tasks child tokens; cancelling the scope's
+        // root must interrupt a search polling only the child.
+        let n = 24usize;
+        let p = BindingProblem::new(5, 100, vec![vec![18]; n]).with_maxtb(4);
+        let root = CancelToken::new();
+        let child = root.child();
+        root.cancel();
+        let limits = SolveLimits::default().with_pruning(PruningLevel::Off);
+        match p.find_feasible_cancellable(&limits, &child) {
             Err(SearchInterrupted::Cancelled) => {}
             other => panic!("expected cancellation, got {other:?}"),
         }
@@ -1240,8 +1260,8 @@ mod tests {
     #[test]
     fn budget_error_survives_the_cancellable_path() {
         let p = BindingProblem::new(4, 100, vec![vec![26]; 12]);
-        let flag = AtomicBool::new(false);
-        match p.find_feasible_cancellable(&SolveLimits::nodes(3), &flag) {
+        let token = CancelToken::new();
+        match p.find_feasible_cancellable(&SolveLimits::nodes(3), &token) {
             Err(SearchInterrupted::Budget(e)) => assert_eq!(e.limit, 3),
             other => panic!("expected budget error, got {other:?}"),
         }

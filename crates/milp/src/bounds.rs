@@ -70,8 +70,9 @@ pub(crate) const CRITICAL_WINDOWS: usize = 4;
 ///   first, so feasibility **verdicts** and probe logs still match, but
 ///   the returned binding — and, through the optimisation seed, the
 ///   equal-objective incumbent `optimize` returns — may legitimately
-///   differ (the known dense-equivalence gotcha). Levels that claim
-///   bit-identity are `Off` and `Standard` only.
+///   differ (the equal-objective-revisit gotcha first caught by the
+///   retired dense equivalence battery). Levels that claim bit-identity
+///   are `Off` and `Standard` only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PruningLevel {
     /// No per-node bounds: the plain DFS.

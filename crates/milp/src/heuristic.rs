@@ -13,17 +13,30 @@
 //!    order-myopic: near the feasibility phase transition, witnesses
 //!    exist that no first-fit order reaches (the 48-target size sweep is
 //!    the motivating case — greedy tops out three buses above the true
-//!    minimum). A repaired witness is verified like any other;
+//!    minimum). The independent seeded restarts run as tasks on the
+//!    process-wide executor ([`stbus_exec`]) and the **lowest-indexed**
+//!    successful restart is the answer, so the witness is identical to
+//!    the sequential restart loop at every worker count. A repaired
+//!    witness is verified like any other;
 //! 3. **Improvement** — steepest-descent local search over single-target
 //!    relocations and pairwise swaps, accepting moves that reduce the
 //!    maximum per-bus overlap, until a fixpoint or the move budget runs
 //!    out.
+//!
+//! The whole search is cooperatively cancellable
+//! ([`solve_heuristic_cancellable`]): the annealer and the improvement
+//! loop poll a [`CancelToken`], so a speculative caller (the phase-3
+//! probe scheduler racing the heuristic against the exact search)
+//! abandons a pre-pass mid-anneal the moment its answer becomes
+//! unconsumable. A cancelled call returns `None` — cancellation is only
+//! ever requested for answers that are already irrelevant.
 //!
 //! The result is always *feasible-verified* (re-checked through
 //! [`BindingProblem::verify`]), but may be suboptimal; the
 //! `heuristic_quality` bench quantifies the gap against the exact solver.
 
 use crate::binding::{Binding, BindingProblem};
+use stbus_exec::CancelToken;
 use stbus_traffic::TargetSet;
 
 /// Options for the heuristic search.
@@ -33,8 +46,10 @@ pub struct HeuristicOptions {
     pub max_moves: usize,
     /// Annealing restarts of the feasibility-repair phase that runs when
     /// every greedy construction order fails. `0` disables repair (the
-    /// pre-repair behaviour). Deterministic: fixed seeds per restart, so
-    /// the heuristic stays bit-identical across runs and thread counts.
+    /// pre-repair behaviour). Deterministic: fixed seeds per restart and
+    /// lowest-successful-index selection, so the heuristic stays
+    /// bit-identical across runs and executor worker counts even though
+    /// the restarts run as parallel tasks.
     pub repair_restarts: usize,
     /// Annealing steps per repair restart.
     pub repair_steps: usize,
@@ -142,6 +157,21 @@ impl<'p> State<'p> {
 /// [`BindingProblem::find_feasible`] for a definitive answer).
 #[must_use]
 pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> Option<Binding> {
+    solve_heuristic_cancellable(problem, options, &CancelToken::new())
+}
+
+/// [`solve_heuristic`] with a cooperative [`CancelToken`]: the repair
+/// annealer and the improvement loop poll it and return `None` when it
+/// (or any ancestor) is raised. `None` therefore means "no witness
+/// produced" — either the heuristic genuinely failed or the caller
+/// cancelled it; speculative callers cancel only answers they will never
+/// consume, so the ambiguity is harmless by construction.
+#[must_use]
+pub fn solve_heuristic_cancellable(
+    problem: &BindingProblem,
+    options: &HeuristicOptions,
+    cancel: &CancelToken,
+) -> Option<Binding> {
     let n = problem.num_targets();
     if n == 0 {
         return Some(Binding::from_assignment(Vec::new()));
@@ -190,6 +220,9 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
     let mut st = State::new(problem);
     let mut constructed = false;
     'orders: for order in &orders {
+        if cancel.is_cancelled() {
+            return None;
+        }
         let mut attempt = State::new(problem);
         for &t in order {
             let best = (0..problem.num_buses())
@@ -208,7 +241,7 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
         // Greedy never placed everything: hunt for a witness by annealing
         // repair. A zero-violation assignment is a genuine feasibility
         // certificate whatever produced it.
-        let assignment = repair_witness(problem, options)?;
+        let assignment = repair_witness(problem, options, cancel)?;
         let mut repaired = State::new(problem);
         for (t, &k) in assignment.iter().enumerate() {
             debug_assert!(repaired.fits(t, k), "repair returned a violating witness");
@@ -220,6 +253,9 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
     // --- Improvement: relocations and swaps that lower the max overlap. ---
     let mut moves = 0usize;
     loop {
+        if cancel.is_cancelled() {
+            return None;
+        }
         if moves >= options.max_moves {
             break;
         }
@@ -305,20 +341,27 @@ pub fn solve_heuristic(problem: &BindingProblem, options: &HeuristicOptions) -> 
 const REPAIR_VIOLATION: i64 = 1_000_000;
 
 /// Annealing feasibility repair: searches complete (possibly violating)
-/// assignments for a zero-violation witness with a seeded, deterministic
-/// simulated annealer over single-target relocations. Cost = conflicting
-/// co-located pairs and seat excesses (weighted [`REPAIR_VIOLATION`])
-/// plus window overflow cycles; every move's delta is evaluated
-/// incrementally. Returns a feasible assignment or `None` when the
-/// budget runs out — which, as with greedy construction, proves nothing.
-fn repair_witness(problem: &BindingProblem, options: &HeuristicOptions) -> Option<Vec<usize>> {
+/// assignments for a zero-violation witness with seeded, deterministic
+/// simulated-annealing walks over single-target relocations. The
+/// restarts are independent (fixed seed per restart index), so they fan
+/// out as tasks on the process-wide executor ([`stbus_exec::scope`]) and
+/// the **lowest-indexed** success is consumed — the same witness the
+/// sequential restart loop returns, at every worker count; once it is
+/// known, the later restarts are cancelled mid-walk. Returns a feasible
+/// assignment or `None` when the budget runs out (which, as with greedy
+/// construction, proves nothing) or the caller cancelled the repair.
+fn repair_witness(
+    problem: &BindingProblem,
+    options: &HeuristicOptions,
+    cancel: &CancelToken,
+) -> Option<Vec<usize>> {
     let n = problem.num_targets();
     let buses = problem.num_buses();
     let windows = problem.num_windows();
-    if options.repair_restarts == 0 || options.repair_steps == 0 || buses < 2 {
+    let restarts = options.repair_restarts;
+    if restarts == 0 || options.repair_steps == 0 || buses < 2 {
         return None;
     }
-    let graph = problem.conflict_graph();
     // The step budget scales with the move space: a 12-target instance
     // plateaus (or proves nothing more) within thousands of moves, while
     // the 48-target phase-transition witnesses need the full budget.
@@ -331,6 +374,46 @@ fn repair_witness(problem: &BindingProblem, options: &HeuristicOptions) -> Optio
                 .collect()
         })
         .collect();
+    if restarts == 1 {
+        return anneal_restart(problem, &sparse, steps, 0, &|| cancel.is_cancelled());
+    }
+    stbus_exec::scope(|s: &stbus_exec::TaskScope<'_, '_, Option<Vec<usize>>>| {
+        for restart in 0..restarts {
+            let sparse = &sparse;
+            s.submit(move |token| {
+                anneal_restart(problem, sparse, steps, restart, &|| {
+                    cancel.is_cancelled() || token.is_cancelled()
+                })
+            });
+        }
+        for restart in 0..restarts {
+            if let Some(witness) = s.take(restart) {
+                // A lower-indexed restart succeeded: every later walk's
+                // outcome is irrelevant, so stop burning steps on them.
+                s.cancel_all();
+                return Some(witness);
+            }
+        }
+        None
+    })
+}
+
+/// One seeded annealing walk of the repair phase. Cost = conflicting
+/// co-located pairs and seat excesses (weighted [`REPAIR_VIOLATION`])
+/// plus window overflow cycles; every move's delta is evaluated
+/// incrementally. `cancelled` is polled every few thousand steps so an
+/// abandoned walk returns promptly.
+fn anneal_restart(
+    problem: &BindingProblem,
+    sparse: &[Vec<(usize, u64)>],
+    steps: usize,
+    restart: usize,
+    cancelled: &dyn Fn() -> bool,
+) -> Option<Vec<usize>> {
+    let n = problem.num_targets();
+    let buses = problem.num_buses();
+    let windows = problem.num_windows();
+    let graph = problem.conflict_graph();
     let maxtb = problem.maxtb();
     let seat_cost =
         |len: usize| -> i64 { (len.saturating_sub(maxtb) as i64).saturating_mul(REPAIR_VIOLATION) };
@@ -344,91 +427,94 @@ fn repair_witness(problem: &BindingProblem, options: &HeuristicOptions) -> Optio
             .sum()
     };
 
-    for restart in 0..options.repair_restarts {
-        let mut state =
-            0x5EED_C0DE_0000_0001u64 ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut rand = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut assign: Vec<usize> = (0..n).map(|_| (rand() % buses as u64) as usize).collect();
-        let mut loads = vec![vec![0u64; windows]; buses];
-        let mut masks = vec![TargetSet::empty(n); buses];
-        let mut lens = vec![0usize; buses];
-        for (t, &k) in assign.iter().enumerate() {
-            for &(m, d) in &sparse[t] {
-                loads[k][m] += d;
-            }
-            masks[k].insert(t);
-            lens[k] += 1;
+    let mut state = 0x5EED_C0DE_0000_0001u64 ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut assign: Vec<usize> = (0..n).map(|_| (rand() % buses as u64) as usize).collect();
+    let mut loads = vec![vec![0u64; windows]; buses];
+    let mut masks = vec![TargetSet::empty(n); buses];
+    let mut lens = vec![0usize; buses];
+    for (t, &k) in assign.iter().enumerate() {
+        for &(m, d) in &sparse[t] {
+            loads[k][m] += d;
         }
-        let mut cost: i64 = 0;
-        for k in 0..buses {
-            cost += seat_cost(lens[k]);
-            for (m, &load) in loads[k].iter().enumerate() {
-                cost += overflow(load, problem.capacity(m));
-            }
+        masks[k].insert(t);
+        lens[k] += 1;
+    }
+    let mut cost: i64 = 0;
+    for k in 0..buses {
+        cost += seat_cost(lens[k]);
+        for (m, &load) in loads[k].iter().enumerate() {
+            cost += overflow(load, problem.capacity(m));
         }
-        // Each conflicting co-located pair counted once (rows are
-        // symmetric and irreflexive, so the per-target sum double counts).
-        let pair_sum: i64 = (0..n).map(|t| conflict_count(t, &masks[assign[t]])).sum();
-        cost += (pair_sum / 2).saturating_mul(REPAIR_VIOLATION);
+    }
+    // Each conflicting co-located pair counted once (rows are
+    // symmetric and irreflexive, so the per-target sum double counts).
+    let pair_sum: i64 = (0..n).map(|t| conflict_count(t, &masks[assign[t]])).sum();
+    cost += (pair_sum / 2).saturating_mul(REPAIR_VIOLATION);
 
-        let mut temperature = 2_000.0f64;
-        for step in 0..steps {
-            if cost == 0 {
-                break;
-            }
-            let t = (rand() % n as u64) as usize;
-            let from = assign[t];
-            let to = (rand() % buses as u64) as usize;
-            if to == from {
-                continue;
-            }
-            let mut delta = 0i64;
-            delta -= conflict_count(t, &masks[from]).saturating_mul(REPAIR_VIOLATION);
-            delta += conflict_count(t, &masks[to]).saturating_mul(REPAIR_VIOLATION);
-            delta += seat_cost(lens[from] - 1) - seat_cost(lens[from]);
-            delta += seat_cost(lens[to] + 1) - seat_cost(lens[to]);
-            for &(m, d) in &sparse[t] {
-                let cap = problem.capacity(m);
-                delta += overflow(loads[to][m] + d, cap) - overflow(loads[to][m], cap);
-                delta += overflow(loads[from][m] - d, cap) - overflow(loads[from][m], cap);
-            }
-            let accept = delta <= 0 || {
-                let u = (rand() % 1_000_000) as f64 / 1_000_000.0;
-                u < (-(delta as f64) / temperature).exp()
-            };
-            if accept {
-                assign[t] = to;
-                masks[from].remove(t);
-                masks[to].insert(t);
-                lens[from] -= 1;
-                lens[to] += 1;
-                for &(m, d) in &sparse[t] {
-                    loads[from][m] -= d;
-                    loads[to][m] += d;
-                }
-                cost += delta;
-            }
-            temperature = (temperature * 0.99997).max(1.0);
-            if step % 60_000 == 59_999 {
-                // Reheat: escape the local plateaus that trap a cooled
-                // walk near (but not at) zero violations.
-                temperature = 400.0;
-            }
-        }
+    let mut temperature = 2_000.0f64;
+    for step in 0..steps {
         if cost == 0 {
-            debug_assert!(
-                problem
-                    .verify(&Binding::from_assignment(assign.clone()))
-                    .is_some(),
-                "repair cost model disagrees with verify"
-            );
-            return Some(assign);
+            break;
         }
+        // The poll sits outside the move arithmetic and fires every 2048
+        // steps: an un-cancelled walk takes exactly the moves the
+        // sequential loop took, a cancelled one returns in microseconds.
+        if step & 0x7FF == 0 && cancelled() {
+            return None;
+        }
+        let t = (rand() % n as u64) as usize;
+        let from = assign[t];
+        let to = (rand() % buses as u64) as usize;
+        if to == from {
+            continue;
+        }
+        let mut delta = 0i64;
+        delta -= conflict_count(t, &masks[from]).saturating_mul(REPAIR_VIOLATION);
+        delta += conflict_count(t, &masks[to]).saturating_mul(REPAIR_VIOLATION);
+        delta += seat_cost(lens[from] - 1) - seat_cost(lens[from]);
+        delta += seat_cost(lens[to] + 1) - seat_cost(lens[to]);
+        for &(m, d) in &sparse[t] {
+            let cap = problem.capacity(m);
+            delta += overflow(loads[to][m] + d, cap) - overflow(loads[to][m], cap);
+            delta += overflow(loads[from][m] - d, cap) - overflow(loads[from][m], cap);
+        }
+        let accept = delta <= 0 || {
+            let u = (rand() % 1_000_000) as f64 / 1_000_000.0;
+            u < (-(delta as f64) / temperature).exp()
+        };
+        if accept {
+            assign[t] = to;
+            masks[from].remove(t);
+            masks[to].insert(t);
+            lens[from] -= 1;
+            lens[to] += 1;
+            for &(m, d) in &sparse[t] {
+                loads[from][m] -= d;
+                loads[to][m] += d;
+            }
+            cost += delta;
+        }
+        temperature = (temperature * 0.99997).max(1.0);
+        if step % 60_000 == 59_999 {
+            // Reheat: escape the local plateaus that trap a cooled
+            // walk near (but not at) zero violations.
+            temperature = 400.0;
+        }
+    }
+    if cost == 0 {
+        debug_assert!(
+            problem
+                .verify(&Binding::from_assignment(assign.clone()))
+                .is_some(),
+            "repair cost model disagrees with verify"
+        );
+        return Some(assign);
     }
     None
 }
@@ -512,6 +598,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancelled_heuristic_returns_none() {
+        let p = BindingProblem::new(2, 100, vec![vec![30], vec![40], vec![20]]);
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(solve_heuristic_cancellable(&p, &options(), &token).is_none());
+        // The same instance solves under a live token.
+        let live = CancelToken::new();
+        let b = solve_heuristic_cancellable(&p, &options(), &live).expect("feasible");
+        assert!(p.verify(&b).is_some());
     }
 
     #[test]

@@ -16,11 +16,18 @@
 //!   feasibility of a candidate is a handful of `AND`s against its
 //!   [`stbus_traffic::ConflictGraph`] row) and bus symmetry breaking, plus
 //!   a branch-and-bound mode minimising the maximum per-bus overlap (the
-//!   paper's MILP-2). The pre-refactor dense-matrix search survives in
-//!   `dense` as the reference the bitset solver is proven bit-identical
-//!   to (and benchmarked against) — gated behind the default-off
-//!   `dense-reference` cargo feature so production builds carry only the
-//!   bitset solver; the equivalence suites and the phase3 bench enable it.
+//!   paper's MILP-2). The pre-refactor dense-matrix search served as the
+//!   reference the bitset solver was proven bit-identical to for three
+//!   releases and is now retired (its final measured speedups are
+//!   snapshotted in `crates/bench/BENCHMARKS.md`); the generic MILP layer
+//!   remains the sole independent cross-check.
+//!
+//! Long-running searches are cooperatively cancellable: the speculative
+//! callers in `stbus-core` (probe scheduler, batch runner) thread a
+//! [`CancelToken`] from the shared executor through
+//! [`BindingProblem::find_feasible_cancellable`] and the heuristic's
+//! annealing repair, so work whose answer can no longer be consumed is
+//! abandoned at the next poll instead of finishing a proof nobody reads.
 //!
 //! Both return provably optimal/feasible answers; the generic layer
 //! cross-validates the specialised one in the test-suite. The instances the
@@ -50,13 +57,6 @@ pub mod binding;
 pub mod bounds;
 pub mod branch_bound;
 pub mod crossbar;
-// Step 2 of the dense-reference retirement: the module is compiled for
-// this crate's own unit tests unconditionally (the in-crate equivalence
-// battery in `dense::tests` keeps it honest), and for external users —
-// the phase3 bench — only behind the default-off feature. The workspace
-// root no longer carries the feature at all.
-#[cfg(any(test, feature = "dense-reference"))]
-pub mod dense;
 pub mod heuristic;
 pub mod model;
 pub mod simplex;
@@ -67,5 +67,6 @@ pub use bounds::{
     PruningLevel,
 };
 pub use branch_bound::{solve, MilpOptions, MilpOutcome, NodeCut};
-pub use heuristic::{solve_heuristic, HeuristicOptions};
+pub use heuristic::{solve_heuristic, solve_heuristic_cancellable, HeuristicOptions};
 pub use model::{Cmp, LinExpr, Model, Sense, VarId};
+pub use stbus_exec::CancelToken;

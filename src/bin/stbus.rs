@@ -18,11 +18,16 @@
 //! machine-readable JSON on stdout. The `suite` command evaluates the
 //! five paper benchmarks in parallel through [`stbus::core::Batch`].
 //!
-//! `--jobs N` caps the worker threads: for `synthesize` it sizes the
-//! speculative feasibility-probe scheduler of phase 3, for `suite` the
-//! batch worker pool. It defaults to the machine's available parallelism;
-//! `--jobs 1` forces a fully sequential run. Results are bit-identical at
-//! every setting — the flag only trades wall-clock for cores.
+//! `--jobs N` caps the concurrency of the front end you invoke: for
+//! `synthesize` it sizes the speculative feasibility-probe waves of
+//! phase 3, for `suite` the batch's in-flight evaluations. Every layer —
+//! batch stages, probe scheduler, portfolio race, annealer restarts —
+//! runs on one process-wide work-stealing executor ([`stbus::exec`]),
+//! sized to the machine's available parallelism (override with the
+//! `STBUS_EXEC_WORKERS` environment variable) and grown to `--jobs` when
+//! that is larger. `--jobs 1` forces a fully sequential run. Results are
+//! bit-identical at every setting — the flag only trades wall-clock for
+//! cores.
 //!
 //! `--pruning LEVEL` sets the per-node lower-bound pruning of the exact
 //! binding search: `standard` (default) is bit-identical to `off`
@@ -66,6 +71,17 @@ const USAGE: &str = "usage:
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
     parse::<usize>(text, "jobs")
         .and_then(|n| NonZeroUsize::new(n).ok_or_else(|| "--jobs needs at least 1".to_string()))
+}
+
+/// Applies an explicit `--jobs` to the shared executor: a request above
+/// the executor's current size grows the worker set; `--jobs 1` stays a
+/// purely sequential run (the inline paths never touch the executor).
+fn apply_jobs(jobs: Option<NonZeroUsize>) {
+    if let Some(jobs) = jobs {
+        if jobs.get() > 1 {
+            stbus::exec::ensure_workers(jobs.get());
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -223,9 +239,10 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    // Default: one probe worker per available core (results are
+    // Default: one in-flight probe per executor worker (results are
     // bit-identical at any width, so parallel is always safe).
-    let jobs = jobs.or_else(|| std::thread::available_parallelism().ok());
+    apply_jobs(jobs);
+    let jobs = jobs.or_else(|| NonZeroUsize::new(stbus::exec::parallelism()));
     let trace = load_trace(trace_path.as_deref())?;
     let pre = Preprocessed::analyze(&trace, &params);
     let outcome = solver
@@ -363,8 +380,10 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     }
     let apps = workloads::paper_suite(0xDA7E_2005);
     // One batch over the whole suite: phase 1 runs once per application
-    // and the five evaluations spread across the worker pool (sized by
-    // --jobs; the batch defaults to all available cores on its own).
+    // and the five evaluations spread across the shared executor (batch
+    // concurrency capped by --jobs; the batch defaults to the executor's
+    // full parallelism on its own).
+    apply_jobs(jobs);
     let mut batch = Batch::per_app(&apps, move |app| {
         let params = match app.name() {
             "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),

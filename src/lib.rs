@@ -8,6 +8,9 @@
 //! * [`milp`] — exact MILP/binding solvers;
 //! * [`sim`] — the cycle-accurate STbus interconnect simulator;
 //! * [`core`] — the four-phase design methodology and baselines;
+//! * [`exec`] — the process-wide work-stealing executor every parallel
+//!   layer (batch stages, probe scheduler, portfolio race, annealer
+//!   restarts) runs on;
 //! * [`report`] — tables and series for result presentation.
 //!
 //! # Quick start
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use stbus_core as core;
+pub use stbus_exec as exec;
 pub use stbus_milp as milp;
 pub use stbus_report as report;
 pub use stbus_sim as sim;

@@ -1,0 +1,184 @@
+//! Stress battery for the process-wide executor ([`stbus::exec`]) — the
+//! substrate every parallel layer (batch stages, probe scheduler,
+//! portfolio race, annealer restarts) now runs on.
+//!
+//! Three contracts under test:
+//!
+//! 1. **Nested scopes under oversubscription never deadlock** — scopes
+//!    opened inside executor tasks, many levels deep and far wider than
+//!    the worker set, must always complete, because waiting threads
+//!    *help* (run queued tasks) instead of blocking.
+//! 2. **Width 1 is bit-identical to sequential** — a width-1 map is a
+//!    plain loop on the calling thread, and any width produces the same
+//!    results for pure tasks (results land by submission order).
+//! 3. **Cancellation never loses or duplicates a result slot** — a
+//!    proptest interleaves cancellation with execution and every slot
+//!    must still resolve exactly once, with exactly one task execution
+//!    per submission.
+
+use proptest::prelude::*;
+use stbus::exec::{self, CancelToken, TaskScope};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deterministic, mildly expensive pure function (keeps tasks long
+/// enough to overlap without slowing the suite).
+fn churn(seed: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for _ in 0..512 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    x
+}
+
+#[test]
+fn nested_scopes_under_oversubscription_complete() {
+    // Three levels of nesting, each wider than any plausible worker
+    // set: 16 × 8 × 4 = 512 leaf tasks. Every level waits on the next
+    // from inside an executor task, so without help-while-waiting this
+    // would deadlock as soon as all workers sat in inner joins.
+    let outer: Vec<u64> = (0..16).collect();
+    let result = exec::map(&outer, 16, |&i| {
+        let mid: Vec<u64> = (0..8).collect();
+        exec::map(&mid, 8, |&j| {
+            let inner: Vec<u64> = (0..4).collect();
+            exec::map(&inner, 4, |&k| churn(i * 1000 + j * 10 + k))
+                .into_iter()
+                .fold(0u64, u64::wrapping_add)
+        })
+        .into_iter()
+        .fold(0u64, u64::wrapping_add)
+    });
+    let expected: Vec<u64> = outer
+        .iter()
+        .map(|&i| {
+            (0..8)
+                .map(|j| {
+                    (0..4)
+                        .map(|k| churn(i * 1000 + j * 10 + k))
+                        .fold(0u64, u64::wrapping_add)
+                })
+                .fold(0u64, u64::wrapping_add)
+        })
+        .collect();
+    assert_eq!(result, expected);
+}
+
+#[test]
+fn concurrent_entries_share_the_executor_without_deadlock() {
+    // Several OS threads all driving nested work through the one global
+    // executor at once — the shape of `cargo test` running many
+    // Batch/scheduler tests concurrently.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                let items: Vec<u64> = (0..12).collect();
+                let out = exec::map(&items, 12, |&i| {
+                    let inner: Vec<u64> = (0..6).collect();
+                    exec::map(&inner, 6, |&j| churn(t * 100 + i * 10 + j))
+                        .into_iter()
+                        .fold(0u64, u64::wrapping_add)
+                });
+                assert_eq!(out.len(), 12);
+            });
+        }
+    });
+}
+
+#[test]
+fn width_one_is_bit_identical_to_sequential() {
+    let items: Vec<u64> = (0..64).collect();
+    let sequential: Vec<u64> = items.iter().map(|&x| churn(x)).collect();
+    assert_eq!(exec::map(&items, 1, |&x| churn(x)), sequential);
+    for width in [2, 4, 8, 64] {
+        assert_eq!(exec::map(&items, width, |&x| churn(x)), sequential);
+    }
+}
+
+#[test]
+fn scope_results_land_by_submission_order() {
+    let values = exec::scope(|s: &TaskScope<'_, '_, u64>| {
+        let tasks: Vec<usize> = (0..32).map(|i| s.submit(move |_| churn(i))).collect();
+        tasks.into_iter().map(|t| s.take(t)).collect::<Vec<u64>>()
+    });
+    let expected: Vec<u64> = (0..32).map(churn).collect();
+    assert_eq!(values, expected);
+}
+
+#[test]
+fn cancel_tokens_chain_through_scopes() {
+    let root = CancelToken::new();
+    let child = root.child();
+    let grandchild = child.child();
+    root.cancel();
+    assert!(grandchild.is_cancelled());
+    // A sibling derived before the cancel is equally affected; a fresh
+    // root is not.
+    assert!(child.is_cancelled());
+    assert!(!CancelToken::new().is_cancelled());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleaved cancellation from the token never loses or
+    /// duplicates a result slot: every submitted task runs exactly
+    /// once, every slot resolves exactly once, and tasks that ran
+    /// uncancelled produce exactly the sequential answer.
+    #[test]
+    fn cancellation_never_loses_or_duplicates_slots(
+        tasks in 1usize..24,
+        cancel_mask in 0u32..=u32::MAX,
+        cancel_before in prop::bool::ANY,
+    ) {
+        let executions = AtomicUsize::new(0);
+        let outcomes = exec::scope(|s: &TaskScope<'_, '_, (usize, Option<u64>)>| {
+            let mut ids = Vec::new();
+            for i in 0..tasks {
+                let executions = &executions;
+                let id = s.submit(move |token| {
+                    executions.fetch_add(1, Ordering::Relaxed);
+                    if token.is_cancelled() {
+                        // A cancelled task still resolves its slot; it
+                        // just reports that it skipped the work.
+                        return (i, None);
+                    }
+                    (i, Some(churn(i as u64)))
+                });
+                ids.push((i, id));
+                // Interleave cancellation with execution: half the cases
+                // cancel immediately after submitting, half after the
+                // whole wave is in flight.
+                if cancel_before && cancel_mask & (1 << (i % 32)) != 0 {
+                    s.cancel(id);
+                }
+            }
+            if !cancel_before {
+                for &(i, id) in &ids {
+                    if cancel_mask & (1 << (i % 32)) != 0 {
+                        s.cancel(id);
+                    }
+                }
+            }
+            ids.into_iter().map(|(_, id)| s.take(id)).collect::<Vec<_>>()
+        });
+
+        // Exactly one execution per submission, no lost or duplicated
+        // slots, and submission-order delivery.
+        prop_assert_eq!(executions.load(Ordering::Relaxed), tasks);
+        prop_assert_eq!(outcomes.len(), tasks);
+        for (i, (slot, value)) in outcomes.iter().enumerate() {
+            prop_assert_eq!(*slot, i);
+            if let Some(v) = value {
+                // Uncancelled (or cancelled-too-late) tasks computed the
+                // sequential answer.
+                prop_assert_eq!(*v, churn(i as u64));
+            } else {
+                // A task only skips work if its token was genuinely
+                // raised.
+                prop_assert!(cancel_mask & (1 << (i % 32)) != 0);
+            }
+        }
+    }
+}
