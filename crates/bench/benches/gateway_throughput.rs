@@ -1,0 +1,192 @@
+//! Closed-loop gateway throughput bench: an in-process [`Gateway`] under
+//! a small fleet of synchronous HTTP clients, all POSTing the same
+//! workload-mode `/synthesize` request.
+//!
+//! The point being measured is the **service layer**, not the solvers:
+//! with identical requests the collect/analysis artifact caches converge
+//! to the hit path after the first flight, so the steady state is
+//! per-request HTTP framing + admission + scheduling + a cache-warm
+//! phase-3 synthesis. The run snapshots a `gateway_throughput` row into
+//! `BENCH_phase3.json` at the workspace root (requests/sec, p50/p99
+//! latency, end-of-run cache hit rate), merged next to the phase-3
+//! sweep's rows via the shared `stbus_bench` snapshot helpers so neither
+//! bench clobbers the other.
+//!
+//! On a 1-core host the row carries the shared machine-readable
+//! `single_core_host` warning (same shape as the `executor_saturation`
+//! row): with clients, connection threads and workers timesliced onto
+//! one core, `requests_per_sec` measures scheduling overhead under
+//! contention, not service parallelism.
+
+use stbus_gateway::{Gateway, GatewayConfig};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+/// Concurrent closed-loop clients (each waits for its response before
+/// sending the next request).
+const CLIENTS: usize = 4;
+/// Per-client requests before the measured window (fills the caches and
+/// faults in the lazily spawned threads).
+const WARMUP_PER_CLIENT: usize = 4;
+/// Per-client requests inside the measured window.
+const REQUESTS_PER_CLIENT: usize = 64;
+/// The identical request every client sends: Mat2 at the paper's
+/// aggressive threshold — the suite operating point of `stbus suite`.
+const BODY: &str = r#"{"suite":"mat2","seed":42,"threshold":0.15}"#;
+
+/// One synchronous HTTP exchange; returns the full response text and
+/// the wall-clock seconds from connect to EOF.
+fn post(addr: SocketAddr, path: &str, body: &str) -> (String, f64) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to gateway");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    (response, start.elapsed().as_secs_f64())
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to gateway");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// Body of a non-chunked response (everything after the header block).
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map_or(response, |(_, body)| body)
+}
+
+/// Pulls `field` out of the named top-level section of the `/stats`
+/// body, reusing the shared snapshot scanner (each section is itself a
+/// small JSON object, so its fields sit at depth 1).
+fn stat(stats_body: &str, section: &str, field: &str) -> u64 {
+    let section = stbus_bench::extract_top_level(stats_body, section)
+        .unwrap_or_else(|| panic!("/stats has a `{section}` section"));
+    stbus_bench::extract_top_level(&section, field)
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or_else(|| panic!("`{section}.{field}` is a counter"))
+}
+
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    assert!(!sorted.is_empty());
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn main() {
+    let host_parallelism = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let config = GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 64,
+        cache_entries: 64,
+    };
+    let gateway = Gateway::spawn(&config).expect("bind gateway");
+    let addr = gateway.addr();
+
+    // Warmup outside the window: first flight computes the artifacts
+    // (single-flight collapses the rest onto it), later flights pin the
+    // steady-state hit path.
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                for _ in 0..WARMUP_PER_CLIENT {
+                    let (response, _) = post(addr, "/synthesize", BODY);
+                    assert!(response.starts_with("HTTP/1.1 200"), "warmup: {response}");
+                }
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let (response, seconds) = post(addr, "/synthesize", BODY);
+                    assert!(response.starts_with("HTTP/1.1 200"), "measured: {response}");
+                    latencies.push(seconds);
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let window = Instant::now();
+    let mut latencies: Vec<f64> = clients
+        .into_iter()
+        .flat_map(|client| client.join().expect("client thread"))
+        .collect();
+    let wall_s = window.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+
+    let requests = CLIENTS * REQUESTS_PER_CLIENT;
+    let requests_per_sec = requests as f64 / wall_s;
+    let p50_ms = percentile(&latencies, 50) * 1e3;
+    let p99_ms = percentile(&latencies, 99) * 1e3;
+
+    // End-of-run cache effectiveness across both artifact caches. The
+    // exactly-one classification invariant (hits + misses + inflight
+    // waits == lookups) makes this a true rate, not an estimate.
+    let stats = get(addr, "/stats");
+    assert!(stats.starts_with("HTTP/1.1 200"), "stats: {stats}");
+    let stats_body = body_of(&stats).to_string();
+    let mut hits = 0;
+    let mut lookups = 0;
+    for cache in ["collect_cache", "analysis_cache"] {
+        let cache_hits = stat(&stats_body, cache, "hits");
+        hits += cache_hits;
+        lookups += cache_hits
+            + stat(&stats_body, cache, "misses")
+            + stat(&stats_body, cache, "inflight_waits");
+    }
+    assert!(lookups > 0, "workload requests must touch the caches");
+    let cache_hit_rate = hits as f64 / lookups as f64;
+    let served = stat(&stats_body, "requests", "served");
+    assert_eq!(
+        served as usize,
+        requests + CLIENTS * WARMUP_PER_CLIENT,
+        "every request must be served exactly once"
+    );
+
+    gateway.shutdown();
+    gateway.join();
+
+    let warning = stbus_bench::host_warning_json(host_parallelism, "requests_per_sec");
+    if host_parallelism == 1 {
+        eprintln!(
+            "warning: gateway-throughput row measured on a 1-core host — \
+             requests/sec reflects timesliced scheduling, not service parallelism"
+        );
+    }
+    let row = format!(
+        "{{\"date\": \"{date}\", \"host_parallelism\": {host_parallelism}, \
+         \"workers\": {workers}, \"clients\": {CLIENTS}, \
+         \"warmup_requests\": {warmup}, \"requests\": {requests}, \
+         \"request\": {{\"route\": \"/synthesize\", \"suite\": \"mat2\", \"seed\": 42, \
+         \"overlap_threshold\": 0.15}}, \
+         \"wall_s\": {wall_s:.6}, \"requests_per_sec\": {requests_per_sec:.2}, \
+         \"latency_ms\": {{\"p50\": {p50_ms:.3}, \"p99\": {p99_ms:.3}}}, \
+         \"cache_hit_rate\": {cache_hit_rate:.4}, \"warning\": {warning}}}",
+        date = stbus_bench::today_utc(),
+        workers = config.workers,
+        warmup = CLIENTS * WARMUP_PER_CLIENT,
+    );
+
+    // Merge the row into the shared trajectory snapshot, preserving the
+    // phase-3 sweep's rows (phase3.rs preserves ours symmetrically).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
+    let snapshot = std::fs::read_to_string(path).unwrap_or_else(|_| String::from("{}\n"));
+    let snapshot = stbus_bench::merge_top_level(&snapshot, "gateway_throughput", &row);
+    std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");
+    println!("wrote {path}");
+    println!("gateway_throughput: {row}");
+}

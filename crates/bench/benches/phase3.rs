@@ -3,7 +3,9 @@
 //!
 //! Five stories in one run, all snapshotted to `BENCH_phase3.json` at the
 //! workspace root (and appended to the file named by the `BENCH_HISTORY`
-//! environment variable, when set — the CI perf-trajectory job):
+//! environment variable, when set — the CI perf-trajectory job). The
+//! snapshot file is shared with `gateway_throughput.rs`, whose row this
+//! bench carries forward when rewriting:
 //!
 //! * **Size sweep** — exact, heuristic and portfolio synthesis at every
 //!   size. The exact engine runs with the default per-node pruning
@@ -101,28 +103,6 @@ fn min_time<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
         best = best.min(start.elapsed().as_secs_f64());
     }
     best
-}
-
-/// `YYYY-MM-DD` from the system clock (days-from-civil inverse; no
-/// external crates in the offline build).
-fn today_utc() -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .expect("clock after 1970")
-        .as_secs();
-    let days = (secs / 86_400) as i64;
-    // Howard Hinnant's civil_from_days, shifted to the 0000-03-01 era.
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
 }
 
 struct SizePoint {
@@ -362,14 +342,9 @@ fn bench_phase3(c: &mut Criterion) {
     for point in &sat_results {
         assert!(point.result.is_ok(), "portfolio point failed");
     }
-    let sat_warning = if jobs == 1 {
-        "\"host_parallelism is 1: peak_busy_workers measures OS-timesliced \
-         scheduling concurrency, not parallel speedup; capture a multi-core \
-         run for the wall-clock win\""
-            .to_string()
-    } else {
-        String::from("null")
-    };
+    // Machine-readable warning shared with the gateway throughput bench:
+    // trajectory tooling filters on `code`, not prose.
+    let sat_warning = stbus_bench::host_warning_json(jobs, "peak_busy_workers");
     if jobs == 1 {
         eprintln!(
             "warning: executor-saturation row measured on a 1-core host — \
@@ -425,7 +400,7 @@ fn bench_phase3(c: &mut Criterion) {
          \"targets\": {sat_targets}, \"executor_workers\": {sat_workers}, \
          \"probe_jobs\": {sat_probe_jobs}, \"peak_busy_workers\": {sat_peak_busy}, \
          \"wall_s\": {sat_wall_s:.6}, \"warning\": {sat_warning}}}\n}}\n",
-        date = today_utc(),
+        date = stbus_bench::today_utc(),
         points = THETA_SWEEP.len(),
         theta_speedup = rebuild_s / incremental_s,
         frontier_budget = PROBE_BUDGET.max_nodes,
@@ -434,6 +409,15 @@ fn bench_phase3(c: &mut Criterion) {
         sat_probe_jobs = sat_jobs.get(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
+    // The gateway throughput bench shares this snapshot file; carry its
+    // row forward instead of clobbering it (and vice versa over there).
+    let snapshot = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| stbus_bench::extract_top_level(&old, "gateway_throughput"))
+    {
+        Some(row) => stbus_bench::merge_top_level(&snapshot, "gateway_throughput", &row),
+        None => snapshot,
+    };
     std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");
     println!("wrote {path}");
     print!("{snapshot}");

@@ -150,6 +150,26 @@ impl DesignReport {
     pub fn relative_max_latency(&self, eval: &ConfigEval) -> f64 {
         eval.max_latency as f64 / self.full.max_latency as f64
     }
+
+    /// The paper-suite summary row of this report, labelled with the
+    /// `solver` that produced it. Hand-rolled and **stable**: the CLI's
+    /// `suite --json` rows and the gateway's `/suite` wire format both
+    /// emit exactly this string, so the two can be diffed byte for byte.
+    #[must_use]
+    pub fn paper_row_json(&self, solver: &str) -> String {
+        format!(
+            "{{\"app\":\"{name}\",\"solver\":\"{solver}\",\
+             \"full_buses\":{full},\"designed_buses\":{designed},\
+             \"saving\":{saving:.4},\"avg_latency\":{avg:.4},\
+             \"max_latency\":{max}}}",
+            name = crate::json_escape(&self.app_name),
+            full = self.full.total_buses(),
+            designed = self.designed.total_buses(),
+            saving = self.component_saving(),
+            avg = self.designed.avg_latency,
+            max = self.designed.max_latency,
+        )
+    }
 }
 
 /// The four-phase design flow.

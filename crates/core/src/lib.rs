@@ -108,7 +108,8 @@ pub use flow::{ConfigEval, DesignFlow, DesignReport, FlowError};
 pub use params::{DesignParams, Windowing};
 pub use phase2::Preprocessed;
 pub use phase3::{
-    synthesize, synthesize_heuristic, ProbeScheduler, SynthesisEngine, SynthesisOutcome,
+    synthesize, synthesize_heuristic, synthesize_heuristic_cancellable_with, ProbeScheduler,
+    SynthesisEngine, SynthesisOutcome,
 };
 pub use phase4::{QosReport, QosStream, Validation};
 pub use pipeline::{
@@ -116,3 +117,21 @@ pub use pipeline::{
     Pipeline, Synthesized,
 };
 pub use synthesizer::{Exact, Heuristic, Portfolio, SolverKind, Synthesizer};
+
+/// Minimal JSON string escaping for names and labels in the hand-rolled
+/// JSON renderers ([`SynthesisOutcome::to_json`],
+/// [`DesignReport::paper_row_json`] and the CLI/gateway wire formats —
+/// the offline build carries no JSON dependency).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

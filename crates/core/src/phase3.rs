@@ -72,6 +72,39 @@ pub struct SynthesisOutcome {
     pub engine: SynthesisEngine,
 }
 
+impl SynthesisOutcome {
+    /// Machine-readable rendering of the outcome, labelled with the
+    /// `solver` that produced it. Hand-rolled (the offline build carries
+    /// no JSON dependency) and **stable**: the CLI's `--json` output and
+    /// the gateway's wire format both emit exactly this string, which is
+    /// what lets integration tests diff the two byte for byte.
+    #[must_use]
+    pub fn to_json(&self, solver: &str) -> String {
+        let assignment = self
+            .config
+            .assignment()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let probes = self
+            .probes
+            .iter()
+            .map(|&(buses, feasible)| format!("[{buses},{feasible}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"solver\":\"{solver}\",\"engine\":\"{engine}\",\"num_buses\":{buses},\
+             \"lower_bound\":{lb},\"max_bus_overlap\":{maxov},\
+             \"assignment\":[{assignment}],\"probes\":[{probes}]}}",
+            engine = self.engine,
+            buses = self.num_buses,
+            lb = self.lower_bound,
+            maxov = self.max_bus_overlap,
+        )
+    }
+}
+
 /// Synthesises the minimum crossbar and its optimal binding.
 ///
 /// # Errors
@@ -416,13 +449,34 @@ impl ProbeScheduler {
         n: usize,
         mut resolve: impl FnMut(usize, usize, usize) -> ProbeResult,
     ) -> Result<SearchSummary, NodeLimitExceeded> {
+        Ok(
+            Self::binary_search_cancellable(lower_bound, n, |lo, hi, mid| {
+                Some(resolve(lo, hi, mid))
+            })?
+            .expect("an always-Some resolver never cancels the search"),
+        )
+    }
+
+    /// [`ProbeScheduler::binary_search`] with a cancellation escape
+    /// hatch: a `resolve` returning `None` (the probe's answer was
+    /// abandoned because the *request* driving the search went away)
+    /// aborts the replay, and the whole search reports `Ok(None)`. An
+    /// always-`Some` resolver reduces this to the plain replay.
+    fn binary_search_cancellable(
+        lower_bound: usize,
+        n: usize,
+        mut resolve: impl FnMut(usize, usize, usize) -> Option<ProbeResult>,
+    ) -> Result<Option<SearchSummary>, NodeLimitExceeded> {
         let mut lo = lower_bound;
         let mut hi = n;
         let mut probes = Vec::new();
         let mut best_feasible = None;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            match resolve(lo, hi, mid)? {
+            let Some(result) = resolve(lo, hi, mid) else {
+                return Ok(None);
+            };
+            match result? {
                 ProbeOutcome {
                     feasible: Some(binding),
                     exact,
@@ -437,11 +491,11 @@ impl ProbeScheduler {
                 }
             }
         }
-        Ok(SearchSummary {
+        Ok(Some(SearchSummary {
             num_buses: lo,
             probes,
             best_feasible,
-        })
+        }))
     }
 
     /// Runs the binary search with speculative parallel probes: executor
@@ -450,20 +504,31 @@ impl ProbeScheduler {
     /// unreachable are cancelled mid-solve. The replay thread *helps*
     /// while it waits — on a saturated executor it solves probes itself,
     /// so the scheduler can never be starved by other scopes.
+    ///
+    /// With `external` set, every probe task runs under a token *linked*
+    /// to that external authority ([`CancelToken::child_linked`]) and the
+    /// replay polls it between probes: cancelling the external token —
+    /// e.g. a gateway request whose client hung up — abandons the whole
+    /// speculative wave mid-solve and the search reports `Ok(None)`.
     fn parallel_search(
         &self,
         pre: &Preprocessed,
         params: &DesignParams,
         lower_bound: usize,
         n: usize,
-    ) -> Result<SearchSummary, NodeLimitExceeded> {
+        external: Option<&CancelToken>,
+    ) -> Result<Option<SearchSummary>, NodeLimitExceeded> {
+        let request = external.cloned();
         exec::scope(|s: &exec::TaskScope<'_, '_, Option<ProbeResult>>| {
             // Bus count → task index of its (possibly finished) probe.
             // Tasks are never removed: a cancelled probe's bus count is
             // unreachable forever (intervals only narrow), so it can
             // never be proposed or consumed again.
             let mut task_of: HashMap<usize, usize> = HashMap::new();
-            let summary = Self::binary_search(lower_bound, n, |lo, hi, mid| {
+            let summary = Self::binary_search_cancellable(lower_bound, n, |lo, hi, mid| {
+                if request.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return None;
+                }
                 // Prune work this interval can no longer consume: cancel
                 // the probes (queued or mid-solve) outside the tree.
                 let mut reachable = HashSet::new();
@@ -476,17 +541,23 @@ impl ProbeScheduler {
                 // Top the frontier up to the speculation budget.
                 let known: HashSet<usize> = task_of.keys().copied().collect();
                 for buses in self.wave(lo, hi, &known) {
-                    let task =
-                        s.submit(move |token| self.probe_cancellable(pre, params, buses, token));
+                    let req = request.clone();
+                    let task = s.submit(move |token| {
+                        let token = match &req {
+                            Some(req) => token.child_linked(req),
+                            None => token.clone(),
+                        };
+                        self.probe_cancellable(pre, params, buses, &token)
+                    });
                     task_of.insert(buses, task);
                 }
                 // Consume the one probe the sequential search needs next
                 // (the wave always leads with it, so it is always
                 // submitted by now). The replay never cancels a probe
-                // still in the reachable set, so the slot cannot hold the
-                // cancellation marker.
+                // still in the reachable set, so without an external
+                // token the slot cannot hold the cancellation marker; a
+                // `None` here means the external authority went away.
                 s.take(task_of[&mid])
-                    .expect("consumed probe is never cancelled")
             });
             // Unconsumed speculation is cancelled here (and drained by
             // the scope on exit) before MILP-2 takes the cores.
@@ -520,7 +591,8 @@ impl ProbeScheduler {
             // No speculation requested: solve each consumed probe inline.
             Self::binary_search(lower_bound, n, |_, _, mid| self.probe(pre, params, mid))
         } else {
-            self.parallel_search(pre, params, lower_bound, n)
+            self.parallel_search(pre, params, lower_bound, n, None)
+                .map(|summary| summary.expect("search without a token never cancels"))
         }?;
         let SearchSummary {
             num_buses,
@@ -564,6 +636,161 @@ impl ProbeScheduler {
             engine: SynthesisEngine::Exact,
         })
     }
+
+    /// [`ProbeScheduler::synthesize`] under a cooperative per-request
+    /// [`CancelToken`]: `Ok(None)` means the token was raised and the
+    /// synthesis was abandoned — speculative probes stop mid-solve
+    /// (their task tokens are [linked](CancelToken::child_linked) to the
+    /// request token) and MILP-2 aborts at its next poll checkpoint. An
+    /// un-cancelled run is **bit-identical** to
+    /// [`ProbeScheduler::synthesize`] at the same speculation width.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] exactly as [`ProbeScheduler::synthesize`].
+    pub fn synthesize_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        cancel: &CancelToken,
+    ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+        let n = pre.stats.num_targets();
+        if n == 0 {
+            return synthesize(pre, params).map(Some);
+        }
+        if cancel.is_cancelled() {
+            return Ok(None);
+        }
+
+        let lower_bound = pre.bus_lower_bound();
+        let summary = if self.jobs.get() <= 1 {
+            // Inline probes, each polling the request token as it solves.
+            Self::binary_search_cancellable(lower_bound, n, |_, _, mid| {
+                if cancel.is_cancelled() {
+                    return None;
+                }
+                self.probe_cancellable(pre, params, mid, cancel)
+            })
+        } else {
+            self.parallel_search(pre, params, lower_bound, n, Some(cancel))
+        }?;
+        let Some(SearchSummary {
+            num_buses,
+            probes,
+            best_feasible,
+        }) = summary
+        else {
+            return Ok(None);
+        };
+
+        // MILP-2 with the same fallback ladder as `synthesize`, every
+        // rung polling the request token.
+        let problem = pre.binding_problem(num_buses);
+        let binding = match problem.optimize_cancellable(&params.solve_limits, cancel) {
+            Ok(Some(b)) => b,
+            Ok(None) => match best_feasible {
+                Some((buses, b, true)) if buses == num_buses => b,
+                Some((buses, _, false)) if buses == num_buses => {
+                    match problem.find_feasible_cancellable(&params.solve_limits, cancel) {
+                        Ok(Some(b)) => b,
+                        Ok(None) => unreachable!("probe certified this size feasible"),
+                        Err(SearchInterrupted::Budget(e)) => return Err(e),
+                        Err(SearchInterrupted::Cancelled) => return Ok(None),
+                    }
+                }
+                _ => {
+                    let full: Vec<usize> = (0..n).collect();
+                    Binding::from_assignment(full)
+                }
+            },
+            Err(SearchInterrupted::Budget(e)) => return Err(e),
+            Err(SearchInterrupted::Cancelled) => return Ok(None),
+        };
+
+        let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), num_buses)
+            .expect("solver produced a valid assignment")
+            .with_arbitration(params.arbitration);
+        let max_bus_overlap = binding.max_bus_overlap();
+        Ok(Some(SynthesisOutcome {
+            config,
+            num_buses,
+            lower_bound,
+            probes,
+            binding,
+            max_bus_overlap,
+            engine: SynthesisEngine::Exact,
+        }))
+    }
+}
+
+/// [`synthesize_heuristic_with`] under a cooperative per-request
+/// [`CancelToken`]: `Ok(None)` means the token was raised — the upward
+/// scan stops between bus counts and the annealer aborts mid-repair. An
+/// un-cancelled run is bit-identical to [`synthesize_heuristic_with`].
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors [`synthesize`] so strategy code can
+/// swap the engines freely.
+pub fn synthesize_heuristic_cancellable_with(
+    pre: &Preprocessed,
+    params: &DesignParams,
+    options: &HeuristicOptions,
+    cancel: &CancelToken,
+) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+    let n = pre.stats.num_targets();
+    if n == 0 {
+        return synthesize(pre, params).map(Some);
+    }
+    let lower_bound = pre.bus_lower_bound();
+    let mut probes = Vec::new();
+    for buses in lower_bound..=n {
+        if cancel.is_cancelled() {
+            return Ok(None);
+        }
+        let problem = pre.binding_problem(buses);
+        match stbus_milp::solve_heuristic_cancellable(&problem, options, cancel) {
+            Some(binding) => {
+                probes.push((buses, true));
+                let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), buses)
+                    .expect("heuristic produced a valid assignment")
+                    .with_arbitration(params.arbitration);
+                let max_bus_overlap = binding.max_bus_overlap();
+                return Ok(Some(SynthesisOutcome {
+                    config,
+                    num_buses: buses,
+                    lower_bound,
+                    probes,
+                    binding,
+                    max_bus_overlap,
+                    engine: SynthesisEngine::Heuristic,
+                }));
+            }
+            None => {
+                // `None` is "no witness" *or* "cancelled mid-anneal";
+                // disambiguate before recording an infeasibility verdict.
+                if cancel.is_cancelled() {
+                    return Ok(None);
+                }
+                probes.push((buses, false));
+            }
+        }
+    }
+    // The full crossbar always fits; greedy construction cannot miss it.
+    let full: Vec<usize> = (0..n).collect();
+    let binding = Binding::from_assignment(full);
+    let config = CrossbarConfig::from_assignment(binding.assignment().to_vec(), n)
+        .expect("full binding valid")
+        .with_arbitration(params.arbitration);
+    Ok(Some(SynthesisOutcome {
+        config,
+        num_buses: n,
+        lower_bound,
+        probes,
+        binding,
+        max_bus_overlap: 0,
+        engine: SynthesisEngine::Heuristic,
+    }))
 }
 
 type ProbeResult = Result<ProbeOutcome, NodeLimitExceeded>;
@@ -777,6 +1004,57 @@ mod tests {
                 .unwrap();
             assert_same_outcome("raced", &raced, &sequential);
         }
+    }
+
+    #[test]
+    fn cancellable_paths_match_plain_when_uncancelled() {
+        let app = stbus_traffic::workloads::matrix::mat2(29);
+        let p = DesignParams::default().with_overlap_threshold(0.15);
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let token = CancelToken::new();
+
+        let plain_exact = synthesize(&pre, &p).unwrap();
+        for jobs in [1usize, 4] {
+            let scheduler = ProbeScheduler::new(NonZeroUsize::new(jobs).unwrap());
+            let cancellable = scheduler
+                .synthesize_cancellable(&pre, &p, &token)
+                .unwrap()
+                .expect("un-cancelled token never aborts");
+            assert_same_outcome("cancellable exact", &cancellable, &plain_exact);
+        }
+
+        let plain_heur = synthesize_heuristic(&pre, &p).unwrap();
+        let cancellable_heur =
+            synthesize_heuristic_cancellable_with(&pre, &p, &HeuristicOptions::default(), &token)
+                .unwrap()
+                .expect("un-cancelled token never aborts");
+        assert_same_outcome("cancellable heuristic", &cancellable_heur, &plain_heur);
+    }
+
+    #[test]
+    fn raised_token_abandons_synthesis() {
+        let app = stbus_traffic::workloads::matrix::mat2(31);
+        let p = DesignParams::default().with_overlap_threshold(0.15);
+        let collected = crate::phase1::collect(&app, &p);
+        let pre = pre_of(&collected.it_trace, &p);
+        let token = CancelToken::new();
+        token.cancel();
+        for jobs in [1usize, 4] {
+            let scheduler = ProbeScheduler::new(NonZeroUsize::new(jobs).unwrap());
+            assert!(scheduler
+                .synthesize_cancellable(&pre, &p, &token)
+                .unwrap()
+                .is_none());
+        }
+        assert!(synthesize_heuristic_cancellable_with(
+            &pre,
+            &p,
+            &HeuristicOptions::default(),
+            &token
+        )
+        .unwrap()
+        .is_none());
     }
 
     #[test]

@@ -63,6 +63,7 @@ use crate::phase1::{collect, CollectedTraffic};
 use crate::phase2::Preprocessed;
 use crate::phase3::SynthesisOutcome;
 use crate::synthesizer::Synthesizer;
+use serde::{Deserialize, Serialize};
 use stbus_sim::{Arbitration, CrossbarConfig};
 use stbus_traffic::workloads::Application;
 use stbus_traffic::{OverlapProfile, WindowStats};
@@ -71,7 +72,7 @@ use stbus_traffic::{OverlapProfile, WindowStats};
 ///
 /// Two parameter sets with equal keys produce byte-identical collected
 /// traffic, so phases 2–4 can sweep everything else on one artifact.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CollectionKey {
     /// Arbitration policy of the reference full-crossbar simulation.
     pub arbitration: Arbitration,
@@ -91,6 +92,21 @@ impl CollectionKey {
             response_scale_bits: params.response_scale.to_bits(),
         }
     }
+
+    /// Injective fixed-width encoding of the key, for use in hashed
+    /// content-addressed cache identities (the key itself derives only
+    /// `PartialEq` — its float bit-pattern field makes a derived `Hash`
+    /// easy to get subtly wrong, so cache layers hash these words
+    /// instead). Equal keys ⇔ equal fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> [u64; 3] {
+        let arb = match self.arbitration {
+            Arbitration::FixedPriority => 0u64,
+            Arbitration::RoundRobin => 1,
+            Arbitration::LeastRecentlyUsed => 2,
+        };
+        [arb, self.max_outstanding as u64, self.response_scale_bits]
+    }
 }
 
 /// The subset of [`DesignParams`] the *window analysis* of phase 2 depends
@@ -101,7 +117,7 @@ impl CollectionKey {
 /// [`OverlapProfile`]s, so a sweep over the remaining knobs — overlap
 /// threshold, `maxtb`, solver limits, synthesis strategy — can share one
 /// [`AnalysisArtifact`] and re-threshold in O(pairs) per point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AnalysisKey {
     /// Analysis window size `WS`.
     pub window_size: u64,
@@ -116,6 +132,20 @@ impl AnalysisKey {
         Self {
             window_size: params.window_size,
             windowing: params.windowing,
+        }
+    }
+
+    /// Injective fixed-width encoding of the key, for hashed cache
+    /// identities (see [`CollectionKey::fingerprint`]). Equal keys ⇔
+    /// equal fingerprints.
+    #[must_use]
+    pub fn fingerprint(&self) -> [u64; 4] {
+        match self.windowing {
+            Windowing::Uniform => [self.window_size, 0, 0, 0],
+            Windowing::Adaptive {
+                coarse,
+                quiet_threshold,
+            } => [self.window_size, 1, coarse, quiet_threshold.to_bits()],
         }
     }
 }
@@ -151,6 +181,28 @@ pub struct Collected<'a> {
 }
 
 impl<'a> Collected<'a> {
+    /// Rebuilds a collection artifact from traffic captured earlier —
+    /// the re-entry point for process-level artifact caches that store
+    /// owned [`CollectedTraffic`] (a `Collected` borrows its
+    /// application, so it cannot itself outlive one request).
+    ///
+    /// The caller asserts that `traffic` was produced by
+    /// [`Pipeline::collect`] on this `app` under parameters whose
+    /// [`CollectionKey`] equals `CollectionKey::of(params)`; downstream
+    /// stages then behave bit-identically to the original artifact.
+    /// Nothing is re-simulated.
+    #[must_use]
+    pub fn from_cached(
+        app: &'a Application,
+        params: &DesignParams,
+        traffic: CollectedTraffic,
+    ) -> Self {
+        Self {
+            app,
+            key: CollectionKey::of(params),
+            traffic,
+        }
+    }
     /// The application this traffic was collected from.
     #[must_use]
     pub fn app(&self) -> &'a Application {
@@ -396,6 +448,34 @@ impl<'a> Analyzed<'a> {
             it,
             ti,
         })
+    }
+
+    /// Phase 3 with cooperative cancellation: `Ok(None)` when `cancel` is
+    /// raised before or during either direction's search, otherwise
+    /// bit-identical to [`Analyzed::synthesize`] (see
+    /// [`Synthesizer::synthesize_cancellable`]). This is what lets a
+    /// service abandon an in-flight design the moment its requester goes
+    /// away instead of finishing a solve nobody will read.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::SolverLimit`] as for [`Analyzed::synthesize`].
+    pub fn synthesize_cancellable(
+        &self,
+        strategy: &dyn Synthesizer,
+        cancel: &stbus_exec::CancelToken,
+    ) -> Result<Option<Synthesized<'_>>, FlowError> {
+        let Some(it) = strategy.synthesize_cancellable(&self.pre_it, &self.params, cancel)? else {
+            return Ok(None);
+        };
+        let Some(ti) = strategy.synthesize_cancellable(&self.pre_ti, &self.params, cancel)? else {
+            return Ok(None);
+        };
+        Ok(Some(Synthesized {
+            analyzed: self,
+            it,
+            ti,
+        }))
     }
 }
 
@@ -716,6 +796,52 @@ mod tests {
             );
             assert_eq!(s_fresh.it.probes, s_sweep.it.probes);
         }
+    }
+
+    #[test]
+    fn fingerprints_track_key_equality() {
+        let base = DesignParams::default();
+        let variants = [
+            base.clone(),
+            base.clone().with_response_scale(0.5),
+            base.clone().with_max_outstanding(2),
+            base.clone().with_window_size(500),
+            base.clone().with_adaptive_windows(4_000, 0.05),
+        ];
+        for a in &variants {
+            for b in &variants {
+                assert_eq!(
+                    CollectionKey::of(a) == CollectionKey::of(b),
+                    CollectionKey::of(a).fingerprint() == CollectionKey::of(b).fingerprint(),
+                    "collection fingerprint must mirror key equality"
+                );
+                assert_eq!(
+                    AnalysisKey::of(a) == AnalysisKey::of(b),
+                    AnalysisKey::of(a).fingerprint() == AnalysisKey::of(b).fingerprint(),
+                    "analysis fingerprint must mirror key equality"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_traffic_round_trips_through_from_cached() {
+        let app = workloads::matrix::mat2(42);
+        let params = DesignParams::default();
+        let fresh = Pipeline::collect(&app, &params);
+        let analyzed = fresh.analyze(&params);
+        let direct = analyzed.synthesize(&Exact::default()).expect("ok");
+
+        // A cache stores the owned traffic; a later request rebuilds the
+        // artifact and must land on bit-identical results.
+        let stored = fresh.clone().into_traffic();
+        let rebuilt = Collected::from_cached(&app, &params, stored);
+        assert_eq!(rebuilt.key(), fresh.key());
+        let rebuilt_analyzed = rebuilt.analyze(&params);
+        let via_cache = rebuilt_analyzed.synthesize(&Exact::default()).expect("ok");
+        assert_eq!(direct.it.probes, via_cache.it.probes);
+        assert_eq!(direct.it.binding, via_cache.it.binding);
+        assert_eq!(direct.ti.binding, via_cache.ti.binding);
     }
 
     #[test]

@@ -19,7 +19,11 @@
 
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use crate::phase3::{synthesize, synthesize_heuristic_with, ProbeScheduler, SynthesisOutcome};
+use crate::phase3::{
+    synthesize, synthesize_heuristic_cancellable_with, synthesize_heuristic_with, ProbeScheduler,
+    SynthesisOutcome,
+};
+use stbus_exec::CancelToken;
 use stbus_milp::{HeuristicOptions, NodeLimitExceeded, PruningLevel, SolveLimits};
 use std::num::NonZeroUsize;
 
@@ -40,6 +44,32 @@ pub trait Synthesizer: Sync {
         pre: &Preprocessed,
         params: &DesignParams,
     ) -> Result<SynthesisOutcome, NodeLimitExceeded>;
+
+    /// [`Synthesizer::synthesize`] under a cooperative per-request
+    /// [`CancelToken`]: `Ok(None)` means the token was raised and the
+    /// synthesis was abandoned. An un-cancelled run must be bit-identical
+    /// to `synthesize` — the built-in strategies are, and the gateway's
+    /// bit-identity contract relies on it.
+    ///
+    /// The default implementation only checks the token up front (a
+    /// strategy without cancellable internals still stops before
+    /// starting); the built-in strategies override it with genuinely
+    /// mid-solve cancellation.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] exactly as [`Synthesizer::synthesize`].
+    fn synthesize_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        cancel: &CancelToken,
+    ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+        if cancel.is_cancelled() {
+            return Ok(None);
+        }
+        self.synthesize(pre, params).map(Some)
+    }
 }
 
 /// The exact solver: binary-searched MILP-1 feasibility plus MILP-2
@@ -113,6 +143,19 @@ impl Synthesizer for Exact {
             Some(jobs) => ProbeScheduler::new(jobs).synthesize(pre, &params),
         }
     }
+
+    fn synthesize_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        cancel: &CancelToken,
+    ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+        let params = self.effective_params(params);
+        // A width-1 scheduler replays the sequential search probe by
+        // probe, so `jobs: None` keeps its bit-identical sequential path.
+        let jobs = self.jobs.unwrap_or(NonZeroUsize::MIN);
+        ProbeScheduler::new(jobs).synthesize_cancellable(pre, &params, cancel)
+    }
 }
 
 /// The greedy + local-search heuristic: polynomial time, no proofs.
@@ -142,6 +185,15 @@ impl Synthesizer for Heuristic {
         params: &DesignParams,
     ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
         synthesize_heuristic_with(pre, params, &self.options)
+    }
+
+    fn synthesize_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        cancel: &CancelToken,
+    ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+        synthesize_heuristic_cancellable_with(pre, params, &self.options, cancel)
     }
 }
 
@@ -224,6 +276,32 @@ impl Synthesizer for Portfolio {
             Ok(outcome) => Ok(outcome),
             Err(NodeLimitExceeded { .. }) => {
                 synthesize_heuristic_with(pre, params, &self.heuristic)
+            }
+        }
+    }
+
+    fn synthesize_cancellable(
+        &self,
+        pre: &Preprocessed,
+        params: &DesignParams,
+        cancel: &CancelToken,
+    ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
+        let effective = Exact {
+            limits: self.exact_limits,
+            jobs: None,
+            pruning: self.pruning,
+        }
+        .effective_params(params);
+        // Sequential portfolio = unraced width-1 replay (bit-identical to
+        // `synthesize`); parallel portfolio keeps the deterministic race.
+        let scheduler = match self.jobs {
+            None => ProbeScheduler::new(NonZeroUsize::MIN),
+            Some(jobs) => ProbeScheduler::new(jobs).with_race(self.heuristic),
+        };
+        match scheduler.synthesize_cancellable(pre, &effective, cancel) {
+            Ok(outcome) => Ok(outcome),
+            Err(NodeLimitExceeded { .. }) => {
+                synthesize_heuristic_cancellable_with(pre, params, &self.heuristic, cancel)
             }
         }
     }

@@ -82,6 +82,28 @@ use std::time::Duration;
 struct CancelInner {
     cancelled: AtomicBool,
     parent: Option<Arc<CancelInner>>,
+    /// Second ancestry edge for [`CancelToken::child_linked`] tokens:
+    /// cancellation flows down from *either* parent.
+    linked: Option<Arc<CancelInner>>,
+}
+
+impl CancelInner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(parent) = &self.parent {
+            if parent.is_cancelled() {
+                return true;
+            }
+        }
+        if let Some(linked) = &self.linked {
+            if linked.is_cancelled() {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Hierarchical cooperative-cancellation handle.
@@ -104,6 +126,7 @@ impl CancelToken {
             inner: Arc::new(CancelInner {
                 cancelled: AtomicBool::new(false),
                 parent: None,
+                linked: None,
             }),
         }
     }
@@ -115,6 +138,24 @@ impl CancelToken {
             inner: Arc::new(CancelInner {
                 cancelled: AtomicBool::new(false),
                 parent: Some(Arc::clone(&self.inner)),
+                linked: None,
+            }),
+        }
+    }
+
+    /// Derives a child token with **two** parents: cancelled when it,
+    /// `self`, `other`, or any of their ancestors is. This is how a task
+    /// inside a [`scope`] also observes an authority *outside* the scope
+    /// tree — e.g. a per-request token of a long-running service, so a
+    /// dropped request aborts its speculative solver work mid-solve even
+    /// though the tasks were spawned under the scope's own root.
+    #[must_use]
+    pub fn child_linked(&self, other: &CancelToken) -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(Arc::clone(&self.inner)),
+                linked: Some(Arc::clone(&other.inner)),
             }),
         }
     }
@@ -127,14 +168,7 @@ impl CancelToken {
     /// Whether this token or any of its ancestors has been cancelled.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        let mut cursor = Some(&self.inner);
-        while let Some(inner) = cursor {
-            if inner.cancelled.load(Ordering::Acquire) {
-                return true;
-            }
-            cursor = inner.parent.as_ref();
-        }
-        false
+        self.inner.is_cancelled()
     }
 }
 
@@ -855,6 +889,29 @@ mod tests {
         b.cancel();
         assert!(!a.is_cancelled());
         assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn linked_children_observe_both_parents() {
+        let scope_root = CancelToken::new();
+        let request = CancelToken::new();
+        let task = scope_root.child_linked(&request);
+        assert!(!task.is_cancelled());
+        // Cancellation flows down from the linked parent…
+        request.cancel();
+        assert!(task.is_cancelled());
+        // …and from the primary parent alike.
+        let request2 = CancelToken::new();
+        let task2 = scope_root.child_linked(&request2);
+        scope_root.cancel();
+        assert!(task2.is_cancelled());
+        assert!(!request2.is_cancelled());
+        // A linked child's own flag never propagates upward.
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        let c = a.child_linked(&b);
+        c.cancel();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Content-addressed artifact cache with single-flight computation.
+//!
+//! The gateway's expensive artifacts — phase-1 collected traffic and
+//! phase-2 window analyses — are pure functions of a content address
+//! (application digest + parameter-key fingerprints). This cache
+//! memoises them process-wide with two guarantees:
+//!
+//! * **Single-flight**: when several requests need the same missing key
+//!   concurrently, exactly one computes it; the others block on the
+//!   in-flight computation and share its result. A thundering herd of
+//!   identical requests costs one reference simulation, not N.
+//! * **Exactly-one classification**: every [`SingleFlightCache::get_or_compute`]
+//!   call is counted as exactly one of *hit* (value was resident),
+//!   *miss* (this call computed it) or *inflight wait* (this call
+//!   blocked on another's computation), so
+//!   `hits + misses + inflight_waits == calls` — the invariant the
+//!   integration tests assert through `/stats` to prove deduplication
+//!   actually happened.
+//!
+//! Eviction is least-recently-used over **ready** entries once the
+//! capacity is exceeded; in-flight slots are never evicted (a waiter is
+//! parked on them). If a computation panics, its slot is removed and
+//! all waiters wake; the first to re-try recomputes (still counted
+//! under its original classification — the invariant holds per call).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A point-in-time counter snapshot, surfaced at `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Calls answered from a resident value.
+    pub hits: u64,
+    /// Calls that computed the value themselves.
+    pub misses: u64,
+    /// Calls that blocked on another call's in-flight computation.
+    pub inflight_waits: u64,
+    /// Ready entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (ready entries).
+    pub capacity: usize,
+}
+
+enum Slot<V> {
+    /// Some call is computing this value right now.
+    InFlight,
+    /// The value is resident; `last_used` orders LRU eviction.
+    Ready { value: Arc<V>, last_used: u64 },
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    inflight_waits: u64,
+}
+
+/// See the module docs.
+pub struct SingleFlightCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> SingleFlightCache<K, V> {
+    /// Creates a cache holding at most `capacity` ready entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                inflight_waits: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Returns the value for `key`, computing it at most once across all
+    /// concurrent callers (see the module docs for the hit/miss/wait
+    /// accounting contract).
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let mut compute = Some(compute);
+        // A call is classified exactly once; a waiter that later finds
+        // the slot gone (computation panicked) recomputes without being
+        // re-counted, preserving hits + misses + waits == calls.
+        let mut classified_wait = false;
+        let mut guard = self.inner.lock().expect("cache lock");
+        loop {
+            let inner = &mut *guard;
+            match inner.map.get_mut(&key) {
+                Some(Slot::Ready { value, last_used }) => {
+                    inner.tick += 1;
+                    *last_used = inner.tick;
+                    if !classified_wait {
+                        inner.hits += 1;
+                    }
+                    return Arc::clone(value);
+                }
+                Some(Slot::InFlight) => {
+                    if !classified_wait {
+                        inner.inflight_waits += 1;
+                        classified_wait = true;
+                    }
+                    guard = self.ready.wait(guard).expect("cache lock");
+                }
+                None => {
+                    if !classified_wait {
+                        inner.misses += 1;
+                    }
+                    inner.map.insert(key.clone(), Slot::InFlight);
+                    drop(guard);
+
+                    // Compute outside the lock; the drop guard clears the
+                    // slot and wakes waiters if `compute` unwinds, so a
+                    // waiter can take over instead of parking forever.
+                    let mut cleanup = InFlightGuard {
+                        cache: self,
+                        key: &key,
+                        armed: true,
+                    };
+                    let value = Arc::new((compute.take().expect("compute runs once"))());
+                    cleanup.armed = false;
+                    drop(cleanup);
+
+                    let mut guard = self.inner.lock().expect("cache lock");
+                    let inner = &mut *guard;
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.map.insert(
+                        key,
+                        Slot::Ready {
+                            value: Arc::clone(&value),
+                            last_used: tick,
+                        },
+                    );
+                    Self::evict_over_capacity(inner, self.capacity);
+                    drop(guard);
+                    self.ready.notify_all();
+                    return value;
+                }
+            }
+        }
+    }
+
+    /// Evicts least-recently-used ready entries until at most `capacity`
+    /// remain (in-flight slots are untouched and uncounted).
+    fn evict_over_capacity(inner: &mut Inner<K, V>, capacity: usize) {
+        loop {
+            let ready = inner
+                .map
+                .iter()
+                .filter(|(_, slot)| matches!(slot, Slot::Ready { .. }))
+                .count();
+            if ready <= capacity {
+                return;
+            }
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready { last_used, .. } => Some((*last_used, k)),
+                    Slot::InFlight => None,
+                })
+                .min_by_key(|&(last_used, _)| last_used)
+                .map(|(_, k)| k.clone())
+                .expect("ready count > capacity >= 1");
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            inflight_waits: inner.inflight_waits,
+            entries: inner
+                .map
+                .values()
+                .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                .count(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// Removes the in-flight slot and wakes waiters if the computation
+/// unwinds (disarmed on success).
+struct InFlightGuard<'a, K: Eq + Hash + Clone, V> {
+    cache: &'a SingleFlightCache<K, V>,
+    key: &'a K,
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Clone, V> Drop for InFlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.inner.lock().expect("cache lock");
+            inner.map.remove(self.key);
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let cache = Arc::new(SingleFlightCache::<u64, u64>::new(8));
+        let computed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                thread::spawn(move || {
+                    *cache.get_or_compute(7, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Hold the in-flight window open long enough for
+                        // the other threads to arrive and park.
+                        thread::sleep(std::time::Duration::from_millis(30));
+                        49
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().expect("thread"), 49);
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "single flight");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.misses + stats.inflight_waits, 8);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = SingleFlightCache::<u32, u32>::new(2);
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        cache.get_or_compute(1, || unreachable!("hit")); // warms key 1
+        cache.get_or_compute(3, || 30); // evicts key 2 (coldest)
+        assert_eq!(cache.stats().entries, 2);
+        let recomputed = AtomicUsize::new(0);
+        cache.get_or_compute(1, || {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            0
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 0, "key 1 survived");
+        cache.get_or_compute(2, || {
+            recomputed.fetch_add(1, Ordering::SeqCst);
+            20
+        });
+        assert_eq!(recomputed.load(Ordering::SeqCst), 1, "key 2 was evicted");
+    }
+
+    #[test]
+    fn panicking_computation_unparks_waiters() {
+        let cache = Arc::new(SingleFlightCache::<u8, u8>::new(4));
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(1, || panic!("boom"));
+                }));
+                assert!(result.is_err());
+            })
+        };
+        // Second caller arrives while (or after) the first is in flight;
+        // either way it must eventually compute the value itself.
+        thread::sleep(std::time::Duration::from_millis(10));
+        let value = cache.get_or_compute(1, || 5);
+        assert_eq!(*value, 5);
+        panicker.join().expect("panicker thread");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses + stats.inflight_waits, 2);
+    }
+}

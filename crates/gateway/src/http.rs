@@ -1,0 +1,257 @@
+//! A deliberately small HTTP/1.1 server-side codec over blocking
+//! [`TcpStream`]s.
+//!
+//! The gateway serves one request per connection (`Connection: close`
+//! semantics) and needs exactly three wire features: reading a request
+//! head + `Content-Length` body with hard size limits, writing a fixed
+//! response, and writing a `Transfer-Encoding: chunked` streaming
+//! response (one chunk per sweep point, flushed as produced, so a
+//! client sees results the moment each θ finishes). Everything else —
+//! keep-alive, pipelining, compression, TLS — is out of scope for an
+//! offline toolkit service and intentionally absent.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body. Traces are the big payload: the paper
+/// suite's largest text form is well under a megabyte, so 16 MiB leaves
+/// room for scaled synthetic SoCs without letting a client balloon the
+/// server.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`).
+    pub method: String,
+    /// Request path (`/synthesize`); query strings are not used.
+    pub path: String,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// Any socket error, plus `InvalidData` for malformed heads, bodies
+/// exceeding the size limits, or non-UTF-8 payloads.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    // Read until the blank line that ends the head, then top up the body.
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(invalid("request head too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| invalid("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(invalid("malformed request line"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| invalid("bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(invalid("request body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Writes a complete fixed-length response and flushes it.
+///
+/// `extra_headers` lines are verbatim `Name: value` pairs (no CRLF).
+///
+/// # Errors
+///
+/// Any socket error.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for line in extra_headers {
+        head.push_str(line);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response in progress. Each
+/// [`ChunkedWriter::chunk`] call flushes one chunk to the client, so a
+/// streaming route delivers results incrementally; [`ChunkedWriter::end`]
+/// writes the terminating zero-length chunk.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn begin(stream: &'a mut TcpStream, status: u16, reason: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Writes and flushes one chunk.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error — the caller treats a failure as "client went
+    /// away" and cancels the work feeding this stream.
+    pub fn chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:x}\r\n{data}\r\n", data.len())?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked stream.
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn end(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut out = TcpStream::connect(addr).expect("connect");
+            out.write_all(&raw).expect("write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let request = read_request(&mut stream);
+        writer.join().expect("writer thread");
+        request
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = round_trip(
+            b"POST /synthesize HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\n\
+              Content-Length: 13\r\n\r\n{\"suite\":\"a\"}",
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/synthesize");
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.header("X-TENANT"), Some("alice"));
+        assert_eq!(req.body, "{\"suite\":\"a\"}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = round_trip(b"GET /stats HTTP/1.1\r\n\r\n").expect("parse");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_truncated_requests() {
+        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
+        assert!(round_trip(b"garbage").is_err());
+    }
+}

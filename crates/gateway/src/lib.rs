@@ -1,0 +1,90 @@
+//! `stbus-gateway` — a long-running HTTP+JSON synthesis service over the
+//! staged design pipeline.
+//!
+//! The CLI answers one design question per process. This crate turns the
+//! toolkit into a *service*: a hand-rolled HTTP/1.1 server (plain
+//! [`std::net::TcpListener`] — the offline build carries no async stack)
+//! that accepts design requests over the wire, schedules them fairly
+//! across tenants, shares expensive phase-1/phase-2 artifacts between
+//! requests through a content-addressed single-flight cache, and cancels
+//! work whose requester has gone away. Start it with `stbus serve` or
+//! embed it with [`Gateway::spawn`].
+//!
+//! # Routes and wire format
+//!
+//! All request bodies are JSON objects; all responses are JSON with a
+//! trailing newline. One request per connection (`Connection: close`).
+//!
+//! | Route | Body | Response |
+//! |-------|------|----------|
+//! | `POST /synthesize` | input spec + knobs | one design |
+//! | `POST /sweep` | input spec + knobs + `"thresholds":[θ…]` | chunked stream, one line per θ |
+//! | `POST /suite` | `"solver"`, `"seed"`, `"pruning"`, `"jobs"` | the five paper rows |
+//! | `GET /stats` | — | queue, request and cache counters |
+//! | `POST /shutdown` | — | `{"shutting_down":true}`, then drains |
+//!
+//! The input spec names exactly one of `"trace"` (interchange-format
+//! text, designs **one** direction — the response body is byte-identical
+//! to `stbus synthesize --trace … --json`), `"suite"` (a named
+//! generator) or `"scaled"` (a synthetic SoC size); see [`wire`] for
+//! every field and its validation. Suite rows are byte-identical to
+//! `stbus suite --json`. Errors: `400` malformed request, `404`/`405`
+//! unknown route or method, `429` + `Retry-After` when the ingress queue
+//! is full, `500` solver failure, `503` during shutdown.
+//!
+//! ```sh
+//! stbus serve --addr 127.0.0.1:7878 &
+//! curl -s http://127.0.0.1:7878/synthesize \
+//!   -H 'X-Tenant: alice' \
+//!   -d '{"suite":"mat2","seed":42,"threshold":0.15}'
+//! curl -s http://127.0.0.1:7878/stats
+//! curl -s -X POST http://127.0.0.1:7878/shutdown
+//! ```
+//!
+//! # Admission and fairness
+//!
+//! The ingress queue ([`admission`]) holds at most `--queue-depth`
+//! waiting jobs in total; beyond that, requests are refused immediately
+//! with `429` rather than queued into unbounded latency. Waiting jobs
+//! are organised into per-tenant FIFO lanes (the `X-Tenant` header;
+//! `"default"` when absent) served round-robin, so one tenant's burst
+//! delays its own later requests, not other tenants'.
+//!
+//! # Caching
+//!
+//! Workload-mode requests share phase-1 collected traffic and phase-2
+//! window analyses through two process-wide caches ([`cache`]) keyed by
+//! content address: the application's trace digest plus the injective
+//! fingerprints of exactly the parameter subsets each phase depends on
+//! ([`CollectionKey`](stbus_core::pipeline::CollectionKey),
+//! [`AnalysisKey`](stbus_core::pipeline::AnalysisKey)). Concurrent
+//! identical requests are **single-flight**: one computes, the rest
+//! block on it and share the result, and `/stats` exposes
+//! `hits`/`misses`/`inflight_waits` with
+//! `hits + misses + inflight_waits == lookups` so deduplication is
+//! observable from outside.
+//!
+//! # Cancellation and shutdown
+//!
+//! Every admitted job carries a root `CancelToken` threaded through the
+//! solver layers. A dropped connection (EOF while waiting, or a failed
+//! stream write) raises the token and the search stops at its next poll
+//! — speculation is abandoned mid-solve. `POST /shutdown` (or
+//! [`Gateway::shutdown`]) stops accepting, answers queued jobs `503`
+//! with their tokens raised, lets in-flight jobs finish, and
+//! [`Gateway::join`] returns once everything has drained; `stbus serve`
+//! then exits 0.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use admission::{IngressQueue, SubmitError};
+pub use cache::{CacheStats, SingleFlightCache};
+pub use server::{Gateway, GatewayConfig};

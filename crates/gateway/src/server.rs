@@ -1,0 +1,786 @@
+//! The gateway server: accept loop, connection threads, worker pool,
+//! shutdown orchestration and the artifact-cached execution paths.
+//!
+//! # Life of a request
+//!
+//! A connection thread reads one HTTP request. Control routes
+//! (`GET /stats`, `POST /shutdown`) are answered inline. Work routes
+//! (`POST /synthesize`, `/sweep`, `/suite`) are parsed and validated
+//! (`400` on failure), then submitted to the bounded ingress queue under
+//! the request's tenant (`X-Tenant` header, `"default"` when absent) —
+//! a full queue answers `429` with `Retry-After`, a closed one `503`.
+//! A worker thread claims the job in round-robin tenant order, runs it
+//! through the artifact caches, and streams replies back over a channel;
+//! the connection thread writes them to the socket.
+//!
+//! # Cancellation
+//!
+//! Every admitted job carries a root [`CancelToken`]. While waiting for
+//! replies the connection thread polls its socket; when the client has
+//! gone away (EOF, or a failed chunk write) it raises the token, and the
+//! solver layers abandon the search at their next poll — a dropped
+//! connection stops burning cores mid-solve, not at the next request
+//! boundary. Queued jobs cancelled by shutdown are answered `503`.
+//!
+//! # Caching
+//!
+//! Workload-mode requests run the staged pipeline through two
+//! process-wide [`SingleFlightCache`]s:
+//!
+//! * **collect cache** — key `[app digest, CollectionKey fingerprint…]`,
+//!   value the phase-1 [`CollectedTraffic`] (the expensive reference
+//!   simulation);
+//! * **analysis cache** — key extends the collect key with the
+//!   [`AnalysisKey`] fingerprint, value the phase-2 sweep-resident
+//!   [`AnalysisArtifact`].
+//!
+//! Keys are content addresses: the application digest covers every
+//! trace event, and the fingerprints are injective encodings of the
+//! parameter subsets each phase depends on, so a cache hit is provably
+//! the same computation. Trace-mode requests bypass the caches (their
+//! input has no application identity) and match the CLI byte for byte.
+//!
+//! [`AnalysisKey`]: stbus_core::pipeline::AnalysisKey
+
+use crate::admission::{IngressQueue, SubmitError};
+use crate::cache::SingleFlightCache;
+use crate::http::{self, ChunkedWriter, Request};
+use crate::wire::{self, SuiteRequest, SynthesizeRequest, WorkRequest, WorkSpec};
+use stbus_core::phase1::CollectedTraffic;
+use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionKey, Pipeline};
+use stbus_core::{DesignParams, Preprocessed};
+use stbus_exec::CancelToken;
+use stbus_traffic::workloads::Application;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction knobs (the CLI's `stbus serve` flags).
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks a free port (see [`Gateway::addr`]).
+    pub addr: String,
+    /// Worker threads executing admitted jobs.
+    pub workers: usize,
+    /// Ingress queue depth (waiting jobs) — the admission bound.
+    pub queue_depth: usize,
+    /// Capacity of each artifact cache, in ready entries.
+    pub cache_entries: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: stbus_exec::parallelism().max(1),
+            queue_depth: 32,
+            cache_entries: 64,
+        }
+    }
+}
+
+/// How a worker classified one reply stream.
+enum Reply {
+    /// Single complete response.
+    Done {
+        status: u16,
+        reason: &'static str,
+        body: String,
+    },
+    /// Start of a chunked stream (sweeps).
+    StreamStart,
+    /// One stream line.
+    Chunk(String),
+    /// End of a successful stream.
+    StreamEnd,
+}
+
+/// One admitted unit of work.
+struct Job {
+    work: WorkRequest,
+    token: CancelToken,
+    reply: Sender<Reply>,
+}
+
+/// State shared by the acceptor, connection threads and workers.
+struct Shared {
+    queue: IngressQueue<Job>,
+    collect_cache: SingleFlightCache<[u64; 4], CollectedTraffic>,
+    analysis_cache: SingleFlightCache<[u64; 8], AnalysisArtifact>,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    active: AtomicUsize,
+    connections: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A running gateway. Dropping the handle does **not** stop the server;
+/// call [`Gateway::shutdown`] (or POST `/shutdown`) then
+/// [`Gateway::join`].
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds, spawns the acceptor and worker threads, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn spawn(config: &GatewayConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: IngressQueue::new(config.queue_depth.max(1)),
+            collect_cache: SingleFlightCache::new(config.cache_entries.max(1)),
+            analysis_cache: SingleFlightCache::new(config.cache_entries.max(1)),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gw-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gw-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful shutdown, exactly like `POST /shutdown`: stop
+    /// accepting, cancel queued jobs (they answer `503`), let in-flight
+    /// jobs drain. Idempotent. Follow with [`Gateway::join`].
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the acceptor and all workers to exit, then for open
+    /// connections to finish writing their replies. Returns when the
+    /// server is fully drained.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Connection threads are detached; wait (bounded) for the last
+        // replies to reach their sockets.
+        for _ in 0..1_000 {
+            if self.shared.connections.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Spawns, then blocks until a `/shutdown` request drains the server
+    /// — the body of `stbus serve`.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn serve(config: &GatewayConfig) -> io::Result<()> {
+        let gateway = Self::spawn(config)?;
+        eprintln!(
+            "stbus gateway listening on {} ({} workers, queue depth {})",
+            gateway.addr(),
+            config.workers.max(1),
+            config.queue_depth.max(1)
+        );
+        gateway.join();
+        Ok(())
+    }
+}
+
+/// Raises the shutdown flag, drains the queue and pokes the acceptor.
+fn begin_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    for job in shared.queue.close() {
+        job.token.cancel();
+        shared.cancelled.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Reply::Done {
+            status: 503,
+            reason: "Service Unavailable",
+            body: "{\"error\":\"shutting down\"}\n".to_string(),
+        });
+    }
+    // The acceptor is parked in accept(); a loopback connection wakes it
+    // so it can observe the flag and exit.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // wake-up poke or late client; stop accepting
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        let addr = listener.local_addr().expect("bound listener");
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        let spawned = std::thread::Builder::new()
+            .name("gw-conn".to_string())
+            .spawn(move || {
+                let mut stream = stream;
+                handle_connection(&mut stream, &conn_shared, addr);
+                conn_shared.connections.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            shared.connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    // Dropping the listener closes the socket: later connects are refused.
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
+    let Ok(request) = http::read_request(stream) else {
+        let _ = http::respond(
+            stream,
+            400,
+            "Bad Request",
+            "{\"error\":\"malformed request\"}\n",
+            &[],
+        );
+        return;
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/stats") => {
+            let _ = http::respond(stream, 200, "OK", &stats_json(shared), &[]);
+        }
+        ("POST", "/shutdown") => {
+            begin_shutdown(shared, addr);
+            let _ = http::respond(stream, 200, "OK", "{\"shutting_down\":true}\n", &[]);
+        }
+        ("POST", "/synthesize") => {
+            dispatch(
+                stream,
+                shared,
+                &request,
+                wire::parse_synthesize(&request.body).map(WorkRequest::Synthesize),
+            );
+        }
+        ("POST", "/sweep") => {
+            dispatch(
+                stream,
+                shared,
+                &request,
+                wire::parse_sweep(&request.body).map(WorkRequest::Sweep),
+            );
+        }
+        ("POST", "/suite") => {
+            dispatch(
+                stream,
+                shared,
+                &request,
+                wire::parse_suite(&request.body).map(WorkRequest::Suite),
+            );
+        }
+        ("GET" | "POST", _) => {
+            let _ = http::respond(
+                stream,
+                404,
+                "Not Found",
+                "{\"error\":\"no such route\"}\n",
+                &[],
+            );
+        }
+        _ => {
+            let _ = http::respond(
+                stream,
+                405,
+                "Method Not Allowed",
+                "{\"error\":\"unsupported method\"}\n",
+                &[],
+            );
+        }
+    }
+}
+
+/// Admits a parsed work request and relays its replies to the socket.
+fn dispatch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request: &Request,
+    parsed: Result<WorkRequest, String>,
+) {
+    let work = match parsed {
+        Ok(work) => work,
+        Err(message) => {
+            let body = format!("{{\"error\":\"{}\"}}\n", stbus_core::json_escape(&message));
+            let _ = http::respond(stream, 400, "Bad Request", &body, &[]);
+            return;
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = http::respond(
+            stream,
+            503,
+            "Service Unavailable",
+            "{\"error\":\"shutting down\"}\n",
+            &[],
+        );
+        return;
+    }
+
+    let tenant = request.header("x-tenant").unwrap_or("default").to_string();
+    let token = CancelToken::new();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        work,
+        token: token.clone(),
+        reply: reply_tx,
+    };
+    match shared.queue.submit(&tenant, job) {
+        Ok(()) => {}
+        Err(SubmitError::QueueFull) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = http::respond(
+                stream,
+                429,
+                "Too Many Requests",
+                "{\"error\":\"queue full, retry later\"}\n",
+                &["Retry-After: 1"],
+            );
+            return;
+        }
+        Err(SubmitError::ShuttingDown) => {
+            let _ = http::respond(
+                stream,
+                503,
+                "Service Unavailable",
+                "{\"error\":\"shutting down\"}\n",
+                &[],
+            );
+            return;
+        }
+    }
+
+    relay_replies(stream, &token, &reply_rx);
+}
+
+/// Pumps worker replies to the socket, watching for client departure.
+fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver<Reply>) {
+    let mut chunked: Option<ChunkedWriter<'_>> = None;
+    // `chunked` borrows `stream`, so the loop is split: fixed replies
+    // are handled in the first phase, stream replies in the second.
+    loop {
+        match replies.recv_timeout(Duration::from_millis(50)) {
+            Ok(Reply::Done {
+                status,
+                reason,
+                body,
+            }) => {
+                let _ = http::respond(stream, status, reason, &body, &[]);
+                return;
+            }
+            Ok(Reply::StreamStart) => break,
+            Ok(Reply::Chunk(_) | Reply::StreamEnd) => {
+                unreachable!("stream replies before StreamStart")
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if client_gone(stream) {
+                    // Raise the token and leave; the worker observes the
+                    // cancellation and owns the `cancelled` counter (the
+                    // solve may also race to completion and count as
+                    // served — either way it is counted exactly once).
+                    token.cancel();
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+
+    match ChunkedWriter::begin(stream, 200, "OK") {
+        Ok(writer) => chunked = Some(writer),
+        Err(_) => token.cancel(),
+    }
+    loop {
+        match replies.recv_timeout(Duration::from_millis(50)) {
+            Ok(Reply::Chunk(line)) => {
+                if let Some(writer) = chunked.as_mut() {
+                    if writer.chunk(&line).is_err() {
+                        // Client went away mid-stream: stop the work
+                        // (the worker counts the cancellation).
+                        chunked = None;
+                        token.cancel();
+                    }
+                }
+            }
+            Ok(Reply::StreamEnd) => {
+                if let Some(writer) = chunked.take() {
+                    let _ = writer.end();
+                }
+                return;
+            }
+            Ok(Reply::Done { .. } | Reply::StreamStart) => {
+                unreachable!("fixed replies after StreamStart")
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if chunked.is_none() {
+                    // Already cancelled; keep draining until the worker
+                    // notices and closes the channel.
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                if let Some(writer) = chunked.take() {
+                    let _ = writer.end();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// True when the peer has closed its end (EOF on a non-blocking peek).
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match (&*stream).read(&mut probe) {
+        Ok(0) => true,  // orderly EOF
+        Ok(_) => false, // stray bytes; ignore
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true, // reset etc.
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+// ---------------------------------------------------------------------
+// Worker side: executing admitted jobs through the artifact caches.
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.next() {
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &job)));
+        if outcome.is_err() {
+            let _ = job.reply.send(Reply::Done {
+                status: 500,
+                reason: "Internal Server Error",
+                body: "{\"error\":\"internal error\"}\n".to_string(),
+            });
+        }
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Grows the shared executor when a request asks for more parallelism,
+/// mirroring the CLI's `--jobs` handling; returns the effective probe
+/// width (`None` on the request = the executor's width).
+fn effective_jobs(jobs: Option<NonZeroUsize>) -> Option<NonZeroUsize> {
+    if let Some(jobs) = jobs {
+        if jobs.get() > 1 {
+            stbus_exec::ensure_workers(jobs.get());
+        }
+    }
+    jobs.or_else(|| NonZeroUsize::new(stbus_exec::parallelism()))
+}
+
+fn execute(shared: &Arc<Shared>, job: &Job) {
+    match &job.work {
+        WorkRequest::Synthesize(request) => execute_synthesize(shared, request, job),
+        WorkRequest::Sweep(_) => execute_sweep(shared, job),
+        WorkRequest::Suite(request) => execute_suite(shared, request, job),
+    }
+}
+
+/// Sends the canonical terminal reply for a cancelled job.
+fn reply_cancelled(shared: &Arc<Shared>, job: &Job) {
+    shared.cancelled.fetch_add(1, Ordering::Relaxed);
+    let _ = job.reply.send(Reply::Done {
+        status: 499,
+        reason: "Client Closed Request",
+        body: "{\"error\":\"cancelled\"}\n".to_string(),
+    });
+}
+
+fn reply_solver_error(job: &Job, error: &dyn std::fmt::Display) {
+    let _ = job.reply.send(Reply::Done {
+        status: 500,
+        reason: "Internal Server Error",
+        body: format!(
+            "{{\"error\":\"{}\"}}\n",
+            stbus_core::json_escape(&error.to_string())
+        ),
+    });
+}
+
+/// The cached phase-1/phase-2 front half of a workload-mode request:
+/// collect (or reuse) the traffic, analyze (or reuse) the windows.
+struct CachedAnalysis<'a> {
+    collected: Collected<'a>,
+    artifact: Arc<AnalysisArtifact>,
+}
+
+impl<'a> CachedAnalysis<'a> {
+    fn build(shared: &Shared, app: &'a Application, params: &DesignParams) -> Self {
+        let digest = app.content_digest();
+        let ck = CollectionKey::of(params).fingerprint();
+        let collect_key = [digest, ck[0], ck[1], ck[2]];
+        let traffic = shared.collect_cache.get_or_compute(collect_key, || {
+            Pipeline::collect(app, params).into_traffic()
+        });
+        let collected = Collected::from_cached(app, params, (*traffic).clone());
+        let ak = AnalysisKey::of(params).fingerprint();
+        let analysis_key = [digest, ck[0], ck[1], ck[2], ak[0], ak[1], ak[2], ak[3]];
+        let artifact = shared
+            .analysis_cache
+            .get_or_compute(analysis_key, || collected.analysis_artifact(params));
+        Self {
+            collected,
+            artifact,
+        }
+    }
+}
+
+fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &Job) {
+    let jobs = effective_jobs(request.jobs);
+    let strategy = request.solver.synthesizer_with(jobs, request.pruning);
+    let solver = request.solver.to_string();
+    match &request.work {
+        WorkSpec::Trace(trace) => {
+            // Byte-identical to `stbus synthesize --trace … --json`.
+            let pre = Preprocessed::analyze(trace, &request.params);
+            match strategy.synthesize_cancellable(&pre, &request.params, &job.token) {
+                Ok(Some(outcome)) => reply_outcome_line(shared, job, &outcome.to_json(&solver)),
+                Ok(None) => reply_cancelled(shared, job),
+                Err(e) => reply_solver_error(job, &e),
+            }
+        }
+        WorkSpec::Workload(spec) => {
+            let app = spec.build();
+            let front = CachedAnalysis::build(shared, &app, &request.params);
+            let analyzed = front
+                .collected
+                .analyze_with(&front.artifact, &request.params);
+            match analyzed.synthesize_cancellable(&*strategy, &job.token) {
+                Ok(Some(designed)) => {
+                    let body = format!(
+                        "{{\"app\":\"{}\",\"it\":{},\"ti\":{}}}\n",
+                        stbus_core::json_escape(app.name()),
+                        designed.it.to_json(&solver),
+                        designed.ti.to_json(&solver),
+                    );
+                    reply_outcome_line(shared, job, body.trim_end());
+                }
+                Ok(None) => reply_cancelled(shared, job),
+                Err(e) => reply_solver_error(job, &e),
+            }
+        }
+    }
+}
+
+fn reply_outcome_line(shared: &Arc<Shared>, job: &Job, line: &str) {
+    shared.served.fetch_add(1, Ordering::Relaxed);
+    let _ = job.reply.send(Reply::Done {
+        status: 200,
+        reason: "OK",
+        body: format!("{line}\n"),
+    });
+}
+
+fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
+    let WorkRequest::Sweep(request) = &job.work else {
+        unreachable!("routed as sweep")
+    };
+    let base = &request.base;
+    let jobs = effective_jobs(base.jobs);
+    let strategy = base.solver.synthesizer_with(jobs, base.pruning);
+    let solver = base.solver.to_string();
+
+    // One reply line per threshold:
+    //   trace mode:    {"threshold":θ,"outcome":{…}}
+    //   workload mode: {"threshold":θ,"it":{…},"ti":{…}}
+    // The window analysis runs once; each point re-thresholds in
+    // O(pairs), exactly as the sweep-resident pipeline does.
+    let _ = job.reply.send(Reply::StreamStart);
+    let mut completed = true;
+    match &base.work {
+        WorkSpec::Trace(trace) => {
+            let pre = Preprocessed::analyze(trace, &base.params);
+            for &theta in &request.thresholds {
+                if job.token.is_cancelled() {
+                    completed = false;
+                    break;
+                }
+                let params = base.params.clone().with_overlap_threshold(theta);
+                let pre = pre.at_threshold(theta);
+                match strategy.synthesize_cancellable(&pre, &params, &job.token) {
+                    Ok(Some(outcome)) => {
+                        let line = format!(
+                            "{{\"threshold\":{theta},\"outcome\":{}}}\n",
+                            outcome.to_json(&solver)
+                        );
+                        let _ = job.reply.send(Reply::Chunk(line));
+                    }
+                    Ok(None) => {
+                        completed = false;
+                        break;
+                    }
+                    Err(e) => {
+                        let line = format!(
+                            "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
+                            stbus_core::json_escape(&e.to_string())
+                        );
+                        let _ = job.reply.send(Reply::Chunk(line));
+                    }
+                }
+            }
+        }
+        WorkSpec::Workload(spec) => {
+            let app = spec.build();
+            let front = CachedAnalysis::build(shared, &app, &base.params);
+            for &theta in &request.thresholds {
+                if job.token.is_cancelled() {
+                    completed = false;
+                    break;
+                }
+                let params = base.params.clone().with_overlap_threshold(theta);
+                let analyzed = front.collected.analyze_with(&front.artifact, &params);
+                match analyzed.synthesize_cancellable(&*strategy, &job.token) {
+                    Ok(Some(designed)) => {
+                        let line = format!(
+                            "{{\"threshold\":{theta},\"it\":{},\"ti\":{}}}\n",
+                            designed.it.to_json(&solver),
+                            designed.ti.to_json(&solver),
+                        );
+                        let _ = job.reply.send(Reply::Chunk(line));
+                    }
+                    Ok(None) => {
+                        completed = false;
+                        break;
+                    }
+                    Err(e) => {
+                        let line = format!(
+                            "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
+                            stbus_core::json_escape(&e.to_string())
+                        );
+                        let _ = job.reply.send(Reply::Chunk(line));
+                    }
+                }
+            }
+        }
+    }
+    if completed {
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send(Reply::StreamEnd);
+    } else {
+        shared.cancelled.fetch_add(1, Ordering::Relaxed);
+        // No StreamEnd: the relay already cancelled; dropping the sender
+        // (when `job` goes out of scope) closes the channel.
+    }
+}
+
+fn execute_suite(shared: &Arc<Shared>, request: &SuiteRequest, job: &Job) {
+    let jobs = effective_jobs(request.jobs);
+    let strategy = request.solver.synthesizer_with(jobs, request.pruning);
+    let solver = request.solver.to_string();
+    let apps = stbus_traffic::workloads::paper_suite(request.seed);
+    let mut rows = Vec::with_capacity(apps.len());
+    for app in &apps {
+        if job.token.is_cancelled() {
+            reply_cancelled(shared, job);
+            return;
+        }
+        // Per-application parameters pinned to the paper's, exactly as
+        // in `stbus suite` — the rows must diff clean against the CLI.
+        let params = match app.name() {
+            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+            "FFT" => DesignParams::default()
+                .with_overlap_threshold(0.50)
+                .with_response_scale(0.9),
+            _ => DesignParams::default(),
+        };
+        let front = CachedAnalysis::build(shared, app, &params);
+        let analyzed = front.collected.analyze_with(&front.artifact, &params);
+        let designed = match analyzed.synthesize_cancellable(&*strategy, &job.token) {
+            Ok(Some(designed)) => designed,
+            Ok(None) => {
+                reply_cancelled(shared, job);
+                return;
+            }
+            Err(e) => {
+                reply_solver_error(job, &e);
+                return;
+            }
+        };
+        match designed.report() {
+            Ok(report) => rows.push(report.paper_row_json(&solver)),
+            Err(e) => {
+                reply_solver_error(job, &e);
+                return;
+            }
+        }
+    }
+    reply_outcome_line(shared, job, &format!("[{}]", rows.join(",")));
+}
+
+/// Renders the `/stats` document.
+fn stats_json(shared: &Shared) -> String {
+    let collect = shared.collect_cache.stats();
+    let analysis = shared.analysis_cache.stats();
+    let cache = |s: crate::cache::CacheStats| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"inflight_waits\":{},\"entries\":{},\"capacity\":{}}}",
+            s.hits, s.misses, s.inflight_waits, s.entries, s.capacity
+        )
+    };
+    format!(
+        "{{\"queue\":{{\"depth\":{},\"queued\":{},\"tenants\":{}}},\
+         \"requests\":{{\"served\":{},\"rejected\":{},\"cancelled\":{},\"active\":{}}},\
+         \"collect_cache\":{},\"analysis_cache\":{}}}\n",
+        shared.queue.depth(),
+        shared.queue.queued(),
+        shared.queue.tenants(),
+        shared.served.load(Ordering::Relaxed),
+        shared.rejected.load(Ordering::Relaxed),
+        shared.cancelled.load(Ordering::Relaxed),
+        shared.active.load(Ordering::Acquire),
+        cache(collect),
+        cache(analysis),
+    )
+}

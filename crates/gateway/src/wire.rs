@@ -1,0 +1,393 @@
+//! Request wire format: typed, validated views of the JSON bodies the
+//! gateway accepts.
+//!
+//! Every route takes a JSON object. Work-carrying requests
+//! (`/synthesize`, `/sweep`) name their input in exactly one of three
+//! ways:
+//!
+//! * `"trace"` — a trace in the textual interchange format of
+//!   `stbus_traffic::io` (the format `stbus generate` writes). The
+//!   request designs **one** crossbar direction from that trace,
+//!   byte-identical to `stbus synthesize --trace … --json`.
+//! * `"suite"` — a named generator (`mat1|mat2|fft|qsort|des|synthetic`)
+//!   plus `"seed"` (default `0xDA7E2005`, the CLI's). Both directions
+//!   are designed through the staged pipeline and its artifact caches.
+//! * `"scaled"` — a scaled synthetic SoC with that many targets, plus
+//!   `"seed"`. Both directions, cached, like `"suite"`.
+//!
+//! Common knobs mirror the CLI flags one-for-one: `"window"` (u64 ≥ 1),
+//! `"threshold"` (finite, ≥ 0), `"maxtb"` (≥ 1), `"response_scale"`
+//! (finite, > 0), `"solver"` (`exact|heuristic|portfolio`), `"pruning"`
+//! (`off|standard|aggressive`), `"jobs"` (≥ 1). `/sweep` adds
+//! `"thresholds"`: a non-empty array of valid thresholds, streamed one
+//! result line each. `/suite` takes only `"solver"`, `"pruning"`,
+//! `"jobs"` and `"seed"` — the per-application parameters are pinned to
+//! the paper's, exactly as in `stbus suite`.
+//!
+//! Validation happens here, before a request is admitted: anything
+//! malformed is answered `400` with an error message instead of ever
+//! reaching a worker (the `DesignParams` builders assert on invalid
+//! values, and a panicking worker would be a crash a client can cause).
+
+use crate::json::{self, Value};
+use stbus_core::{DesignParams, SolverKind};
+use stbus_milp::PruningLevel;
+use stbus_traffic::workloads::{self, Application};
+use stbus_traffic::{io as trace_io, Trace};
+use std::num::NonZeroUsize;
+
+/// The CLI's default base seed, shared by `/suite` and workload specs.
+pub const DEFAULT_SEED: u64 = 0xDA7E_2005;
+
+/// The input an admitted request will design from.
+#[derive(Debug, Clone)]
+pub enum WorkSpec {
+    /// A parsed interchange-format trace: one direction, CLI-identical.
+    Trace(Trace),
+    /// A generated application: both directions, artifact-cached.
+    Workload(WorkloadSpec),
+}
+
+/// A deterministic workload generator invocation.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    kind: WorkloadKind,
+    seed: u64,
+}
+
+#[derive(Debug, Clone)]
+enum WorkloadKind {
+    Suite(String),
+    Scaled(usize),
+}
+
+impl WorkloadSpec {
+    /// Generates the application (deterministic per spec).
+    #[must_use]
+    pub fn build(&self) -> Application {
+        match &self.kind {
+            WorkloadKind::Suite(name) => match name.as_str() {
+                "mat1" => workloads::matrix::mat1(self.seed),
+                "mat2" => workloads::matrix::mat2(self.seed),
+                "fft" => workloads::fft::fft(self.seed),
+                "qsort" => workloads::qsort::qsort(self.seed),
+                "des" => workloads::des::des(self.seed),
+                "synthetic" => workloads::synthetic::synthetic20(self.seed),
+                other => unreachable!("validated suite name `{other}`"),
+            },
+            WorkloadKind::Scaled(targets) => workloads::synthetic::scaled_soc(*targets, self.seed),
+        }
+    }
+}
+
+/// A validated `/synthesize` request.
+#[derive(Debug, Clone)]
+pub struct SynthesizeRequest {
+    /// What to design from.
+    pub work: WorkSpec,
+    /// Full design parameters (knobs merged over the defaults).
+    pub params: DesignParams,
+    /// Synthesis strategy.
+    pub solver: SolverKind,
+    /// Probe parallelism (`None` = executor width, as in the CLI).
+    pub jobs: Option<NonZeroUsize>,
+    /// Exact-search pruning level override.
+    pub pruning: Option<PruningLevel>,
+}
+
+/// A validated `/sweep` request: the base request plus the θ grid.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The shared input, parameters and strategy.
+    pub base: SynthesizeRequest,
+    /// Overlap thresholds, streamed in order.
+    pub thresholds: Vec<f64>,
+}
+
+/// A validated `/suite` request.
+#[derive(Debug, Clone)]
+pub struct SuiteRequest {
+    /// Synthesis strategy for all five applications.
+    pub solver: SolverKind,
+    /// Base seed for the paper suite generators.
+    pub seed: u64,
+    /// Probe parallelism.
+    pub jobs: Option<NonZeroUsize>,
+    /// Pruning level override.
+    pub pruning: Option<PruningLevel>,
+}
+
+/// Any admitted unit of work.
+#[derive(Debug, Clone)]
+pub enum WorkRequest {
+    /// One design request.
+    Synthesize(SynthesizeRequest),
+    /// A streamed threshold sweep.
+    Sweep(SweepRequest),
+    /// The five-application paper suite.
+    Suite(SuiteRequest),
+}
+
+fn parse_object(body: &str) -> Result<Value, String> {
+    if body.trim().is_empty() {
+        return Ok(Value::Obj(Vec::new()));
+    }
+    let value = json::parse(body).map_err(|e| e.to_string())?;
+    match value {
+        Value::Obj(_) => Ok(value),
+        _ => Err("request body must be a JSON object".into()),
+    }
+}
+
+fn field_u64(obj: &Value, key: &str, min: u64) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` must be a non-negative integer"))?;
+            if n < min {
+                return Err(format!("`{key}` must be at least {min}"));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+fn field_threshold(v: &Value, key: &str) -> Result<f64, String> {
+    let theta = v
+        .as_f64()
+        .ok_or_else(|| format!("`{key}` must be a number"))?;
+    if !theta.is_finite() || theta < 0.0 {
+        return Err(format!("`{key}` must be finite and non-negative"));
+    }
+    Ok(theta)
+}
+
+fn parse_work(obj: &Value) -> Result<WorkSpec, String> {
+    let seed = field_u64(obj, "seed", 0)?.unwrap_or(DEFAULT_SEED);
+    let named = [
+        obj.get("trace").is_some(),
+        obj.get("suite").is_some(),
+        obj.get("scaled").is_some(),
+    ]
+    .iter()
+    .filter(|&&x| x)
+    .count();
+    if named != 1 {
+        return Err("name the input with exactly one of `trace`, `suite` or `scaled`".into());
+    }
+    if let Some(text) = obj.get("trace") {
+        let text = text.as_str().ok_or("`trace` must be a string")?;
+        let trace = trace_io::read_trace(text.as_bytes()).map_err(|e| format!("trace: {e}"))?;
+        return Ok(WorkSpec::Trace(trace));
+    }
+    if let Some(name) = obj.get("suite") {
+        let name = name.as_str().ok_or("`suite` must be a string")?;
+        if !matches!(
+            name,
+            "mat1" | "mat2" | "fft" | "qsort" | "des" | "synthetic"
+        ) {
+            return Err(format!(
+                "unknown suite `{name}` (mat1|mat2|fft|qsort|des|synthetic)"
+            ));
+        }
+        return Ok(WorkSpec::Workload(WorkloadSpec {
+            kind: WorkloadKind::Suite(name.to_string()),
+            seed,
+        }));
+    }
+    let targets = field_u64(obj, "scaled", 1)?.expect("presence checked") as usize;
+    if targets > 512 {
+        return Err("`scaled` is capped at 512 targets".into());
+    }
+    Ok(WorkSpec::Workload(WorkloadSpec {
+        kind: WorkloadKind::Scaled(targets),
+        seed,
+    }))
+}
+
+fn parse_params(obj: &Value) -> Result<DesignParams, String> {
+    let mut params = DesignParams::default();
+    if let Some(window) = field_u64(obj, "window", 1)? {
+        params = params.with_window_size(window);
+    }
+    if let Some(theta) = obj.get("threshold") {
+        params = params.with_overlap_threshold(field_threshold(theta, "threshold")?);
+    }
+    if let Some(maxtb) = field_u64(obj, "maxtb", 1)? {
+        params = params.with_maxtb(maxtb as usize);
+    }
+    if let Some(scale) = obj.get("response_scale") {
+        let scale = scale.as_f64().ok_or("`response_scale` must be a number")?;
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err("`response_scale` must be finite and positive".into());
+        }
+        params = params.with_response_scale(scale);
+    }
+    Ok(params)
+}
+
+fn parse_solver(obj: &Value) -> Result<SolverKind, String> {
+    match obj.get("solver") {
+        None | Some(Value::Null) => Ok(SolverKind::Exact),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "`solver` must be a string".to_string())?
+            .parse(),
+    }
+}
+
+fn parse_pruning(obj: &Value) -> Result<Option<PruningLevel>, String> {
+    match obj.get("pruning") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "`pruning` must be a string".to_string())?
+            .parse()
+            .map(Some),
+    }
+}
+
+fn parse_jobs(obj: &Value) -> Result<Option<NonZeroUsize>, String> {
+    Ok(field_u64(obj, "jobs", 1)?
+        .map(|n| NonZeroUsize::new(n as usize).expect("validated at least 1")))
+}
+
+/// Parses and validates a `/synthesize` body.
+///
+/// # Errors
+///
+/// A client-facing message (the `400` body) on any malformed field.
+pub fn parse_synthesize(body: &str) -> Result<SynthesizeRequest, String> {
+    let obj = parse_object(body)?;
+    Ok(SynthesizeRequest {
+        work: parse_work(&obj)?,
+        params: parse_params(&obj)?,
+        solver: parse_solver(&obj)?,
+        jobs: parse_jobs(&obj)?,
+        pruning: parse_pruning(&obj)?,
+    })
+}
+
+/// Parses and validates a `/sweep` body.
+///
+/// # Errors
+///
+/// A client-facing message on any malformed field, including an empty
+/// or missing `thresholds` array.
+pub fn parse_sweep(body: &str) -> Result<SweepRequest, String> {
+    let obj = parse_object(body)?;
+    let thresholds = obj
+        .get("thresholds")
+        .and_then(Value::as_array)
+        .ok_or("`thresholds` must be an array of numbers")?;
+    if thresholds.is_empty() {
+        return Err("`thresholds` must not be empty".into());
+    }
+    if thresholds.len() > 4_096 {
+        return Err("`thresholds` is capped at 4096 points".into());
+    }
+    let thresholds = thresholds
+        .iter()
+        .map(|v| field_threshold(v, "thresholds"))
+        .collect::<Result<Vec<f64>, String>>()?;
+    Ok(SweepRequest {
+        base: SynthesizeRequest {
+            work: parse_work(&obj)?,
+            params: parse_params(&obj)?,
+            solver: parse_solver(&obj)?,
+            jobs: parse_jobs(&obj)?,
+            pruning: parse_pruning(&obj)?,
+        },
+        thresholds,
+    })
+}
+
+/// Parses and validates a `/suite` body.
+///
+/// # Errors
+///
+/// A client-facing message on any malformed field.
+pub fn parse_suite(body: &str) -> Result<SuiteRequest, String> {
+    let obj = parse_object(body)?;
+    Ok(SuiteRequest {
+        solver: parse_solver(&obj)?,
+        seed: field_u64(&obj, "seed", 0)?.unwrap_or(DEFAULT_SEED),
+        jobs: parse_jobs(&obj)?,
+        pruning: parse_pruning(&obj)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_request_round_trips() {
+        let req = parse_synthesize(r#"{"suite":"mat2","seed":42,"threshold":0.15}"#).unwrap();
+        assert!(matches!(req.work, WorkSpec::Workload(_)));
+        assert_eq!(req.params.overlap_threshold, 0.15);
+        assert_eq!(req.solver, SolverKind::Exact);
+        let WorkSpec::Workload(spec) = &req.work else {
+            unreachable!()
+        };
+        assert_eq!(spec.build().name(), "Mat2");
+    }
+
+    #[test]
+    fn trace_request_parses_interchange_format() {
+        let app = workloads::matrix::mat2(42);
+        let text = trace_io::trace_to_string(&app.trace);
+        let body = format!(
+            "{{\"trace\":\"{}\",\"solver\":\"portfolio\",\"jobs\":2}}",
+            text.replace('\\', "\\\\").replace('\n', "\\n")
+        );
+        let req = parse_synthesize(&body).unwrap();
+        let WorkSpec::Trace(trace) = &req.work else {
+            panic!("expected trace mode")
+        };
+        assert_eq!(trace.len(), app.trace.len());
+        assert_eq!(req.solver, SolverKind::Portfolio);
+        assert_eq!(req.jobs.map(NonZeroUsize::get), Some(2));
+    }
+
+    #[test]
+    fn sweep_needs_a_threshold_grid() {
+        assert!(parse_sweep(r#"{"suite":"mat2"}"#).is_err());
+        assert!(parse_sweep(r#"{"suite":"mat2","thresholds":[]}"#).is_err());
+        assert!(parse_sweep(r#"{"suite":"mat2","thresholds":[0.1,-0.2]}"#).is_err());
+        let req = parse_sweep(r#"{"suite":"mat2","thresholds":[0.1,0.2]}"#).unwrap();
+        assert_eq!(req.thresholds, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn invalid_fields_become_messages_not_panics() {
+        for bad in [
+            r#"{"suite":"mat2","window":0}"#,
+            r#"{"suite":"mat2","threshold":-0.5}"#,
+            r#"{"suite":"mat2","threshold":"high"}"#,
+            r#"{"suite":"mat2","maxtb":0}"#,
+            r#"{"suite":"mat2","response_scale":0}"#,
+            r#"{"suite":"mat2","solver":"oracle"}"#,
+            r#"{"suite":"nope"}"#,
+            r#"{"scaled":0}"#,
+            r#"{"trace":"garbage"}"#,
+            r#"{"suite":"mat2","trace":"x"}"#,
+            r#"{}"#,
+            r#"not json"#,
+        ] {
+            assert!(parse_synthesize(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn suite_defaults_match_the_cli() {
+        let req = parse_suite("").unwrap();
+        assert_eq!(req.seed, DEFAULT_SEED);
+        assert_eq!(req.solver, SolverKind::Exact);
+        let req = parse_suite(r#"{"solver":"heuristic","seed":7}"#).unwrap();
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.solver, SolverKind::Heuristic);
+    }
+}

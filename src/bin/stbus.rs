@@ -9,6 +9,8 @@
 //! stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
 //! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
 //!                  [--pruning off|standard|aggressive] [--json]
+//! stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+//!                  [--cache-entries N]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -35,6 +37,21 @@
 //! exact infeasibility proofs scale past ~32 targets; `aggressive` adds
 //! best-fit candidate ordering — same verdicts and probe logs, possibly
 //! a different (equal-objective) binding.
+//!
+//! `serve` starts the long-running HTTP+JSON gateway ([`stbus::gateway`])
+//! and blocks until a `POST /shutdown` drains it. Example session:
+//!
+//! ```sh
+//! stbus serve --addr 127.0.0.1:7878 --queue-depth 32 &
+//! curl -s http://127.0.0.1:7878/synthesize \
+//!   -d '{"suite":"mat2","seed":42,"threshold":0.15}'
+//! curl -s http://127.0.0.1:7878/stats
+//! curl -s -X POST http://127.0.0.1:7878/shutdown
+//! ```
+//!
+//! Trace-mode gateway responses (`{"trace":"…"}` bodies) are
+//! byte-identical to `stbus synthesize --trace … --json`, and `/suite`
+//! rows to `stbus suite --json` — the CI smoke test diffs them.
 
 use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
 use stbus::milp::PruningLevel;
@@ -65,7 +82,9 @@ const USAGE: &str = "usage:
                    [--pruning off|standard|aggressive] [--json]
   stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
   stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
-                   [--pruning off|standard|aggressive] [--json]";
+                   [--pruning off|standard|aggressive] [--json]
+  stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+                   [--cache-entries N]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -92,6 +111,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("synthesize") => synthesize(&mut args),
         Some("simulate") => simulate_cmd(&mut args),
         Some("suite") => suite(&mut args),
+        Some("serve") => serve(&mut args),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -271,45 +291,11 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     Ok(())
 }
 
-/// Machine-readable rendering of a [`SynthesisOutcome`]. Hand-rolled: the
-/// offline build carries no JSON dependency, and the shape is small.
+/// Machine-readable rendering of a [`SynthesisOutcome`] — the shared
+/// renderer of [`SynthesisOutcome::to_json`], so the gateway's wire
+/// format and this CLI stay byte-identical.
 fn synthesis_json(solver: SolverKind, outcome: &SynthesisOutcome) -> String {
-    let assignment = outcome
-        .config
-        .assignment()
-        .iter()
-        .map(ToString::to_string)
-        .collect::<Vec<_>>()
-        .join(",");
-    let probes = outcome
-        .probes
-        .iter()
-        .map(|&(buses, feasible)| format!("[{buses},{feasible}]"))
-        .collect::<Vec<_>>()
-        .join(",");
-    format!(
-        "{{\"solver\":\"{solver}\",\"engine\":\"{engine}\",\"num_buses\":{buses},\
-         \"lower_bound\":{lb},\"max_bus_overlap\":{maxov},\
-         \"assignment\":[{assignment}],\"probes\":[{probes}]}}",
-        engine = outcome.engine,
-        buses = outcome.num_buses,
-        lb = outcome.lower_bound,
-        maxov = outcome.max_bus_overlap,
-    )
-}
-
-/// Minimal JSON string escaping for application names.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    outcome.to_json(&solver.to_string())
 }
 
 fn simulate_cmd<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
@@ -411,18 +397,7 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .into_report()
             .expect("paper baseline set");
-        rows.push(format!(
-            "{{\"app\":\"{name}\",\"solver\":\"{solver}\",\
-             \"full_buses\":{full},\"designed_buses\":{designed},\
-             \"saving\":{saving:.4},\"avg_latency\":{avg:.4},\
-             \"max_latency\":{max}}}",
-            name = json_escape(&report.app_name),
-            full = report.full.total_buses(),
-            designed = report.designed.total_buses(),
-            saving = report.component_saving(),
-            avg = report.designed.avg_latency,
-            max = report.designed.max_latency,
-        ));
+        rows.push(report.paper_row_json(&solver.to_string()));
         table.row(vec![
             report.app_name.clone(),
             format!("{}", report.full.total_buses()),
@@ -436,6 +411,36 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
         println!("{table}");
     }
     Ok(())
+}
+
+fn serve<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
+    let mut config = stbus::gateway::GatewayConfig::default();
+    while let Some(flag) = args.next() {
+        match flag {
+            "--addr" => config.addr = value(args, flag)?.to_string(),
+            "--jobs" => {
+                // Workers execute requests; the solver layers underneath
+                // share the process-wide executor, grown to match.
+                let jobs = parse_jobs(value(args, flag)?)?;
+                apply_jobs(Some(jobs));
+                config.workers = jobs.get();
+            }
+            "--queue-depth" => {
+                config.queue_depth = parse(value(args, flag)?, "queue depth")?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth needs at least 1".into());
+                }
+            }
+            "--cache-entries" => {
+                config.cache_entries = parse(value(args, flag)?, "cache entries")?;
+                if config.cache_entries == 0 {
+                    return Err("--cache-entries needs at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    stbus::gateway::Gateway::serve(&config).map_err(|e| format!("serve: {e}"))
 }
 
 // `parse` and `value` are exercised through the commands; a couple of

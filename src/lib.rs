@@ -11,6 +11,9 @@
 //! * [`exec`] — the process-wide work-stealing executor every parallel
 //!   layer (batch stages, probe scheduler, portfolio race, annealer
 //!   restarts) runs on;
+//! * [`gateway`] — the long-running HTTP+JSON synthesis service
+//!   (`stbus serve`): bounded admission, tenant-fair scheduling,
+//!   content-addressed artifact caching, per-request cancellation;
 //! * [`report`] — tables and series for result presentation.
 //!
 //! # Quick start
@@ -51,6 +54,7 @@
 
 pub use stbus_core as core;
 pub use stbus_exec as exec;
+pub use stbus_gateway as gateway;
 pub use stbus_milp as milp;
 pub use stbus_report as report;
 pub use stbus_sim as sim;

@@ -1,0 +1,393 @@
+//! End-to-end gateway tests over real TCP sockets.
+//!
+//! The four acceptance properties of the service, each against a live
+//! [`Gateway`] bound to an ephemeral port:
+//!
+//! 1. **Bit-identity** — gateway responses carry exactly the designs the
+//!    direct `Pipeline`/`Preprocessed` API produces (trace mode is
+//!    byte-identical to the CLI's `--json` renderer by construction —
+//!    both call `SynthesisOutcome::to_json`).
+//! 2. **Single-flight** — N concurrent identical workload requests pay
+//!    for one phase-1 collection; `/stats` proves it
+//!    (`misses == 1`, `hits + misses + inflight_waits == lookups`).
+//! 3. **Admission** — with one worker and a depth-1 queue, the third
+//!    concurrent request is refused `429` with `Retry-After`.
+//! 4. **Graceful drain** — `/shutdown` mid-stream lets the in-flight
+//!    sweep finish completely, then the server drains and refuses new
+//!    connections.
+
+use stbus::core::{DesignParams, Pipeline, SolverKind};
+use stbus::gateway::json::{self, Value};
+use stbus::gateway::{Gateway, GatewayConfig};
+use stbus::traffic::workloads;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Sends one request and returns `(status line, headers, body)`. The
+/// body has chunked framing stripped when the response streams.
+fn http_post(addr: SocketAddr, path: &str, body: &str, tenant: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "POST", path, body, tenant);
+    read_response(&mut stream)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "GET", path, "", None);
+    read_response(&mut stream)
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+    tenant: Option<&str>,
+) {
+    let tenant_header = tenant.map_or(String::new(), |t| format!("X-Tenant: {t}\r\n"));
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: gw\r\n{tenant_header}\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+}
+
+/// Reads to EOF and de-frames (the gateway always closes after one
+/// response, so EOF terminates both fixed and chunked bodies).
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut raw = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout");
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    (status, body)
+}
+
+fn dechunk(framed: &str) -> String {
+    let mut out = String::new();
+    let mut rest = framed;
+    loop {
+        let Some((size_line, after)) = rest.split_once("\r\n") else {
+            return out; // truncated stream (cancelled mid-flight)
+        };
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            return out;
+        };
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size..];
+        rest = rest.strip_prefix("\r\n").unwrap_or(rest);
+    }
+}
+
+fn spawn_gateway(workers: usize, queue_depth: usize) -> Gateway {
+    Gateway::spawn(&GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        cache_entries: 16,
+    })
+    .expect("spawn gateway")
+}
+
+fn outcome_field<'a>(outcome: &'a Value, key: &str) -> &'a Value {
+    outcome.get(key).unwrap_or_else(|| panic!("field `{key}`"))
+}
+
+fn assert_outcome_matches(wire: &Value, direct: &stbus::core::SynthesisOutcome) {
+    assert_eq!(
+        outcome_field(wire, "num_buses").as_u64(),
+        Some(direct.num_buses as u64)
+    );
+    assert_eq!(
+        outcome_field(wire, "lower_bound").as_u64(),
+        Some(direct.lower_bound as u64)
+    );
+    let assignment: Vec<u64> = outcome_field(wire, "assignment")
+        .as_array()
+        .expect("assignment array")
+        .iter()
+        .map(|v| v.as_u64().expect("bus index"))
+        .collect();
+    let expected: Vec<u64> = direct
+        .config
+        .assignment()
+        .iter()
+        .map(|&b| b as u64)
+        .collect();
+    assert_eq!(assignment, expected, "binding must be bit-identical");
+    let probes: Vec<(u64, bool)> = outcome_field(wire, "probes")
+        .as_array()
+        .expect("probe array")
+        .iter()
+        .map(|p| {
+            let pair = p.as_array().expect("probe pair");
+            (
+                pair[0].as_u64().expect("bus count"),
+                pair[1].as_bool().expect("feasible"),
+            )
+        })
+        .collect();
+    let expected: Vec<(u64, bool)> = direct
+        .probes
+        .iter()
+        .map(|&(buses, feasible)| (buses as u64, feasible))
+        .collect();
+    assert_eq!(probes, expected, "probe log must be bit-identical");
+}
+
+#[test]
+fn workload_and_trace_responses_are_bit_identical_to_the_pipeline() {
+    let gateway = spawn_gateway(2, 8);
+    let addr = gateway.addr();
+
+    // Direct reference: the staged pipeline on the same spec.
+    let app = workloads::matrix::mat2(42);
+    let params = DesignParams::default().with_overlap_threshold(0.15);
+    let collected = Pipeline::collect(&app, &params);
+    let analyzed = collected.analyze(&params);
+    let strategy = SolverKind::Exact.synthesizer();
+    let direct = analyzed.synthesize(&*strategy).expect("direct synthesis");
+
+    // Workload mode: both directions.
+    let (status, body) = http_post(
+        addr,
+        "/synthesize",
+        r#"{"suite":"mat2","seed":42,"threshold":0.15}"#,
+        None,
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let wire = json::parse(body.trim()).expect("JSON response");
+    assert_eq!(wire.get("app").and_then(Value::as_str), Some("Mat2"));
+    assert_outcome_matches(outcome_field(&wire, "it"), &direct.it);
+    assert_outcome_matches(outcome_field(&wire, "ti"), &direct.ti);
+
+    // Trace mode: byte-identical to the CLI's `--json` line for the
+    // request-path direction of the same traffic.
+    let trace_text = stbus::traffic::io::trace_to_string(&collected.traffic().it_trace);
+    let escaped = trace_text.replace('\\', "\\\\").replace('\n', "\\n");
+    let (status, body) = http_post(
+        addr,
+        "/synthesize",
+        &format!("{{\"trace\":\"{escaped}\",\"threshold\":0.15}}"),
+        None,
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let pre = stbus::core::Preprocessed::analyze(&collected.traffic().it_trace, &params);
+    let cli_line = strategy
+        .synthesize(&pre, &params)
+        .expect("direct synthesis")
+        .to_json("exact");
+    assert_eq!(body, format!("{cli_line}\n"), "CLI wire format must match");
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+#[test]
+fn concurrent_identical_requests_are_single_flight() {
+    let gateway = spawn_gateway(4, 16);
+    let addr = gateway.addr();
+    let request = r#"{"suite":"qsort","seed":7}"#;
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || http_post(addr, "/synthesize", request, None)))
+        .collect();
+    let mut bodies = Vec::new();
+    for handle in handles {
+        let (status, body) = handle.join().expect("request thread");
+        assert_eq!(status, 200, "body: {body}");
+        bodies.push(body);
+    }
+    assert!(
+        bodies.iter().all(|b| *b == bodies[0]),
+        "identical requests must produce identical responses"
+    );
+
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats = json::parse(stats.trim()).expect("stats JSON");
+    let collect = stats.get("collect_cache").expect("collect cache stats");
+    let misses = outcome_field(collect, "misses").as_u64().unwrap();
+    let hits = outcome_field(collect, "hits").as_u64().unwrap();
+    let waits = outcome_field(collect, "inflight_waits").as_u64().unwrap();
+    assert_eq!(misses, 1, "exactly one request may pay for collection");
+    assert_eq!(
+        hits + misses + waits,
+        4,
+        "every lookup classified exactly once"
+    );
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("served"))
+            .and_then(Value::as_u64),
+        Some(4)
+    );
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    let gateway = spawn_gateway(1, 1);
+    let addr = gateway.addr();
+
+    // Occupy the single worker with a long streaming sweep (the client
+    // deliberately never reads, so the job runs at worker pace).
+    let slow = r#"{"scaled":24,"seed":3,"thresholds":[0.05,0.10,0.15,0.20,0.25,0.30,0.35,0.40,0.45,0.50]}"#;
+    let mut occupant = TcpStream::connect(addr).expect("connect occupant");
+    write_request(&mut occupant, "POST", "/sweep", slow, None);
+    // Wait until the worker has claimed the job (queued drops to 0).
+    let claimed = (0..200).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        let (_, stats) = http_get(addr, "/stats");
+        let stats = json::parse(stats.trim()).expect("stats JSON");
+        let active = stats
+            .get("requests")
+            .and_then(|r| r.get("active"))
+            .and_then(Value::as_u64);
+        let queued = stats
+            .get("queue")
+            .and_then(|q| q.get("queued"))
+            .and_then(Value::as_u64);
+        active == Some(1) && queued == Some(0)
+    });
+    assert!(claimed, "worker never claimed the streaming job");
+
+    // Second request fills the depth-1 queue…
+    let mut queued = TcpStream::connect(addr).expect("connect queued");
+    write_request(
+        &mut queued,
+        "POST",
+        "/synthesize",
+        r#"{"suite":"mat2","seed":42}"#,
+        None,
+    );
+    let waiting = (0..200).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        let (_, stats) = http_get(addr, "/stats");
+        let stats = json::parse(stats.trim()).expect("stats JSON");
+        stats
+            .get("queue")
+            .and_then(|q| q.get("queued"))
+            .and_then(Value::as_u64)
+            == Some(1)
+    });
+    assert!(waiting, "second request never queued");
+
+    // …so the third is refused immediately.
+    let mut refused = TcpStream::connect(addr).expect("connect refused");
+    write_request(
+        &mut refused,
+        "POST",
+        "/synthesize",
+        r#"{"suite":"mat2","seed":42}"#,
+        None,
+    );
+    let mut raw = Vec::new();
+    refused
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    refused.read_to_end(&mut raw).expect("read 429");
+    let text = String::from_utf8(raw).expect("UTF-8");
+    assert!(
+        text.starts_with("HTTP/1.1 429"),
+        "expected 429, got: {}",
+        text.lines().next().unwrap_or("")
+    );
+    assert!(
+        text.to_ascii_lowercase().contains("retry-after:"),
+        "429 must carry Retry-After"
+    );
+
+    let (_, stats) = http_get(addr, "/stats");
+    let stats = json::parse(stats.trim()).expect("stats JSON");
+    assert_eq!(
+        stats
+            .get("requests")
+            .and_then(|r| r.get("rejected"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+
+    // Dropping the occupant's connection cancels the in-flight sweep
+    // (EOF detection raises its token mid-solve), unblocking the drain.
+    drop(occupant);
+    drop(queued);
+    gateway.shutdown();
+    gateway.join();
+}
+
+#[test]
+fn shutdown_drains_in_flight_streams_and_refuses_new_connections() {
+    let gateway = spawn_gateway(1, 4);
+    let addr = gateway.addr();
+
+    // Start a sweep and read its stream lazily.
+    let mut sweeper = TcpStream::connect(addr).expect("connect sweeper");
+    write_request(
+        &mut sweeper,
+        "POST",
+        "/sweep",
+        r#"{"suite":"mat2","seed":42,"thresholds":[0.10,0.15,0.20,0.25]}"#,
+        Some("alice"),
+    );
+    // Let the worker pick it up, then shut down mid-stream.
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, body) = http_post(addr, "/shutdown", "", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "body: {body}");
+
+    // The in-flight sweep must complete all four points.
+    let (status, body) = read_response(&mut sweeper);
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 4, "drain must finish the stream: {body}");
+    for (line, theta) in lines.iter().zip(["0.1", "0.15", "0.2", "0.25"]) {
+        let point = json::parse(line).expect("sweep line");
+        assert_eq!(
+            point.get("threshold").and_then(Value::as_f64),
+            theta.parse::<f64>().ok(),
+            "line: {line}"
+        );
+        assert!(point.get("it").is_some() && point.get("ti").is_some());
+    }
+
+    gateway.join();
+
+    // Fully drained: new connections are refused (or reset at read).
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(mut stream) => {
+            write_request(&mut stream, "GET", "/stats", "", None);
+            let mut buf = Vec::new();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            matches!(stream.read_to_end(&mut buf), Ok(0) | Err(_))
+        }
+    };
+    assert!(refused, "server must stop accepting after drain");
+}
