@@ -1,6 +1,10 @@
 //! Closed-loop gateway throughput bench: an in-process [`Gateway`] under
 //! a small fleet of synchronous HTTP clients, all POSTing the same
-//! workload-mode `/synthesize` request.
+//! workload-mode `/synthesize` request over **persistent keep-alive
+//! connections** (one per client for the whole run, well under the
+//! gateway's per-connection request cap) — per-request latency is
+//! request-written to response-read, with no connect/teardown inside
+//! the measured exchange.
 //!
 //! The point being measured is the **service layer**, not the solvers:
 //! with identical requests the collect/analysis artifact caches converge
@@ -37,19 +41,78 @@ const REQUESTS_PER_CLIENT: usize = 64;
 /// aggressive threshold — the suite operating point of `stbus suite`.
 const BODY: &str = r#"{"suite":"mat2","seed":42,"threshold":0.15}"#;
 
-/// One synchronous HTTP exchange; returns the full response text and
-/// the wall-clock seconds from connect to EOF.
-fn post(addr: SocketAddr, path: &str, body: &str) -> (String, f64) {
-    let start = Instant::now();
-    let mut stream = TcpStream::connect(addr).expect("connect to gateway");
-    let request = format!(
-        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes()).expect("write request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    (response, start.elapsed().as_secs_f64())
+/// One persistent keep-alive connection. Each `post` is a single
+/// request/response exchange on it; the response is framed by its
+/// `Content-Length` (workload responses are never chunked), leaving
+/// the connection ready for the next request.
+struct KeepAliveClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> Self {
+        Self {
+            stream: TcpStream::connect(addr).expect("connect to gateway"),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Returns the full response text (status line through body) and
+    /// the wall-clock seconds from first request byte written to last
+    /// response byte read.
+    fn post(&mut self, path: &str, body: &str) -> (String, f64) {
+        let start = Instant::now();
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(request.as_bytes())
+            .expect("write request");
+        let response = self.read_response();
+        (response, start.elapsed().as_secs_f64())
+    }
+
+    fn read_response(&mut self) -> String {
+        let header_end = loop {
+            if let Some(pos) = find_subslice(&self.buf, b"\r\n\r\n") {
+                break pos + 4;
+            }
+            self.fill("response headers");
+        };
+        let headers = String::from_utf8_lossy(&self.buf[..header_end]).to_string();
+        let content_length: usize = headers
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("workload responses carry Content-Length");
+        let total = header_end + content_length;
+        while self.buf.len() < total {
+            self.fill("response body");
+        }
+        let response = String::from_utf8_lossy(&self.buf[..total]).to_string();
+        self.buf.drain(..total);
+        response
+    }
+
+    fn fill(&mut self, while_reading: &str) {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).expect("read from gateway");
+        assert!(
+            n > 0,
+            "gateway closed a kept-alive connection mid-{while_reading} \
+             (requests per connection stayed under the keep-alive cap)"
+        );
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn get(addr: SocketAddr, path: &str) -> String {
@@ -91,7 +154,13 @@ fn main() {
         workers: 2,
         queue_depth: 64,
         cache_entries: 64,
+        log_requests: false,
+        ..GatewayConfig::default()
     };
+    assert!(
+        WARMUP_PER_CLIENT + REQUESTS_PER_CLIENT <= config.keep_alive_requests,
+        "each client must fit its whole run on one kept-alive connection"
+    );
     let gateway = Gateway::spawn(&config).expect("bind gateway");
     let addr = gateway.addr();
 
@@ -103,14 +172,15 @@ fn main() {
         .map(|_| {
             let barrier = Arc::clone(&barrier);
             thread::spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
                 for _ in 0..WARMUP_PER_CLIENT {
-                    let (response, _) = post(addr, "/synthesize", BODY);
+                    let (response, _) = client.post("/synthesize", BODY);
                     assert!(response.starts_with("HTTP/1.1 200"), "warmup: {response}");
                 }
                 barrier.wait();
                 let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
                 for _ in 0..REQUESTS_PER_CLIENT {
-                    let (response, seconds) = post(addr, "/synthesize", BODY);
+                    let (response, seconds) = client.post("/synthesize", BODY);
                     assert!(response.starts_with("HTTP/1.1 200"), "measured: {response}");
                     latencies.push(seconds);
                 }
@@ -170,6 +240,7 @@ fn main() {
     let row = format!(
         "{{\"date\": \"{date}\", \"host_parallelism\": {host_parallelism}, \
          \"workers\": {workers}, \"clients\": {CLIENTS}, \
+         \"connections\": \"keep-alive\", \
          \"warmup_requests\": {warmup}, \"requests\": {requests}, \
          \"request\": {{\"route\": \"/synthesize\", \"suite\": \"mat2\", \"seed\": 42, \
          \"overlap_threshold\": 0.15}}, \

@@ -213,7 +213,7 @@ fn bench_phase3(c: &mut Criterion) {
             }),
         ));
         let portfolio = Portfolio::with_budget(if exact_ok {
-            params.solve_limits
+            params.solve_limits.clone()
         } else {
             PROBE_BUDGET
         });
@@ -409,15 +409,19 @@ fn bench_phase3(c: &mut Criterion) {
         sat_probe_jobs = sat_jobs.get(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
-    // The gateway throughput bench shares this snapshot file; carry its
-    // row forward instead of clobbering it (and vice versa over there).
-    let snapshot = match std::fs::read_to_string(path)
-        .ok()
-        .and_then(|old| stbus_bench::extract_top_level(&old, "gateway_throughput"))
-    {
-        Some(row) => stbus_bench::merge_top_level(&snapshot, "gateway_throughput", &row),
-        None => snapshot,
-    };
+    // The gateway-throughput and incremental-resynthesis benches share
+    // this snapshot file; carry their rows forward instead of clobbering
+    // them (and vice versa over there).
+    let old = std::fs::read_to_string(path).ok();
+    let mut snapshot = snapshot;
+    for key in ["gateway_throughput", "incremental_resynthesis"] {
+        if let Some(row) = old
+            .as_deref()
+            .and_then(|old| stbus_bench::extract_top_level(old, key))
+        {
+            snapshot = stbus_bench::merge_top_level(&snapshot, key, &row);
+        }
+    }
     std::fs::write(path, &snapshot).expect("write BENCH_phase3.json");
     println!("wrote {path}");
     print!("{snapshot}");

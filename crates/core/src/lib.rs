@@ -95,6 +95,7 @@ pub mod exec {
     pub use stbus_exec::*;
 }
 pub mod flow;
+pub mod incremental;
 pub mod params;
 pub mod phase1;
 pub mod phase2;
@@ -105,6 +106,7 @@ pub mod synthesizer;
 
 pub use batch::{Batch, BatchResult};
 pub use flow::{ConfigEval, DesignFlow, DesignReport, FlowError};
+pub use incremental::TouchedTargets;
 pub use params::{DesignParams, Windowing};
 pub use phase2::Preprocessed;
 pub use phase3::{

@@ -74,7 +74,7 @@ pub trait Synthesizer: Sync {
 
 /// The exact solver: binary-searched MILP-1 feasibility plus MILP-2
 /// optimal binding, with optimality/infeasibility proofs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Exact {
     /// Overrides [`DesignParams::solve_limits`] when set.
     pub limits: Option<SolveLimits>,
@@ -117,8 +117,8 @@ impl Exact {
 
     fn effective_params(&self, params: &DesignParams) -> DesignParams {
         let mut p = params.clone();
-        if let Some(limits) = self.limits {
-            p.solve_limits = limits;
+        if let Some(limits) = &self.limits {
+            p.solve_limits = limits.clone();
         }
         if let Some(pruning) = self.pruning {
             p.solve_limits.pruning = pruning;
@@ -210,7 +210,7 @@ impl Synthesizer for Heuristic {
 /// When the exact search is within budget the outcome is bit-identical
 /// to the sequential portfolio; under starvation the raced attempt can
 /// only succeed more often before the heuristic fallback engages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Portfolio {
     /// Node budget for the exact attempt. Defaults to
     /// [`DesignParams::solve_limits`] when `None`.
@@ -261,7 +261,7 @@ impl Synthesizer for Portfolio {
         params: &DesignParams,
     ) -> Result<SynthesisOutcome, NodeLimitExceeded> {
         let effective = Exact {
-            limits: self.exact_limits,
+            limits: self.exact_limits.clone(),
             jobs: None,
             pruning: self.pruning,
         }
@@ -287,7 +287,7 @@ impl Synthesizer for Portfolio {
         cancel: &CancelToken,
     ) -> Result<Option<SynthesisOutcome>, NodeLimitExceeded> {
         let effective = Exact {
-            limits: self.exact_limits,
+            limits: self.exact_limits.clone(),
             jobs: None,
             pruning: self.pruning,
         }

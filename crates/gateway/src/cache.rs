@@ -153,6 +153,52 @@ impl<K: Eq + Hash + Clone, V> SingleFlightCache<K, V> {
         }
     }
 
+    /// Looks `key` up without computing on a miss — the read side of
+    /// stores whose values are deposited with [`SingleFlightCache::insert`]
+    /// rather than computed in-line (the gateway's re-synthesis artifact
+    /// store: a missing artifact is the *client's* problem, answered
+    /// `404`, never recomputed server-side). Counts one hit or miss and
+    /// refreshes the entry's LRU position on a hit. An in-flight slot
+    /// counts as a miss (nothing resident to return).
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let inner = &mut *inner;
+        match inner.map.get_mut(key) {
+            Some(Slot::Ready { value, last_used }) => {
+                inner.tick += 1;
+                *last_used = inner.tick;
+                inner.hits += 1;
+                Some(Arc::clone(value))
+            }
+            Some(Slot::InFlight) | None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Deposits a ready value for `key`, replacing any resident entry
+    /// and evicting LRU entries over capacity. Counts neither hit nor
+    /// miss — classification belongs to lookups. A waiter parked on an
+    /// in-flight slot for this key is *not* satisfied by the deposit
+    /// (the slot is replaced; the computing call still overwrites it on
+    /// completion) — deposit-only keys and single-flight keys should not
+    /// be mixed.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let mut guard = self.inner.lock().expect("cache lock");
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Slot::Ready {
+                value,
+                last_used: tick,
+            },
+        );
+        Self::evict_over_capacity(inner, self.capacity);
+    }
+
     /// Evicts least-recently-used ready entries until at most `capacity`
     /// remain (in-flight slots are untouched and uncounted).
     fn evict_over_capacity(inner: &mut Inner<K, V>, capacity: usize) {
@@ -269,6 +315,86 @@ mod tests {
             20
         });
         assert_eq!(recomputed.load(Ordering::SeqCst), 1, "key 2 was evicted");
+    }
+
+    #[test]
+    fn eviction_under_capacity_pressure_follows_recency_order() {
+        // Fill to capacity, then push three more keys: evictions must
+        // strike in exact least-recently-*used* order, where touches
+        // (hits) count as uses, not just insertions. Misses (`get` on an
+        // absent key) never perturb recency, so each round's probe is
+        // side-effect-free.
+        let cache = SingleFlightCache::<u32, u32>::new(3);
+        for k in [1u32, 2, 3] {
+            cache.insert(k, Arc::new(k));
+        }
+        // Touch 1 then 2: coldest→hottest is now 3, 1, 2 — key 3 is the
+        // newest *insert* but the coldest *use*.
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&2).is_some());
+        cache.insert(4, Arc::new(4)); // evicts 3
+        assert!(cache.get(&3).is_none(), "first victim is 3 (never used)");
+        cache.insert(5, Arc::new(5)); // evicts 1
+        assert!(cache.get(&1).is_none(), "second victim is 1");
+        cache.insert(6, Arc::new(6)); // evicts 2
+        assert!(cache.get(&2).is_none(), "third victim is 2");
+        for k in [4u32, 5, 6] {
+            assert_eq!(cache.get(&k).as_deref(), Some(&k), "key {k} resident");
+        }
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn deposited_entries_participate_in_lru_eviction() {
+        let cache = SingleFlightCache::<u32, u32>::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        assert_eq!(cache.get(&1).as_deref(), Some(&10)); // warms key 1
+        cache.insert(3, Arc::new(30)); // evicts key 2 (coldest)
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.get(&1).as_deref(), Some(&10));
+        assert_eq!(cache.get(&3).as_deref(), Some(&30));
+        assert!(cache.get(&2).is_none(), "key 2 was the LRU victim");
+        // get/insert accounting: 4 classified lookups (3 hits + 1 miss),
+        // inserts uncounted.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inflight_waits), (3, 1, 0));
+    }
+
+    #[test]
+    fn waiters_rejoin_cleanly_when_an_evicted_key_is_re_requested() {
+        // An entry evicted under pressure, then re-requested by a herd:
+        // exactly one of the herd recomputes, the rest park on the new
+        // in-flight slot and share its value — eviction must not leave
+        // stale state that short-circuits or wedges the second flight.
+        let cache = Arc::new(SingleFlightCache::<u32, u32>::new(1));
+        cache.get_or_compute(1, || 11);
+        cache.get_or_compute(2, || 22); // capacity 1: evicts key 1
+        let computed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                thread::spawn(move || {
+                    *cache.get_or_compute(1, || {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        thread::sleep(std::time::Duration::from_millis(20));
+                        33 // the *new* value: eviction forgot 11
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().expect("thread"), 33);
+        }
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            1,
+            "the re-request herd is single-flight"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses + stats.inflight_waits, 8);
+        assert_eq!(stats.entries, 1, "capacity pressure still holds");
     }
 
     #[test]

@@ -1,14 +1,18 @@
 //! A deliberately small HTTP/1.1 server-side codec over blocking
 //! [`TcpStream`]s.
 //!
-//! The gateway serves one request per connection (`Connection: close`
-//! semantics) and needs exactly three wire features: reading a request
-//! head + `Content-Length` body with hard size limits, writing a fixed
-//! response, and writing a `Transfer-Encoding: chunked` streaming
-//! response (one chunk per sweep point, flushed as produced, so a
-//! client sees results the moment each θ finishes). Everything else —
-//! keep-alive, pipelining, compression, TLS — is out of scope for an
-//! offline toolkit service and intentionally absent.
+//! The gateway speaks HTTP/1.1 persistent connections: a client may send
+//! several requests over one socket, each answered in order, until it
+//! asks for `Connection: close`, the server's per-connection request cap
+//! is reached, or the idle/read timeout expires. The codec needs exactly
+//! four wire features: reading a request head + `Content-Length` body
+//! with hard size limits (preserving any pipelined bytes that arrive
+//! behind the body for the next read), writing a fixed response with an
+//! explicit `Connection:` disposition, and writing a `Transfer-Encoding:
+//! chunked` streaming response (one chunk per sweep point, flushed as
+//! produced, so a client sees results the moment each θ finishes).
+//! Everything else — compression, TLS, `Expect: 100-continue` — is out
+//! of scope for an offline toolkit service and intentionally absent.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -44,40 +48,74 @@ impl Request {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`; HTTP/1.1 defaults to keep-alive).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why [`read_request`] returned without a request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// The peer closed (or the idle timeout fired) cleanly *between*
+    /// requests — normal end of a persistent connection, nothing to
+    /// answer.
+    Closed,
+    /// The connection died or timed out mid-request, or the bytes were
+    /// not HTTP. The caller may still be able to answer `400`.
+    Malformed(io::Error),
 }
 
 /// Reads one request from the stream.
 ///
+/// `carry` holds bytes read past the previous request's body (pipelined
+/// requests); it is consumed first and refilled with any overshoot from
+/// this read, so back-to-back requests on one connection are never
+/// dropped. Pass the same buffer for every request of a connection.
+///
 /// # Errors
 ///
-/// Any socket error, plus `InvalidData` for malformed heads, bodies
-/// exceeding the size limits, or non-UTF-8 payloads.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+/// [`ReadOutcome::Closed`] on a clean close before any byte of a new
+/// request (EOF or read-timeout with an empty buffer);
+/// [`ReadOutcome::Malformed`] for malformed heads, bodies exceeding the
+/// size limits, non-UTF-8 payloads, or a connection lost mid-request.
+pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> Result<Request, ReadOutcome> {
     // Read until the blank line that ends the head, then top up the body.
-    let mut buf = Vec::with_capacity(1024);
+    let mut buf = std::mem::take(carry);
     let head_end = loop {
         if let Some(pos) = find_head_end(&buf) {
             break pos;
         }
         if buf.len() > MAX_HEAD {
-            return Err(invalid("request head too large"));
+            return Err(malformed("request head too large"));
         }
         let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(invalid("connection closed mid-request"));
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    malformed("connection closed mid-request")
+                });
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) && buf.is_empty() => return Err(ReadOutcome::Closed),
+            Err(e) => return Err(ReadOutcome::Malformed(e)),
         }
-        buf.extend_from_slice(&chunk[..n]);
     };
 
-    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| invalid("non-UTF-8 head"))?;
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| malformed("non-UTF-8 head"))?;
     let mut lines = head.split("\r\n");
-    let request_line = lines.next().ok_or_else(|| invalid("empty request"))?;
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let path = parts.next().unwrap_or("").to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(invalid("malformed request line"));
+        return Err(malformed("malformed request line"));
     }
 
     let mut headers = Vec::new();
@@ -85,7 +123,9 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or_else(|| invalid("bad header"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("bad header"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
@@ -94,25 +134,26 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
-                .map_err(|_| invalid("bad Content-Length"))
+                .map_err(|_| malformed("bad Content-Length"))
         })
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(invalid("request body too large"));
+        return Err(malformed("request body too large"));
     }
 
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         let mut chunk = [0u8; 8192];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(invalid("connection closed mid-body"));
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(malformed("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(ReadOutcome::Malformed(e)),
         }
-        body.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 body"))?;
+    // Bytes past this body belong to the next pipelined request.
+    *carry = body.split_off(content_length.min(body.len()));
+    let body = String::from_utf8(body).map_err(|_| malformed("non-UTF-8 body"))?;
 
     Ok(Request {
         method,
@@ -126,13 +167,36 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn invalid(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+fn malformed(message: &str) -> ReadOutcome {
+    ReadOutcome::Malformed(io::Error::new(
+        io::ErrorKind::InvalidData,
+        message.to_string(),
+    ))
+}
+
+/// Whether a read error is a blocking-socket timeout (platform-dependent
+/// kind: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The `Connection:` header line for a response.
+fn connection_line(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    }
 }
 
 /// Writes a complete fixed-length response and flushes it.
 ///
 /// `extra_headers` lines are verbatim `Name: value` pairs (no CRLF).
+/// `keep_alive` picks the `Connection:` disposition; the caller closes
+/// the socket after a `false`.
 ///
 /// # Errors
 ///
@@ -143,11 +207,13 @@ pub fn respond(
     reason: &str,
     body: &str,
     extra_headers: &[&str],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
-        body.len()
+         Content-Length: {}\r\n{}",
+        body.len(),
+        connection_line(keep_alive)
     );
     for line in extra_headers {
         head.push_str(line);
@@ -162,7 +228,8 @@ pub fn respond(
 /// A `Transfer-Encoding: chunked` response in progress. Each
 /// [`ChunkedWriter::chunk`] call flushes one chunk to the client, so a
 /// streaming route delivers results incrementally; [`ChunkedWriter::end`]
-/// writes the terminating zero-length chunk.
+/// writes the terminating zero-length chunk (chunked framing is
+/// self-delimiting, so the connection can stay alive afterwards).
 pub struct ChunkedWriter<'a> {
     stream: &'a mut TcpStream,
 }
@@ -173,11 +240,23 @@ impl<'a> ChunkedWriter<'a> {
     /// # Errors
     ///
     /// Any socket error.
-    pub fn begin(stream: &'a mut TcpStream, status: u16, reason: &str) -> io::Result<Self> {
-        let head = format!(
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        reason: &str,
+        extra_headers: &[&str],
+        keep_alive: bool,
+    ) -> io::Result<Self> {
+        let mut head = format!(
             "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+             Transfer-Encoding: chunked\r\n{}",
+            connection_line(keep_alive)
         );
+        for line in extra_headers {
+            head.push_str(line);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.flush()?;
         Ok(Self { stream })
@@ -213,7 +292,7 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn round_trip(raw: &[u8]) -> io::Result<Request> {
+    fn serve_bytes(raw: &[u8]) -> (TcpStream, std::thread::JoinHandle<()>) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let raw = raw.to_vec();
@@ -221,8 +300,14 @@ mod tests {
             let mut out = TcpStream::connect(addr).expect("connect");
             out.write_all(&raw).expect("write");
         });
-        let (mut stream, _) = listener.accept().expect("accept");
-        let request = read_request(&mut stream);
+        let (stream, _) = listener.accept().expect("accept");
+        (stream, writer)
+    }
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ReadOutcome> {
+        let (mut stream, writer) = serve_bytes(raw);
+        let mut carry = Vec::new();
+        let request = read_request(&mut stream, &mut carry);
         writer.join().expect("writer thread");
         request
     }
@@ -239,19 +324,64 @@ mod tests {
         assert_eq!(req.header("x-tenant"), Some("alice"));
         assert_eq!(req.header("X-TENANT"), Some("alice"));
         assert_eq!(req.body, "{\"suite\":\"a\"}");
+        assert!(!req.wants_close());
     }
 
     #[test]
     fn parses_get_without_body() {
-        let req = round_trip(b"GET /stats HTTP/1.1\r\n\r\n").expect("parse");
+        let req = round_trip(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n").expect("parse");
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/stats");
         assert!(req.body.is_empty());
+        assert!(req.wants_close());
     }
 
     #[test]
     fn rejects_truncated_requests() {
-        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").is_err());
-        assert!(round_trip(b"garbage").is_err());
+        assert!(matches!(
+            round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadOutcome::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"garbage"),
+            Err(ReadOutcome::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_between_requests_reads_as_closed() {
+        assert!(matches!(round_trip(b""), Err(ReadOutcome::Closed)));
+    }
+
+    #[test]
+    fn pipelined_requests_survive_in_the_carry_buffer() {
+        let (mut stream, writer) = serve_bytes(
+            b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\n\
+              Content-Length: 3\r\n\r\ntwo",
+        );
+        let mut carry = Vec::new();
+        let first = read_request(&mut stream, &mut carry).expect("first");
+        assert_eq!((first.path.as_str(), first.body.as_str()), ("/a", "one"));
+        let second = read_request(&mut stream, &mut carry).expect("second");
+        assert_eq!((second.path.as_str(), second.body.as_str()), ("/b", "two"));
+        assert!(carry.is_empty());
+        writer.join().expect("writer thread");
+    }
+
+    #[test]
+    fn idle_timeout_before_a_request_reads_as_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let holder = TcpStream::connect(addr).expect("connect");
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(30)))
+            .expect("timeout");
+        let mut carry = Vec::new();
+        assert!(matches!(
+            read_request(&mut stream, &mut carry),
+            Err(ReadOutcome::Closed)
+        ));
+        drop(holder);
     }
 }

@@ -13,14 +13,20 @@
 //! # Routes and wire format
 //!
 //! All request bodies are JSON objects; all responses are JSON with a
-//! trailing newline. One request per connection (`Connection: close`).
+//! trailing newline. Connections are persistent (HTTP/1.1 keep-alive):
+//! a client may send many requests over one connection, bounded by the
+//! server's `--keep-alive-requests` cap and `--idle-timeout-ms` idle
+//! timer; `Connection: close` on a request ends the connection after
+//! its response. Every response carries an `X-Request-Id` header echoing
+//! the process-unique id the gateway logs the request under.
 //!
 //! | Route | Body | Response |
 //! |-------|------|----------|
 //! | `POST /synthesize` | input spec + knobs | one design |
+//! | `POST /synthesize` | `"artifact"` + `"delta"` | warm re-design of a prior result |
 //! | `POST /sweep` | input spec + knobs + `"thresholds":[θ…]` | chunked stream, one line per θ |
 //! | `POST /suite` | `"solver"`, `"seed"`, `"pruning"`, `"jobs"` | the five paper rows |
-//! | `GET /stats` | — | queue, request and cache counters |
+//! | `GET /stats` | — | queue, request, cache and per-tenant counters |
 //! | `POST /shutdown` | — | `{"shutting_down":true}`, then drains |
 //!
 //! The input spec names exactly one of `"trace"` (interchange-format
@@ -29,8 +35,8 @@
 //! generator) or `"scaled"` (a synthetic SoC size); see [`wire`] for
 //! every field and its validation. Suite rows are byte-identical to
 //! `stbus suite --json`. Errors: `400` malformed request, `404`/`405`
-//! unknown route or method, `429` + `Retry-After` when the ingress queue
-//! is full, `500` solver failure, `503` during shutdown.
+//! unknown route, method or artifact, `429` + `Retry-After` when the
+//! ingress queue is full, `500` solver failure, `503` during shutdown.
 //!
 //! ```sh
 //! stbus serve --addr 127.0.0.1:7878 &
@@ -40,6 +46,42 @@
 //! curl -s http://127.0.0.1:7878/stats
 //! curl -s -X POST http://127.0.0.1:7878/shutdown
 //! ```
+//!
+//! # Incremental re-synthesis (the delta wire format)
+//!
+//! Every successful workload-mode `/synthesize` response ends with an
+//! `"artifact"` field: a content address under which the gateway has
+//! deposited the request's collected traffic, window analysis, pinned
+//! parameters and the bindings the solve produced. A follow-up request
+//! may name that address plus a structural edit instead of re-describing
+//! the workload:
+//!
+//! ```json
+//! {"artifact": "9c40e1d2a7b33f08",
+//!  "delta": {"add_targets": 1,
+//!            "remove": [2],
+//!            "edits": [{"target": 5,
+//!                       "events": [[0, 100, 8], [1, 120, 4, true]]}],
+//!            "threshold": 0.2},
+//!  "jobs": 4}
+//! ```
+//!
+//! Each `events` entry is `[initiator, start, duration]` with an
+//! optional fourth `true` marking the event critical; an edit *replaces*
+//! the named target's request events. `remove` silences targets,
+//! `add_targets` appends empty ones (populate them via `edits`),
+//! `delta.threshold` moves θ. The artifact pins everything else —
+//! workload, window plan, solver, pruning — so those knobs are rejected
+//! alongside `"artifact"`; only `"jobs"` (result-invariant parallelism)
+//! may ride along. The gateway answers with the same response shape and
+//! a fresh chained `"artifact"`, so edits compose. Execution skips
+//! phases 1–2 (the stored analysis is patched in `O(touched × targets)`)
+//! and phase 3 is warm-started from the previous bindings: **verdicts,
+//! probe logs and bus counts are identical to a cold solve** — only the
+//! returned assignment may legitimately differ (same contract as
+//! `PruningLevel::Aggressive`). An unknown or evicted address answers
+//! `404`; re-request from scratch. `/stats` counts `delta_reuse` /
+//! `delta_miss` globally and per tenant.
 //!
 //! # Admission and fairness
 //!

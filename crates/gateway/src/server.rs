@@ -3,15 +3,23 @@
 //!
 //! # Life of a request
 //!
-//! A connection thread reads one HTTP request. Control routes
-//! (`GET /stats`, `POST /shutdown`) are answered inline. Work routes
-//! (`POST /synthesize`, `/sweep`, `/suite`) are parsed and validated
-//! (`400` on failure), then submitted to the bounded ingress queue under
-//! the request's tenant (`X-Tenant` header, `"default"` when absent) —
-//! a full queue answers `429` with `Retry-After`, a closed one `503`.
-//! A worker thread claims the job in round-robin tenant order, runs it
-//! through the artifact caches, and streams replies back over a channel;
-//! the connection thread writes them to the socket.
+//! A connection thread reads HTTP requests off a persistent (keep-alive)
+//! connection, up to [`GatewayConfig::keep_alive_requests`] per
+//! connection and with [`GatewayConfig::idle_timeout_ms`] between them;
+//! `Connection: close` (or hitting either limit) ends the connection
+//! after the current response. Every request is stamped with a
+//! process-unique id, echoed in the `X-Request-Id` response header and
+//! in the gateway's log lines, so a client report ("request 1742 was
+//! slow") is greppable end to end.
+//!
+//! Control routes (`GET /stats`, `POST /shutdown`) are answered inline.
+//! Work routes (`POST /synthesize`, `/sweep`, `/suite`) are parsed and
+//! validated (`400` on failure), then submitted to the bounded ingress
+//! queue under the request's tenant (`X-Tenant` header, `"default"` when
+//! absent) — a full queue answers `429` with `Retry-After`, a closed one
+//! `503`. A worker thread claims the job in round-robin tenant order,
+//! runs it through the artifact caches, and streams replies back over a
+//! channel; the connection thread writes them to the socket.
 //!
 //! # Cancellation
 //!
@@ -20,7 +28,9 @@
 //! gone away (EOF, or a failed chunk write) it raises the token, and the
 //! solver layers abandon the search at their next poll — a dropped
 //! connection stops burning cores mid-solve, not at the next request
-//! boundary. Queued jobs cancelled by shutdown are answered `503`.
+//! boundary. (The liveness probe uses `peek`, so pipelined request bytes
+//! are never consumed by it.) Queued jobs cancelled by shutdown are
+//! answered `503`.
 //!
 //! # Caching
 //!
@@ -40,24 +50,48 @@
 //! the same computation. Trace-mode requests bypass the caches (their
 //! input has no application identity) and match the CLI byte for byte.
 //!
+//! # Incremental re-synthesis
+//!
+//! Every successful workload-mode `/synthesize` response carries an
+//! `"artifact"` content address naming a deposited [`ResynthArtifact`]:
+//! the collected traffic, the phase-2 analysis, the design parameters
+//! and solver knobs, and the bindings the solve produced. A later
+//! request that names that address plus a `"delta"` object (see
+//! [`crate::wire`]) skips phases 1–2 entirely: the worker rebuilds the
+//! analyzed state from the artifact, patches it in `O(touched ×
+//! targets)` via [`stbus_core::pipeline::Analyzed::reanalyze`], and runs
+//! phase 3 *warm-started* from the previous bindings
+//! ([`stbus_milp::SolveLimits::warm_start`]) — verdicts, probe logs and
+//! bus counts are contractually identical to a cold solve; only the
+//! returned binding may differ. The response carries a fresh chained
+//! `"artifact"` address, so a client can keep editing incrementally.
+//! An address this server never issued (or that LRU pressure evicted)
+//! answers `404`; the client falls back to a from-scratch request.
+//! `/stats` exposes `delta_reuse` / `delta_miss` counters, plus a
+//! `by_tenant` breakdown attributing served requests and delta reuse to
+//! the `X-Tenant` that earned them.
+//!
 //! [`AnalysisKey`]: stbus_core::pipeline::AnalysisKey
 
 use crate::admission::{IngressQueue, SubmitError};
 use crate::cache::SingleFlightCache;
-use crate::http::{self, ChunkedWriter, Request};
-use crate::wire::{self, SuiteRequest, SynthesizeRequest, WorkRequest, WorkSpec};
+use crate::http::{self, ChunkedWriter, ReadOutcome, Request};
+use crate::wire::{self, DeltaRequest, SuiteRequest, SynthesizeRequest, WorkRequest, WorkSpec};
 use stbus_core::phase1::CollectedTraffic;
 use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionKey, Pipeline};
-use stbus_core::{DesignParams, Preprocessed};
+use stbus_core::{DesignParams, Preprocessed, SolverKind};
 use stbus_exec::CancelToken;
+use stbus_milp::{Binding, PruningLevel, WarmStart};
 use stbus_traffic::workloads::Application;
-use std::io::{self, Read};
+use stbus_traffic::WorkloadDelta;
+use std::collections::BTreeMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -72,6 +106,15 @@ pub struct GatewayConfig {
     pub queue_depth: usize,
     /// Capacity of each artifact cache, in ready entries.
     pub cache_entries: usize,
+    /// Requests served per connection before the gateway closes it —
+    /// bounds how long one client can monopolise a connection thread.
+    pub keep_alive_requests: usize,
+    /// Idle time between requests on a kept-alive connection before it
+    /// is closed, in milliseconds. Also bounds how long a half-received
+    /// request may stall (answered `400`).
+    pub idle_timeout_ms: u64,
+    /// Log one line per work request (id, tenant, route) to stderr.
+    pub log_requests: bool,
 }
 
 impl Default for GatewayConfig {
@@ -81,6 +124,9 @@ impl Default for GatewayConfig {
             workers: stbus_exec::parallelism().max(1),
             queue_depth: 32,
             cache_entries: 64,
+            keep_alive_requests: 100,
+            idle_timeout_ms: 5_000,
+            log_requests: true,
         }
     }
 }
@@ -103,9 +149,35 @@ enum Reply {
 
 /// One admitted unit of work.
 struct Job {
+    /// Process-unique request id (the `X-Request-Id` the client saw).
+    id: u64,
+    /// The tenant the request was admitted under.
+    tenant: String,
     work: WorkRequest,
     token: CancelToken,
     reply: Sender<Reply>,
+}
+
+/// Per-tenant served/reuse counters for the `/stats` breakdown.
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    served: u64,
+    delta_reuse: u64,
+}
+
+/// Everything a delta request needs to resume where a previous request
+/// left off: the collected traffic and phase-2 analysis (phases 1–2 are
+/// skipped entirely), the parameters and solver knobs the artifact pins,
+/// and the bindings the previous solve produced (the warm starts).
+struct ResynthArtifact {
+    app: Arc<Application>,
+    params: DesignParams,
+    solver: SolverKind,
+    pruning: Option<PruningLevel>,
+    traffic: CollectedTraffic,
+    analysis: AnalysisArtifact,
+    warm_it: Binding,
+    warm_ti: Binding,
 }
 
 /// State shared by the acceptor, connection threads and workers.
@@ -113,12 +185,36 @@ struct Shared {
     queue: IngressQueue<Job>,
     collect_cache: SingleFlightCache<[u64; 4], CollectedTraffic>,
     analysis_cache: SingleFlightCache<[u64; 8], AnalysisArtifact>,
+    /// Deposit-only store of re-synthesis artifacts, keyed by content
+    /// address. Entries are only ever [`SingleFlightCache::insert`]ed
+    /// (a miss answers `404`, nothing is recomputed) and share the LRU
+    /// eviction of the other artifact caches.
+    resynth_cache: SingleFlightCache<String, ResynthArtifact>,
     served: AtomicU64,
     rejected: AtomicU64,
     cancelled: AtomicU64,
+    delta_reuse: AtomicU64,
+    delta_miss: AtomicU64,
+    next_request_id: AtomicU64,
+    tenants: Mutex<BTreeMap<String, TenantCounters>>,
     active: AtomicUsize,
     connections: AtomicUsize,
     shutdown: AtomicBool,
+    keep_alive_requests: usize,
+    idle_timeout: Duration,
+    log_requests: bool,
+}
+
+impl Shared {
+    fn bump_tenant(&self, tenant: &str, delta_reuse: bool) {
+        let mut tenants = self.tenants.lock().expect("tenant counters");
+        let entry = tenants.entry(tenant.to_string()).or_default();
+        if delta_reuse {
+            entry.delta_reuse += 1;
+        } else {
+            entry.served += 1;
+        }
+    }
 }
 
 /// A running gateway. Dropping the handle does **not** stop the server;
@@ -144,12 +240,20 @@ impl Gateway {
             queue: IngressQueue::new(config.queue_depth.max(1)),
             collect_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             analysis_cache: SingleFlightCache::new(config.cache_entries.max(1)),
+            resynth_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            delta_reuse: AtomicU64::new(0),
+            delta_miss: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
             active: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            keep_alive_requests: config.keep_alive_requests.max(1),
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+            log_requests: config.log_requests,
         });
 
         let workers = (0..config.workers.max(1))
@@ -220,10 +324,13 @@ impl Gateway {
     pub fn serve(config: &GatewayConfig) -> io::Result<()> {
         let gateway = Self::spawn(config)?;
         eprintln!(
-            "stbus gateway listening on {} ({} workers, queue depth {})",
+            "stbus gateway listening on {} ({} workers, queue depth {}, \
+             keep-alive {} requests / {}ms idle)",
             gateway.addr(),
             config.workers.max(1),
-            config.queue_depth.max(1)
+            config.queue_depth.max(1),
+            config.keep_alive_requests.max(1),
+            config.idle_timeout_ms.max(1),
         );
         gateway.join();
         Ok(())
@@ -272,84 +379,143 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     // Dropping the listener closes the socket: later connects are refused.
 }
 
+/// Serves requests off one connection until the client closes, the
+/// per-connection request cap is reached, the idle timeout fires, or a
+/// response decides the connection cannot be kept (malformed request,
+/// shutdown, failed write).
 fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>, addr: SocketAddr) {
-    let Ok(request) = http::read_request(stream) else {
-        let _ = http::respond(
-            stream,
-            400,
-            "Bad Request",
-            "{\"error\":\"malformed request\"}\n",
-            &[],
-        );
-        return;
-    };
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+    let mut carry = Vec::new();
+    for served in 0..shared.keep_alive_requests {
+        let request = match http::read_request(stream, &mut carry) {
+            Ok(request) => request,
+            Err(ReadOutcome::Closed) => return, // clean close or idle timeout
+            Err(ReadOutcome::Malformed(_)) => {
+                // Framing is unrecoverable mid-stream; answer and close.
+                let _ = http::respond(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "{\"error\":\"malformed request\"}\n",
+                    &[],
+                    false,
+                );
+                return;
+            }
+        };
+        let req_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let keep_alive = !request.wants_close()
+            && served + 1 < shared.keep_alive_requests
+            && !shared.shutdown.load(Ordering::SeqCst);
+        if !route(stream, shared, addr, &request, req_id, keep_alive) {
+            return;
+        }
+    }
+}
 
+/// Dispatches one request; returns whether the connection stays open.
+fn route(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    addr: SocketAddr,
+    request: &Request,
+    req_id: u64,
+    keep_alive: bool,
+) -> bool {
+    let rid = format!("X-Request-Id: {req_id}");
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/stats") => {
-            let _ = http::respond(stream, 200, "OK", &stats_json(shared), &[]);
+            let ok =
+                http::respond(stream, 200, "OK", &stats_json(shared), &[&rid], keep_alive).is_ok();
+            keep_alive && ok
         }
         ("POST", "/shutdown") => {
             begin_shutdown(shared, addr);
-            let _ = http::respond(stream, 200, "OK", "{\"shutting_down\":true}\n", &[]);
-        }
-        ("POST", "/synthesize") => {
-            dispatch(
-                stream,
-                shared,
-                &request,
-                wire::parse_synthesize(&request.body).map(WorkRequest::Synthesize),
-            );
-        }
-        ("POST", "/sweep") => {
-            dispatch(
-                stream,
-                shared,
-                &request,
-                wire::parse_sweep(&request.body).map(WorkRequest::Sweep),
-            );
-        }
-        ("POST", "/suite") => {
-            dispatch(
-                stream,
-                shared,
-                &request,
-                wire::parse_suite(&request.body).map(WorkRequest::Suite),
-            );
-        }
-        ("GET" | "POST", _) => {
             let _ = http::respond(
+                stream,
+                200,
+                "OK",
+                "{\"shutting_down\":true}\n",
+                &[&rid],
+                false,
+            );
+            false
+        }
+        ("POST", "/synthesize") => dispatch(
+            stream,
+            shared,
+            request,
+            wire::parse_synthesize_route(&request.body),
+            req_id,
+            keep_alive,
+        ),
+        ("POST", "/sweep") => dispatch(
+            stream,
+            shared,
+            request,
+            wire::parse_sweep(&request.body).map(WorkRequest::Sweep),
+            req_id,
+            keep_alive,
+        ),
+        ("POST", "/suite") => dispatch(
+            stream,
+            shared,
+            request,
+            wire::parse_suite(&request.body).map(WorkRequest::Suite),
+            req_id,
+            keep_alive,
+        ),
+        ("GET" | "POST", _) => {
+            let ok = http::respond(
                 stream,
                 404,
                 "Not Found",
                 "{\"error\":\"no such route\"}\n",
-                &[],
-            );
+                &[&rid],
+                keep_alive,
+            )
+            .is_ok();
+            keep_alive && ok
         }
         _ => {
-            let _ = http::respond(
+            let ok = http::respond(
                 stream,
                 405,
                 "Method Not Allowed",
                 "{\"error\":\"unsupported method\"}\n",
-                &[],
-            );
+                &[&rid],
+                keep_alive,
+            )
+            .is_ok();
+            keep_alive && ok
         }
     }
 }
 
 /// Admits a parsed work request and relays its replies to the socket.
+/// Returns whether the connection survives for another request.
 fn dispatch(
     stream: &mut TcpStream,
     shared: &Arc<Shared>,
     request: &Request,
     parsed: Result<WorkRequest, String>,
-) {
+    req_id: u64,
+    keep_alive: bool,
+) -> bool {
+    let rid = format!("X-Request-Id: {req_id}");
+    let tenant = request.header("x-tenant").unwrap_or("default").to_string();
+    if shared.log_requests {
+        eprintln!(
+            "gw req={req_id} tenant={tenant} {} {}",
+            request.method, request.path
+        );
+    }
     let work = match parsed {
         Ok(work) => work,
         Err(message) => {
             let body = format!("{{\"error\":\"{}\"}}\n", stbus_core::json_escape(&message));
-            let _ = http::respond(stream, 400, "Bad Request", &body, &[]);
-            return;
+            let ok = http::respond(stream, 400, "Bad Request", &body, &[&rid], keep_alive).is_ok();
+            return keep_alive && ok;
         }
     };
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -358,15 +524,17 @@ fn dispatch(
             503,
             "Service Unavailable",
             "{\"error\":\"shutting down\"}\n",
-            &[],
+            &[&rid],
+            false,
         );
-        return;
+        return false;
     }
 
-    let tenant = request.header("x-tenant").unwrap_or("default").to_string();
     let token = CancelToken::new();
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
+        id: req_id,
+        tenant: tenant.clone(),
         work,
         token: token.clone(),
         reply: reply_tx,
@@ -375,14 +543,16 @@ fn dispatch(
         Ok(()) => {}
         Err(SubmitError::QueueFull) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = http::respond(
+            let ok = http::respond(
                 stream,
                 429,
                 "Too Many Requests",
                 "{\"error\":\"queue full, retry later\"}\n",
-                &["Retry-After: 1"],
-            );
-            return;
+                &["Retry-After: 1", &rid],
+                keep_alive,
+            )
+            .is_ok();
+            return keep_alive && ok;
         }
         Err(SubmitError::ShuttingDown) => {
             let _ = http::respond(
@@ -390,17 +560,25 @@ fn dispatch(
                 503,
                 "Service Unavailable",
                 "{\"error\":\"shutting down\"}\n",
-                &[],
+                &[&rid],
+                false,
             );
-            return;
+            return false;
         }
     }
 
-    relay_replies(stream, &token, &reply_rx);
+    relay_replies(stream, &token, &reply_rx, &rid, keep_alive)
 }
 
 /// Pumps worker replies to the socket, watching for client departure.
-fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver<Reply>) {
+/// Returns whether the connection is still coherent for another request.
+fn relay_replies(
+    stream: &mut TcpStream,
+    token: &CancelToken,
+    replies: &Receiver<Reply>,
+    rid: &str,
+    keep_alive: bool,
+) -> bool {
     let mut chunked: Option<ChunkedWriter<'_>> = None;
     // `chunked` borrows `stream`, so the loop is split: fixed replies
     // are handled in the first phase, stream replies in the second.
@@ -411,8 +589,8 @@ fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver
                 reason,
                 body,
             }) => {
-                let _ = http::respond(stream, status, reason, &body, &[]);
-                return;
+                let ok = http::respond(stream, status, reason, &body, &[rid], keep_alive).is_ok();
+                return keep_alive && ok;
             }
             Ok(Reply::StreamStart) => break,
             Ok(Reply::Chunk(_) | Reply::StreamEnd) => {
@@ -425,14 +603,14 @@ fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver
                     // solve may also race to completion and count as
                     // served — either way it is counted exactly once).
                     token.cancel();
-                    return;
+                    return false;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => return false,
         }
     }
 
-    match ChunkedWriter::begin(stream, 200, "OK") {
+    match ChunkedWriter::begin(stream, 200, "OK", &[rid], keep_alive) {
         Ok(writer) => chunked = Some(writer),
         Err(_) => token.cancel(),
     }
@@ -450,9 +628,10 @@ fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver
             }
             Ok(Reply::StreamEnd) => {
                 if let Some(writer) = chunked.take() {
-                    let _ = writer.end();
+                    let ok = writer.end().is_ok();
+                    return keep_alive && ok;
                 }
-                return;
+                return false;
             }
             Ok(Reply::Done { .. } | Reply::StreamStart) => {
                 unreachable!("fixed replies after StreamStart")
@@ -467,22 +646,31 @@ fn relay_replies(stream: &mut TcpStream, token: &CancelToken, replies: &Receiver
                 if let Some(writer) = chunked.take() {
                     let _ = writer.end();
                 }
-                return;
+                return false;
             }
         }
     }
 }
 
-/// True when the peer has closed its end (EOF on a non-blocking peek).
+/// True when the peer has closed its end (EOF on a non-blocking `peek`
+/// — `peek`, not `read`, so pipelined request bytes stay in the socket
+/// for the next [`http::read_request`]).
 fn client_gone(stream: &TcpStream) -> bool {
     if stream.set_nonblocking(true).is_err() {
         return true;
     }
     let mut probe = [0u8; 1];
-    let gone = match (&*stream).read(&mut probe) {
+    let gone = match stream.peek(&mut probe) {
         Ok(0) => true,  // orderly EOF
-        Ok(_) => false, // stray bytes; ignore
-        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Ok(_) => false, // pipelined bytes; leave them in place
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            false
+        }
         Err(_) => true, // reset etc.
     };
     let _ = stream.set_nonblocking(false);
@@ -525,6 +713,7 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
         WorkRequest::Synthesize(request) => execute_synthesize(shared, request, job),
         WorkRequest::Sweep(_) => execute_sweep(shared, job),
         WorkRequest::Suite(request) => execute_suite(shared, request, job),
+        WorkRequest::Delta(request) => execute_delta(shared, request, job),
     }
 }
 
@@ -577,13 +766,103 @@ impl<'a> CachedAnalysis<'a> {
     }
 }
 
+/// FNV-1a over little-endian words, then over raw tag bytes — the
+/// content-address hash of the re-synthesis artifact store. Addresses
+/// only need to be stable within one server process (a client always
+/// learns them from a response), so no cross-version contract.
+fn fnv1a(words: &[u64], tags: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for word in words {
+        for byte in word.to_le_bytes() {
+            eat(byte);
+        }
+    }
+    for &byte in tags {
+        eat(byte);
+    }
+    hash
+}
+
+/// Content address of a fresh workload-mode artifact: application
+/// digest, both phase fingerprints, and the solve-relevant knobs (θ,
+/// `maxtb`, solver, pruning). `jobs` is excluded — it is result-invariant.
+fn artifact_address(
+    app: &Application,
+    params: &DesignParams,
+    solver: SolverKind,
+    pruning: Option<PruningLevel>,
+) -> String {
+    let ck = CollectionKey::of(params).fingerprint();
+    let ak = AnalysisKey::of(params).fingerprint();
+    let words = [
+        app.content_digest(),
+        ck[0],
+        ck[1],
+        ck[2],
+        ak[0],
+        ak[1],
+        ak[2],
+        ak[3],
+        params.overlap_threshold.to_bits(),
+        params.maxtb as u64,
+    ];
+    let tags = format!("{solver}|{pruning:?}");
+    format!("{:016x}", fnv1a(&words, tags.as_bytes()))
+}
+
+/// Content address of a chained artifact: the parent address folded with
+/// an injective encoding of the delta, so the same edit sequence always
+/// lands on the same entry and distinct edits never collide by design.
+fn chained_address(parent: &str, delta: &WorkloadDelta) -> String {
+    let mut words = vec![delta.add_targets as u64, delta.removed.len() as u64];
+    for t in &delta.removed {
+        words.push(t.index() as u64);
+    }
+    words.push(delta.edits.len() as u64);
+    for edit in &delta.edits {
+        words.push(edit.target.index() as u64);
+        words.push(edit.events.len() as u64);
+        for e in &edit.events {
+            words.push(e.initiator.index() as u64);
+            words.push(e.start);
+            words.push(u64::from(e.duration) << 1 | u64::from(e.critical));
+        }
+    }
+    match delta.threshold {
+        Some(theta) => {
+            words.push(1);
+            words.push(theta.to_bits());
+        }
+        None => words.push(0),
+    }
+    format!("{:016x}", fnv1a(&words, parent.as_bytes()))
+}
+
+/// Everything a successful both-direction solve deposits and replies.
+struct SolvedPair {
+    body: String,
+    address: String,
+    traffic: CollectedTraffic,
+    analysis: AnalysisArtifact,
+    params: DesignParams,
+    warm_it: Binding,
+    warm_ti: Binding,
+}
+
 fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &Job) {
     let jobs = effective_jobs(request.jobs);
     let strategy = request.solver.synthesizer_with(jobs, request.pruning);
     let solver = request.solver.to_string();
     match &request.work {
         WorkSpec::Trace(trace) => {
-            // Byte-identical to `stbus synthesize --trace … --json`.
+            // Byte-identical to `stbus synthesize --trace … --json` —
+            // no artifact field either (trace mode has no application
+            // identity to address).
             let pre = Preprocessed::analyze(trace, &request.params);
             match strategy.synthesize_cancellable(&pre, &request.params, &job.token) {
                 Ok(Some(outcome)) => reply_outcome_line(shared, job, &outcome.to_json(&solver)),
@@ -592,30 +871,203 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
             }
         }
         WorkSpec::Workload(spec) => {
-            let app = spec.build();
-            let front = CachedAnalysis::build(shared, &app, &request.params);
-            let analyzed = front
-                .collected
-                .analyze_with(&front.artifact, &request.params);
-            match analyzed.synthesize_cancellable(&*strategy, &job.token) {
-                Ok(Some(designed)) => {
-                    let body = format!(
-                        "{{\"app\":\"{}\",\"it\":{},\"ti\":{}}}\n",
-                        stbus_core::json_escape(app.name()),
-                        designed.it.to_json(&solver),
-                        designed.ti.to_json(&solver),
-                    );
-                    reply_outcome_line(shared, job, body.trim_end());
+            let app = Arc::new(spec.build());
+            let solved = {
+                let front = CachedAnalysis::build(shared, &app, &request.params);
+                let analyzed = front
+                    .collected
+                    .analyze_with(&front.artifact, &request.params);
+                match analyzed.synthesize_cancellable(&*strategy, &job.token) {
+                    Ok(Some(designed)) => {
+                        let address = artifact_address(
+                            &app,
+                            &request.params,
+                            request.solver,
+                            request.pruning,
+                        );
+                        let body = format!(
+                            "{{\"app\":\"{}\",\"it\":{},\"ti\":{},\"artifact\":\"{address}\"}}",
+                            stbus_core::json_escape(app.name()),
+                            designed.it.to_json(&solver),
+                            designed.ti.to_json(&solver),
+                        );
+                        Some(SolvedPair {
+                            body,
+                            address,
+                            traffic: front.collected.traffic().clone(),
+                            analysis: (*front.artifact).clone(),
+                            params: request.params.clone(),
+                            warm_it: designed.it.binding.clone(),
+                            warm_ti: designed.ti.binding.clone(),
+                        })
+                    }
+                    Ok(None) => {
+                        reply_cancelled(shared, job);
+                        None
+                    }
+                    Err(e) => {
+                        reply_solver_error(job, &e);
+                        None
+                    }
                 }
-                Ok(None) => reply_cancelled(shared, job),
-                Err(e) => reply_solver_error(job, &e),
+            };
+            if let Some(solved) = solved {
+                deposit_artifact(shared, &app, request.solver, request.pruning, &solved);
+                reply_outcome_line(shared, job, &solved.body);
             }
         }
     }
 }
 
+/// Deposits a solved pair into the re-synthesis store under its address.
+fn deposit_artifact(
+    shared: &Shared,
+    app: &Arc<Application>,
+    solver: SolverKind,
+    pruning: Option<PruningLevel>,
+    solved: &SolvedPair,
+) {
+    shared.resynth_cache.insert(
+        solved.address.clone(),
+        Arc::new(ResynthArtifact {
+            app: Arc::clone(app),
+            params: solved.params.clone(),
+            solver,
+            pruning,
+            traffic: solved.traffic.clone(),
+            analysis: solved.analysis.clone(),
+            warm_it: solved.warm_it.clone(),
+            warm_ti: solved.warm_ti.clone(),
+        }),
+    );
+}
+
+/// The delta hot path: resolve the artifact (404 on miss), patch the
+/// analysis in `O(touched × targets)`, warm-start phase 3 per direction,
+/// reply with a chained artifact address.
+fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
+    let Some(stored) = shared.resynth_cache.get(&request.artifact) else {
+        shared.delta_miss.fetch_add(1, Ordering::Relaxed);
+        if shared.log_requests {
+            eprintln!(
+                "gw req={} tenant={} delta_miss artifact={}",
+                job.id, job.tenant, request.artifact
+            );
+        }
+        let _ = job.reply.send(Reply::Done {
+            status: 404,
+            reason: "Not Found",
+            body: "{\"error\":\"unknown artifact (evicted or never issued); \
+                   re-request from scratch\"}\n"
+                .to_string(),
+        });
+        return;
+    };
+    shared.delta_reuse.fetch_add(1, Ordering::Relaxed);
+    shared.bump_tenant(&job.tenant, true);
+    if shared.log_requests {
+        eprintln!(
+            "gw req={} tenant={} delta_reuse artifact={}",
+            job.id, job.tenant, request.artifact
+        );
+    }
+
+    let jobs = effective_jobs(request.jobs);
+    let strategy = stored.solver.synthesizer_with(jobs, stored.pruning);
+    let solver = stored.solver.to_string();
+    let app = Arc::clone(&stored.app);
+
+    let solved = {
+        let collected = Collected::from_cached(&app, &stored.params, stored.traffic.clone());
+        let analyzed = collected.analyze_with(&stored.analysis, &stored.params);
+        let re = match analyzed.reanalyze(&request.delta) {
+            Ok(re) => re,
+            Err(e) => {
+                let _ = job.reply.send(Reply::Done {
+                    status: 400,
+                    reason: "Bad Request",
+                    body: format!(
+                        "{{\"error\":\"delta: {}\"}}\n",
+                        stbus_core::json_escape(&e.to_string())
+                    ),
+                });
+                return;
+            }
+        };
+        // Per-direction warm starts: the strategy's own limits are unset
+        // (`synthesizer_with` leaves them `None`), so each direction's
+        // params — carrying that direction's previous binding — reach the
+        // search. The warm start never changes verdicts, probe logs or
+        // bus counts (see `SolveLimits::warm_start`); it only lets the
+        // search seed or short-circuit from the previous answer.
+        let base = re.params().clone();
+        let warmed = |binding: &Binding| {
+            let mut params = base.clone();
+            params.solve_limits = params
+                .solve_limits
+                .clone()
+                .with_warm_start(WarmStart::new(binding.clone()));
+            params
+        };
+        let out_it = match strategy.synthesize_cancellable(
+            re.pre_it(),
+            &warmed(&stored.warm_it),
+            &job.token,
+        ) {
+            Ok(Some(outcome)) => outcome,
+            Ok(None) => {
+                reply_cancelled(shared, job);
+                return;
+            }
+            Err(e) => {
+                reply_solver_error(job, &e);
+                return;
+            }
+        };
+        let out_ti = match strategy.synthesize_cancellable(
+            re.pre_ti(),
+            &warmed(&stored.warm_ti),
+            &job.token,
+        ) {
+            Ok(Some(outcome)) => outcome,
+            Ok(None) => {
+                reply_cancelled(shared, job);
+                return;
+            }
+            Err(e) => {
+                reply_solver_error(job, &e);
+                return;
+            }
+        };
+        let address = chained_address(&request.artifact, &request.delta);
+        let body = format!(
+            "{{\"app\":\"{}\",\"it\":{},\"ti\":{},\"artifact\":\"{address}\"}}",
+            stbus_core::json_escape(app.name()),
+            out_it.to_json(&solver),
+            out_ti.to_json(&solver),
+        );
+        SolvedPair {
+            body,
+            address,
+            traffic: re.collected().traffic().clone(),
+            analysis: AnalysisArtifact::from_parts(
+                CollectionKey::of(&base),
+                AnalysisKey::of(&base),
+                (re.pre_it().stats.clone(), re.pre_it().profile.clone()),
+                (re.pre_ti().stats.clone(), re.pre_ti().profile.clone()),
+            ),
+            params: base,
+            warm_it: out_it.binding,
+            warm_ti: out_ti.binding,
+        }
+    };
+    deposit_artifact(shared, &app, stored.solver, stored.pruning, &solved);
+    reply_outcome_line(shared, job, &solved.body);
+}
+
 fn reply_outcome_line(shared: &Arc<Shared>, job: &Job, line: &str) {
     shared.served.fetch_add(1, Ordering::Relaxed);
+    shared.bump_tenant(&job.tenant, false);
     let _ = job.reply.send(Reply::Done {
         status: 200,
         reason: "OK",
@@ -707,6 +1159,7 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
     }
     if completed {
         shared.served.fetch_add(1, Ordering::Relaxed);
+        shared.bump_tenant(&job.tenant, false);
         let _ = job.reply.send(Reply::StreamEnd);
     } else {
         shared.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -763,16 +1216,34 @@ fn execute_suite(shared: &Arc<Shared>, request: &SuiteRequest, job: &Job) {
 fn stats_json(shared: &Shared) -> String {
     let collect = shared.collect_cache.stats();
     let analysis = shared.analysis_cache.stats();
+    let resynth = shared.resynth_cache.stats();
     let cache = |s: crate::cache::CacheStats| {
         format!(
             "{{\"hits\":{},\"misses\":{},\"inflight_waits\":{},\"entries\":{},\"capacity\":{}}}",
             s.hits, s.misses, s.inflight_waits, s.entries, s.capacity
         )
     };
+    let by_tenant = {
+        let tenants = shared.tenants.lock().expect("tenant counters");
+        tenants
+            .iter()
+            .map(|(tenant, c)| {
+                format!(
+                    "\"{}\":{{\"served\":{},\"delta_reuse\":{}}}",
+                    stbus_core::json_escape(tenant),
+                    c.served,
+                    c.delta_reuse
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     format!(
         "{{\"queue\":{{\"depth\":{},\"queued\":{},\"tenants\":{}}},\
-         \"requests\":{{\"served\":{},\"rejected\":{},\"cancelled\":{},\"active\":{}}},\
-         \"collect_cache\":{},\"analysis_cache\":{}}}\n",
+         \"requests\":{{\"served\":{},\"rejected\":{},\"cancelled\":{},\"active\":{},\
+         \"delta_reuse\":{},\"delta_miss\":{}}},\
+         \"collect_cache\":{},\"analysis_cache\":{},\"resynth_cache\":{},\
+         \"by_tenant\":{{{}}}}}\n",
         shared.queue.depth(),
         shared.queue.queued(),
         shared.queue.tenants(),
@@ -780,7 +1251,11 @@ fn stats_json(shared: &Shared) -> String {
         shared.rejected.load(Ordering::Relaxed),
         shared.cancelled.load(Ordering::Relaxed),
         shared.active.load(Ordering::Acquire),
+        shared.delta_reuse.load(Ordering::Relaxed),
+        shared.delta_miss.load(Ordering::Relaxed),
         cache(collect),
         cache(analysis),
+        cache(resynth),
+        by_tenant,
     )
 }

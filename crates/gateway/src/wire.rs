@@ -33,7 +33,9 @@ use crate::json::{self, Value};
 use stbus_core::{DesignParams, SolverKind};
 use stbus_milp::PruningLevel;
 use stbus_traffic::workloads::{self, Application};
-use stbus_traffic::{io as trace_io, Trace};
+use stbus_traffic::{
+    io as trace_io, InitiatorId, TargetEdit, TargetId, Trace, TraceEvent, WorkloadDelta,
+};
 use std::num::NonZeroUsize;
 
 /// The CLI's default base seed, shared by `/suite` and workload specs.
@@ -117,6 +119,25 @@ pub struct SuiteRequest {
     pub pruning: Option<PruningLevel>,
 }
 
+/// A validated incremental re-synthesis request: a prior artifact's
+/// content address plus the workload delta to apply to it.
+///
+/// The referenced artifact pins the application, parameters, solver and
+/// pruning level of the base request; a delta request may override only
+/// `"jobs"` (execution-side, result-invariant). Everything the delta
+/// changes — trace edits, added/removed targets, a new θ — travels in
+/// the `"delta"` object (see [`parse_delta_spec`] for the wire shape).
+#[derive(Debug, Clone)]
+pub struct DeltaRequest {
+    /// Content address from a previous workload-mode response's
+    /// `"artifact"` field.
+    pub artifact: String,
+    /// The structural workload change to apply.
+    pub delta: WorkloadDelta,
+    /// Probe parallelism override (`None` = executor width).
+    pub jobs: Option<NonZeroUsize>,
+}
+
 /// Any admitted unit of work.
 #[derive(Debug, Clone)]
 pub enum WorkRequest {
@@ -126,6 +147,8 @@ pub enum WorkRequest {
     Sweep(SweepRequest),
     /// The five-application paper suite.
     Suite(SuiteRequest),
+    /// Warm-started re-synthesis from a cached artifact plus a delta.
+    Delta(DeltaRequest),
 }
 
 fn parse_object(body: &str) -> Result<Value, String> {
@@ -254,6 +277,151 @@ fn parse_jobs(obj: &Value) -> Result<Option<NonZeroUsize>, String> {
         .map(|n| NonZeroUsize::new(n as usize).expect("validated at least 1")))
 }
 
+/// Parses one `"events"` entry of an edit: `[initiator, start, duration]`
+/// with an optional fourth `true` marking the event critical. The event's
+/// target is the edit's target.
+fn parse_event(v: &Value, target: TargetId) -> Result<TraceEvent, String> {
+    let tuple = v
+        .as_array()
+        .ok_or("each event must be [initiator, start, duration(, critical)]")?;
+    if tuple.len() < 3 || tuple.len() > 4 {
+        return Err("each event must be [initiator, start, duration(, critical)]".into());
+    }
+    let initiator = tuple[0]
+        .as_u64()
+        .ok_or("event initiator must be a non-negative integer")? as usize;
+    let start = tuple[1]
+        .as_u64()
+        .ok_or("event start must be a non-negative integer")?;
+    let duration = tuple[2]
+        .as_u64()
+        .filter(|&d| d >= 1 && d <= u64::from(u32::MAX))
+        .ok_or("event duration must be an integer of at least 1")? as u32;
+    let critical = match tuple.get(3) {
+        None => false,
+        Some(Value::Bool(b)) => *b,
+        Some(_) => return Err("event critical flag must be a boolean".into()),
+    };
+    let event = if critical {
+        TraceEvent::critical(InitiatorId::new(initiator), target, start, duration)
+    } else {
+        TraceEvent::new(InitiatorId::new(initiator), target, start, duration)
+    };
+    Ok(event)
+}
+
+/// Parses the `"delta"` object of a delta request:
+///
+/// ```json
+/// {"add_targets": 1,
+///  "remove": [2],
+///  "edits": [{"target": 5, "events": [[0, 100, 8], [1, 120, 4, true]]}],
+///  "threshold": 0.2}
+/// ```
+///
+/// Every field is optional (an empty object is the no-op delta, which a
+/// client may send to re-run an artifact warm). Structural validation
+/// happens here; semantic validation against the artifact's base trace
+/// (index ranges, removed-and-edited conflicts, foreign initiators) is
+/// [`stbus_traffic::WorkloadDelta::validate`]'s job at execution time,
+/// answered `400` with the [`stbus_traffic::DeltaError`] message.
+fn parse_delta_spec(obj: &Value) -> Result<WorkloadDelta, String> {
+    let delta_obj = match obj.get("delta") {
+        None | Some(Value::Null) => return Ok(WorkloadDelta::empty()),
+        Some(v @ Value::Obj(_)) => v,
+        Some(_) => return Err("`delta` must be an object".into()),
+    };
+    let mut delta = WorkloadDelta::empty();
+    delta.add_targets = field_u64(delta_obj, "add_targets", 0)?.unwrap_or(0) as usize;
+    if delta.add_targets > 512 {
+        return Err("`add_targets` is capped at 512".into());
+    }
+    if let Some(remove) = delta_obj.get("remove") {
+        let remove = remove
+            .as_array()
+            .ok_or("`remove` must be an array of target indices")?;
+        for v in remove {
+            let t = v
+                .as_u64()
+                .ok_or("`remove` entries must be non-negative integers")?;
+            delta.removed.push(TargetId::new(t as usize));
+        }
+    }
+    if let Some(edits) = delta_obj.get("edits") {
+        let edits = edits.as_array().ok_or("`edits` must be an array")?;
+        for edit in edits {
+            let target = edit
+                .get("target")
+                .and_then(Value::as_u64)
+                .ok_or("each edit needs a `target` index")? as usize;
+            let target = TargetId::new(target);
+            let events = edit
+                .get("events")
+                .and_then(Value::as_array)
+                .ok_or("each edit needs an `events` array")?;
+            if events.len() > 100_000 {
+                return Err("an edit is capped at 100000 events".into());
+            }
+            let events = events
+                .iter()
+                .map(|v| parse_event(v, target))
+                .collect::<Result<Vec<_>, String>>()?;
+            delta.edits.push(TargetEdit { target, events });
+        }
+    }
+    if let Some(theta) = delta_obj.get("threshold") {
+        delta.threshold = Some(field_threshold(theta, "threshold")?);
+    }
+    Ok(delta)
+}
+
+/// Parses and validates a delta request (`/synthesize` body carrying an
+/// `"artifact"` reference).
+///
+/// # Errors
+///
+/// A client-facing message on any malformed field, including design
+/// knobs that conflict with the artifact's pinned parameters.
+pub fn parse_delta(body: &str) -> Result<DeltaRequest, String> {
+    let obj = parse_object(body)?;
+    let artifact = obj
+        .get("artifact")
+        .and_then(Value::as_str)
+        .ok_or("`artifact` must be a content-address string")?;
+    if artifact.is_empty()
+        || artifact.len() > 128
+        || !artifact.bytes().all(|b| b.is_ascii_hexdigit())
+    {
+        return Err("`artifact` must be a hex content address".into());
+    }
+    // The artifact pins workload and knobs; a second naming or parameter
+    // override would be ambiguous, so reject instead of guessing.
+    for conflicting in [
+        "trace",
+        "suite",
+        "scaled",
+        "window",
+        "threshold",
+        "maxtb",
+        "response_scale",
+        "solver",
+        "pruning",
+        "seed",
+    ] {
+        if obj.get(conflicting).is_some() {
+            return Err(format!(
+                "`{conflicting}` conflicts with `artifact` (the artifact pins it; \
+                 use `delta.threshold` to move θ)"
+            ));
+        }
+    }
+    Ok(DeltaRequest {
+        artifact: artifact.to_ascii_lowercase(),
+        delta: parse_delta_spec(&obj)?,
+        jobs: parse_jobs(&obj)?,
+    })
+}
+
 /// Parses and validates a `/synthesize` body.
 ///
 /// # Errors
@@ -268,6 +436,21 @@ pub fn parse_synthesize(body: &str) -> Result<SynthesizeRequest, String> {
         jobs: parse_jobs(&obj)?,
         pruning: parse_pruning(&obj)?,
     })
+}
+
+/// Routes a `/synthesize` body: an `"artifact"` reference parses as a
+/// [`DeltaRequest`], anything else as a fresh [`SynthesizeRequest`].
+///
+/// # Errors
+///
+/// A client-facing message on any malformed field.
+pub fn parse_synthesize_route(body: &str) -> Result<WorkRequest, String> {
+    let obj = parse_object(body)?;
+    if obj.get("artifact").is_some() {
+        parse_delta(body).map(WorkRequest::Delta)
+    } else {
+        parse_synthesize(body).map(WorkRequest::Synthesize)
+    }
 }
 
 /// Parses and validates a `/sweep` body.
@@ -379,6 +562,68 @@ mod tests {
         ] {
             assert!(parse_synthesize(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn delta_request_parses_all_fields() {
+        let body = r#"{"artifact":"ABCDEF0123456789","jobs":4,
+            "delta":{"add_targets":1,"remove":[2],
+                     "edits":[{"target":5,"events":[[0,100,8],[1,120,4,true]]}],
+                     "threshold":0.2}}"#;
+        let WorkRequest::Delta(req) = parse_synthesize_route(body).unwrap() else {
+            panic!("expected delta route")
+        };
+        assert_eq!(req.artifact, "abcdef0123456789");
+        assert_eq!(req.jobs.map(NonZeroUsize::get), Some(4));
+        assert_eq!(req.delta.add_targets, 1);
+        assert_eq!(req.delta.removed, vec![TargetId::new(2)]);
+        assert_eq!(req.delta.threshold, Some(0.2));
+        assert_eq!(req.delta.edits.len(), 1);
+        let edit = &req.delta.edits[0];
+        assert_eq!(edit.target, TargetId::new(5));
+        assert_eq!(
+            edit.events,
+            vec![
+                TraceEvent::new(InitiatorId::new(0), TargetId::new(5), 100, 8),
+                TraceEvent::critical(InitiatorId::new(1), TargetId::new(5), 120, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_request_defaults_to_the_noop_delta() {
+        let req = parse_delta(r#"{"artifact":"00ff"}"#).unwrap();
+        assert_eq!(req.delta, WorkloadDelta::empty());
+        assert!(req.jobs.is_none());
+    }
+
+    #[test]
+    fn artifact_requests_reject_conflicting_knobs() {
+        for bad in [
+            r#"{"artifact":"00ff","suite":"mat2"}"#,
+            r#"{"artifact":"00ff","trace":"x"}"#,
+            r#"{"artifact":"00ff","threshold":0.2}"#,
+            r#"{"artifact":"00ff","solver":"exact"}"#,
+            r#"{"artifact":"00ff","pruning":"off"}"#,
+            r#"{"artifact":"00ff","seed":7}"#,
+            r#"{"artifact":""}"#,
+            r#"{"artifact":"not hex!"}"#,
+            r#"{"artifact":123}"#,
+            r#"{"artifact":"00ff","delta":{"threshold":-0.5}}"#,
+            r#"{"artifact":"00ff","delta":{"edits":[{"target":0,"events":[[0,0,0]]}]}}"#,
+            r#"{"artifact":"00ff","delta":{"edits":[{"target":0,"events":[[0,0]]}]}}"#,
+            r#"{"artifact":"00ff","delta":{"edits":[{"events":[[0,0,1]]}]}}"#,
+            r#"{"artifact":"00ff","delta":{"remove":"all"}}"#,
+            r#"{"artifact":"00ff","delta":[1]}"#,
+        ] {
+            assert!(parse_delta(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn plain_synthesize_bodies_still_route_to_synthesize() {
+        let req = parse_synthesize_route(r#"{"suite":"mat2","seed":42}"#).unwrap();
+        assert!(matches!(req, WorkRequest::Synthesize(_)));
     }
 
     #[test]

@@ -34,8 +34,41 @@ use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
 use std::fmt;
 
+/// A previous solution offered as a starting point for an incremental
+/// re-solve (see [`SolveLimits::warm_start`]).
+///
+/// The binding is the *previous* problem's answer; the new problem may
+/// have a patched conflict graph, different demands, or even more targets
+/// (a delta that appended some). [`BindingProblem::verify`] decides
+/// whether it still holds — the solver never trusts the stale
+/// [`WarmStart::objective`], it recomputes the objective against the
+/// problem at hand.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// The previous search's binding, index-compatible with the new
+    /// problem whenever the delta only silenced/edited targets (appended
+    /// targets make the arity differ, demoting the warm start to a
+    /// value-ordering hint).
+    pub binding: Binding,
+    /// The objective the binding achieved on the *previous* problem.
+    /// Informational: the solver recomputes the objective via
+    /// [`BindingProblem::verify`] before using the binding as an
+    /// incumbent, because the patched overlap matrix may value the same
+    /// assignment differently.
+    pub objective: u64,
+}
+
+impl WarmStart {
+    /// Wraps a previous binding, recording its objective.
+    #[must_use]
+    pub fn new(binding: Binding) -> Self {
+        let objective = binding.max_bus_overlap();
+        Self { binding, objective }
+    }
+}
+
 /// Search effort limits and pruning policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveLimits {
     /// Maximum number of (target, bus) branch attempts. Candidates vetoed
     /// outright by the conflict mask or the `maxtb` cap are filtered
@@ -52,6 +85,30 @@ pub struct SolveLimits {
     /// differently. [`PruningLevel::Aggressive`] is opt-in: verdicts and
     /// probe logs still match, but returned bindings may differ.
     pub pruning: PruningLevel,
+    /// Optional previous solution for incremental re-solves. Two effects,
+    /// both gated on [`BindingProblem::verify`] against the *current*
+    /// problem:
+    ///
+    /// * **Instant incumbent.** When the previous binding still verifies,
+    ///   [`BindingProblem::find_feasible`] returns it without search
+    ///   (zero nodes) and [`BindingProblem::optimize`] skips the
+    ///   incumbent-seeding pass, seeding the improving search with the
+    ///   recomputed objective instead.
+    /// * **Value ordering.** When it does not verify (or only partially
+    ///   applies because the delta appended targets), each target's
+    ///   previous bus is tried first — a stable reorder of the same
+    ///   candidate set.
+    ///
+    /// The contract mirrors [`PruningLevel::Aggressive`]: feasibility
+    /// verdicts, probe logs and bus counts are unchanged whenever the
+    /// searches complete within `max_nodes` (the candidate *set* at every
+    /// node is identical and the search stays exhaustive), but the
+    /// *returned binding* may differ from the cold search's, because a
+    /// different feasible leaf may be reached first. Under a starved
+    /// budget a verified warm start can also answer where the cold search
+    /// would exhaust its budget — answering strictly more often, the same
+    /// one-sided deviation [`PruningLevel::Standard`] documents.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl SolveLimits {
@@ -62,6 +119,7 @@ impl SolveLimits {
         Self {
             max_nodes,
             pruning: PruningLevel::Standard,
+            warm_start: None,
         }
     }
 
@@ -70,6 +128,20 @@ impl SolveLimits {
     pub const fn with_pruning(mut self, pruning: PruningLevel) -> Self {
         self.pruning = pruning;
         self
+    }
+
+    /// Installs a previous solution as a warm start (builder style). See
+    /// [`SolveLimits::warm_start`] for the exact semantics and the
+    /// bit-identity contract.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm_start = Some(warm);
+        self
+    }
+
+    /// The warm-start assignment as a value-ordering hint, if any.
+    fn warm_assignment(&self) -> Option<&[usize]> {
+        self.warm_start.as_ref().map(|w| w.binding.assignment())
     }
 }
 
@@ -513,9 +585,30 @@ impl BindingProblem {
         order
     }
 
+    /// Re-verifies a warm-started binding against *this* problem; on
+    /// success returns it with the objective recomputed (the stale
+    /// [`WarmStart::objective`] is never trusted). This is the instant
+    /// path of incremental re-solving: after a delta that did not disturb
+    /// the previous assignment's feasibility, the answer costs one
+    /// [`BindingProblem::verify`] pass and zero search nodes.
+    fn warm_verified(&self, limits: &SolveLimits) -> Option<Binding> {
+        let warm = limits.warm_start.as_ref()?;
+        let objective = self.verify(&warm.binding)?;
+        Some(Binding::from_assignment_with_overlap(
+            warm.binding.assignment.clone(),
+            objective,
+        ))
+    }
+
     /// Finds any feasible binding (the paper's MILP-1, Eq. 10).
     ///
     /// Returns `Ok(None)` when the instance is provably infeasible.
+    ///
+    /// A verified [`SolveLimits::warm_start`] short-circuits the search
+    /// entirely; an unverifiable one demotes to a value-ordering hint.
+    /// Verdicts are unchanged either way (see [`SolveLimits::warm_start`]
+    /// for the contract), but the returned binding may differ from the
+    /// cold search's.
     ///
     /// # Errors
     ///
@@ -525,6 +618,9 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
     ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        if let Some(warm) = self.warm_verified(limits) {
+            return Ok(Some(warm));
+        }
         self.search(limits, None)
     }
 
@@ -551,6 +647,9 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
     ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        if let Some(warm) = self.warm_verified(limits) {
+            return Ok(Some(warm));
+        }
         self.search_full(limits, None, None, true)
             .map_err(|e| match e {
                 SearchInterrupted::Budget(b) => b,
@@ -577,11 +676,20 @@ impl BindingProblem {
         limits: &SolveLimits,
         cancel: &CancelToken,
     ) -> Result<Option<Binding>, SearchInterrupted> {
+        if let Some(warm) = self.warm_verified(limits) {
+            return Ok(Some(warm));
+        }
         self.search_with(limits, None, Some(cancel))
     }
 
     /// Finds the binding minimising the maximum per-bus overlap (the
     /// paper's MILP-2, Eq. 11). Returns `Ok(None)` when infeasible.
+    ///
+    /// A verified [`SolveLimits::warm_start`] replaces the
+    /// incumbent-seeding feasibility pass: the improving search starts
+    /// from the warm binding's *recomputed* objective. The optimal
+    /// objective value is unchanged (the improving search below the
+    /// incumbent stays exhaustive); the returned binding may differ.
     ///
     /// # Errors
     ///
@@ -589,8 +697,12 @@ impl BindingProblem {
     /// optimality is proven.
     pub fn optimize(&self, limits: &SolveLimits) -> Result<Option<Binding>, NodeLimitExceeded> {
         // Seed the incumbent with any feasible solution so pruning bites
-        // immediately.
-        let seed = self.search(limits, None)?;
+        // immediately — a verified warm start *is* such a solution and
+        // saves the seeding search outright.
+        let seed = match self.warm_verified(limits) {
+            Some(warm) => Some(warm),
+            None => self.search(limits, None)?,
+        };
         match seed {
             None => Ok(None),
             Some(feasible) => {
@@ -616,7 +728,10 @@ impl BindingProblem {
         limits: &SolveLimits,
         cancel: &CancelToken,
     ) -> Result<Option<Binding>, SearchInterrupted> {
-        let seed = self.search_with(limits, None, Some(cancel))?;
+        let seed = match self.warm_verified(limits) {
+            Some(warm) => Some(warm),
+            None => self.search_with(limits, None, Some(cancel))?,
+        };
         match seed {
             None => Ok(None),
             Some(feasible) => {
@@ -851,6 +966,7 @@ impl BindingProblem {
             cands: &mut [Vec<(u64, usize)>],
             nodes: &mut u64,
             limits: &SolveLimits,
+            warm: Option<&[usize]>,
             cancel: Option<&CancelToken>,
             bound: &mut Option<u64>,
             optimizing: bool,
@@ -978,6 +1094,16 @@ impl BindingProblem {
                 // bit-identity.
                 candidates.sort_by_key(|&(_, k)| (st.min_slack[k], k));
             }
+            // Warm-start value ordering: the target's previous bus is
+            // tried first. A *stable* partition of the same candidate set
+            // — the mode-specific order above is preserved within each
+            // half — so verdicts and the explored leaf set are unchanged;
+            // re-solves merely gravitate to the previous solution's
+            // neighbourhood. `get` tolerates arity mismatch (a delta may
+            // have appended targets the previous binding never saw).
+            if let Some(&prev) = warm.and_then(|w| w.get(t)) {
+                candidates.sort_by_key(|&(_, k)| k != prev);
+            }
             for &(added, k) in candidates.iter() {
                 *nodes += 1;
                 if *nodes > limits.max_nodes {
@@ -1045,6 +1171,7 @@ impl BindingProblem {
                     rest,
                     nodes,
                     limits,
+                    warm,
                     cancel,
                     bound,
                     optimizing,
@@ -1086,6 +1213,7 @@ impl BindingProblem {
             &mut cand_store,
             &mut nodes,
             limits,
+            limits.warm_assignment(),
             cancel,
             &mut bound,
             optimizing,
@@ -1389,6 +1517,91 @@ mod tests {
         assert_eq!(b.used_buses(), 2);
         assert_eq!(b.buses(3)[0], vec![0, 2]);
         assert_eq!(b.buses(3)[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn verified_warm_start_short_circuits_with_recomputed_objective() {
+        let mut p = BindingProblem::new(2, 1000, vec![vec![10]; 4]);
+        p.set_overlaps(|i, j| match (i, j) {
+            (0, 1) => 100,
+            (2, 3) => 90,
+            _ => 10,
+        });
+        let cold = p.optimize(&limits()).unwrap().expect("feasible");
+        // Offer the cold answer back with a deliberately stale objective:
+        // the solver must recompute, not trust it.
+        let warm = WarmStart {
+            binding: Binding::from_assignment_with_overlap(cold.assignment().to_vec(), 0),
+            objective: 999,
+        };
+        let wl = SolveLimits::default().with_warm_start(warm);
+        let f = p.find_feasible(&wl).unwrap().expect("feasible");
+        assert_eq!(f.assignment(), cold.assignment());
+        assert_eq!(f.max_bus_overlap(), cold.max_bus_overlap());
+        // Even a zero-node budget answers: the verify path does no search.
+        let starved = SolveLimits::nodes(0).with_warm_start(WarmStart::new(cold.clone()));
+        assert!(p.find_feasible(&starved).unwrap().is_some());
+        // Optimisation seeded by the warm incumbent reaches the same
+        // optimum.
+        let o = p.optimize(&wl).unwrap().expect("feasible");
+        assert_eq!(o.max_bus_overlap(), cold.max_bus_overlap());
+        assert_eq!(p.verify(&o), Some(o.max_bus_overlap()));
+    }
+
+    #[test]
+    fn unverifiable_warm_start_keeps_verdicts() {
+        // The warm binding violates a conflict added after it was found:
+        // verify fails, the search runs cold with a value-ordering hint,
+        // and every verdict matches the cold search.
+        let base = BindingProblem::new(2, 100, vec![vec![10], vec![10], vec![10]]);
+        let old = base.find_feasible(&limits()).unwrap().expect("feasible");
+        let patched = base.clone().with_conflict(0, 1).with_conflict(0, 2);
+        let wl = SolveLimits::default().with_warm_start(WarmStart::new(old.clone()));
+        let warm_answer = patched.find_feasible(&wl).unwrap();
+        let cold_answer = patched.find_feasible(&limits()).unwrap();
+        assert_eq!(warm_answer.is_some(), cold_answer.is_some());
+        let b = warm_answer.expect("feasible");
+        assert_eq!(patched.verify(&b), Some(b.max_bus_overlap()));
+        // An infeasible patch stays infeasible with a warm hint.
+        let infeasible = BindingProblem::new(1, 100, vec![vec![60], vec![50]]);
+        let wl2 = SolveLimits::default()
+            .with_warm_start(WarmStart::new(Binding::from_assignment(vec![0, 0])));
+        assert_eq!(infeasible.find_feasible(&wl2).unwrap(), None);
+    }
+
+    #[test]
+    fn warm_start_tolerates_arity_mismatch() {
+        // Previous binding saw 2 targets; the delta appended a third. The
+        // warm start demotes to an ordering hint and the verdict holds.
+        let p = BindingProblem::new(2, 100, vec![vec![40], vec![40], vec![40]]);
+        let wl = SolveLimits::default()
+            .with_warm_start(WarmStart::new(Binding::from_assignment(vec![0, 1])));
+        let b = p.find_feasible(&wl).unwrap().expect("feasible");
+        assert_eq!(p.verify(&b), Some(b.max_bus_overlap()));
+        assert!(
+            p.find_feasible(&limits()).unwrap().is_some(),
+            "cold verdict agrees"
+        );
+    }
+
+    #[test]
+    fn warm_start_optimum_matches_cold_optimum() {
+        // The warm incumbent is feasible but suboptimal: the improving
+        // search below it must still reach the cold optimum.
+        let mut p = BindingProblem::new(2, 1000, vec![vec![10]; 4]);
+        p.set_overlaps(|i, j| match (i, j) {
+            (0, 1) => 100,
+            (2, 3) => 90,
+            _ => 10,
+        });
+        let cold = p.optimize(&limits()).unwrap().expect("feasible");
+        // All-on-different... 2 buses, 4 targets: put the heavy pairs
+        // together (suboptimal: objective 100).
+        let suboptimal = Binding::from_assignment(vec![0, 0, 1, 1]);
+        assert_eq!(p.verify(&suboptimal), Some(100));
+        let wl = SolveLimits::default().with_warm_start(WarmStart::new(suboptimal));
+        let warm = p.optimize(&wl).unwrap().expect("feasible");
+        assert_eq!(warm.max_bus_overlap(), cold.max_bus_overlap());
     }
 
     #[test]

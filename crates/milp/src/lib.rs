@@ -61,7 +61,9 @@ pub mod heuristic;
 pub mod model;
 pub mod simplex;
 
-pub use binding::{Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SolveLimits};
+pub use binding::{
+    Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SolveLimits, WarmStart,
+};
 pub use bounds::{
     BandwidthPackingBound, CliqueCoverBound, CombinedBound, LowerBound, NodeState, PruneContext,
     PruningLevel,

@@ -262,6 +262,54 @@ impl ConflictGraph {
         self.bits[j * self.words + i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
+    /// Detaches target `t` from the relation: its row is zeroed and its
+    /// column bit is cleared from every other row with one word-parallel
+    /// `AND`-mask pass. This is the delta-patch primitive — after a
+    /// workload edit touches `t`, its conflicts are cleared here and
+    /// re-derived pair by pair from the patched overlap profile (see
+    /// [`OverlapProfile::patch_conflict_graph`](crate::OverlapProfile::patch_conflict_graph)).
+    /// The clique/coloring bounds carry no cached state, so they reflect
+    /// the patched relation on their next call with no extra invalidation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn clear_target(&mut self, t: usize) {
+        assert!(t < self.n, "conflict index out of range");
+        self.bits[t * self.words..(t + 1) * self.words].fill(0);
+        let word = t / WORD_BITS;
+        let mask = !(1u64 << (t % WORD_BITS));
+        for r in 0..self.n {
+            self.bits[r * self.words + word] &= mask;
+        }
+    }
+
+    /// A copy of this graph over a larger index space: existing conflicts
+    /// are preserved, appended targets start conflict-free. The delta
+    /// path grows the previous request's graph before patching the
+    /// touched rows in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current target count.
+    #[must_use]
+    pub fn grown(&self, n: usize) -> ConflictGraph {
+        assert!(
+            n >= self.n,
+            "grown() cannot shrink a conflict graph ({} -> {n})",
+            self.n
+        );
+        if n == self.n {
+            return self.clone();
+        }
+        let mut out = ConflictGraph::none(n);
+        for t in 0..self.n {
+            out.bits[t * out.words..t * out.words + self.words]
+                .copy_from_slice(&self.bits[t * self.words..(t + 1) * self.words]);
+        }
+        out
+    }
+
     /// Returns `true` if targets `i` and `j` must not share a bus.
     ///
     /// # Panics
@@ -466,6 +514,53 @@ mod tests {
         assert!(!g.conflicts(1, 1));
         assert_eq!(g.num_conflicts(), 1);
         assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn clear_target_detaches_row_and_column() {
+        let mut g = ConflictGraph::none(130);
+        g.forbid(2, 65);
+        g.forbid(2, 129);
+        g.forbid(65, 129);
+        g.clear_target(65);
+        assert!(!g.conflicts(2, 65));
+        assert!(!g.conflicts(65, 129));
+        assert!(g.conflicts(2, 129), "pairs not touching the target survive");
+        assert_eq!(g.degree(65), 0);
+        assert_eq!(g.num_conflicts(), 1);
+        // Re-forbidding after a clear reproduces a freshly built graph.
+        g.forbid(2, 65);
+        g.forbid(65, 129);
+        let mut fresh = ConflictGraph::none(130);
+        fresh.forbid(2, 65);
+        fresh.forbid(2, 129);
+        fresh.forbid(65, 129);
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn grown_preserves_pairs_and_extends_capacity() {
+        let mut g = ConflictGraph::none(70);
+        g.forbid(0, 69);
+        g.forbid(3, 5);
+        let big = g.grown(140);
+        assert_eq!(big.num_targets(), 140);
+        assert_eq!(
+            big.pairs().collect::<Vec<_>>(),
+            g.pairs().collect::<Vec<_>>()
+        );
+        assert!(!big.conflicts(69, 139));
+        let mut big2 = big.clone();
+        big2.forbid(69, 139);
+        assert!(big2.conflicts(139, 69));
+        // Growing to the same size is a plain copy.
+        assert_eq!(g.grown(70), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grown_rejects_shrinking() {
+        let _ = ConflictGraph::none(10).grown(9);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 pub mod burst;
 pub mod conflict;
 pub mod conflict_graph;
+pub mod delta;
 pub mod ids;
 pub mod interval;
 pub mod io;
@@ -58,6 +59,7 @@ pub mod workloads;
 pub use burst::{Burst, BurstStats};
 pub use conflict::ConflictMatrix;
 pub use conflict_graph::{ConflictGraph, TargetSet};
+pub use delta::{DeltaError, TargetEdit, WorkloadDelta};
 pub use ids::{InitiatorId, TargetId};
 pub use io::{read_trace, trace_from_str, trace_to_string, write_trace, ParseTraceError};
 pub use model::{CoreKind, InitiatorSpec, SocSpec, TargetSpec};

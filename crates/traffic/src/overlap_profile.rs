@@ -143,6 +143,148 @@ impl OverlapProfile {
         }
     }
 
+    /// Re-derives the profile after a workload delta: pairs whose
+    /// endpoints are both untouched copy their facts and peak row from
+    /// this profile, pairs with a `touched` endpoint are recomputed from
+    /// the **patched** window statistics (see
+    /// [`WindowStats::apply_delta`]). Bit-identical to
+    /// [`OverlapProfile::from_stats`] on the patched stats, at
+    /// O(pairs + touched × targets × windows) instead of the full
+    /// all-pairs window scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patched stats shrink the target index space or
+    /// change the window length classes (a uniform plan keeps its single
+    /// class across any delta; a class change means the base analysis
+    /// was not uniform and must be redone from scratch).
+    #[must_use]
+    pub fn apply_delta(&self, patched: &WindowStats, touched: &[usize]) -> OverlapProfile {
+        let n = patched.num_targets();
+        assert!(n >= self.n, "a delta never shrinks the target index space");
+        let mut is_touched = vec![false; n];
+        for &t in touched {
+            assert!(t < n, "touched target {t} out of range (< {n})");
+            is_touched[t] = true;
+        }
+
+        let num_windows = patched.num_windows();
+        let mut lengths: Vec<u64> = (0..num_windows).map(|m| patched.window_len(m)).collect();
+        lengths.sort_unstable();
+        lengths.dedup();
+        assert_eq!(
+            lengths, self.lengths,
+            "delta patching must preserve the window length classes"
+        );
+        let class: Vec<usize> = (0..num_windows)
+            .map(|m| {
+                lengths
+                    .binary_search(&patched.window_len(m))
+                    .expect("every window length is catalogued")
+            })
+            .collect();
+
+        let stride = lengths.len();
+        let mut pairs = Vec::with_capacity(self.pairs.len());
+        let mut peaks = Vec::with_capacity(self.peaks.len());
+        let mut op = 0usize; // cursor into the (lex-sorted) old pair list
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let old_here = op < self.pairs.len()
+                    && (self.pairs[op].i as usize, self.pairs[op].j as usize) == (i, j);
+                if is_touched[i] || is_touched[j] {
+                    if old_here {
+                        op += 1; // superseded by the recompute below
+                    }
+                    if patched.overlap_matrix().get(i, j) == 0 {
+                        continue;
+                    }
+                    let base = peaks.len();
+                    peaks.resize(base + stride, 0u64);
+                    for m in 0..num_windows {
+                        let wo = patched.window_overlap(i, j, m);
+                        let slot = &mut peaks[base + class[m]];
+                        *slot = (*slot).max(wo);
+                    }
+                    pairs.push(PairFacts {
+                        i: u32::try_from(i).expect("target index fits u32"),
+                        j: u32::try_from(j).expect("target index fits u32"),
+                        critical: patched.critical_streams_overlap(i, j),
+                    });
+                } else if old_here {
+                    pairs.push(self.pairs[op].clone());
+                    peaks.extend_from_slice(self.peak_row(op));
+                    op += 1;
+                }
+            }
+        }
+        OverlapProfile {
+            n,
+            lengths,
+            pairs,
+            peaks,
+        }
+    }
+
+    /// Patches a conflict graph in place after a delta, at the **same**
+    /// threshold it was built with: touched targets' rows and column bits
+    /// are cleared word-parallel
+    /// ([`ConflictGraph::clear_target`]), then every pair of this
+    /// (already patched) profile with a touched endpoint re-runs the
+    /// threshold test. Untouched pairs keep their bits — their peaks and
+    /// critical flags cannot have changed. Bit-identical to
+    /// [`OverlapProfile::conflict_graph`] at the same threshold; for a
+    /// θ *change*, use [`OverlapProfile::conflict_graph`] directly (a
+    /// full re-threshold is already O(pairs)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's target count disagrees with the profile's
+    /// (grow it first via [`ConflictGraph::grown`]) or if `threshold` is
+    /// negative or not finite.
+    pub fn patch_conflict_graph(
+        &self,
+        graph: &mut ConflictGraph,
+        touched: &[usize],
+        threshold: f64,
+    ) {
+        assert_eq!(
+            graph.num_targets(),
+            self.n,
+            "conflict graph arity mismatch (grow it before patching)"
+        );
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "overlap threshold must be a non-negative finite fraction"
+        );
+        let mut is_touched = vec![false; self.n];
+        for &t in touched {
+            assert!(t < self.n, "touched target {t} out of range (< {})", self.n);
+            is_touched[t] = true;
+            graph.clear_target(t);
+        }
+        let limits: Vec<u64> = self
+            .lengths
+            .iter()
+            .map(|&len| (threshold * len as f64).floor() as u64)
+            .collect();
+        for (p, pair) in self.pairs.iter().enumerate() {
+            let (i, j) = (pair.i as usize, pair.j as usize);
+            if !is_touched[i] && !is_touched[j] {
+                continue;
+            }
+            let over = pair.critical
+                || self
+                    .peak_row(p)
+                    .iter()
+                    .zip(&limits)
+                    .any(|(&peak, &limit)| peak > limit);
+            if over {
+                graph.forbid(i, j);
+            }
+        }
+    }
+
     /// Number of targets the profile spans.
     #[must_use]
     pub fn num_targets(&self) -> usize {
@@ -402,7 +544,104 @@ mod tests {
             })
         }
 
+        fn arb_delta() -> impl Strategy<Value = crate::WorkloadDelta> {
+            (
+                0usize..3,
+                prop::collection::vec(proptest::bool::ANY, 6),
+                prop::collection::vec(
+                    (
+                        0usize..9,
+                        prop::collection::vec(
+                            (0usize..3, 0u64..500, 1u32..80, proptest::bool::ANY),
+                            0..8,
+                        ),
+                    ),
+                    0..4,
+                ),
+            )
+                .prop_map(|(add_targets, removed_mask, edit_specs)| {
+                    let n = 6 + add_targets;
+                    let removed: Vec<TargetId> = removed_mask
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &r)| r)
+                        .map(|(t, _)| TargetId::new(t))
+                        .collect();
+                    let mut edited = vec![false; n];
+                    for &(t, _) in &edit_specs {
+                        if t < n {
+                            edited[t] = true;
+                        }
+                    }
+                    let mut edits = Vec::new();
+                    let mut taken = vec![false; n];
+                    for (t, events) in edit_specs {
+                        if t >= n || taken[t] || (t < 6 && removed_mask[t]) {
+                            continue;
+                        }
+                        taken[t] = true;
+                        edits.push(crate::TargetEdit {
+                            target: TargetId::new(t),
+                            events: events
+                                .into_iter()
+                                .map(|(i, s, d, critical)| {
+                                    if critical {
+                                        TraceEvent::critical(
+                                            InitiatorId::new(i),
+                                            TargetId::new(t),
+                                            s,
+                                            d,
+                                        )
+                                    } else {
+                                        TraceEvent::new(InitiatorId::new(i), TargetId::new(t), s, d)
+                                    }
+                                })
+                                .collect(),
+                        });
+                    }
+                    crate::WorkloadDelta {
+                        add_targets,
+                        removed,
+                        edits,
+                        threshold: None,
+                    }
+                })
+        }
+
         proptest! {
+            /// Random base + random delta: the `apply_delta` family —
+            /// window stats, overlap profile and in-place conflict-graph
+            /// patch — is bit-identical to re-analysing the patched trace
+            /// from scratch. This is the traffic half of the incremental
+            /// re-synthesis equivalence contract.
+            #[test]
+            fn delta_patch_equals_from_scratch(
+                tr in arb_trace(),
+                delta in arb_delta(),
+                ws in 1u64..250,
+                theta in 0u32..=60,
+            ) {
+                let threshold = f64::from(theta) / 100.0;
+                let patched = delta.apply(&tr).expect("generated deltas are valid");
+                let touched = delta.touched(tr.num_targets());
+
+                let base_stats = WindowStats::analyze(&tr, ws);
+                let inc_stats = base_stats.apply_delta(&patched, &touched);
+                let fresh_stats = WindowStats::analyze(&patched, ws);
+                prop_assert_eq!(&inc_stats, &fresh_stats);
+
+                let base_profile = base_stats.overlap_profile();
+                let inc_profile = base_profile.apply_delta(&inc_stats, &touched);
+                let fresh_profile = fresh_stats.overlap_profile();
+                prop_assert_eq!(&inc_profile, &fresh_profile);
+
+                let mut graph = base_profile
+                    .conflict_graph(threshold)
+                    .grown(patched.num_targets());
+                inc_profile.patch_conflict_graph(&mut graph, &touched, threshold);
+                prop_assert_eq!(graph, fresh_profile.conflict_graph(threshold));
+            }
+
             /// One profile, any threshold: the re-thresholded graph equals
             /// a fresh `ConflictGraph::from_stats` bit for bit — on both
             /// uniform and adaptive window plans.

@@ -85,6 +85,20 @@ impl OverlapMatrix {
         self.upper[k] += v;
     }
 
+    /// Sets the pair `(i,j)` to exactly `v` cycles of overlap — the
+    /// delta-patch counterpart of [`OverlapMatrix::add`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: u64) {
+        assert!(i != j, "diagonal overlap is undefined");
+        assert!(i < self.n && j < self.n, "overlap index out of range");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let k = self.idx(a, b);
+        self.upper[k] = v;
+    }
+
     /// Sum of overlaps between `target` and every member of `group`.
     #[must_use]
     pub fn overlap_with_group(&self, target: usize, group: &[usize]) -> u64 {
@@ -299,6 +313,148 @@ impl WindowStats {
 
         Self {
             window_size,
+            bounds,
+            num_windows,
+            num_targets: n,
+            comm,
+            wo,
+            overlap,
+            critical_busy,
+            horizon,
+        }
+    }
+
+    /// Re-derives the statistics after a workload delta, recomputing only
+    /// the rows and pairs that involve a `touched` target — the
+    /// incremental counterpart of [`WindowStats::analyze`] for uniform
+    /// window plans.
+    ///
+    /// `patched` is the post-delta trace (see
+    /// [`WorkloadDelta::apply`](crate::delta::WorkloadDelta::apply)) and
+    /// `touched` the indices whose event sets changed (removed, edited or
+    /// added targets — [`WorkloadDelta::touched`](crate::delta::WorkloadDelta::touched)).
+    /// Untouched rows are copied (padded or truncated to the new window
+    /// count — safe because an untouched target's events all end before
+    /// the new horizon, so any dropped windows held only zeros); touched
+    /// rows and every pair with a touched endpoint are recomputed from
+    /// the patched trace's busy-interval sets using the same integer
+    /// arithmetic as the full sweep. The result is **bit-identical** to
+    /// `WindowStats::analyze(patched, self.window_size())`.
+    ///
+    /// Pairwise work is O(touched × targets × (intervals + windows))
+    /// instead of the full sweep's all-pairs cost; the single pass that
+    /// rebuilds per-target busy sets is O(events) and unavoidable (the
+    /// horizon and the touched rows need it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this analysis does not use a uniform window plan
+    /// (adaptive plans re-derive their boundaries from the trace, so a
+    /// delta invalidates the plan itself — re-analyse from scratch), if
+    /// the patched trace has fewer targets than the base, or if an added
+    /// target is missing from `touched`.
+    #[must_use]
+    pub fn apply_delta(&self, patched: &Trace, touched: &[usize]) -> WindowStats {
+        assert!(
+            self.is_uniform(),
+            "delta patching requires a uniform window plan"
+        );
+        let ws = self.window_size;
+        let old_n = self.num_targets;
+        let old_windows = self.num_windows;
+        let n = patched.num_targets();
+        assert!(n >= old_n, "a delta never shrinks the target index space");
+        let mut is_touched = vec![false; n];
+        for &t in touched {
+            assert!(t < n, "touched target {t} out of range (< {n})");
+            is_touched[t] = true;
+        }
+        for (t, flag) in is_touched.iter().enumerate().skip(old_n) {
+            assert!(*flag, "added target {t} must be listed as touched");
+        }
+
+        let horizon = patched.horizon();
+        let num_windows = usize::try_from(horizon.div_ceil(ws)).unwrap_or(0).max(1);
+        let bounds: Vec<u64> = (0..=num_windows).map(|m| m as u64 * ws).collect();
+
+        // Busy sets for every target (touched pairs need their untouched
+        // partner's set too); critical sets only for touched targets —
+        // untouched ones are cloned below.
+        let mut busy: Vec<IntervalSet> = vec![IntervalSet::new(); n];
+        let mut critical: Vec<IntervalSet> = vec![IntervalSet::new(); n];
+        for e in patched.iter() {
+            let t = e.target.index();
+            let iv = Interval::new(e.start, e.end());
+            busy[t].insert(iv);
+            if e.critical && is_touched[t] {
+                critical[t].insert(iv);
+            }
+        }
+
+        // comm rows: copy untouched (pad/truncate), recompute touched.
+        let mut comm = vec![0u64; n * num_windows];
+        let shared = old_windows.min(num_windows);
+        for t in 0..n {
+            let row = &mut comm[t * num_windows..(t + 1) * num_windows];
+            if t < old_n && !is_touched[t] {
+                let old_row = &self.comm[t * old_windows..(t + 1) * old_windows];
+                row[..shared].copy_from_slice(&old_row[..shared]);
+                debug_assert!(
+                    old_row[shared..].iter().all(|&c| c == 0),
+                    "untouched demand beyond the new horizon"
+                );
+            } else {
+                for (m, slot) in row.iter_mut().enumerate() {
+                    *slot = busy[t].len_within(bounds[m], bounds[m + 1]);
+                }
+            }
+        }
+
+        // wo + aggregate overlap: copy untouched pairs, recompute pairs
+        // with a touched endpoint via interval-set intersection — the
+        // same cycles the sweep-line pass counts, grouped per window.
+        let npairs = n * n.saturating_sub(1) / 2;
+        let mut wo = vec![0u64; npairs * num_windows];
+        let mut overlap = OverlapMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let pair = i * n - i * (i + 1) / 2 + (j - i - 1);
+                let row = &mut wo[pair * num_windows..(pair + 1) * num_windows];
+                if j < old_n && !is_touched[i] && !is_touched[j] {
+                    let old_pair = i * old_n - i * (i + 1) / 2 + (j - i - 1);
+                    let old_row = &self.wo[old_pair * old_windows..(old_pair + 1) * old_windows];
+                    row[..shared].copy_from_slice(&old_row[..shared]);
+                    debug_assert!(
+                        old_row[shared..].iter().all(|&c| c == 0),
+                        "untouched overlap beyond the new horizon"
+                    );
+                    overlap.set(i, j, self.overlap.get(i, j));
+                } else {
+                    let isect = busy[i].intersection(&busy[j]);
+                    if isect.is_empty() {
+                        continue;
+                    }
+                    for (m, slot) in row.iter_mut().enumerate() {
+                        *slot = isect.len_within(bounds[m], bounds[m + 1]);
+                    }
+                    overlap.set(i, j, isect.total_len());
+                }
+            }
+        }
+
+        // Critical busy sets: clone untouched, keep recomputed touched.
+        let critical_busy: Vec<IntervalSet> = (0..n)
+            .map(|t| {
+                if t < old_n && !is_touched[t] {
+                    self.critical_busy[t].clone()
+                } else {
+                    std::mem::take(&mut critical[t])
+                }
+            })
+            .collect();
+
+        WindowStats {
+            window_size: ws,
             bounds,
             num_windows,
             num_targets: n,

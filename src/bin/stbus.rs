@@ -10,7 +10,8 @@
 //! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
 //!                  [--pruning off|standard|aggressive] [--json]
 //! stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
-//!                  [--cache-entries N]
+//!                  [--cache-entries N] [--keep-alive-requests N]
+//!                  [--idle-timeout-ms N]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -84,7 +85,8 @@ const USAGE: &str = "usage:
   stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
                    [--pruning off|standard|aggressive] [--json]
   stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
-                   [--cache-entries N]";
+                   [--cache-entries N] [--keep-alive-requests N]
+                   [--idle-timeout-ms N]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -435,6 +437,18 @@ fn serve<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
                 config.cache_entries = parse(value(args, flag)?, "cache entries")?;
                 if config.cache_entries == 0 {
                     return Err("--cache-entries needs at least 1".into());
+                }
+            }
+            "--keep-alive-requests" => {
+                config.keep_alive_requests = parse(value(args, flag)?, "keep-alive requests")?;
+                if config.keep_alive_requests == 0 {
+                    return Err("--keep-alive-requests needs at least 1".into());
+                }
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = parse(value(args, flag)?, "idle timeout")?;
+                if config.idle_timeout_ms == 0 {
+                    return Err("--idle-timeout-ms needs at least 1".into());
                 }
             }
             other => return Err(format!("unknown flag `{other}`")),

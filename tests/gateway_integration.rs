@@ -20,6 +20,7 @@ use stbus::core::{DesignParams, Pipeline, SolverKind};
 use stbus::gateway::json::{self, Value};
 use stbus::gateway::{Gateway, GatewayConfig};
 use stbus::traffic::workloads;
+use stbus::traffic::{InitiatorId, TargetEdit, TargetId, TraceEvent, WorkloadDelta};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -38,6 +39,8 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     read_response(&mut stream)
 }
 
+/// Writes a `Connection: close` request: the server answers exactly once
+/// and closes, so [`read_response`] can read to EOF.
 fn write_request(
     stream: &mut TcpStream,
     method: &str,
@@ -47,11 +50,63 @@ fn write_request(
 ) {
     let tenant_header = tenant.map_or(String::new(), |t| format!("X-Tenant: {t}\r\n"));
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: gw\r\n{tenant_header}\
+        "{method} {path} HTTP/1.1\r\nHost: gw\r\n{tenant_header}Connection: close\r\n\
          Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes()).expect("send request");
+}
+
+/// Writes a keep-alive request (no `Connection: close`): the server
+/// keeps the connection open for the next request.
+fn write_keepalive_request(stream: &mut TcpStream, method: &str, path: &str, body: &str) {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: gw\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+}
+
+/// Reads exactly one `Content-Length`-framed response off a persistent
+/// connection, returning `(status, head, body)` without waiting for EOF.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout");
+    let mut raw = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "EOF before response head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(raw[..head_end].to_vec()).expect("UTF-8 head");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().expect("length"))
+        })
+        .expect("Content-Length header");
+    let mut body = raw[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF before body end");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let body = String::from_utf8(body[..content_length].to_vec()).expect("UTF-8 body");
+    (status, head, body)
 }
 
 /// Reads to EOF and de-frames (the gateway always closes after one
@@ -100,14 +155,19 @@ fn dechunk(framed: &str) -> String {
     }
 }
 
-fn spawn_gateway(workers: usize, queue_depth: usize) -> Gateway {
-    Gateway::spawn(&GatewayConfig {
+fn test_config(workers: usize, queue_depth: usize) -> GatewayConfig {
+    GatewayConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
         cache_entries: 16,
-    })
-    .expect("spawn gateway")
+        log_requests: false,
+        ..GatewayConfig::default()
+    }
+}
+
+fn spawn_gateway(workers: usize, queue_depth: usize) -> Gateway {
+    Gateway::spawn(&test_config(workers, queue_depth)).expect("spawn gateway")
 }
 
 fn outcome_field<'a>(outcome: &'a Value, key: &str) -> &'a Value {
@@ -244,6 +304,233 @@ fn concurrent_identical_requests_are_single_flight() {
             .and_then(Value::as_u64),
         Some(4)
     );
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+/// Like [`assert_outcome_matches`] but without the assignment equality:
+/// warm-started solves contractually match verdict, probe log and bus
+/// count, while the binding itself may legitimately differ.
+fn assert_verdict_matches(wire: &Value, direct: &stbus::core::SynthesisOutcome) {
+    assert_eq!(
+        outcome_field(wire, "num_buses").as_u64(),
+        Some(direct.num_buses as u64)
+    );
+    assert_eq!(
+        outcome_field(wire, "lower_bound").as_u64(),
+        Some(direct.lower_bound as u64)
+    );
+    assert_eq!(
+        outcome_field(wire, "max_bus_overlap").as_u64(),
+        Some(direct.max_bus_overlap)
+    );
+    let probes: Vec<(u64, bool)> = outcome_field(wire, "probes")
+        .as_array()
+        .expect("probe array")
+        .iter()
+        .map(|p| {
+            let pair = p.as_array().expect("probe pair");
+            (
+                pair[0].as_u64().expect("bus count"),
+                pair[1].as_bool().expect("feasible"),
+            )
+        })
+        .collect();
+    let expected: Vec<(u64, bool)> = direct
+        .probes
+        .iter()
+        .map(|&(buses, feasible)| (buses as u64, feasible))
+        .collect();
+    assert_eq!(probes, expected, "probe log must match the cold search");
+}
+
+#[test]
+fn keep_alive_connections_serve_multiple_requests_with_request_ids() {
+    let gateway = spawn_gateway(2, 8);
+    let addr = gateway.addr();
+
+    // Three requests over ONE connection; each response is framed by
+    // Content-Length and stamped with a distinct X-Request-Id.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut ids = Vec::new();
+    for _ in 0..2 {
+        write_keepalive_request(&mut stream, "GET", "/stats", "");
+        let (status, head, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "head: {head}"
+        );
+        ids.push(request_id(&head));
+    }
+    write_keepalive_request(
+        &mut stream,
+        "POST",
+        "/synthesize",
+        r#"{"suite":"mat2","seed":42,"threshold":0.15}"#,
+    );
+    let (status, head, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "body: {body}");
+    ids.push(request_id(&head));
+    assert!(
+        json::parse(body.trim()).is_ok(),
+        "work response over a reused connection: {body}"
+    );
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "every request gets its own id");
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+fn request_id(head: &str) -> u64 {
+    head.lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("x-request-id:")
+                .map(str::to_string)
+        })
+        .expect("X-Request-Id header")
+        .trim()
+        .parse()
+        .expect("numeric request id")
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let mut config = test_config(1, 4);
+    config.keep_alive_requests = 2;
+    let gateway = Gateway::spawn(&config).expect("spawn gateway");
+    let addr = gateway.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_keepalive_request(&mut stream, "GET", "/stats", "");
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.to_ascii_lowercase().contains("connection: keep-alive"));
+
+    // Second request hits the cap: served, but with Connection: close…
+    write_keepalive_request(&mut stream, "GET", "/stats", "");
+    let (status, head, _) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "capped response must announce the close: {head}"
+    );
+
+    // …and the connection is gone: the next read sees EOF.
+    write_keepalive_request(&mut stream, "GET", "/stats", "");
+    let mut rest = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    assert!(
+        matches!(stream.read_to_end(&mut rest), Ok(0) | Err(_)),
+        "connection must close after the request cap"
+    );
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+#[test]
+fn delta_requests_reuse_artifacts_and_match_from_scratch() {
+    let gateway = spawn_gateway(2, 8);
+    let addr = gateway.addr();
+
+    // 1. A fresh workload request earns an artifact address.
+    let (status, body) = http_post(
+        addr,
+        "/synthesize",
+        r#"{"suite":"mat2","seed":42,"threshold":0.15}"#,
+        Some("acme"),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    let wire = json::parse(body.trim()).expect("JSON response");
+    let artifact = wire
+        .get("artifact")
+        .and_then(Value::as_str)
+        .expect("workload responses carry an artifact address")
+        .to_string();
+
+    // 2. An unknown address answers 404 (client falls back to scratch).
+    let (status, body) = http_post(
+        addr,
+        "/synthesize",
+        r#"{"artifact":"00000000deadbeef"}"#,
+        Some("acme"),
+    );
+    assert_eq!(status, 404, "body: {body}");
+
+    // 3. A delta against the real artifact: re-capture target 1's trace.
+    let events = [(0usize, 10u64, 5u32, false), (1, 40, 4, true)];
+    let delta_body = format!(
+        "{{\"artifact\":\"{artifact}\",\"delta\":{{\"edits\":[{{\"target\":1,\
+         \"events\":[[0,10,5],[1,40,4,true]]}}]}}}}"
+    );
+    let (status, body) = http_post(addr, "/synthesize", &delta_body, Some("acme"));
+    assert_eq!(status, 200, "body: {body}");
+    let warm = json::parse(body.trim()).expect("JSON response");
+    let chained = warm
+        .get("artifact")
+        .and_then(Value::as_str)
+        .expect("delta responses carry a chained address");
+    assert_ne!(chained, artifact, "chained address must be fresh");
+
+    // 4. The warm result matches a from-scratch solve of the patched
+    //    workload on verdict, probe log and bus count.
+    let app = workloads::matrix::mat2(42);
+    let params = DesignParams::default().with_overlap_threshold(0.15);
+    let delta = WorkloadDelta {
+        edits: vec![TargetEdit {
+            target: TargetId::new(1),
+            events: events
+                .iter()
+                .map(|&(i, start, dur, critical)| {
+                    let (ini, tgt) = (InitiatorId::new(i), TargetId::new(1));
+                    if critical {
+                        TraceEvent::critical(ini, tgt, start, dur)
+                    } else {
+                        TraceEvent::new(ini, tgt, start, dur)
+                    }
+                })
+                .collect(),
+        }],
+        ..WorkloadDelta::default()
+    };
+    let patched = Pipeline::collect(&app, &params)
+        .apply_delta(&delta)
+        .expect("valid delta");
+    let analyzed = patched.analyze(&params);
+    let direct = analyzed
+        .synthesize(&*SolverKind::Exact.synthesizer())
+        .expect("direct synthesis");
+    assert_verdict_matches(outcome_field(&warm, "it"), &direct.it);
+    assert_verdict_matches(outcome_field(&warm, "ti"), &direct.ti);
+
+    // 5. /stats attributes the reuse — globally and to the tenant.
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats = json::parse(stats.trim()).expect("stats JSON");
+    let requests = stats.get("requests").expect("request counters");
+    assert_eq!(
+        requests.get("delta_reuse").and_then(Value::as_u64),
+        Some(1),
+        "stats: {stats:?}"
+    );
+    assert_eq!(
+        requests.get("delta_miss").and_then(Value::as_u64),
+        Some(1),
+        "the unknown-artifact probe counts as a miss"
+    );
+    let acme = stats
+        .get("by_tenant")
+        .and_then(|t| t.get("acme"))
+        .expect("tenant breakdown");
+    assert_eq!(acme.get("delta_reuse").and_then(Value::as_u64), Some(1));
+    assert_eq!(acme.get("served").and_then(Value::as_u64), Some(2));
 
     gateway.shutdown();
     gateway.join();
