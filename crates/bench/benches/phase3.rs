@@ -37,7 +37,10 @@
 //!   regression in the PR-3 snapshot).
 //! * **Executor saturation** — a batch of **2** design points × 48-target
 //!   raced probes on the shared executor, recording the peak number of
-//!   simultaneously busy workers. Under the retired stacked pools the
+//!   simultaneously busy workers plus the time-weighted busy-worker
+//!   integral (worker·seconds), whose ratio to wall time is the mean
+//!   occupancy — meaningful even on 1-core hosts where the peak
+//!   saturates the moment two tasks overlap. Under the retired stacked pools the
 //!   batch's parallelism was pinned to the batch width (2); with one
 //!   work-stealing executor the inner probe and repair tasks spill onto
 //!   the leftover workers. On a 1-core host the row records scheduling
@@ -330,6 +333,7 @@ fn bench_phase3(c: &mut Criterion) {
     assert_eq!(sat_grid.len(), SATURATION_POINTS);
     let sat_jobs = NonZeroUsize::new(exec::workers()).expect("workers are positive");
     exec::reset_peak_busy();
+    exec::reset_busy_integral();
     let sat_start = Instant::now();
     let sat_results = Batch::over(&sat_apps, sat_grid)
         .with_strategy(Portfolio::with_budget(PROBE_BUDGET).with_jobs(sat_jobs))
@@ -338,6 +342,11 @@ fn bench_phase3(c: &mut Criterion) {
         .run();
     let sat_wall_s = sat_start.elapsed().as_secs_f64();
     let sat_peak_busy = exec::peak_busy();
+    // Time-weighted occupancy (worker·seconds / wall seconds). On a
+    // 1-core host `peak_busy_workers` saturates at the worker count the
+    // moment two tasks overlap for a microsecond; the integral is the
+    // honest utilization figure there.
+    let sat_busy_integral = exec::busy_integral();
     assert_eq!(sat_results.len(), SATURATION_POINTS);
     for point in &sat_results {
         assert!(point.result.is_ok(), "portfolio point failed");
@@ -399,6 +408,8 @@ fn bench_phase3(c: &mut Criterion) {
          \"executor_saturation\": {{\"batch_points\": {SATURATION_POINTS}, \
          \"targets\": {sat_targets}, \"executor_workers\": {sat_workers}, \
          \"probe_jobs\": {sat_probe_jobs}, \"peak_busy_workers\": {sat_peak_busy}, \
+         \"busy_worker_integral_s\": {sat_busy_integral:.6}, \
+         \"mean_busy_workers\": {sat_mean_busy:.3}, \
          \"wall_s\": {sat_wall_s:.6}, \"warning\": {sat_warning}}}\n}}\n",
         date = stbus_bench::today_utc(),
         points = THETA_SWEEP.len(),
@@ -407,6 +418,7 @@ fn bench_phase3(c: &mut Criterion) {
         consumed_probes = sequential.probes.len(),
         sat_workers = exec::workers(),
         sat_probe_jobs = sat_jobs.get(),
+        sat_mean_busy = sat_busy_integral / sat_wall_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_phase3.json");
     // The gateway-throughput and incremental-resynthesis benches share
@@ -414,7 +426,7 @@ fn bench_phase3(c: &mut Criterion) {
     // them (and vice versa over there).
     let old = std::fs::read_to_string(path).ok();
     let mut snapshot = snapshot;
-    for key in ["gateway_throughput", "incremental_resynthesis"] {
+    for key in ["gateway_throughput", "incremental_resynthesis", "hotpath"] {
         if let Some(row) = old
             .as_deref()
             .and_then(|old| stbus_bench::extract_top_level(old, key))

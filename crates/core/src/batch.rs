@@ -230,6 +230,23 @@ impl<'a> Batch<'a> {
     /// across the shared executor's workers.
     #[must_use]
     pub fn run(&self) -> Vec<BatchResult> {
+        let mut out = Vec::with_capacity(self.jobs.len());
+        self.run_streaming(|_, result| out.push(result));
+        out
+    }
+
+    /// [`Batch::run`], but results are handed to `sink` **in job order as
+    /// they complete** instead of materialised as one vector at the end:
+    /// `sink(i, result)` is called for `i = 0, 1, …` while later design
+    /// points are still evaluating (bounded look-ahead, see
+    /// [`exec::map_streaming`]). A CLI batch prints finished rows
+    /// immediately; a gateway sweep serialises them into its response as
+    /// they land. The results and their order are bit-identical to
+    /// [`Batch::run`] at every worker count.
+    pub fn run_streaming<S>(&self, sink: S)
+    where
+        S: FnMut(usize, BatchResult),
+    {
         // --- Stage A: one collection per (app, collection key). ---
         let collect_specs = self.collection_plan();
         let collected: Vec<Collected<'a>> = exec::map(
@@ -265,8 +282,9 @@ impl<'a> Batch<'a> {
                 .expect("every job's analysis was prepared in stage A2")
         };
 
-        // --- Stage B: evaluate every point against its artifacts. ---
-        exec::map(
+        // --- Stage B: evaluate every point against its artifacts,
+        // streaming each finished result to the sink in job order. ---
+        exec::map_streaming(
             &self.jobs,
             self.worker_count(self.jobs.len()),
             |&(a, g, ref params)| {
@@ -282,7 +300,8 @@ impl<'a> Batch<'a> {
                     result,
                 }
             },
-        )
+            sink,
+        );
     }
 }
 

@@ -85,6 +85,19 @@ pub mod batch;
 /// worker set, so inner work fills whatever cores the outer layer left
 /// idle instead of stacking a second pool.
 ///
+/// The executor schedules at **two priority levels**: work enters the
+/// per-worker deques / global injector as usual, and a consumer that
+/// knows which result it needs next bumps that one task into a priority
+/// lane with [`exec::TaskScope::promote`] — the probe scheduler promotes
+/// its consume-next feasibility probe so speculative backlog never
+/// starves the critical path. Promotion is a scheduling hint only;
+/// claim-once tickets keep every result bit-identical in any drain
+/// order. **Streaming scopes** ([`exec::map_streaming`]) deliver results
+/// to a sink in input order as they complete with a bounded look-ahead
+/// window — the [`crate::Batch`] runner streams finished design points
+/// and the gateway streams sweep rows without materialising the whole
+/// output first.
+///
 /// This is a re-export of the bottom-layer `stbus-exec` crate (it sits
 /// below `stbus-milp` so the solver layers can poll its
 /// [`exec::CancelToken`]); see that crate's documentation for the

@@ -553,10 +553,16 @@ impl ProbeScheduler {
                 }
                 // Consume the one probe the sequential search needs next
                 // (the wave always leads with it, so it is always
-                // submitted by now). The replay never cancels a probe
-                // still in the reachable set, so without an external
-                // token the slot cannot hold the cancellation marker; a
-                // `None` here means the external authority went away.
+                // submitted by now). Promote it first: the consume-next
+                // probe jumps the executor's priority lane ahead of the
+                // speculative backlog, so a saturated worker set starts
+                // it before deeper speculation — a scheduling hint only,
+                // results are bit-identical (claim-once tickets). The
+                // replay never cancels a probe still in the reachable
+                // set, so without an external token the slot cannot hold
+                // the cancellation marker; a `None` here means the
+                // external authority went away.
+                s.promote(task_of[&mid]);
                 s.take(task_of[&mid])
             });
             // Unconsumed speculation is cancelled here (and drained by

@@ -56,6 +56,7 @@
 //! ```
 
 use crate::baselines::{average_flow_design, peak_bandwidth_design, random_binding_design};
+use crate::exec;
 use crate::flow::{ConfigEval, DesignReport, FlowError};
 use crate::incremental::patch_traffic;
 use crate::params::DesignParams;
@@ -710,42 +711,39 @@ impl Synthesized<'_> {
         let num_initiators = app.spec.num_initiators();
         let num_targets = app.spec.num_targets();
 
-        let designed = ConfigEval::new(
-            "designed",
+        // Stage the cheap, fallible part first: the avg-flow/peak/random
+        // baselines solve their own MILPs, which stay sequential so `?`
+        // error handling is unchanged. What remains per spec is the
+        // expensive cycle-accurate simulation pair; those run through
+        // the shared executor below.
+        let mut specs: Vec<(String, CrossbarConfig, CrossbarConfig)> = vec![(
+            "designed".to_string(),
             self.it.config.clone(),
             self.ti.config.clone(),
-            app,
-            params,
-        );
-
-        let mut evals = Vec::new();
+        )];
         if baselines.full {
-            evals.push(ConfigEval::new(
-                "full",
+            specs.push((
+                "full".to_string(),
                 CrossbarConfig::full(num_targets).with_arbitration(params.arbitration),
                 CrossbarConfig::full(num_initiators).with_arbitration(params.arbitration),
-                app,
-                params,
             ));
         }
         if baselines.shared {
-            evals.push(ConfigEval::new(
-                "shared",
+            specs.push((
+                "shared".to_string(),
                 CrossbarConfig::shared_bus(num_targets).with_arbitration(params.arbitration),
                 CrossbarConfig::shared_bus(num_initiators).with_arbitration(params.arbitration),
-                app,
-                params,
             ));
         }
         if baselines.avg_flow {
             let avg_it = average_flow_design(&traffic.it_trace, params)?.config;
             let avg_ti = average_flow_design(&traffic.ti_trace, params)?.config;
-            evals.push(ConfigEval::new("avg-based", avg_it, avg_ti, app, params));
+            specs.push(("avg-based".to_string(), avg_it, avg_ti));
         }
         if baselines.peak {
             let peak_it = peak_bandwidth_design(&traffic.it_trace, params)?.config;
             let peak_ti = peak_bandwidth_design(&traffic.ti_trace, params)?.config;
-            evals.push(ConfigEval::new("peak-based", peak_it, peak_ti, app, params));
+            specs.push(("peak-based".to_string(), peak_it, peak_ti));
         }
         for &seed in &baselines.random_seeds {
             // A random permutation can be infeasible at the optimal size;
@@ -755,15 +753,19 @@ impl Synthesized<'_> {
             let rnd_ti =
                 random_binding_design(&self.analyzed.pre_ti, self.ti.num_buses, seed, params)?;
             if let (Some(it), Some(ti)) = (rnd_it, rnd_ti) {
-                evals.push(ConfigEval::new(
-                    &format!("random-{seed}"),
-                    it.config,
-                    ti.config,
-                    app,
-                    params,
-                ));
+                specs.push((format!("random-{seed}"), it.config, ti.config));
             }
         }
+
+        // Phase-4 simulations are independent per spec, so they feed the
+        // process-wide worker set like every other parallel layer.
+        // `exec::map` preserves spec order, so the evaluation is
+        // bit-identical to the old sequential loop at any worker count.
+        let mut results = exec::map(&specs, exec::parallelism(), |(label, it, ti)| {
+            ConfigEval::new(label, it.clone(), ti.clone(), app, params)
+        });
+        let designed = results.remove(0);
+        let evals = results;
 
         Ok(Evaluation {
             app_name: app.name().to_string(),

@@ -22,7 +22,18 @@
 //!   occupied;
 //! * **cooperative cancellation** — every submitted task receives a
 //!   [`CancelToken`] child of its scope; cancelling a task (or the whole
-//!   scope) flips a flag the task polls at its own checkpoints.
+//!   scope) flips a flag the task polls at its own checkpoints;
+//! * **two-level priorities** — [`TaskScope::promote`] re-injects a
+//!   task's claim ticket into a priority lane that every worker drains
+//!   ahead of its own deque, the injector and steals. Consumers promote
+//!   the task they will block on next (the probe scheduler's
+//!   consume-next probe), so deep speculative backlog cannot starve the
+//!   result on the critical path. Priorities are scheduling hints only:
+//!   claim-once tickets keep results bit-identical in any drain order;
+//! * **result streaming** — [`map_streaming`] delivers results to a sink
+//!   in input order as they complete, with a bounded look-ahead window,
+//!   so batch runners and gateway sweeps emit early rows while later
+//!   design points still compute.
 //!
 //! # Determinism contract
 //!
@@ -72,7 +83,7 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // --------------------------------------------------------------------------
 // Cancellation
@@ -192,7 +203,23 @@ struct Shard {
     queue: Mutex<VecDeque<Task>>,
 }
 
+/// Time-weighted busy-worker accounting: `acc` accumulates
+/// `busy × elapsed` (worker·seconds) across every busy-count transition,
+/// so `busy_integral() / wall_seconds` is the *average* worker occupancy
+/// over a measurement window. On a 1-core host `peak_busy` saturates at 1
+/// and says nothing about utilisation; the integral still distinguishes
+/// "one worker pegged the whole run" from "one worker busy 10% of it".
+#[derive(Default)]
+struct BusyClock {
+    last: Option<Instant>,
+    acc: f64,
+}
+
 struct Registry {
+    /// Promoted claim tickets, drained ahead of every other queue: the
+    /// priority lane for results a consumer is about to block on (see
+    /// [`TaskScope::promote`]).
+    priority: Mutex<VecDeque<Task>>,
     /// Tasks submitted from non-worker threads, drained FIFO.
     injector: Mutex<VecDeque<Task>>,
     /// Grow-only list of worker deques (stealing scans a snapshot).
@@ -207,6 +234,8 @@ struct Registry {
     /// occupancy the saturation bench snapshots.
     busy: AtomicUsize,
     peak_busy: AtomicUsize,
+    /// Time-weighted busy integral (bench instrumentation).
+    busy_clock: Mutex<BusyClock>,
     /// Target worker count ([`ensure_workers`] grows it).
     target: AtomicUsize,
     spawned: Mutex<usize>,
@@ -283,14 +312,44 @@ pub fn peak_busy() -> usize {
     registry().peak_busy.load(Ordering::Relaxed)
 }
 
+/// Restarts the time-weighted busy integral at zero (bench
+/// instrumentation; pair with [`busy_integral`] around a measured
+/// region).
+pub fn reset_busy_integral() {
+    let registry = registry();
+    let mut clock = lock(&registry.busy_clock);
+    clock.acc = 0.0;
+    clock.last = Some(Instant::now());
+}
+
+/// Worker·seconds of task execution since the last
+/// [`reset_busy_integral`]: the integral of the busy-worker count over
+/// wall time. Dividing by the elapsed wall seconds gives average worker
+/// occupancy — meaningful even where `peak_busy` saturates (e.g. every
+/// value is 1 on a 1-core host).
+#[must_use]
+pub fn busy_integral() -> f64 {
+    let registry = registry();
+    let busy = registry.busy.load(Ordering::Relaxed);
+    let mut clock = lock(&registry.busy_clock);
+    let now = Instant::now();
+    if let Some(last) = clock.last {
+        clock.acc += busy as f64 * now.duration_since(last).as_secs_f64();
+    }
+    clock.last = Some(now);
+    clock.acc
+}
+
 fn registry() -> &'static Registry {
     let registry = REGISTRY.get_or_init(|| Registry {
+        priority: Mutex::new(VecDeque::new()),
         injector: Mutex::new(VecDeque::new()),
         shards: Mutex::new(Vec::new()),
         park: Mutex::new(()),
         wake: Condvar::new(),
         busy: AtomicUsize::new(0),
         peak_busy: AtomicUsize::new(0),
+        busy_clock: Mutex::new(BusyClock::default()),
         target: AtomicUsize::new(configured_width()),
         spawned: Mutex::new(0),
     });
@@ -336,9 +395,14 @@ impl Registry {
         }
     }
 
-    /// Pops one runnable task: own deque LIFO, then the injector FIFO,
-    /// then steal FIFO from any other worker's deque.
+    /// Pops one runnable task: the priority lane first (promoted
+    /// consume-next tickets preempt everything, including the local
+    /// deque's speculative depth-first work), then own deque LIFO, then
+    /// the injector FIFO, then steal FIFO from any other worker's deque.
     fn find_task(&self) -> Option<Task> {
+        if let Some(task) = lock(&self.priority).pop_front() {
+            return Some(task);
+        }
         let own = WORKER_SHARD.with(|slot| slot.borrow().clone());
         if let Some(shard) = &own {
             if let Some(task) = lock(&shard.queue).pop_back() {
@@ -363,7 +427,7 @@ impl Registry {
     }
 
     fn any_queued(&self) -> bool {
-        if !lock(&self.injector).is_empty() {
+        if !lock(&self.priority).is_empty() || !lock(&self.injector).is_empty() {
             return true;
         }
         let shards: Vec<Arc<Shard>> = lock(&self.shards).clone();
@@ -384,6 +448,17 @@ impl Registry {
         self.wake.notify_all();
     }
 
+    /// Queues a task into the priority lane, ahead of every deque and
+    /// the regular injector. Used only for duplicate claim tickets
+    /// ([`TaskScope::promote`]): claim-once semantics make the duplicate
+    /// harmless, and the lane jump means the next free worker runs the
+    /// promoted body before any speculative backlog.
+    fn inject_priority(&self, task: Task) {
+        lock(&self.priority).push_back(task);
+        let _guard = lock(&self.park);
+        self.wake.notify_all();
+    }
+
     /// Runs one task with busy accounting: the outermost task on a
     /// thread marks it busy; nested helps on the same thread do not
     /// double-count.
@@ -400,13 +475,29 @@ impl Registry {
 
     fn mark_busy(&self) {
         ACTIVE.with(|a| a.set(true));
-        let now = self.busy.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_busy.fetch_max(now, Ordering::Relaxed);
+        let before = self.busy.fetch_add(1, Ordering::Relaxed);
+        self.advance_clock(before);
+        self.peak_busy.fetch_max(before + 1, Ordering::Relaxed);
     }
 
     fn mark_idle(&self) {
         ACTIVE.with(|a| a.set(false));
-        self.busy.fetch_sub(1, Ordering::Relaxed);
+        let before = self.busy.fetch_sub(1, Ordering::Relaxed);
+        self.advance_clock(before);
+    }
+
+    /// Accumulates `busy_before × elapsed` into the busy integral at a
+    /// busy-count transition. Instrumentation only: the count and the
+    /// clock are not updated atomically together, so concurrent
+    /// transitions can misattribute microseconds — irrelevant at the
+    /// seconds-long bench windows this feeds.
+    fn advance_clock(&self, busy_before: usize) {
+        let mut clock = lock(&self.busy_clock);
+        let now = Instant::now();
+        if let Some(last) = clock.last {
+            clock.acc += busy_before as f64 * now.duration_since(last).as_secs_f64();
+        }
+        clock.last = Some(now);
     }
 
     /// Runs one queued task if any exists; the helping half of every
@@ -614,6 +705,34 @@ impl<'scope, 'env, R: Send + 'env> TaskScope<'scope, 'env, R> {
         index
     }
 
+    /// Bumps the task at `index` into the executor's priority lane: the
+    /// next free worker runs it before any regular queued work. Call
+    /// this for the result a consumer will block on next (e.g. the probe
+    /// scheduler's consume-next probe) so deep speculative backlog
+    /// cannot starve it.
+    ///
+    /// Purely a scheduling hint — what travels is a *duplicate* claim
+    /// ticket, and bodies are claimed exactly once, so promoting a task
+    /// that already ran (or that the consumer claims inline first) is a
+    /// harmless no-op and results are bit-identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not returned by this scope's `submit`.
+    pub fn promote(&self, index: usize) {
+        assert!(
+            index < lock(&self.group.state).slots.len(),
+            "promote({index}) out of range"
+        );
+        let group = Arc::clone(&self.group);
+        let ticket: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Some(body) = group.claim(index) {
+                body();
+            }
+        });
+        registry().inject_priority(erase_task(ticket));
+    }
+
     /// Cancels the task at `index` (cooperative: the task notices at its
     /// next poll; its slot still resolves).
     ///
@@ -817,6 +936,56 @@ where
         .collect()
 }
 
+/// Streaming order-preserving parallel map: like [`map`], but results
+/// are handed to `sink` **in input order as they become ready**, instead
+/// of materialising the whole output vector first.
+///
+/// At most `width` items run ahead of the consumption point, so memory
+/// stays bounded and early results reach the caller while later items
+/// are still computing — a batch runner can print/serialise design point
+/// `i` while `i+1..i+width` evaluate, and a gateway sweep can stream
+/// per-candidate rows into its response as they land. The consuming
+/// thread helps run queued tasks while it waits, and the next result it
+/// needs is claimed inline if unstarted ([`TaskScope::take`]'s consumer
+/// priority), so streaming never idles behind speculation.
+///
+/// Determinism: `sink` observes exactly the pairs `(i, f(&items[i]))` in
+/// increasing `i` — bit-identical to a sequential loop for pure `f` at
+/// every worker count. `width <= 1` *is* that sequential loop: no tasks
+/// are submitted.
+pub fn map_streaming<T, R, F, S>(items: &[T], width: usize, f: F, mut sink: S)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    S: FnMut(usize, R),
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if width <= 1 || n == 1 {
+        for (i, item) in items.iter().enumerate() {
+            sink(i, f(item));
+        }
+        return;
+    }
+    let f = &f;
+    scope(|s: &TaskScope<'_, '_, R>| {
+        let mut submitted = 0usize;
+        for emit in 0..n {
+            // Keep the in-flight window topped up: items
+            // `emit..emit+width` are submitted, everything later waits.
+            while submitted < n && submitted < emit + width {
+                let i = submitted;
+                s.submit(move |_token| f(&items[i]));
+                submitted += 1;
+            }
+            sink(emit, s.take(emit));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -966,6 +1135,63 @@ mod tests {
             })
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_streaming_is_in_order_and_complete() {
+        let items: Vec<usize> = (0..40).collect();
+        for width in [1, 2, 3, 8, 64] {
+            let mut seen: Vec<(usize, usize)> = Vec::new();
+            map_streaming(&items, width, |&x| x * x, |i, r| seen.push((i, r)));
+            let expected: Vec<(usize, usize)> = (0..40).map(|i| (i, i * i)).collect();
+            assert_eq!(seen, expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn map_streaming_empty_input() {
+        let none: Vec<u32> = Vec::new();
+        map_streaming(&none, 4, |&x| x, |_, _| panic!("no items, no calls"));
+    }
+
+    #[test]
+    fn promote_is_a_harmless_hint() {
+        // Promoting before, after, and instead of taking never changes
+        // results; duplicates of already-run bodies are no-ops.
+        let values = scope(|s: &TaskScope<'_, '_, usize>| {
+            let ids: Vec<usize> = (0..16).map(|i| s.submit(move |_| i * 7)).collect();
+            for &id in ids.iter().rev() {
+                s.promote(id);
+            }
+            s.promote(ids[3]);
+            ids.iter().map(|&id| s.take(id)).collect::<Vec<_>>()
+        });
+        assert_eq!(values, (0..16).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn promote_rejects_unknown_index() {
+        scope(|s: &TaskScope<'_, '_, ()>| s.promote(5));
+    }
+
+    #[test]
+    fn busy_integral_accumulates() {
+        reset_busy_integral();
+        let items: Vec<u64> = (0..64).collect();
+        let total: u64 = map(&items, 4, |&x| {
+            // Enough work to register on the clock.
+            let mut acc = x;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        })
+        .iter()
+        .sum();
+        assert_eq!(total, (0..64).sum::<u64>());
+        assert!(busy_integral() > 0.0);
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! persist once created (tenant names are expected to be few and
 //! long-lived); an empty lane is skipped by the rotation at no cost.
 //!
+//! On top of the global bound, each lane has its own **admission quota**
+//! ([`IngressQueue::with_tenant_depth`], default = the global depth, so
+//! quotas are off unless configured): a tenant at its quota is refused
+//! with [`SubmitError::TenantQueueFull`] even while the queue has room,
+//! so one flooding tenant cannot consume the whole global depth and
+//! starve *admission* for everyone else (round-robin only protects
+//! tenants who already got in).
+//!
 //! Shutdown: [`IngressQueue::close`] atomically stops admission and
 //! returns every still-queued job so the caller can fail them
 //! explicitly; blocked workers wake and drain — [`IngressQueue::next`]
@@ -29,6 +37,9 @@ use std::sync::{Condvar, Mutex};
 pub enum SubmitError {
     /// The queue is at capacity — retry later (HTTP 429).
     QueueFull,
+    /// The submitting tenant is at its own lane quota while the queue
+    /// still has room — retry later (HTTP 429, tenant-attributed).
+    TenantQueueFull,
     /// The service is shutting down (HTTP 503).
     ShuttingDown,
 }
@@ -49,6 +60,9 @@ pub struct IngressQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     depth: usize,
+    /// Per-lane admission quota; `== depth` means effectively unlimited
+    /// (the global bound always trips first).
+    tenant_depth: usize,
 }
 
 impl<T> IngressQueue<T> {
@@ -69,7 +83,22 @@ impl<T> IngressQueue<T> {
             }),
             available: Condvar::new(),
             depth,
+            tenant_depth: depth,
         }
+    }
+
+    /// Sets the per-tenant admission quota: at most this many waiting
+    /// jobs per lane, refused with [`SubmitError::TenantQueueFull`]
+    /// beyond it. Defaults to the global depth (no separate quota).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant_depth` is zero (a tenant could never submit).
+    #[must_use]
+    pub fn with_tenant_depth(mut self, tenant_depth: usize) -> Self {
+        assert!(tenant_depth > 0, "tenant queue depth must be at least 1");
+        self.tenant_depth = tenant_depth;
+        self
     }
 
     /// The admission bound this queue was built with.
@@ -78,11 +107,18 @@ impl<T> IngressQueue<T> {
         self.depth
     }
 
+    /// The per-tenant admission quota ([`IngressQueue::with_tenant_depth`]).
+    #[must_use]
+    pub fn tenant_depth(&self) -> usize {
+        self.tenant_depth
+    }
+
     /// Enqueues `job` on `tenant`'s lane, waking one worker.
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] at capacity,
+    /// [`SubmitError::QueueFull`] at global capacity,
+    /// [`SubmitError::TenantQueueFull`] at the tenant's own quota,
     /// [`SubmitError::ShuttingDown`] after [`IngressQueue::close`].
     pub fn submit(&self, tenant: &str, job: T) -> Result<(), SubmitError> {
         let mut state = self.state.lock().expect("queue lock");
@@ -93,7 +129,12 @@ impl<T> IngressQueue<T> {
             return Err(SubmitError::QueueFull);
         }
         match state.lanes.iter_mut().find(|(name, _)| name == tenant) {
-            Some((_, lane)) => lane.push_back(job),
+            Some((_, lane)) => {
+                if lane.len() >= self.tenant_depth {
+                    return Err(SubmitError::TenantQueueFull);
+                }
+                lane.push_back(job);
+            }
             None => {
                 let mut lane = VecDeque::new();
                 lane.push_back(job);
@@ -201,6 +242,38 @@ mod tests {
         assert_eq!(queue.next(), Some(1));
         queue.submit("t", 3).unwrap();
         assert_eq!(queue.queued(), 2);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_hog() {
+        let queue = IngressQueue::new(8).with_tenant_depth(2);
+        assert_eq!(queue.tenant_depth(), 2);
+        queue.submit("hog", 1).unwrap();
+        queue.submit("hog", 2).unwrap();
+        // The hog hits its own quota while the queue has room…
+        assert_eq!(queue.submit("hog", 3), Err(SubmitError::TenantQueueFull));
+        // …and other tenants are unaffected.
+        queue.submit("meek", 10).unwrap();
+        // Claiming a hog job frees one of its quota slots.
+        assert_eq!(queue.next(), Some(1));
+        queue.submit("hog", 3).unwrap();
+        // The global bound still answers QueueFull, not the quota.
+        let full = IngressQueue::new(2).with_tenant_depth(2);
+        full.submit("a", 1).unwrap();
+        full.submit("b", 2).unwrap();
+        assert_eq!(full.submit("c", 3), Err(SubmitError::QueueFull));
+    }
+
+    #[test]
+    fn default_tenant_quota_is_the_global_depth() {
+        let queue = IngressQueue::new(3);
+        assert_eq!(queue.tenant_depth(), 3);
+        for job in 0..3 {
+            queue.submit("only", job).unwrap();
+        }
+        // One tenant may fill the whole queue when no quota is set; the
+        // refusal is the global bound's.
+        assert_eq!(queue.submit("only", 3), Err(SubmitError::QueueFull));
     }
 
     #[test]

@@ -80,6 +80,7 @@ use crate::wire::{self, DeltaRequest, SuiteRequest, SynthesizeRequest, WorkReque
 use stbus_core::phase1::CollectedTraffic;
 use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionKey, Pipeline};
 use stbus_core::{DesignParams, Preprocessed, SolverKind};
+use stbus_exec as exec;
 use stbus_exec::CancelToken;
 use stbus_milp::{Binding, PruningLevel, WarmStart};
 use stbus_traffic::workloads::Application;
@@ -104,6 +105,10 @@ pub struct GatewayConfig {
     pub workers: usize,
     /// Ingress queue depth (waiting jobs) — the admission bound.
     pub queue_depth: usize,
+    /// Per-tenant admission quota (waiting jobs per `X-Tenant` lane);
+    /// `None` = the global depth, i.e. no separate quota. Refusals
+    /// answer `429` and are attributed to the tenant in `/stats`.
+    pub tenant_queue_depth: Option<usize>,
     /// Capacity of each artifact cache, in ready entries.
     pub cache_entries: usize,
     /// Requests served per connection before the gateway closes it —
@@ -123,6 +128,7 @@ impl Default for GatewayConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: stbus_exec::parallelism().max(1),
             queue_depth: 32,
+            tenant_queue_depth: None,
             cache_entries: 64,
             keep_alive_requests: 100,
             idle_timeout_ms: 5_000,
@@ -158,11 +164,15 @@ struct Job {
     reply: Sender<Reply>,
 }
 
-/// Per-tenant served/reuse counters for the `/stats` breakdown.
+/// Per-tenant served/reuse/rejection counters for the `/stats` breakdown.
 #[derive(Debug, Default, Clone, Copy)]
 struct TenantCounters {
     served: u64,
     delta_reuse: u64,
+    /// `429`s this tenant earned by filling its own lane quota — the
+    /// per-tenant reason behind a rejection count that would otherwise
+    /// be indistinguishable from global queue pressure.
+    rejected_quota: u64,
 }
 
 /// Everything a delta request needs to resume where a previous request
@@ -215,6 +225,14 @@ impl Shared {
             entry.served += 1;
         }
     }
+
+    fn bump_tenant_quota_rejection(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("tenant counters");
+        tenants
+            .entry(tenant.to_string())
+            .or_default()
+            .rejected_quota += 1;
+    }
 }
 
 /// A running gateway. Dropping the handle does **not** stop the server;
@@ -237,7 +255,12 @@ impl Gateway {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            queue: IngressQueue::new(config.queue_depth.max(1)),
+            queue: IngressQueue::new(config.queue_depth.max(1)).with_tenant_depth(
+                config
+                    .tenant_queue_depth
+                    .unwrap_or(config.queue_depth)
+                    .max(1),
+            ),
             collect_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             analysis_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             resynth_cache: SingleFlightCache::new(config.cache_entries.max(1)),
@@ -548,6 +571,20 @@ fn dispatch(
                 429,
                 "Too Many Requests",
                 "{\"error\":\"queue full, retry later\"}\n",
+                &["Retry-After: 1", &rid],
+                keep_alive,
+            )
+            .is_ok();
+            return keep_alive && ok;
+        }
+        Err(SubmitError::TenantQueueFull) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.bump_tenant_quota_rejection(&tenant);
+            let ok = http::respond(
+                stream,
+                429,
+                "Too Many Requests",
+                "{\"error\":\"tenant queue full, retry later\"}\n",
                 &["Retry-After: 1", &rid],
                 keep_alive,
             )
@@ -1083,77 +1120,91 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
     let jobs = effective_jobs(base.jobs);
     let strategy = base.solver.synthesizer_with(jobs, base.pruning);
     let solver = base.solver.to_string();
+    // Streaming look-ahead across sweep points mirrors the per-point
+    // probe width: `jobs == 1` degenerates to the old sequential loop.
+    let width = jobs.map_or(1, NonZeroUsize::get);
 
     // One reply line per threshold:
     //   trace mode:    {"threshold":θ,"outcome":{…}}
     //   workload mode: {"threshold":θ,"it":{…},"ti":{…}}
     // The window analysis runs once; each point re-thresholds in
-    // O(pairs), exactly as the sweep-resident pipeline does.
+    // O(pairs), exactly as the sweep-resident pipeline does. Points run
+    // through the executor's streaming map: up to `jobs` thresholds
+    // evaluate concurrently while finished lines flush to the client in
+    // threshold order, so the response is byte-identical to the old
+    // sequential loop (which `jobs == 1` still is, exactly). A cancelled
+    // or budget-abandoned point ends the stream; the look-ahead points
+    // behind it observe the same token and wind down unconsumed.
     let _ = job.reply.send(Reply::StreamStart);
     let mut completed = true;
-    match &base.work {
-        WorkSpec::Trace(trace) => {
-            let pre = Preprocessed::analyze(trace, &base.params);
-            for &theta in &request.thresholds {
-                if job.token.is_cancelled() {
-                    completed = false;
-                    break;
-                }
-                let params = base.params.clone().with_overlap_threshold(theta);
-                let pre = pre.at_threshold(theta);
-                match strategy.synthesize_cancellable(&pre, &params, &job.token) {
-                    Ok(Some(outcome)) => {
-                        let line = format!(
-                            "{{\"threshold\":{theta},\"outcome\":{}}}\n",
-                            outcome.to_json(&solver)
-                        );
-                        let _ = job.reply.send(Reply::Chunk(line));
-                    }
-                    Ok(None) => {
-                        completed = false;
-                        break;
-                    }
-                    Err(e) => {
-                        let line = format!(
-                            "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
-                            stbus_core::json_escape(&e.to_string())
-                        );
-                        let _ = job.reply.send(Reply::Chunk(line));
-                    }
-                }
+    {
+        let completed = &mut completed;
+        let mut emit = |theta: f64, point: Option<Result<String, String>>| {
+            if !*completed {
+                return;
             }
-        }
-        WorkSpec::Workload(spec) => {
-            let app = spec.build();
-            let front = CachedAnalysis::build(shared, &app, &base.params);
-            for &theta in &request.thresholds {
-                if job.token.is_cancelled() {
-                    completed = false;
-                    break;
+            match point {
+                Some(Ok(fields)) => {
+                    let line = format!("{{\"threshold\":{theta},{fields}}}\n");
+                    let _ = job.reply.send(Reply::Chunk(line));
                 }
-                let params = base.params.clone().with_overlap_threshold(theta);
-                let analyzed = front.collected.analyze_with(&front.artifact, &params);
-                match analyzed.synthesize_cancellable(&*strategy, &job.token) {
-                    Ok(Some(designed)) => {
-                        let line = format!(
-                            "{{\"threshold\":{theta},\"it\":{},\"ti\":{}}}\n",
-                            designed.it.to_json(&solver),
-                            designed.ti.to_json(&solver),
-                        );
-                        let _ = job.reply.send(Reply::Chunk(line));
-                    }
-                    Ok(None) => {
-                        completed = false;
-                        break;
-                    }
-                    Err(e) => {
-                        let line = format!(
-                            "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
-                            stbus_core::json_escape(&e.to_string())
-                        );
-                        let _ = job.reply.send(Reply::Chunk(line));
-                    }
+                Some(Err(message)) => {
+                    let line = format!(
+                        "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
+                        stbus_core::json_escape(&message)
+                    );
+                    let _ = job.reply.send(Reply::Chunk(line));
                 }
+                None => *completed = false,
+            }
+        };
+        match &base.work {
+            WorkSpec::Trace(trace) => {
+                let pre = Preprocessed::analyze(trace, &base.params);
+                exec::map_streaming(
+                    &request.thresholds,
+                    width,
+                    |&theta| {
+                        if job.token.is_cancelled() {
+                            return None;
+                        }
+                        let params = base.params.clone().with_overlap_threshold(theta);
+                        let pre = pre.at_threshold(theta);
+                        match strategy.synthesize_cancellable(&pre, &params, &job.token) {
+                            Ok(Some(outcome)) => {
+                                Some(Ok(format!("\"outcome\":{}", outcome.to_json(&solver))))
+                            }
+                            Ok(None) => None,
+                            Err(e) => Some(Err(e.to_string())),
+                        }
+                    },
+                    |i, point| emit(request.thresholds[i], point),
+                );
+            }
+            WorkSpec::Workload(spec) => {
+                let app = spec.build();
+                let front = CachedAnalysis::build(shared, &app, &base.params);
+                exec::map_streaming(
+                    &request.thresholds,
+                    width,
+                    |&theta| {
+                        if job.token.is_cancelled() {
+                            return None;
+                        }
+                        let params = base.params.clone().with_overlap_threshold(theta);
+                        let analyzed = front.collected.analyze_with(&front.artifact, &params);
+                        match analyzed.synthesize_cancellable(&*strategy, &job.token) {
+                            Ok(Some(designed)) => Some(Ok(format!(
+                                "\"it\":{},\"ti\":{}",
+                                designed.it.to_json(&solver),
+                                designed.ti.to_json(&solver),
+                            ))),
+                            Ok(None) => None,
+                            Err(e) => Some(Err(e.to_string())),
+                        }
+                    },
+                    |i, point| emit(request.thresholds[i], point),
+                );
             }
         }
     }
@@ -1229,22 +1280,24 @@ fn stats_json(shared: &Shared) -> String {
             .iter()
             .map(|(tenant, c)| {
                 format!(
-                    "\"{}\":{{\"served\":{},\"delta_reuse\":{}}}",
+                    "\"{}\":{{\"served\":{},\"delta_reuse\":{},\"rejected_tenant_quota\":{}}}",
                     stbus_core::json_escape(tenant),
                     c.served,
-                    c.delta_reuse
+                    c.delta_reuse,
+                    c.rejected_quota
                 )
             })
             .collect::<Vec<_>>()
             .join(",")
     };
     format!(
-        "{{\"queue\":{{\"depth\":{},\"queued\":{},\"tenants\":{}}},\
+        "{{\"queue\":{{\"depth\":{},\"tenant_depth\":{},\"queued\":{},\"tenants\":{}}},\
          \"requests\":{{\"served\":{},\"rejected\":{},\"cancelled\":{},\"active\":{},\
          \"delta_reuse\":{},\"delta_miss\":{}}},\
          \"collect_cache\":{},\"analysis_cache\":{},\"resynth_cache\":{},\
          \"by_tenant\":{{{}}}}}\n",
         shared.queue.depth(),
+        shared.queue.tenant_depth(),
         shared.queue.queued(),
         shared.queue.tenants(),
         shared.served.load(Ordering::Relaxed),

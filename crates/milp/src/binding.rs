@@ -215,6 +215,147 @@ pub struct Binding {
     max_bus_overlap: u64,
 }
 
+/// Flat arena of the DFS's incrementally maintained search state: every
+/// per-bus quantity lives in one contiguous allocation with a fixed
+/// stride (`[bus × window]` usage, `[bus × word]` member masks), so a
+/// node's push/undo touches a handful of cache lines and the whole
+/// search performs **zero** heap allocation after setup — the former
+/// per-bus `Vec<Vec<…>>` soup (`used`, `members`, `masks`) and the
+/// per-depth candidate clones are gone. Member lists are not stored at
+/// all: emptiness and `maxtb` read `lens`, conflict feasibility is one
+/// word-parallel AND against the flat mask stride, and the rare
+/// member-set walks (leaf objective, overlap sums) iterate the mask bits
+/// (same pair set, commutative `u64` sums — bit-identical results).
+struct SearchArena {
+    buses: usize,
+    windows: usize,
+    /// Mask words per bus.
+    words: usize,
+    /// Per-bus per-window consumed capacity, `[k * windows + m]`.
+    used: Vec<u64>,
+    /// Per-bus member bitsets, `[k * words + w]`.
+    masks: Vec<u64>,
+    /// Per-bus summed pairwise overlap (maintained only when optimizing).
+    bus_overlap: Vec<u64>,
+    /// Exact per-bus minimum window slack `min_m (cap(m) − used(k,m))`.
+    min_slack: Vec<u64>,
+    /// Exact per-bus total slack `Σ_m (cap(m) − used(k,m))`.
+    total_slack: Vec<u64>,
+    /// Per-bus member counts.
+    lens: Vec<usize>,
+    /// Targets not yet bound.
+    unbound: TargetSet,
+    /// Remaining (unbound) demand per window.
+    rem_window: Vec<u64>,
+    /// Incremental usability matrix `[t * buses + k]`, valid for unbound
+    /// `t`: the batched bound input. A placement on bus `k` changes only
+    /// bus `k`'s state, so only column `k` is recomputed per push (and
+    /// restored from the depth frame on undo) — the per-node
+    /// [`CombinedBound`] passes read the matrix instead of re-deriving
+    /// usability from scratch for every (target, bus) pair. Empty when
+    /// pruning is off.
+    usable: Vec<bool>,
+}
+
+impl SearchArena {
+    /// The member-mask words of bus `k`.
+    #[inline]
+    fn mask(&self, k: usize) -> &[u64] {
+        &self.masks[k * self.words..(k + 1) * self.words]
+    }
+
+    /// Recomputes usability column `k` for the unbound targets via
+    /// exactly the bounds' own [`bounds::usable_in`] predicate — matrix
+    /// reads and direct evaluation are the same function of the same
+    /// state, which is what keeps pruned searches bit-identical (the
+    /// audited mode asserts it at every node).
+    fn refresh_column(
+        &mut self,
+        problem: &BindingProblem,
+        target_total: &[u64],
+        peak: &[u64],
+        sparse: &[Vec<(usize, u64)>],
+        k: usize,
+    ) {
+        let Self {
+            unbound,
+            usable,
+            masks,
+            lens,
+            used,
+            total_slack,
+            min_slack,
+            buses,
+            words,
+            ..
+        } = self;
+        for t in unbound.iter() {
+            usable[t * *buses + k] = bounds::usable_in(
+                problem,
+                target_total,
+                peak,
+                sparse,
+                masks,
+                *words,
+                lens,
+                used,
+                total_slack,
+                min_slack,
+                t,
+                k,
+            );
+        }
+    }
+}
+
+/// Summed pairwise overlap of the targets in a flat mask — the leaf
+/// objective recomputation of the feasibility search. Iterates the same
+/// pair set `{(i, j) : i < j both members}` the former member lists
+/// yielded; `u64` addition is commutative, so the sum is bit-identical.
+fn mask_pair_overlap(problem: &BindingProblem, words: &[u64]) -> u64 {
+    let mut ov = 0u64;
+    for (wi, &wa) in words.iter().enumerate() {
+        let mut a = wa;
+        while a != 0 {
+            let i = wi * 64 + a.trailing_zeros() as usize;
+            a &= a - 1;
+            // Partners above `i` in the same word…
+            let mut b = a;
+            while b != 0 {
+                let j = wi * 64 + b.trailing_zeros() as usize;
+                b &= b - 1;
+                ov += problem.overlap(i, j);
+            }
+            // …and in the higher words.
+            for (wj, &wb) in words.iter().enumerate().skip(wi + 1) {
+                let mut b = wb;
+                while b != 0 {
+                    let j = wj * 64 + b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    ov += problem.overlap(i, j);
+                }
+            }
+        }
+    }
+    ov
+}
+
+/// Overlap a candidate target `t` would add to the bus whose member mask
+/// is `words` — the optimizing search's value-ordering key. Same member
+/// set, commutative sum: bit-identical to the former member-list walk.
+fn mask_added_overlap(problem: &BindingProblem, words: &[u64], t: usize) -> u64 {
+    let mut ov = 0u64;
+    for (wi, &w) in words.iter().enumerate() {
+        let mut w = w;
+        while w != 0 {
+            let u = wi * 64 + w.trailing_zeros() as usize;
+            w &= w - 1;
+            ov += problem.overlap(t, u);
+        }
+    }
+    ov
+}
+
 impl Binding {
     /// Builds a binding from a raw assignment with the objective left at 0
     /// (use [`BindingProblem::verify`] to recompute it).
@@ -651,6 +792,37 @@ impl BindingProblem {
             return Ok(Some(warm));
         }
         self.search_full(limits, None, None, true)
+            .map(|(best, _nodes)| best)
+            .map_err(|e| match e {
+                SearchInterrupted::Budget(b) => b,
+                SearchInterrupted::Cancelled => {
+                    unreachable!("no cancellation flag was supplied")
+                }
+            })
+    }
+
+    /// [`BindingProblem::find_feasible`] that additionally reports the
+    /// number of search nodes explored — the denominator of the
+    /// node-rate (nodes/s) metric the `hotpath` bench snapshots. A node
+    /// is one candidate placement charged against
+    /// [`SolveLimits::max_nodes`]; the count is a pure function of the
+    /// search (identical across runs and worker counts), so a node-rate
+    /// comparison between two builds measures per-node cost and nothing
+    /// else. A verified warm start short-circuits the search and reports
+    /// zero nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] when the search budget runs out before a
+    /// definitive answer.
+    pub fn find_feasible_counted(
+        &self,
+        limits: &SolveLimits,
+    ) -> Result<(Option<Binding>, u64), NodeLimitExceeded> {
+        if let Some(warm) = self.warm_verified(limits) {
+            return Ok((Some(warm), 0));
+        }
+        self.search_full(limits, None, None, false)
             .map_err(|e| match e {
                 SearchInterrupted::Budget(b) => b,
                 SearchInterrupted::Cancelled => {
@@ -767,6 +939,7 @@ impl BindingProblem {
         cancel: Option<&CancelToken>,
     ) -> Result<Option<Binding>, SearchInterrupted> {
         self.search_full(limits, incumbent_bound, cancel, false)
+            .map(|(best, _nodes)| best)
     }
 
     /// Core DFS. When `incumbent_bound` is `Some(b)`, searches for a
@@ -779,12 +952,15 @@ impl BindingProblem {
         incumbent_bound: Option<u64>,
         cancel: Option<&CancelToken>,
         audit: bool,
-    ) -> Result<Option<Binding>, SearchInterrupted> {
+    ) -> Result<(Option<Binding>, u64), SearchInterrupted> {
         if self.num_targets == 0 {
-            return Ok(Some(Binding {
-                assignment: Vec::new(),
-                max_bus_overlap: 0,
-            }));
+            return Ok((
+                Some(Binding {
+                    assignment: Vec::new(),
+                    max_bus_overlap: 0,
+                }),
+                0,
+            ));
         }
 
         // Target order: decreasing max-window demand, then conflict degree.
@@ -811,32 +987,6 @@ impl BindingProblem {
             .map(|s| s.iter().map(|&(_, d)| d).sum())
             .collect();
 
-        struct State {
-            used: Vec<Vec<u64>>,      // [bus][window]
-            members: Vec<Vec<usize>>, // [bus]
-            /// Incremental member bitset per bus: conflict feasibility of a
-            /// candidate is one word-parallel intersection against this
-            /// mask instead of a rescan of the member list.
-            masks: Vec<TargetSet>, // [bus]
-            bus_overlap: Vec<u64>,    // [bus]
-            /// Exact per-bus minimum window slack `min_m (cap(m) − used(k,m))`,
-            /// refreshed on every placement: a candidate whose *peak* demand
-            /// fits the minimum slack fits every window without a scan.
-            min_slack: Vec<u64>, // [bus]
-            /// Exact per-bus total slack `Σ_m (cap(m) − used(k,m))`: a
-            /// candidate whose *total* demand exceeds it must overflow some
-            /// window — rejected without a scan.
-            total_slack: Vec<u64>, // [bus]
-            /// Targets not yet bound — the induced subgraph the per-node
-            /// clique-cover bound colors.
-            unbound: TargetSet,
-            /// Per-bus member counts (mirrors `members[k].len()`, kept as a
-            /// flat slice for the [`bounds::PruneContext`] view).
-            lens: Vec<usize>, // [bus]
-            /// Remaining (unbound) demand per window — the bandwidth
-            /// bound's operand.
-            rem_window: Vec<u64>, // [window]
-        }
         let initial_min_slack = self.capacities.iter().copied().min().unwrap_or(u64::MAX);
         let initial_total_slack: u64 = self.capacities.iter().sum();
         let column_demand = bounds::column_demand(self);
@@ -845,16 +995,20 @@ impl BindingProblem {
         for t in 0..self.num_targets {
             all_targets.insert(t);
         }
-        let mut st = State {
-            used: vec![vec![0; self.num_windows]; self.num_buses],
-            members: vec![Vec::new(); self.num_buses],
-            masks: vec![TargetSet::empty(self.num_targets); self.num_buses],
+        let mask_words = all_targets.words().len();
+        let mut arena = SearchArena {
+            buses: self.num_buses,
+            windows: self.num_windows,
+            words: mask_words,
+            used: vec![0; self.num_buses * self.num_windows],
+            masks: vec![0; self.num_buses * mask_words],
             bus_overlap: vec![0; self.num_buses],
             min_slack: vec![initial_min_slack; self.num_buses],
             total_slack: vec![initial_total_slack; self.num_buses],
-            unbound: all_targets,
             lens: vec![0; self.num_buses],
+            unbound: all_targets,
             rem_window: column_demand,
+            usable: Vec::new(),
         };
         let mut prune_bound = CombinedBound::default();
 
@@ -862,16 +1016,28 @@ impl BindingProblem {
         let mut best: Option<Binding> = None;
         let mut bound = incumbent_bound;
         let optimizing = incumbent_bound.is_some();
-        // Per-depth candidate buffers: the DFS reuses one preallocated
-        // buffer per level instead of allocating a Vec at every node.
-        let mut cand_store: Vec<Vec<(u64, usize)>> = (0..self.num_targets)
-            .map(|_| Vec::with_capacity(self.num_buses))
-            .collect();
+        // The usability matrix is only consumed by the lower bounds, so
+        // an unpruned search skips its maintenance entirely.
+        let track_usable = limits.pruning != PruningLevel::Off;
+        if track_usable {
+            arena.usable = vec![false; self.num_targets * self.num_buses];
+            for k in 0..self.num_buses {
+                arena.refresh_column(self, &total, &peak, &sparse, k);
+            }
+        }
+        // Contiguous per-depth frames, split off one level at a time on
+        // the way down (`split_at_mut`): `cand_frames` holds each depth's
+        // candidate list (`num_buses` slots), `col_frames` each depth's
+        // saved usability column (`num_targets` slots). One upfront
+        // allocation each — the DFS inner loop itself allocates nothing.
+        let mut cand_frames: Vec<(u64, usize)> = vec![(0, 0); self.num_targets * self.num_buses];
+        let mut col_frames: Vec<bool> = vec![false; self.num_targets * self.num_targets];
 
         /// Audit hook: rebuilds the pruning state from scratch for the
         /// current partial assignment and asserts that the incrementally
-        /// maintained state — and the lower bounds computed from it —
-        /// match the [`NodeState`] recomputation exactly.
+        /// maintained arena — including the usability matrix — and the
+        /// lower bounds computed from it match the [`NodeState`]
+        /// recomputation exactly.
         #[allow(clippy::too_many_arguments)] // audit mirrors the dfs state
         fn audit_node(
             problem: &BindingProblem,
@@ -880,7 +1046,7 @@ impl BindingProblem {
             total: &[u64],
             peak: &[u64],
             sparse: &[Vec<(usize, u64)>],
-            st: &State,
+            st: &SearchArena,
             assignment: &[usize],
         ) {
             let depth = assignment.len();
@@ -893,6 +1059,7 @@ impl BindingProblem {
             let fresh = scratch.context(problem);
             assert_eq!(&st.unbound, fresh.unbound, "unbound set at depth {depth}");
             assert_eq!(st.masks.as_slice(), fresh.bus_masks, "masks at {depth}");
+            assert_eq!(st.words, fresh.mask_words, "mask stride at {depth}");
             assert_eq!(st.lens.as_slice(), fresh.bus_len, "lens at {depth}");
             assert_eq!(st.used.as_slice(), fresh.used, "used at {depth}");
             assert_eq!(
@@ -915,6 +1082,33 @@ impl BindingProblem {
             assert_eq!(total, fresh.target_total, "target totals");
             assert_eq!(peak, fresh.peak, "target peaks");
             assert_eq!(sparse, fresh.sparse, "sparse demand lists");
+            // The incrementally maintained usability matrix must equal a
+            // from-scratch evaluation of the same predicate on every
+            // unbound row (bound rows are dead — the bounds never read
+            // them).
+            for t in st.unbound.iter() {
+                for k in 0..problem.num_buses {
+                    let direct = bounds::usable_in(
+                        problem,
+                        total,
+                        peak,
+                        sparse,
+                        fresh.bus_masks,
+                        fresh.mask_words,
+                        fresh.bus_len,
+                        fresh.used,
+                        fresh.total_slack,
+                        fresh.min_slack,
+                        t,
+                        k,
+                    );
+                    assert_eq!(
+                        st.usable[t * st.buses + k],
+                        direct,
+                        "usability matrix diverged at depth {depth} (target {t}, bus {k})"
+                    );
+                }
+            }
             let incremental = bounds::PruneContext {
                 problem,
                 order,
@@ -922,6 +1116,7 @@ impl BindingProblem {
                 target_total: total,
                 unbound: &st.unbound,
                 bus_masks: &st.masks,
+                mask_words: st.words,
                 bus_len: &st.lens,
                 used: &st.used,
                 total_slack: &st.total_slack,
@@ -929,6 +1124,7 @@ impl BindingProblem {
                 rem_window: &st.rem_window,
                 peak,
                 sparse,
+                usable_matrix: Some(&st.usable),
             };
             for (inc, scr) in [
                 (
@@ -961,9 +1157,10 @@ impl BindingProblem {
             peak: &[u64],
             total: &[u64],
             critical: &[usize],
-            st: &mut State,
+            st: &mut SearchArena,
             prune_bound: &mut CombinedBound,
-            cands: &mut [Vec<(u64, usize)>],
+            cand_frames: &mut [(u64, usize)],
+            col_frames: &mut [bool],
             nodes: &mut u64,
             limits: &SolveLimits,
             warm: Option<&[usize]>,
@@ -975,6 +1172,7 @@ impl BindingProblem {
             assignment: &mut Vec<usize>,
         ) -> Result<bool, SearchInterrupted> {
             let pruning = limits.pruning;
+            let track_usable = pruning != PruningLevel::Off;
             let depth = assignment.len();
             if depth == order.len() {
                 // In pure feasibility mode the per-bus overlap sums are not
@@ -983,17 +1181,8 @@ impl BindingProblem {
                 let max_ov = if optimizing {
                     st.bus_overlap.iter().copied().max().unwrap_or(0)
                 } else {
-                    st.members
-                        .iter()
-                        .map(|ms| {
-                            let mut ov = 0u64;
-                            for (a, &i) in ms.iter().enumerate() {
-                                for &j in &ms[a + 1..] {
-                                    ov += problem.overlap(i, j);
-                                }
-                            }
-                            ov
-                        })
+                    (0..st.buses)
+                        .map(|k| mask_pair_overlap(problem, st.mask(k)))
                         .max()
                         .unwrap_or(0)
                 };
@@ -1035,6 +1224,7 @@ impl BindingProblem {
                     target_total: total,
                     unbound: &st.unbound,
                     bus_masks: &st.masks,
+                    mask_words: st.words,
                     bus_len: &st.lens,
                     used: &st.used,
                     total_slack: &st.total_slack,
@@ -1042,6 +1232,7 @@ impl BindingProblem {
                     rem_window: &st.rem_window,
                     peak,
                     sparse,
+                    usable_matrix: Some(&st.usable),
                 };
                 if prune_bound.buses_needed(&ctx) > problem.num_buses {
                     return Ok(false);
@@ -1059,30 +1250,33 @@ impl BindingProblem {
             // count against the node budget (see [`SolveLimits`]): under
             // a finite budget this search completes strictly more work
             // than the retired dense-matrix reference's accounting did.
-            let (candidates, rest) = cands.split_first_mut().expect("depth < num_targets");
-            candidates.clear();
+            let (frame, rest_cands) = cand_frames.split_at_mut(problem.num_buses);
+            let (saved_col, rest_cols) = col_frames.split_at_mut(problem.num_targets);
+            let mut cand_len = 0usize;
             for k in 0..problem.num_buses {
-                if st.members[k].is_empty() {
+                if st.lens[k] == 0 {
                     if tried_empty {
                         continue; // symmetry: all empty buses equivalent
                     }
                     tried_empty = true;
                 }
-                if st.members[k].len() >= problem.maxtb {
+                if st.lens[k] >= problem.maxtb {
                     continue;
                 }
-                if problem.conflicts_with_set(t, &st.masks[k]) {
+                if problem.conflict_graph().conflicts_with_words(t, st.mask(k)) {
                     continue;
                 }
                 // In feasibility mode the sums are skipped — nothing reads
                 // them and the enumeration order is the plain bus order.
                 let added: u64 = if optimizing {
-                    st.members[k].iter().map(|&u| problem.overlap(t, u)).sum()
+                    mask_added_overlap(problem, st.mask(k), t)
                 } else {
                     0
                 };
-                candidates.push((added, k));
+                frame[cand_len] = (added, k);
+                cand_len += 1;
             }
+            let candidates = &mut frame[..cand_len];
             if optimizing {
                 candidates.sort_by_key(|&(added, _)| added);
             } else if pruning == PruningLevel::Aggressive {
@@ -1133,9 +1327,9 @@ impl BindingProblem {
                 // with the scan, so search decisions are unchanged.
                 let fits = peak[t] <= st.min_slack[k]
                     || (total[t] <= st.total_slack[k]
-                        && sparse[t]
-                            .iter()
-                            .all(|&(m, d)| st.used[k][m] + d <= problem.capacities[m]));
+                        && sparse[t].iter().all(|&(m, d)| {
+                            st.used[k * st.windows + m] + d <= problem.capacities[m]
+                        }));
                 if !fits {
                     continue;
                 }
@@ -1143,20 +1337,32 @@ impl BindingProblem {
                 // alone: the untouched windows' slack is no smaller than
                 // the old global minimum, so `min(old, touched)` is a valid
                 // (and usually tight) lower bound on the new minimum.
+                // Only bus `k`'s state changes, so only usability column
+                // `k` can change: save it into this depth's frame and
+                // recompute it after the placement (O(targets) — the
+                // batched alternative to the bounds recomputing the whole
+                // matrix per node).
                 let saved_min_slack = st.min_slack[k];
+                if track_usable {
+                    for (ti, slot) in saved_col.iter_mut().enumerate() {
+                        *slot = st.usable[ti * st.buses + k];
+                    }
+                }
                 let mut new_min = saved_min_slack;
                 for &(m, d) in &sparse[t] {
-                    st.used[k][m] += d;
+                    st.used[k * st.windows + m] += d;
                     st.rem_window[m] -= d;
-                    new_min = new_min.min(problem.capacities[m] - st.used[k][m]);
+                    new_min = new_min.min(problem.capacities[m] - st.used[k * st.windows + m]);
                 }
                 st.min_slack[k] = new_min;
                 st.total_slack[k] -= total[t];
-                st.members[k].push(t);
                 st.lens[k] += 1;
-                st.masks[k].insert(t);
+                st.masks[k * st.words + t / 64] |= 1u64 << (t % 64);
                 st.unbound.remove(t);
                 st.bus_overlap[k] += added;
+                if track_usable {
+                    st.refresh_column(problem, total, peak, sparse, k);
+                }
                 assignment.push(k);
 
                 let done = dfs(
@@ -1168,7 +1374,8 @@ impl BindingProblem {
                     critical,
                     st,
                     prune_bound,
-                    rest,
+                    rest_cands,
+                    rest_cols,
                     nodes,
                     limits,
                     warm,
@@ -1180,18 +1387,22 @@ impl BindingProblem {
                     assignment,
                 )?;
 
-                // Undo.
+                // Undo (exact reverse, column restored from the frame).
                 assignment.pop();
                 st.bus_overlap[k] -= added;
                 st.unbound.insert(t);
-                st.members[k].pop();
                 st.lens[k] -= 1;
-                st.masks[k].remove(t);
+                st.masks[k * st.words + t / 64] &= !(1u64 << (t % 64));
                 st.total_slack[k] += total[t];
                 st.min_slack[k] = saved_min_slack;
                 for &(m, d) in &sparse[t] {
-                    st.used[k][m] -= d;
+                    st.used[k * st.windows + m] -= d;
                     st.rem_window[m] += d;
+                }
+                if track_usable {
+                    for (ti, &slot) in saved_col.iter().enumerate() {
+                        st.usable[ti * st.buses + k] = slot;
+                    }
                 }
                 if done {
                     return Ok(true);
@@ -1208,9 +1419,10 @@ impl BindingProblem {
             &peak,
             &total,
             &critical,
-            &mut st,
+            &mut arena,
             &mut prune_bound,
-            &mut cand_store,
+            &mut cand_frames,
+            &mut col_frames,
             &mut nodes,
             limits,
             limits.warm_assignment(),
@@ -1221,7 +1433,7 @@ impl BindingProblem {
             &mut best,
             &mut assignment,
         )?;
-        Ok(best)
+        Ok((best, nodes))
     }
 }
 

@@ -136,12 +136,19 @@ pub struct PruneContext<'a> {
     pub target_total: &'a [u64],
     /// Targets not yet bound to a bus.
     pub unbound: &'a TargetSet,
-    /// Per-bus member bitsets.
-    pub bus_masks: &'a [TargetSet],
+    /// Per-bus member bitsets as one flat word slice, [`mask_words`]
+    /// words per bus (bus `k` owns
+    /// `bus_masks[k * mask_words..(k + 1) * mask_words]`).
+    ///
+    /// [`mask_words`]: PruneContext::mask_words
+    pub bus_masks: &'a [u64],
+    /// Words per bus in [`bus_masks`](PruneContext::bus_masks).
+    pub mask_words: usize,
     /// Per-bus member counts.
     pub bus_len: &'a [usize],
-    /// Per-bus per-window consumed capacity.
-    pub used: &'a [Vec<u64>],
+    /// Per-bus per-window consumed capacity as one flat slice,
+    /// `problem.num_windows()` entries per bus.
+    pub used: &'a [u64],
     /// Per-bus total slack `Σ_m (cap(m) − used(k,m))`.
     pub total_slack: &'a [u64],
     /// Per-bus minimum window slack `min_m (cap(m) − used(k,m))` — the
@@ -153,6 +160,17 @@ pub struct PruneContext<'a> {
     pub peak: &'a [u64],
     /// Per-target sparse demand lists `(window, demand)` with `demand > 0`.
     pub sparse: &'a [Vec<(usize, u64)>],
+    /// DFS-maintained usability matrix, `[t * num_buses + k]`, valid for
+    /// the **unbound** rows: `Some` when the search keeps
+    /// [`usable_in`] incrementally up to date (a placement on bus `k`
+    /// only invalidates column `k`, so the DFS recomputes one column per
+    /// push instead of every bound pass recomputing the full matrix).
+    /// Bound values are identical either way — the matrix entries are by
+    /// construction the same predicate — so bit-identity is preserved;
+    /// the audited search asserts exactly that. Hypothetical propagation
+    /// states ([`CombinedBound`]'s closure/shaving) carry `None` and
+    /// compute directly against their own mutated copies.
+    pub usable_matrix: Option<&'a [bool]>,
 }
 
 impl PruneContext<'_> {
@@ -166,12 +184,16 @@ impl PruneContext<'_> {
     /// capacity check).
     #[must_use]
     fn usable(&self, t: usize, k: usize) -> bool {
+        if let Some(matrix) = self.usable_matrix {
+            return matrix[t * self.problem.num_buses() + k];
+        }
         usable_in(
             self.problem,
             self.target_total,
             self.peak,
             self.sparse,
             self.bus_masks,
+            self.mask_words,
             self.bus_len,
             self.used,
             self.total_slack,
@@ -182,36 +204,39 @@ impl PruneContext<'_> {
     }
 }
 
-/// The shared usability test over explicit state slices — the same logic
-/// for the live [`PruneContext`] and for the hypothetical state of the
-/// forced-assignment propagation.
-#[allow(clippy::too_many_arguments)] // explicit state view, two call sites
+/// The shared usability test over explicit flat state slices — the same
+/// logic for the live [`PruneContext`], for the hypothetical state of the
+/// forced-assignment propagation, and for the DFS's incremental
+/// usability-matrix columns (which must agree with it bit for bit).
+#[allow(clippy::too_many_arguments)] // explicit state view, three call sites
 #[must_use]
-fn usable_in(
+pub(crate) fn usable_in(
     problem: &BindingProblem,
     target_total: &[u64],
     peak: &[u64],
     sparse: &[Vec<(usize, u64)>],
-    bus_masks: &[TargetSet],
+    bus_masks: &[u64],
+    mask_words: usize,
     bus_len: &[usize],
-    used: &[Vec<u64>],
+    used: &[u64],
     total_slack: &[u64],
     min_slack: &[u64],
     t: usize,
     k: usize,
 ) -> bool {
+    let windows = problem.num_windows();
     if bus_len[k] >= problem.maxtb()
         || target_total[t] > total_slack[k]
         || problem
             .conflict_graph()
-            .conflicts_with_set(t, &bus_masks[k])
+            .conflicts_with_words(t, &bus_masks[k * mask_words..(k + 1) * mask_words])
     {
         return false;
     }
     peak[t] <= min_slack[k]
         || sparse[t]
             .iter()
-            .all(|&(m, d)| used[k][m] + d <= problem.capacity(m))
+            .all(|&(m, d)| used[k * windows + m] + d <= problem.capacity(m))
 }
 
 /// An admissible per-node lower bound on the bus count.
@@ -315,13 +340,24 @@ impl LowerBound for CliqueCoverBound {
     }
 
     fn buses_needed(&mut self, ctx: &PruneContext<'_>) -> usize {
+        if self.built_for != Some(incompat_key(ctx)) {
+            self.build_incompat(ctx);
+        }
+        self.buses_needed_cached(ctx)
+    }
+}
+
+impl CliqueCoverBound {
+    /// [`LowerBound::buses_needed`] minus the cache-identity check — the
+    /// escalation's probe loop calls this against contexts derived from
+    /// an already-validated one (same problem, same shape), where
+    /// re-deriving the O(targets + windows) key per probe is pure
+    /// overhead.
+    fn buses_needed_cached(&mut self, ctx: &PruneContext<'_>) -> usize {
         let problem = ctx.problem;
         let buses = problem.num_buses();
         if problem.num_targets() == 0 || ctx.unbound.is_empty() {
             return 0;
-        }
-        if self.built_for != Some(incompat_key(ctx)) {
-            self.build_incompat(ctx);
         }
         let words = ctx.unbound.words().len();
 
@@ -338,16 +374,33 @@ impl LowerBound for CliqueCoverBound {
             let in_clique = self.cand[v / 64] >> (v % 64) & 1 == 1;
             // Every unbound target needs at least one usable bus; clique
             // members additionally contribute theirs to the Hall union.
+            // When the context carries a usability matrix the row is a
+            // contiguous bool slice — scan it directly instead of paying
+            // the per-(target, bus) dispatch.
             let mut any = false;
-            for k in 0..buses {
-                if !ctx.usable(v, k) {
-                    continue;
+            if let Some(matrix) = ctx.usable_matrix {
+                let row = &matrix[v * buses..(v + 1) * buses];
+                if in_clique {
+                    for (k, &u) in row.iter().enumerate() {
+                        if u {
+                            any = true;
+                            self.union_words[k / 64] |= 1u64 << (k % 64);
+                        }
+                    }
+                } else {
+                    any = row.contains(&true);
                 }
-                any = true;
-                if !in_clique {
-                    break;
+            } else {
+                for k in 0..buses {
+                    if !ctx.usable(v, k) {
+                        continue;
+                    }
+                    any = true;
+                    if !in_clique {
+                        break;
+                    }
+                    self.union_words[k / 64] |= 1u64 << (k % 64);
                 }
-                self.union_words[k / 64] |= 1u64 << (k % 64);
             }
             if !any {
                 // A dead target: no completion can place it anywhere.
@@ -421,6 +474,55 @@ pub struct BandwidthPackingBound {
     min_usable: usize,
     /// Dinic scratch.
     flow: DinicScratch,
+    /// Residual per-bus free capacity of the greedy routing pre-pass.
+    greedy_free: Vec<u64>,
+    /// Per-target critical-window demands, flat
+    /// `[t * crit.len() + ci]` over **all** targets — a pure function of
+    /// the problem, cached so the per-node pass reads a contiguous row
+    /// instead of chasing the nested demand vectors per (target, bus,
+    /// window) triple.
+    crit_demand: Vec<u64>,
+    /// Per critical window: the positive demands of all targets as
+    /// `(demand, target)`, ascending. The chunk-count certificate
+    /// filters this by unbound membership — the same multiset the old
+    /// per-node gather-and-sort produced, without the sort.
+    win_sorted: Vec<Vec<(u64, u32)>>,
+    /// Identity of the problem the demand cache was built for (same
+    /// shape as the clique bound's incompatibility key) plus the
+    /// critical-window list it was sliced along.
+    built_for: Option<(usize, usize, usize, usize, usize, u64, u64)>,
+    built_crit: Vec<usize>,
+}
+
+impl BandwidthPackingBound {
+    /// Builds the per-problem demand cache. Pure function of the
+    /// problem and the critical-window list, so incremental and
+    /// from-scratch bound evaluations agree by construction.
+    fn build_cache(&mut self, ctx: &PruneContext<'_>) {
+        let problem = ctx.problem;
+        let n = problem.num_targets();
+        let crit = ctx.critical_windows;
+        let cl = crit.len();
+        self.crit_demand.clear();
+        self.crit_demand.reserve(n * cl);
+        for t in 0..n {
+            for &m in crit {
+                self.crit_demand.push(problem.demand(t, m));
+            }
+        }
+        self.win_sorted.clear();
+        self.win_sorted.resize(cl, Vec::new());
+        for (ci, list) in self.win_sorted.iter_mut().enumerate() {
+            list.extend((0..n).filter_map(|t| {
+                let d = self.crit_demand[t * cl + ci];
+                (d > 0).then_some((d, t as u32))
+            }));
+            list.sort_unstable();
+        }
+        self.built_for = Some(incompat_key(ctx));
+        self.built_crit.clear();
+        self.built_crit.extend_from_slice(crit);
+    }
 }
 
 impl LowerBound for BandwidthPackingBound {
@@ -429,40 +531,74 @@ impl LowerBound for BandwidthPackingBound {
     }
 
     fn buses_needed(&mut self, ctx: &PruneContext<'_>) -> usize {
+        if !ctx.critical_windows.is_empty()
+            && (self.built_for != Some(incompat_key(ctx))
+                || self.built_crit != ctx.critical_windows)
+        {
+            self.build_cache(ctx);
+        }
+        self.buses_needed_cached(ctx)
+    }
+}
+
+impl BandwidthPackingBound {
+    /// [`LowerBound::buses_needed`] minus the cache-identity check — see
+    /// [`CliqueCoverBound::buses_needed_cached`]; the escalation's probe
+    /// loop runs against contexts sharing the validated problem.
+    fn buses_needed_cached(&mut self, ctx: &PruneContext<'_>) -> usize {
         let problem = ctx.problem;
         let buses = problem.num_buses();
         let crit = ctx.critical_windows;
         if crit.is_empty() {
             return 0;
         }
+        let cl = crit.len();
         // One usability pass accumulating, per critical window and bus,
         // the unbound demand that could still land there.
         self.targets.clear();
         self.targets.extend(ctx.unbound.iter());
         self.absorb.clear();
-        self.absorb.resize(crit.len() * buses, 0);
+        self.absorb.resize(cl * buses, 0);
         self.absorb_count.clear();
-        self.absorb_count.resize(crit.len() * buses, 0);
+        self.absorb_count.resize(cl * buses, 0);
         self.usable.clear();
         self.usable.resize(self.targets.len() * buses, false);
         self.min_usable = usize::MAX;
         for (ti, &t) in self.targets.iter().enumerate() {
             let mut usable_buses = 0usize;
-            for k in 0..buses {
-                if !ctx.usable(t, k) {
-                    continue;
+            let td = &self.crit_demand[t * cl..(t + 1) * cl];
+            if let Some(matrix) = ctx.usable_matrix {
+                // Matrix-backed context: memcpy the row and scan it as a
+                // contiguous slice instead of per-(target, bus) dispatch.
+                let row = &matrix[t * buses..(t + 1) * buses];
+                self.usable[ti * buses..(ti + 1) * buses].copy_from_slice(row);
+                for (k, &u) in row.iter().enumerate() {
+                    if !u {
+                        continue;
+                    }
+                    usable_buses += 1;
+                    for (ci, &d) in td.iter().enumerate() {
+                        self.absorb[ci * buses + k] += d;
+                        self.absorb_count[ci * buses + k] += u32::from(d > 0);
+                    }
                 }
-                usable_buses += 1;
-                self.usable[ti * buses + k] = true;
-                for (ci, &m) in crit.iter().enumerate() {
-                    let d = problem.demand(t, m);
-                    self.absorb[ci * buses + k] += d;
-                    self.absorb_count[ci * buses + k] += u32::from(d > 0);
+            } else {
+                for k in 0..buses {
+                    if !ctx.usable(t, k) {
+                        continue;
+                    }
+                    usable_buses += 1;
+                    self.usable[ti * buses + k] = true;
+                    for (ci, &d) in td.iter().enumerate() {
+                        self.absorb[ci * buses + k] += d;
+                        self.absorb_count[ci * buses + k] += u32::from(d > 0);
+                    }
                 }
             }
             self.min_usable = self.min_usable.min(usable_buses);
         }
         let maxtb = problem.maxtb();
+        let windows = problem.num_windows();
         let mut needed = 0usize;
         for (ci, &m) in crit.iter().enumerate() {
             let cap = problem.capacity(m);
@@ -470,7 +606,7 @@ impl LowerBound for BandwidthPackingBound {
             let mut used_sum = 0u64;
             let mut absorbable = 0u64;
             for k in 0..buses {
-                let used = ctx.used[k][m];
+                let used = ctx.used[k * windows + m];
                 used_sum += used;
                 // Saturating for overloaded partials from the MILP cut;
                 // the DFS never overloads, so this is exact there.
@@ -489,14 +625,16 @@ impl LowerBound for BandwidthPackingBound {
                 // its free capacity)` of the window's active targets —
                 // the integral cardinality view the fractional tests
                 // cannot see (free capacity of 1.5 chunks hosts 1).
+                // Filtering the pre-sorted all-targets list by unbound
+                // membership yields the same ascending multiset the old
+                // per-node gather-and-sort produced.
                 self.chunk.clear();
                 self.chunk.extend(
-                    self.targets
+                    self.win_sorted[ci]
                         .iter()
-                        .map(|&t| problem.demand(t, m))
-                        .filter(|&d| d > 0),
+                        .filter(|&&(_, t)| ctx.unbound.contains(t as usize))
+                        .map(|&(d, _)| d),
                 );
-                self.chunk.sort_unstable();
                 let active = self.chunk.len();
                 // Ascending prefix sums in place: chunk[p] = smallest
                 // p+1 chunks combined.
@@ -505,7 +643,7 @@ impl LowerBound for BandwidthPackingBound {
                 }
                 let mut hostable = 0usize;
                 for k in 0..buses {
-                    let free = cap.saturating_sub(ctx.used[k][m]);
+                    let free = cap.saturating_sub(ctx.used[k * windows + m]);
                     let fit = self.chunk.partition_point(|&sum| sum <= free);
                     let seats = maxtb.saturating_sub(ctx.bus_len[k]);
                     hostable += fit
@@ -520,16 +658,49 @@ impl LowerBound for BandwidthPackingBound {
                 // nodes; it is a pure function of the state, so
                 // incremental and from-scratch evaluations still agree.)
                 if absorbable < rem.saturating_mul(2) {
-                    let routed = self.flow.max_flow(
-                        &self.targets,
-                        &self.usable,
-                        buses,
-                        |t| problem.demand(t, m),
-                        |k| cap.saturating_sub(ctx.used[k][m]),
-                        rem,
-                    );
-                    if routed < rem {
-                        return buses + 1;
+                    // Greedy fractional pre-pass: spread each demand over
+                    // its usable buses' residual free capacity. Success
+                    // exhibits a full routing, i.e. the max flow reaches
+                    // `rem` — exactly what the certificate asks — so the
+                    // Dinic pass runs only on the (rare) greedy failures,
+                    // where bad early placements may have wasted capacity
+                    // a real flow would reroute. Pure shortcut: the
+                    // certificate's outcome is unchanged either way.
+                    self.greedy_free.clear();
+                    self.greedy_free
+                        .extend((0..buses).map(|k| cap.saturating_sub(ctx.used[k * windows + m])));
+                    let mut greedy_ok = true;
+                    'greedy: for (ti, &t) in self.targets.iter().enumerate() {
+                        let mut d = self.crit_demand[t * cl + ci];
+                        if d == 0 {
+                            continue;
+                        }
+                        for k in 0..buses {
+                            if self.usable[ti * buses + k] {
+                                let take = d.min(self.greedy_free[k]);
+                                self.greedy_free[k] -= take;
+                                d -= take;
+                                if d == 0 {
+                                    continue 'greedy;
+                                }
+                            }
+                        }
+                        greedy_ok = false;
+                        break;
+                    }
+                    if !greedy_ok {
+                        let crit_demand = &self.crit_demand;
+                        let routed = self.flow.max_flow(
+                            &self.targets,
+                            &self.usable,
+                            buses,
+                            |t| crit_demand[t * cl + ci],
+                            |k| cap.saturating_sub(ctx.used[k * windows + m]),
+                            rem,
+                        );
+                        if routed < rem {
+                            return buses + 1;
+                        }
                     }
                 }
             }
@@ -705,6 +876,9 @@ pub struct CombinedBound {
     bandwidth: BandwidthPackingBound,
     base: Option<HypoState>,
     probe: Option<HypoState>,
+    /// Scratch for the per-round shaving sweep order (the unbound set at
+    /// the start of the round), reused across nodes.
+    shave: Vec<usize>,
 }
 
 /// Shaving rounds are capped: each round is a full sweep over the
@@ -745,8 +919,26 @@ impl LowerBound for CombinedBound {
         if cl > buses {
             return cl;
         }
-        let mut best = bw.max(cl);
+        let best = bw.max(cl);
         if min_usable <= SHAVE_WIDTH && ctx.problem.num_targets() >= PROPAGATION_MIN_TARGETS {
+            return self.escalate(ctx, buses, infeasible, best);
+        }
+        best
+    }
+}
+
+impl CombinedBound {
+    /// Forced-assignment propagation and shaving on a hypothetical copy
+    /// of the node state, re-running both certificates on the maximally
+    /// propagated result.
+    fn escalate(
+        &mut self,
+        ctx: &PruneContext<'_>,
+        buses: usize,
+        infeasible: usize,
+        mut best: usize,
+    ) -> usize {
+        {
             // Closure of the forced (single-bus) targets.
             let base = match &mut self.base {
                 Some(state) => {
@@ -761,8 +953,9 @@ impl LowerBound for CombinedBound {
             // Shaving sweeps over the two-bus targets.
             for _ in 0..SHAVE_ROUNDS {
                 let mut changed = false;
-                let snapshot: Vec<usize> = base.unbound.iter().collect();
-                for &t in &snapshot {
+                self.shave.clear();
+                self.shave.extend(base.unbound.iter());
+                for &t in &self.shave {
                     if !base.unbound.contains(t) {
                         continue;
                     }
@@ -820,11 +1013,11 @@ impl LowerBound for CombinedBound {
             // values remain valid for this node because every commit was
             // forced (shared by all feasible completions).
             let pctx = base.context(ctx);
-            let pbw = self.bandwidth.buses_needed(&pctx);
+            let pbw = self.bandwidth.buses_needed_cached(&pctx);
             if pbw > buses {
                 return pbw;
             }
-            let pcl = self.clique.buses_needed(&pctx);
+            let pcl = self.clique.buses_needed_cached(&pctx);
             if pcl > buses {
                 return pcl;
             }
@@ -859,128 +1052,230 @@ fn refuted(
     }
     let buses = ctx.problem.num_buses();
     let pctx = probe.context(ctx);
-    bandwidth.buses_needed(&pctx) > buses || clique.buses_needed(&pctx) > buses
-}
-
-/// Clones a slice into a reused `Vec`, element-wise via `clone_from`
-/// so nested allocations (bitset words, per-window rows) are reused
-/// instead of reallocated.
-fn clone_slice_into<T: Clone>(dst: &mut Vec<T>, src: &[T]) {
-    dst.truncate(src.len());
-    for (d, s) in dst.iter_mut().zip(src) {
-        d.clone_from(s);
-    }
-    let done = dst.len();
-    dst.extend_from_slice(&src[done..]);
+    // Clique first: it is the cheaper certificate and empirically the
+    // one that refutes — the refutation is a plain OR of the two, so
+    // short-circuit order is unobservable in the bound's value.
+    clique.buses_needed_cached(&pctx) > buses || bandwidth.buses_needed_cached(&pctx) > buses
 }
 
 /// A hypothetical search state — an owned copy of the mutable
 /// [`PruneContext`] slices, advanced by committing forced placements
-/// during propagation and shaving.
+/// during propagation and shaving. Masks and window usage are flat word
+/// strides like the live context's, so reloading is a handful of
+/// `memcpy`s instead of a per-bus pointer chase.
 #[derive(Debug, Clone)]
 struct HypoState {
     unbound: TargetSet,
-    masks: Vec<TargetSet>,
+    /// Flat per-bus member masks, `mask_words` words per bus.
+    masks: Vec<u64>,
+    mask_words: usize,
     lens: Vec<usize>,
-    used: Vec<Vec<u64>>,
+    /// Flat per-bus window usage, `num_windows` entries per bus.
+    used: Vec<u64>,
     total_slack: Vec<u64>,
     min_slack: Vec<u64>,
     rem_window: Vec<u64>,
+    /// Own usability matrix, `[t * num_buses + k]`, valid for the
+    /// unbound rows — seeded from the live context (a memcpy when the
+    /// DFS maintains one) and refreshed one **column** per commit, since
+    /// a placement on bus `k` only changes bus `k`'s mask, seats and
+    /// slack. The closure and shaving sweeps read it O(1) per query
+    /// instead of re-deriving [`usable_in`] per (target, bus) pair —
+    /// entries equal the predicate by construction, so every certificate
+    /// value is unchanged (the audited search asserts this).
+    usable: Vec<bool>,
+    /// Per-target count of set entries in the matrix row (valid for
+    /// unbound rows), maintained by the same column refreshes. The
+    /// closure's fixpoint sweep reads one count per target instead of a
+    /// whole matrix row, and the shaving sweep skips wide targets O(1).
+    usable_count: Vec<u32>,
     commits: Vec<(usize, usize)>,
 }
 
 impl HypoState {
     fn from_ctx(ctx: &PruneContext<'_>) -> Self {
-        Self {
+        let mut state = Self {
             unbound: ctx.unbound.clone(),
             masks: ctx.bus_masks.to_vec(),
+            mask_words: ctx.mask_words,
             lens: ctx.bus_len.to_vec(),
             used: ctx.used.to_vec(),
             total_slack: ctx.total_slack.to_vec(),
             min_slack: ctx.min_slack.to_vec(),
             rem_window: ctx.rem_window.to_vec(),
+            usable: Vec::new(),
+            usable_count: Vec::new(),
             commits: Vec::new(),
+        };
+        state.seed_usable(ctx);
+        state
+    }
+
+    /// Fills the usability matrix for the freshly loaded state: a copy
+    /// of the live matrix when the DFS maintains one, a from-scratch
+    /// evaluation of the same predicate otherwise (MILP partials and the
+    /// audit's rebuilt contexts) — identical entries either way.
+    fn seed_usable(&mut self, ctx: &PruneContext<'_>) {
+        let n = ctx.problem.num_targets();
+        let buses = ctx.problem.num_buses();
+        self.usable.clear();
+        self.usable_count.clear();
+        self.usable_count.resize(n, 0);
+        if let Some(matrix) = ctx.usable_matrix {
+            self.usable.extend_from_slice(matrix);
+        } else {
+            self.usable.resize(n * buses, false);
+            for t in 0..n {
+                if !self.unbound.contains(t) {
+                    continue;
+                }
+                for k in 0..buses {
+                    self.usable[t * buses + k] = usable_in(
+                        ctx.problem,
+                        ctx.target_total,
+                        ctx.peak,
+                        ctx.sparse,
+                        &self.masks,
+                        self.mask_words,
+                        &self.lens,
+                        &self.used,
+                        &self.total_slack,
+                        &self.min_slack,
+                        t,
+                        k,
+                    );
+                }
+            }
+        }
+        for t in 0..n {
+            if !self.unbound.contains(t) {
+                continue;
+            }
+            self.usable_count[t] = self.usable[t * buses..(t + 1) * buses]
+                .iter()
+                .map(|&u| u32::from(u))
+                .sum();
         }
     }
 
-    /// Reloads this scratch from a live context, reusing the nested
-    /// allocations (this runs on every escalated DFS node — exactly the
-    /// hot phase-transition searches).
+    /// Recomputes the matrix column of bus `k` over the unbound rows —
+    /// the only entries a commit can change (bound rows are dead) —
+    /// adjusting the row counts by the flips.
+    fn refresh_bus(&mut self, ctx: &PruneContext<'_>, k: usize) {
+        let buses = ctx.problem.num_buses();
+        for t in 0..ctx.problem.num_targets() {
+            if !self.unbound.contains(t) {
+                continue;
+            }
+            let now = usable_in(
+                ctx.problem,
+                ctx.target_total,
+                ctx.peak,
+                ctx.sparse,
+                &self.masks,
+                self.mask_words,
+                &self.lens,
+                &self.used,
+                &self.total_slack,
+                &self.min_slack,
+                t,
+                k,
+            );
+            let was = &mut self.usable[t * buses + k];
+            if *was != now {
+                *was = now;
+                if now {
+                    self.usable_count[t] += 1;
+                } else {
+                    self.usable_count[t] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Reloads this scratch from a live context, reusing the allocations
+    /// (this runs on every escalated DFS node — exactly the hot
+    /// phase-transition searches).
     fn load(&mut self, ctx: &PruneContext<'_>) {
         self.unbound.clone_from(ctx.unbound);
-        clone_slice_into(&mut self.masks, ctx.bus_masks);
+        self.masks.clear();
+        self.masks.extend_from_slice(ctx.bus_masks);
+        self.mask_words = ctx.mask_words;
         self.lens.clear();
         self.lens.extend_from_slice(ctx.bus_len);
-        clone_slice_into(&mut self.used, ctx.used);
+        self.used.clear();
+        self.used.extend_from_slice(ctx.used);
         self.total_slack.clear();
         self.total_slack.extend_from_slice(ctx.total_slack);
         self.min_slack.clear();
         self.min_slack.extend_from_slice(ctx.min_slack);
         self.rem_window.clear();
         self.rem_window.extend_from_slice(ctx.rem_window);
+        self.seed_usable(ctx);
     }
 
     /// Copies another hypothetical state, reusing allocations.
     fn copy_from(&mut self, other: &HypoState) {
         self.unbound.clone_from(&other.unbound);
         self.masks.clone_from(&other.masks);
+        self.mask_words = other.mask_words;
         self.lens.clone_from(&other.lens);
         self.used.clone_from(&other.used);
         self.total_slack.clone_from(&other.total_slack);
         self.min_slack.clone_from(&other.min_slack);
         self.rem_window.clone_from(&other.rem_window);
+        self.usable.clone_from(&other.usable);
+        self.usable_count.clone_from(&other.usable_count);
     }
 
     fn usable(&self, ctx: &PruneContext<'_>, t: usize, k: usize) -> bool {
-        usable_in(
-            ctx.problem,
-            ctx.target_total,
-            ctx.peak,
-            ctx.sparse,
-            &self.masks,
-            &self.lens,
-            &self.used,
-            &self.total_slack,
-            &self.min_slack,
-            t,
-            k,
-        )
+        self.usable[t * ctx.problem.num_buses() + k]
     }
 
     /// The usable-bus count of `t` (clamped just above [`SHAVE_WIDTH`])
-    /// and its first [`SHAVE_WIDTH`] usable buses.
+    /// and its first [`SHAVE_WIDTH`] usable buses. The maintained row
+    /// count answers the wide case in O(1); only narrow targets — the
+    /// ones shaving actually probes — scan the matrix row for the buses.
     fn usable_few(&self, ctx: &PruneContext<'_>, t: usize) -> (usize, [usize; SHAVE_WIDTH]) {
-        let mut count = 0usize;
+        let real = self.usable_count[t] as usize;
         let mut few = [usize::MAX; SHAVE_WIDTH];
-        for k in 0..ctx.problem.num_buses() {
-            if self.usable(ctx, t, k) {
-                if count < SHAVE_WIDTH {
-                    few[count] = k;
-                }
+        if real > SHAVE_WIDTH {
+            return (SHAVE_WIDTH + 1, few);
+        }
+        let buses = ctx.problem.num_buses();
+        let row = &self.usable[t * buses..(t + 1) * buses];
+        let mut count = 0usize;
+        for (k, &u) in row.iter().enumerate() {
+            if u {
+                few[count] = k;
                 count += 1;
-                if count > SHAVE_WIDTH {
+                if count == real {
                     break;
                 }
             }
         }
-        (count, few)
+        (real, few)
     }
 
     /// Applies the forced placement `t → k` — the same bookkeeping as
     /// the DFS `apply` step.
     fn commit(&mut self, ctx: &PruneContext<'_>, t: usize, k: usize) {
         let problem = ctx.problem;
-        self.masks[k].insert(t);
+        let windows = problem.num_windows();
+        self.masks[k * self.mask_words + t / 64] |= 1u64 << (t % 64);
         self.lens[k] += 1;
         let mut new_min = self.min_slack[k];
         for &(m, d) in &ctx.sparse[t] {
-            self.used[k][m] += d;
+            self.used[k * windows + m] += d;
             self.rem_window[m] -= d;
-            new_min = new_min.min(problem.capacity(m) - self.used[k][m]);
+            new_min = new_min.min(problem.capacity(m) - self.used[k * windows + m]);
         }
         self.min_slack[k] = new_min;
         self.total_slack[k] -= ctx.target_total[t];
         self.unbound.remove(t);
+        // Only bus `k` changed; one column refresh keeps the matrix
+        // exact for every later O(1) query of this propagation.
+        self.refresh_bus(ctx, k);
     }
 
     /// Runs the forced-assignment closure to a fixpoint. Returns `false`
@@ -994,22 +1289,19 @@ impl HypoState {
             {
                 let state = &*self;
                 for t in state.unbound.iter() {
-                    let mut count = 0usize;
-                    let mut only = usize::MAX;
-                    for k in 0..buses {
-                        if state.usable(ctx, t, k) {
-                            count += 1;
-                            only = k;
-                            if count > 1 {
-                                break;
-                            }
-                        }
-                    }
+                    // One maintained count per target; the matrix row is
+                    // only scanned for the rare forced (count == 1) case.
+                    let count = state.usable_count[t];
                     if count == 0 {
                         dead_target = true;
                         break;
                     }
                     if count == 1 {
+                        let row = &state.usable[t * buses..(t + 1) * buses];
+                        let only = row
+                            .iter()
+                            .position(|&u| u)
+                            .expect("count == 1 row has a usable bus");
                         commits.push((t, only));
                     }
                 }
@@ -1048,6 +1340,7 @@ impl HypoState {
             target_total: ctx.target_total,
             unbound: &self.unbound,
             bus_masks: &self.masks,
+            mask_words: self.mask_words,
             bus_len: &self.lens,
             used: &self.used,
             total_slack: &self.total_slack,
@@ -1055,6 +1348,9 @@ impl HypoState {
             rem_window: &self.rem_window,
             peak: ctx.peak,
             sparse: ctx.sparse,
+            // The state's own matrix — refreshed on every commit, so it
+            // describes the propagated buses exactly.
+            usable_matrix: Some(&self.usable),
         }
     }
 }
@@ -1093,9 +1389,13 @@ pub struct NodeState {
     pub(crate) critical: Vec<usize>,
     pub(crate) target_total: Vec<u64>,
     pub(crate) unbound: TargetSet,
-    pub(crate) masks: Vec<TargetSet>,
+    /// Flat per-bus member masks, [`NodeState::mask_words`] per bus —
+    /// the same layout the DFS search arena keeps.
+    pub(crate) masks: Vec<u64>,
+    pub(crate) mask_words: usize,
     pub(crate) lens: Vec<usize>,
-    pub(crate) used: Vec<Vec<u64>>,
+    /// Flat per-bus window usage, `num_windows` entries per bus.
+    pub(crate) used: Vec<u64>,
     pub(crate) total_slack: Vec<u64>,
     pub(crate) min_slack: Vec<u64>,
     pub(crate) rem_window: Vec<u64>,
@@ -1129,19 +1429,20 @@ impl NodeState {
         for t in 0..n {
             unbound.insert(t);
         }
-        let mut masks = vec![TargetSet::empty(n); buses];
+        let mask_words = unbound.words().len();
+        let mut masks = vec![0u64; buses * mask_words];
         let mut lens = vec![0usize; buses];
-        let mut used = vec![vec![0u64; windows]; buses];
+        let mut used = vec![0u64; buses * windows];
         let mut rem_window = column_demand(problem);
         for &(t, k) in bound {
             assert!(t < n && k < buses, "partial binding index out of range");
             assert!(unbound.contains(t), "target {t} bound twice");
             unbound.remove(t);
-            masks[k].insert(t);
+            masks[k * mask_words + t / 64] |= 1u64 << (t % 64);
             lens[k] += 1;
             for (m, rem) in rem_window.iter_mut().enumerate() {
                 let d = problem.demand(t, m);
-                used[k][m] += d;
+                used[k * windows + m] += d;
                 *rem -= d;
             }
         }
@@ -1150,12 +1451,14 @@ impl NodeState {
         // may overload a bus (the LP has not rejected it yet); zero slack
         // is the right — and still admissible — reading of that state.
         let total_slack: Vec<u64> = (0..buses)
-            .map(|k| cap_total.saturating_sub(used[k].iter().sum::<u64>()))
+            .map(|k| {
+                cap_total.saturating_sub(used[k * windows..(k + 1) * windows].iter().sum::<u64>())
+            })
             .collect();
         let min_slack: Vec<u64> = (0..buses)
             .map(|k| {
                 (0..windows)
-                    .map(|m| problem.capacity(m).saturating_sub(used[k][m]))
+                    .map(|m| problem.capacity(m).saturating_sub(used[k * windows + m]))
                     .min()
                     .unwrap_or(u64::MAX)
             })
@@ -1181,6 +1484,7 @@ impl NodeState {
             target_total,
             unbound,
             masks,
+            mask_words,
             lens,
             used,
             total_slack,
@@ -1201,6 +1505,7 @@ impl NodeState {
             target_total: &self.target_total,
             unbound: &self.unbound,
             bus_masks: &self.masks,
+            mask_words: self.mask_words,
             bus_len: &self.lens,
             used: &self.used,
             total_slack: &self.total_slack,
@@ -1208,6 +1513,7 @@ impl NodeState {
             rem_window: &self.rem_window,
             peak: &self.peak,
             sparse: &self.sparse,
+            usable_matrix: None,
         }
     }
 }

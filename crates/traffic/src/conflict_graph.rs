@@ -26,6 +26,7 @@
 //! intersects busy-interval sets pair by pair; only pairs with a non-zero
 //! aggregate overlap pay a (cheap, critical-streams-only) interval check.
 
+use crate::kernels;
 use crate::window::WindowStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -63,10 +64,28 @@ fn word_bits(wi: usize, w: u64) -> impl Iterator<Item = usize> {
 /// set.remove(3);
 /// assert_eq!(set.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TargetSet {
     capacity: usize,
     words: Vec<u64>,
+}
+
+/// Manual so `clone_from` reuses the word buffer: the solver's
+/// hypothetical propagation states reload their unbound set from a live
+/// context on every escalated DFS node, and the derived implementation
+/// would allocate a fresh `Vec` each time.
+impl Clone for TargetSet {
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            words: self.words.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.capacity = source.capacity;
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl TargetSet {
@@ -137,10 +156,7 @@ impl TargetSet {
     /// Whether this set shares any member with `other`.
     #[must_use]
     pub fn intersects(&self, other: &TargetSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(&a, &b)| a & b != 0)
+        kernels::any_and(&self.words, &other.words)
     }
 
     /// Iterates the members in increasing order.
@@ -329,10 +345,19 @@ impl ConflictGraph {
     /// Panics if `target` is out of range.
     #[must_use]
     pub fn conflicts_with_set(&self, target: usize, set: &TargetSet) -> bool {
-        self.row(target)
-            .iter()
-            .zip(set.words())
-            .any(|(&row, &members)| row & members != 0)
+        kernels::any_and(self.row(target), set.words())
+    }
+
+    /// Raw-word form of [`ConflictGraph::conflicts_with_set`] for callers
+    /// that keep bus membership as flat word strides (the binding
+    /// solver's search arena) rather than as [`TargetSet`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    #[must_use]
+    pub fn conflicts_with_words(&self, target: usize, words: &[u64]) -> bool {
+        kernels::any_and(self.row(target), words)
     }
 
     /// `true` if `target` conflicts with any member of `group` (slice
@@ -386,9 +411,7 @@ impl ConflictGraph {
         for &v in order {
             if candidates[v / WORD_BITS] >> (v % WORD_BITS) & 1 == 1 {
                 size += 1;
-                for (c, &r) in candidates.iter_mut().zip(self.row(v)) {
-                    *c &= r;
-                }
+                kernels::and_assign(&mut candidates, self.row(v));
             }
         }
         size

@@ -48,6 +48,7 @@ pub mod delta;
 pub mod ids;
 pub mod interval;
 pub mod io;
+pub mod kernels;
 pub mod model;
 pub mod overlap_profile;
 pub mod stats;

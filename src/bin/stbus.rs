@@ -10,8 +10,8 @@
 //! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
 //!                  [--pruning off|standard|aggressive] [--json]
 //! stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
-//!                  [--cache-entries N] [--keep-alive-requests N]
-//!                  [--idle-timeout-ms N]
+//!                  [--tenant-queue-depth N] [--cache-entries N]
+//!                  [--keep-alive-requests N] [--idle-timeout-ms N]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -85,8 +85,8 @@ const USAGE: &str = "usage:
   stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
                    [--pruning off|standard|aggressive] [--json]
   stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
-                   [--cache-entries N] [--keep-alive-requests N]
-                   [--idle-timeout-ms N]";
+                   [--tenant-queue-depth N] [--cache-entries N]
+                   [--keep-alive-requests N] [--idle-timeout-ms N]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -432,6 +432,13 @@ fn serve<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
                 if config.queue_depth == 0 {
                     return Err("--queue-depth needs at least 1".into());
                 }
+            }
+            "--tenant-queue-depth" => {
+                let depth: usize = parse(value(args, flag)?, "tenant queue depth")?;
+                if depth == 0 {
+                    return Err("--tenant-queue-depth needs at least 1".into());
+                }
+                config.tenant_queue_depth = Some(depth);
             }
             "--cache-entries" => {
                 config.cache_entries = parse(value(args, flag)?, "cache entries")?;

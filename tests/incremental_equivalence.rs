@@ -15,7 +15,7 @@
 //!   not change what the solver *concludes*: feasibility verdicts, probe
 //!   logs, chosen bus count, lower bound and the optimised
 //!   `max_bus_overlap` are identical to a cold solve, sequentially and
-//!   under the probe scheduler (`jobs ∈ {1, 4}`). Only the returned
+//!   under the probe scheduler (`jobs ∈ {1, 2, 4, 8}`). Only the returned
 //!   assignment may legitimately differ (the same contract
 //!   [`PruningLevel::Aggressive`] is held to), and it must verify.
 //!   Checked on the five paper suites and scaled synthetic instances,
@@ -296,7 +296,8 @@ fn assert_same_verdicts(label: &str, warm: &SynthesisOutcome, cold: &SynthesisOu
 /// The full warm-vs-cold harness for one application and one delta:
 /// solve the base workload cold (that solve's bindings are what the
 /// gateway stores in its artifact), patch the analysis, then solve the
-/// patched problem cold and warm (`jobs ∈ {1, 4}`) in both directions.
+/// patched problem cold and warm (`jobs ∈ {1, 2, 4, 8}`) in both
+/// directions — the widths that exercise the executor's priority lane.
 fn assert_warm_matches_cold(
     label: &str,
     app: &Application,
@@ -325,7 +326,7 @@ fn assert_warm_matches_cold(
             .solve_limits
             .clone()
             .with_warm_start(WarmStart::new(warm_hint.clone()));
-        for jobs in [1usize, 4] {
+        for jobs in [1usize, 2, 4, 8] {
             let warm = Exact::default()
                 .with_jobs(NonZeroUsize::new(jobs).unwrap())
                 .synthesize(pre, &warm_params)

@@ -176,6 +176,18 @@ fn large_soc_staged_matches_legacy_and_batch() {
     assert_same_report("large-soc: staged vs legacy", &staged, &legacy);
     assert_same_report("large-soc: parallel vs legacy", &parallel, &legacy);
     assert_same_report("large-soc: parallel vs sequential", &parallel, &sequential);
+
+    // The streaming batch path (phase-4 baselines through the executor,
+    // results delivered via `run_streaming`) stays bit-identical at the
+    // priority-lane widths too.
+    for threads in [2usize, 4, 8] {
+        let streamed = run_batch(Some(threads));
+        assert_same_report(
+            &format!("large-soc: threads={threads} vs sequential"),
+            &streamed,
+            &sequential,
+        );
+    }
 }
 
 /// Smoke test for the large-SoC scale path with the polynomial heuristic:

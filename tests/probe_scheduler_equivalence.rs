@@ -49,7 +49,10 @@ fn scheduler_matches_sequential_on_paper_suite() {
         let analyzed = collected.analyze(&params);
         for (dir, pre) in [("it", analyzed.pre_it()), ("ti", analyzed.pre_ti())] {
             let sequential = synthesize(pre, &params).expect("within limits");
-            for jobs in [1usize, 2, 8] {
+            // Every width exercises the executor's priority lane: the
+            // scheduler promotes its consume-next probe, so the suite
+            // also proves promotion never changes results.
+            for jobs in [1usize, 2, 4, 8] {
                 let jobs = NonZeroUsize::new(jobs).unwrap();
                 let plain = ProbeScheduler::new(jobs)
                     .synthesize(pre, &params)

@@ -73,7 +73,9 @@ fn pruning_levels_agree_on_paper_suite() {
                 .expect("within limits");
             assert_same_outcome(&format!("{}/{dir} std", app.name()), &standard, &off);
 
-            for jobs in [2usize, 8] {
+            // Includes the priority-lane widths: promoted consume-next
+            // probes must stay bit-identical at every worker count.
+            for jobs in [1usize, 2, 4, 8] {
                 let jobs = NonZeroUsize::new(jobs).unwrap();
                 let scheduled = Exact::default()
                     .with_pruning(PruningLevel::Standard)
