@@ -43,27 +43,11 @@ use stbus_traffic::workloads::{self, Application};
 /// The base seed every experiment uses (reproducibility).
 pub const SEED: u64 = 0xDA7E_2005;
 
-/// Per-application design parameters.
-///
-/// The paper tunes the analysis parameters per application (window size
-/// roughly 1–4× the typical burst, threshold 10 % for aggressive designs
-/// and 30–40 % for conservative ones). These are the settings used for the
-/// headline tables.
+/// Per-application design parameters — the one pinned table in
+/// [`stbus_core::paper_suite_params`], used for the headline tables.
 #[must_use]
 pub fn suite_params(app_name: &str) -> DesignParams {
-    let base = DesignParams::default();
-    match app_name {
-        // Aggressive threshold (paper §7.4: ~10–15 % for aggressive
-        // designs) — the matrix pipelines and the DES pipeline have clear
-        // phase structure worth separating.
-        "Mat1" | "Mat2" | "DES" => base.with_overlap_threshold(0.15),
-        // FFT's barrier traffic overlaps uniformly: only the conservative
-        // 50 % cap is meaningful (below it, every pair conflicts and the
-        // "designed" crossbar degenerates to a full one). Responses are
-        // short acknowledgements for the write-heavy exchanges.
-        "FFT" => base.with_overlap_threshold(0.50).with_response_scale(0.9),
-        _ => base,
-    }
+    stbus_core::paper_suite_params(app_name)
 }
 
 /// Generates the five paper suites with their designated seeds.

@@ -120,7 +120,7 @@ pub mod synthesizer;
 pub use batch::{Batch, BatchResult};
 pub use flow::{ConfigEval, DesignFlow, DesignReport, FlowError};
 pub use incremental::TouchedTargets;
-pub use params::{DesignParams, Windowing};
+pub use params::{paper_suite_params, DesignParams, Windowing};
 pub use phase2::Preprocessed;
 pub use phase3::{
     synthesize, synthesize_heuristic, synthesize_heuristic_cancellable_with, ProbeScheduler,

@@ -199,6 +199,27 @@ impl DesignParams {
     }
 }
 
+/// Per-application parameters pinned to the paper's evaluation (§7.4),
+/// keyed by [`Application::name`]: aggressive θ = 0.15 for the phase-
+/// structured pipelines (Mat1, Mat2, DES); the conservative 50 % cap and
+/// shortened acknowledgements for FFT's uniformly overlapping barrier
+/// traffic; defaults otherwise (QSort). Every consumer of the suite —
+/// `stbus suite`, the gateway's `/suite` route, the benchmark harness,
+/// `stbus replay` — must use this one table so their rows diff clean
+/// against each other byte for byte.
+///
+/// [`Application::name`]: stbus_traffic::workloads::Application::name
+#[must_use]
+pub fn paper_suite_params(app_name: &str) -> DesignParams {
+    match app_name {
+        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
+        "FFT" => DesignParams::default()
+            .with_overlap_threshold(0.50)
+            .with_response_scale(0.9),
+        _ => DesignParams::default(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -183,6 +183,34 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
+/// True when the peer has closed its end of `stream`: EOF (or a reset)
+/// on a non-blocking `peek`. `peek`, not `read`, so pipelined request
+/// bytes are left in the socket for the next [`read_request`]; a
+/// would-block simply means the peer is quiet, not gone. The stream is
+/// restored to blocking before returning.
+#[must_use]
+pub fn peer_closed(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,  // orderly EOF
+        Ok(_) => false, // pipelined bytes; leave them in place
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) =>
+        {
+            false
+        }
+        Err(_) => true, // reset etc.
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
 /// The `Connection:` header line for a response.
 fn connection_line(keep_alive: bool) -> &'static str {
     if keep_alive {
@@ -284,6 +312,16 @@ impl<'a> ChunkedWriter<'a> {
     pub fn end(self) -> io::Result<()> {
         self.stream.write_all(b"0\r\n\r\n")?;
         self.stream.flush()
+    }
+
+    /// Liveness probe between chunks: true when the client has gone away
+    /// ([`peer_closed`]). A failed chunk *write* only surfaces at the
+    /// next produced chunk — polling this while a slow sweep point is
+    /// still solving lets the relay raise the request's cancel token
+    /// promptly instead of burning the worker until the next θ finishes.
+    #[must_use]
+    pub fn client_gone(&self) -> bool {
+        peer_closed(self.stream)
     }
 }
 

@@ -111,11 +111,36 @@
 //! Every admitted job carries a root `CancelToken` threaded through the
 //! solver layers. A dropped connection (EOF while waiting, or a failed
 //! stream write) raises the token and the search stops at its next poll
-//! — speculation is abandoned mid-solve. `POST /shutdown` (or
-//! [`Gateway::shutdown`]) stops accepting, answers queued jobs `503`
-//! with their tokens raised, lets in-flight jobs finish, and
-//! [`Gateway::join`] returns once everything has drained; `stbus serve`
-//! then exits 0.
+//! — speculation is abandoned mid-solve. Sweeps poll the client between
+//! θ points too, so a consumer that walked away stops the stream at the
+//! next point boundary. `POST /shutdown` (or [`Gateway::shutdown`])
+//! stops accepting, answers queued jobs `503` with their tokens raised,
+//! lets in-flight jobs finish, and [`Gateway::join`] returns once
+//! everything has drained; `stbus serve` then exits 0.
+//!
+//! # Journaling, crash recovery and replay
+//!
+//! With `--journal-dir` set, the gateway event-sources itself: every
+//! request appends one CRC-checksummed record (kind, status, tenant,
+//! spec, outcome) to an append-only journal via a dedicated writer
+//! thread — journaling never blocks the request path. Every
+//! `--snapshot-every` records the writer emits a snapshot (counters plus
+//! a bounded ring of recent successful designs) and prunes older ones.
+//! On restart with the same directory, [`Gateway::spawn`] truncates any
+//! torn tail, restores the `/stats` counters, and rebuilds the artifact
+//! caches from the ring **before** binding the listener — a client
+//! holding an `"artifact"` address from before the crash still gets its
+//! warm delta path, and repeated requests still hit the caches. The
+//! fsync cadence (`--journal-fsync always|snapshot|never`) only bounds
+//! what a *power loss* can lose; a crashed process loses at most the
+//! records still queued to the writer thread.
+//!
+//! The journal doubles as a regression corpus: `stbus replay
+//! --journal-dir DIR` re-derives every recorded outcome through the
+//! [`replay::ReplayEngine`] — the same wire parsers, caches and solve
+//! paths as the live server — and diffs the bodies byte for byte.
+//! Synthesis is deterministic at any worker count, so a diff means the
+//! code changed behaviour since the journal was written.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -124,6 +149,7 @@ pub mod admission;
 pub mod cache;
 pub mod http;
 pub mod json;
+pub mod replay;
 pub mod server;
 pub mod wire;
 

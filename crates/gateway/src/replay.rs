@@ -1,0 +1,299 @@
+//! Offline journal replay: re-derive every recorded result through the
+//! same execution paths the live gateway ran, and let the caller diff
+//! the bodies byte for byte against what the journal recorded.
+//!
+//! The [`ReplayEngine`] is the executor side of
+//! [`stbus_journal::replay_records`]: it parses each record's spec with
+//! the gateway's own wire parsers, runs the identical cache-backed
+//! pipeline front half and phase-3 solve, and renders the identical
+//! response body — [`crate::server::pair_body`] for single designs, the
+//! concatenated chunk lines for sweeps, the row array for suites.
+//! Because synthesis is deterministic at any worker count, a mismatch
+//! means the *code* changed behaviour since the journal was written; the
+//! journal doubles as a whole-corpus regression suite.
+//!
+//! The engine owns a **private** pair of artifact caches plus its own
+//! re-synthesis store, so a replay never touches (or depends on) live
+//! server state. Deltas chain exactly as they did online: each replayed
+//! workload solve deposits its artifact under the same content address
+//! the live server issued, and a later delta record warm-starts from the
+//! engine's *own replayed* parent bindings — warm starts contractually
+//! preserve verdicts, probe logs and bus counts, so the chain stays
+//! byte-stable. A delta whose parent never made it into the replayed
+//! history (evicted before the snapshot ring captured it) is declined,
+//! which [`stbus_journal::replay_records`] reports as a skip, not a
+//! failure — mirroring the live `404` semantics.
+
+use crate::cache::SingleFlightCache;
+use crate::server::{
+    artifact_address, chained_address, effective_jobs, pair_body, CachedAnalysis, ResynthArtifact,
+};
+use crate::wire::{
+    self, DeltaRequest, SuiteRequest, SweepRequest, SynthesizeRequest, WorkRequest, WorkSpec,
+};
+use stbus_core::phase1::CollectedTraffic;
+use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionKey};
+use stbus_exec::CancelToken;
+use stbus_journal::{Record, RecordKind};
+use stbus_milp::{Binding, WarmStart};
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+/// Re-derives journaled outcomes through the gateway's execution paths.
+///
+/// Use one engine per replay run and feed it records in journal order
+/// (as [`stbus_journal::replay_records`] does) so delta chains resolve:
+///
+/// ```no_run
+/// use stbus_gateway::replay::ReplayEngine;
+/// use stbus_journal::{read_journal, replay_records};
+/// use std::path::Path;
+///
+/// let report = read_journal(Path::new("journal-dir")).unwrap();
+/// let mut engine = ReplayEngine::new(None);
+/// let replay = replay_records(&report.records, |r| engine.execute(r));
+/// assert!(replay.is_clean());
+/// ```
+pub struct ReplayEngine {
+    collect_cache: SingleFlightCache<[u64; 4], CollectedTraffic>,
+    analysis_cache: SingleFlightCache<[u64; 8], AnalysisArtifact>,
+    /// The engine's own re-synthesis store, keyed by the same content
+    /// addresses the live server issued. Unbounded: a replay run is
+    /// finite and offline, so fidelity beats eviction.
+    artifacts: HashMap<String, ResynthArtifact>,
+    /// Probe-parallelism override for every replayed solve (`--jobs`);
+    /// `None` replays each record at its recorded width. Result-invariant
+    /// either way — the determinism contract is the point of replay.
+    jobs: Option<NonZeroUsize>,
+    /// Never cancelled: replay always runs requests to completion.
+    token: CancelToken,
+}
+
+impl ReplayEngine {
+    /// A fresh engine with empty caches.
+    #[must_use]
+    pub fn new(jobs: Option<NonZeroUsize>) -> Self {
+        Self {
+            collect_cache: SingleFlightCache::new(usize::MAX),
+            analysis_cache: SingleFlightCache::new(usize::MAX),
+            artifacts: HashMap::new(),
+            jobs,
+            token: CancelToken::new(),
+        }
+    }
+
+    /// Executes one replayable record, returning the re-derived response
+    /// body (`Ok(Some)`), a decline for records the engine cannot replay
+    /// (`Ok(None)` — e.g. a delta whose parent predates the recovered
+    /// history), or the solver error (`Err`). Matches the executor
+    /// signature of [`stbus_journal::replay_records`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec-parse failures (a corrupt or hand-edited journal)
+    /// and solver errors as `Err(message)`.
+    pub fn execute(&mut self, record: &Record) -> Result<Option<String>, String> {
+        match record.kind {
+            RecordKind::Synthesize => match wire::parse_synthesize_route(&record.spec)? {
+                WorkRequest::Synthesize(request) => self.replay_synthesize(&request),
+                _ => Err("synthesize record parsed to a different route".to_string()),
+            },
+            RecordKind::Delta => {
+                let request = wire::parse_delta(&record.spec)?;
+                self.replay_delta(&request)
+            }
+            RecordKind::Sweep => {
+                let request = wire::parse_sweep(&record.spec)?;
+                self.replay_sweep(&request)
+            }
+            RecordKind::Suite => {
+                let request = wire::parse_suite(&record.spec)?;
+                self.replay_suite(&request)
+            }
+        }
+    }
+
+    fn jobs_for(&self, recorded: Option<NonZeroUsize>) -> Option<NonZeroUsize> {
+        effective_jobs(self.jobs.or(recorded))
+    }
+
+    fn replay_synthesize(&mut self, request: &SynthesizeRequest) -> Result<Option<String>, String> {
+        let WorkSpec::Workload(spec) = &request.work else {
+            // Trace-mode inputs are journaled as digests and filtered
+            // out by `is_replayable` before the engine is invoked.
+            return Ok(None);
+        };
+        let strategy = request
+            .solver
+            .synthesizer_with(self.jobs_for(request.jobs), request.pruning);
+        let solver = request.solver.to_string();
+        let app = Arc::new(spec.build());
+        let front = CachedAnalysis::build_with(
+            &self.collect_cache,
+            &self.analysis_cache,
+            &app,
+            &request.params,
+        );
+        let analyzed = front
+            .collected
+            .analyze_with(&front.artifact, &request.params);
+        let designed = match analyzed.synthesize_cancellable(&*strategy, &self.token) {
+            Ok(Some(designed)) => designed,
+            Ok(None) => return Err("cancelled (replay token is never raised)".to_string()),
+            Err(e) => return Err(e.to_string()),
+        };
+        let address = artifact_address(&app, &request.params, request.solver, request.pruning);
+        let body = pair_body(
+            app.name(),
+            &designed.it.to_json(&solver),
+            &designed.ti.to_json(&solver),
+            &address,
+        );
+        self.artifacts.insert(
+            address,
+            ResynthArtifact {
+                app: Arc::clone(&app),
+                params: request.params.clone(),
+                solver: request.solver,
+                pruning: request.pruning,
+                traffic: front.collected.traffic().clone(),
+                analysis: (*front.artifact).clone(),
+                warm_it: designed.it.binding.clone(),
+                warm_ti: designed.ti.binding.clone(),
+            },
+        );
+        Ok(Some(body))
+    }
+
+    fn replay_delta(&mut self, request: &DeltaRequest) -> Result<Option<String>, String> {
+        let Some(stored) = self.artifacts.get(&request.artifact) else {
+            // The parent was never replayed (e.g. it fell out of the
+            // recovered ring before this journal segment began) —
+            // decline rather than fabricate a cold solve the live
+            // server never ran.
+            return Ok(None);
+        };
+        let strategy = stored
+            .solver
+            .synthesizer_with(self.jobs_for(request.jobs), stored.pruning);
+        let solver = stored.solver.to_string();
+        let app = Arc::clone(&stored.app);
+        let collected = Collected::from_cached(&app, &stored.params, stored.traffic.clone());
+        let analyzed = collected.analyze_with(&stored.analysis, &stored.params);
+        let re = analyzed
+            .reanalyze(&request.delta)
+            .map_err(|e| e.to_string())?;
+        let base = re.params().clone();
+        let warmed = |binding: &Binding| {
+            let mut params = base.clone();
+            params.solve_limits = params
+                .solve_limits
+                .clone()
+                .with_warm_start(WarmStart::new(binding.clone()));
+            params
+        };
+        let solve = |pre, binding: &Binding| match strategy.synthesize_cancellable(
+            pre,
+            &warmed(binding),
+            &self.token,
+        ) {
+            Ok(Some(outcome)) => Ok(outcome),
+            Ok(None) => Err("cancelled (replay token is never raised)".to_string()),
+            Err(e) => Err(e.to_string()),
+        };
+        let out_it = solve(re.pre_it(), &stored.warm_it)?;
+        let out_ti = solve(re.pre_ti(), &stored.warm_ti)?;
+        let address = chained_address(&request.artifact, &request.delta);
+        let body = pair_body(
+            app.name(),
+            &out_it.to_json(&solver),
+            &out_ti.to_json(&solver),
+            &address,
+        );
+        let deposit = ResynthArtifact {
+            app: Arc::clone(&app),
+            params: base.clone(),
+            solver: stored.solver,
+            pruning: stored.pruning,
+            traffic: re.collected().traffic().clone(),
+            analysis: AnalysisArtifact::from_parts(
+                CollectionKey::of(&base),
+                AnalysisKey::of(&base),
+                (re.pre_it().stats.clone(), re.pre_it().profile.clone()),
+                (re.pre_ti().stats.clone(), re.pre_ti().profile.clone()),
+            ),
+            warm_it: out_it.binding,
+            warm_ti: out_ti.binding,
+        };
+        drop(re);
+        self.artifacts.insert(address, deposit);
+        Ok(Some(body))
+    }
+
+    /// Replays a completed sweep sequentially, accumulating the exact
+    /// chunk lines (trailing newlines included) the live stream sent —
+    /// the journal's recorded outcome for a completed sweep.
+    fn replay_sweep(&mut self, request: &SweepRequest) -> Result<Option<String>, String> {
+        let base = &request.base;
+        let WorkSpec::Workload(spec) = &base.work else {
+            return Ok(None);
+        };
+        let strategy = base
+            .solver
+            .synthesizer_with(self.jobs_for(base.jobs), base.pruning);
+        let solver = base.solver.to_string();
+        let app = spec.build();
+        let front = CachedAnalysis::build_with(
+            &self.collect_cache,
+            &self.analysis_cache,
+            &app,
+            &base.params,
+        );
+        let mut transcript = String::new();
+        for &theta in &request.thresholds {
+            let params = base.params.clone().with_overlap_threshold(theta);
+            let analyzed = front.collected.analyze_with(&front.artifact, &params);
+            match analyzed.synthesize_cancellable(&*strategy, &self.token) {
+                Ok(Some(designed)) => transcript.push_str(&format!(
+                    "{{\"threshold\":{theta},\"it\":{},\"ti\":{}}}\n",
+                    designed.it.to_json(&solver),
+                    designed.ti.to_json(&solver),
+                )),
+                Ok(None) => {
+                    return Err("cancelled (replay token is never raised)".to_string());
+                }
+                Err(e) => transcript.push_str(&format!(
+                    "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
+                    stbus_core::json_escape(&e.to_string())
+                )),
+            }
+        }
+        Ok(Some(transcript))
+    }
+
+    fn replay_suite(&mut self, request: &SuiteRequest) -> Result<Option<String>, String> {
+        let strategy = request
+            .solver
+            .synthesizer_with(self.jobs_for(request.jobs), request.pruning);
+        let solver = request.solver.to_string();
+        let apps = stbus_traffic::workloads::paper_suite(request.seed);
+        let mut rows = Vec::with_capacity(apps.len());
+        for app in &apps {
+            let params = stbus_core::paper_suite_params(app.name());
+            let front =
+                CachedAnalysis::build_with(&self.collect_cache, &self.analysis_cache, app, &params);
+            let analyzed = front.collected.analyze_with(&front.artifact, &params);
+            let designed = match analyzed.synthesize_cancellable(&*strategy, &self.token) {
+                Ok(Some(designed)) => designed,
+                Ok(None) => return Err("cancelled (replay token is never raised)".to_string()),
+                Err(e) => return Err(e.to_string()),
+            };
+            match designed.report() {
+                Ok(report) => rows.push(report.paper_row_json(&solver)),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok(Some(format!("[{}]", rows.join(","))))
+    }
+}

@@ -82,6 +82,7 @@ use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionK
 use stbus_core::{DesignParams, Preprocessed, SolverKind};
 use stbus_exec as exec;
 use stbus_exec::CancelToken;
+use stbus_journal::{FsyncPolicy, JournalWriter, Record, RecordKind, RecordStatus, WriterOptions};
 use stbus_milp::{Binding, PruningLevel, WarmStart};
 use stbus_traffic::workloads::Application;
 use stbus_traffic::WorkloadDelta;
@@ -90,6 +91,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -120,6 +122,18 @@ pub struct GatewayConfig {
     pub idle_timeout_ms: u64,
     /// Log one line per work request (id, tenant, route) to stderr.
     pub log_requests: bool,
+    /// Event-journal directory (`--journal-dir`). `None` disables
+    /// journaling: the gateway runs exactly as before, all state
+    /// in-memory only. When set, every request appends one record, and
+    /// startup recovers counters and artifact caches from the directory
+    /// **before** the listener binds.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal fsync cadence (`--journal-fsync`); only bounds what a
+    /// power loss can lose — see [`stbus_journal::FsyncPolicy`].
+    pub journal_fsync: FsyncPolicy,
+    /// Emit a recovery snapshot every this many journal records
+    /// (`--snapshot-every`; 0 disables snapshots).
+    pub journal_snapshot_every: u64,
 }
 
 impl Default for GatewayConfig {
@@ -133,6 +147,9 @@ impl Default for GatewayConfig {
             keep_alive_requests: 100,
             idle_timeout_ms: 5_000,
             log_requests: true,
+            journal_dir: None,
+            journal_fsync: FsyncPolicy::Always,
+            journal_snapshot_every: 64,
         }
     }
 }
@@ -160,6 +177,10 @@ struct Job {
     /// The tenant the request was admitted under.
     tenant: String,
     work: WorkRequest,
+    /// What the journal records as this request's input spec: the body
+    /// verbatim for workload-mode requests, `trace:<digest>` for
+    /// trace-mode ones (see [`journal_spec`]).
+    spec: String,
     token: CancelToken,
     reply: Sender<Reply>,
 }
@@ -179,15 +200,17 @@ struct TenantCounters {
 /// left off: the collected traffic and phase-2 analysis (phases 1–2 are
 /// skipped entirely), the parameters and solver knobs the artifact pins,
 /// and the bindings the previous solve produced (the warm starts).
-struct ResynthArtifact {
-    app: Arc<Application>,
-    params: DesignParams,
-    solver: SolverKind,
-    pruning: Option<PruningLevel>,
-    traffic: CollectedTraffic,
-    analysis: AnalysisArtifact,
-    warm_it: Binding,
-    warm_ti: Binding,
+/// Shared with [`crate::replay`], whose engine maintains the same store
+/// to chain deltas during offline replay.
+pub(crate) struct ResynthArtifact {
+    pub(crate) app: Arc<Application>,
+    pub(crate) params: DesignParams,
+    pub(crate) solver: SolverKind,
+    pub(crate) pruning: Option<PruningLevel>,
+    pub(crate) traffic: CollectedTraffic,
+    pub(crate) analysis: AnalysisArtifact,
+    pub(crate) warm_it: Binding,
+    pub(crate) warm_ti: Binding,
 }
 
 /// State shared by the acceptor, connection threads and workers.
@@ -213,9 +236,34 @@ struct Shared {
     keep_alive_requests: usize,
     idle_timeout: Duration,
     log_requests: bool,
+    /// The event journal's append side; `None` when journaling is off.
+    journal: Option<JournalWriter>,
 }
 
 impl Shared {
+    /// Appends one request event to the journal (no-op when journaling
+    /// is off). Fire-and-forget: the writer thread owns the file, so
+    /// this never blocks a worker or connection thread on disk I/O.
+    fn journal_event(
+        &self,
+        kind: RecordKind,
+        status: RecordStatus,
+        tenant: &str,
+        spec: &str,
+        outcome: &str,
+    ) {
+        if let Some(journal) = &self.journal {
+            journal.append(Record {
+                seq: 0, // assigned by the writer thread
+                kind,
+                status,
+                tenant: tenant.to_string(),
+                spec: spec.to_string(),
+                outcome: outcome.to_string(),
+            });
+        }
+    }
+
     fn bump_tenant(&self, tenant: &str, delta_reuse: bool) {
         let mut tenants = self.tenants.lock().expect("tenant counters");
         let entry = tenants.entry(tenant.to_string()).or_default();
@@ -248,12 +296,37 @@ pub struct Gateway {
 impl Gateway {
     /// Binds, spawns the acceptor and worker threads, and returns.
     ///
+    /// With [`GatewayConfig::journal_dir`] set, recovery runs first —
+    /// torn-tail truncation, counter restoration, artifact-cache rebuild
+    /// from the journaled request history — and only then does the
+    /// listener bind, so no request can ever observe half-restored
+    /// state.
+    ///
     /// # Errors
     ///
-    /// Any bind failure.
+    /// Any bind failure, or an I/O failure recovering or opening the
+    /// journal.
     pub fn spawn(config: &GatewayConfig) -> io::Result<Self> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
+        let recovered = match &config.journal_dir {
+            Some(dir) => Some(stbus_journal::recover(dir)?),
+            None => None,
+        };
+        let journal = match &config.journal_dir {
+            Some(dir) => Some(JournalWriter::spawn(
+                dir,
+                WriterOptions {
+                    fsync: config.journal_fsync,
+                    snapshot_every: config.journal_snapshot_every,
+                    ..WriterOptions::default()
+                },
+                recovered.as_ref(),
+            )?),
+            None => None,
+        };
+        let counters = recovered
+            .as_ref()
+            .map(|r| r.counters.clone())
+            .unwrap_or_default();
         let shared = Arc::new(Shared {
             queue: IngressQueue::new(config.queue_depth.max(1)).with_tenant_depth(
                 config
@@ -264,20 +337,47 @@ impl Gateway {
             collect_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             analysis_cache: SingleFlightCache::new(config.cache_entries.max(1)),
             resynth_cache: SingleFlightCache::new(config.cache_entries.max(1)),
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            delta_reuse: AtomicU64::new(0),
-            delta_miss: AtomicU64::new(0),
+            served: AtomicU64::new(counters.served),
+            rejected: AtomicU64::new(counters.rejected),
+            cancelled: AtomicU64::new(counters.cancelled),
+            delta_reuse: AtomicU64::new(counters.delta_reuse),
+            delta_miss: AtomicU64::new(counters.delta_miss),
             next_request_id: AtomicU64::new(0),
-            tenants: Mutex::new(BTreeMap::new()),
+            tenants: Mutex::new(
+                counters
+                    .tenants
+                    .iter()
+                    .map(|(name, t)| {
+                        (
+                            name.clone(),
+                            TenantCounters {
+                                served: t.served,
+                                delta_reuse: t.delta_reuse,
+                                rejected_quota: t.rejected_quota,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
             active: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             keep_alive_requests: config.keep_alive_requests.max(1),
             idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
             log_requests: config.log_requests,
+            journal,
         });
+        if let Some(state) = &recovered {
+            let rebuilt = rebuild_caches(&shared, &state.ring);
+            eprintln!(
+                "stbus gateway recovered: {} journal records after snapshot, \
+                 {rebuilt} artifacts rebuilt, {} torn bytes truncated",
+                state.journaled, state.truncated_bytes,
+            );
+        }
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
 
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -336,6 +436,11 @@ impl Gateway {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
+        // All producers of journal events have drained; flush and stop
+        // the writer so the log ends on a clean frame boundary.
+        if let Some(journal) = &self.shared.journal {
+            journal.close();
+        }
     }
 
     /// Spawns, then blocks until a `/shutdown` request drains the server
@@ -368,6 +473,13 @@ fn begin_shutdown(shared: &Arc<Shared>, addr: SocketAddr) {
     for job in shared.queue.close() {
         job.token.cancel();
         shared.cancelled.fetch_add(1, Ordering::Relaxed);
+        shared.journal_event(
+            record_kind(&job.work),
+            RecordStatus::Cancelled,
+            &job.tenant,
+            &job.spec,
+            "",
+        );
         let _ = job.reply.send(Reply::Done {
             status: 503,
             reason: "Service Unavailable",
@@ -555,9 +667,11 @@ fn dispatch(
 
     let token = CancelToken::new();
     let (reply_tx, reply_rx) = mpsc::channel();
+    let kind = record_kind(&work);
     let job = Job {
         id: req_id,
         tenant: tenant.clone(),
+        spec: journal_spec(&work, &request.body),
         work,
         token: token.clone(),
         reply: reply_tx,
@@ -566,6 +680,7 @@ fn dispatch(
         Ok(()) => {}
         Err(SubmitError::QueueFull) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.journal_event(kind, RecordStatus::RejectedQueue, &tenant, "", "");
             let ok = http::respond(
                 stream,
                 429,
@@ -580,6 +695,7 @@ fn dispatch(
         Err(SubmitError::TenantQueueFull) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             shared.bump_tenant_quota_rejection(&tenant);
+            shared.journal_event(kind, RecordStatus::RejectedQuota, &tenant, "", "");
             let ok = http::respond(
                 stream,
                 429,
@@ -634,7 +750,7 @@ fn relay_replies(
                 unreachable!("stream replies before StreamStart")
             }
             Err(RecvTimeoutError::Timeout) => {
-                if client_gone(stream) {
+                if http::peer_closed(stream) {
                     // Raise the token and leave; the worker observes the
                     // cancellation and owns the `cancelled` counter (the
                     // solve may also race to completion and count as
@@ -674,10 +790,20 @@ fn relay_replies(
                 unreachable!("fixed replies after StreamStart")
             }
             Err(RecvTimeoutError::Timeout) => {
-                if chunked.is_none() {
-                    // Already cancelled; keep draining until the worker
-                    // notices and closes the channel.
+                // Between chunks nothing is written, so a vanished client
+                // would otherwise go unnoticed until the next θ point
+                // finishes solving. Probe the socket while idle and raise
+                // the token the moment the peer is gone — the worker
+                // observes the cancellation mid-solve and owns the
+                // `cancelled` counter (counted exactly once, as always).
+                if let Some(writer) = chunked.as_ref() {
+                    if writer.client_gone() {
+                        chunked = None;
+                        token.cancel();
+                    }
                 }
+                // `chunked.is_none()`: already cancelled; keep draining
+                // until the worker notices and closes the channel.
             }
             Err(RecvTimeoutError::Disconnected) => {
                 if let Some(writer) = chunked.take() {
@@ -689,31 +815,6 @@ fn relay_replies(
     }
 }
 
-/// True when the peer has closed its end (EOF on a non-blocking `peek`
-/// — `peek`, not `read`, so pipelined request bytes stay in the socket
-/// for the next [`http::read_request`]).
-fn client_gone(stream: &TcpStream) -> bool {
-    if stream.set_nonblocking(true).is_err() {
-        return true;
-    }
-    let mut probe = [0u8; 1];
-    let gone = match stream.peek(&mut probe) {
-        Ok(0) => true,  // orderly EOF
-        Ok(_) => false, // pipelined bytes; leave them in place
-        Err(e)
-            if matches!(
-                e.kind(),
-                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-            ) =>
-        {
-            false
-        }
-        Err(_) => true, // reset etc.
-    };
-    let _ = stream.set_nonblocking(false);
-    gone
-}
-
 // ---------------------------------------------------------------------
 // Worker side: executing admitted jobs through the artifact caches.
 // ---------------------------------------------------------------------
@@ -723,6 +824,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         shared.active.fetch_add(1, Ordering::AcqRel);
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(shared, &job)));
         if outcome.is_err() {
+            shared.journal_event(
+                record_kind(&job.work),
+                RecordStatus::Error,
+                &job.tenant,
+                &job.spec,
+                "internal error",
+            );
             let _ = job.reply.send(Reply::Done {
                 status: 500,
                 reason: "Internal Server Error",
@@ -733,10 +841,38 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// The journal's classification of a work request.
+fn record_kind(work: &WorkRequest) -> RecordKind {
+    match work {
+        WorkRequest::Synthesize(_) => RecordKind::Synthesize,
+        WorkRequest::Sweep(_) => RecordKind::Sweep,
+        WorkRequest::Suite(_) => RecordKind::Suite,
+        WorkRequest::Delta(_) => RecordKind::Delta,
+    }
+}
+
+/// What the journal stores as a request's input spec. Workload-mode
+/// bodies are journaled verbatim (they embed the design parameters and
+/// any delta, and are small); trace-mode bodies carry the full
+/// interchange trace — up to 16 MiB — so only a content digest is kept,
+/// making those records audit-only rather than replayable.
+fn journal_spec(work: &WorkRequest, body: &str) -> String {
+    let trace_mode = match work {
+        WorkRequest::Synthesize(r) => matches!(r.work, WorkSpec::Trace(_)),
+        WorkRequest::Sweep(r) => matches!(r.base.work, WorkSpec::Trace(_)),
+        WorkRequest::Suite(_) | WorkRequest::Delta(_) => false,
+    };
+    if trace_mode {
+        format!("trace:{:016x}", fnv1a(&[], body.as_bytes()))
+    } else {
+        body.to_string()
+    }
+}
+
 /// Grows the shared executor when a request asks for more parallelism,
 /// mirroring the CLI's `--jobs` handling; returns the effective probe
 /// width (`None` on the request = the executor's width).
-fn effective_jobs(jobs: Option<NonZeroUsize>) -> Option<NonZeroUsize> {
+pub(crate) fn effective_jobs(jobs: Option<NonZeroUsize>) -> Option<NonZeroUsize> {
     if let Some(jobs) = jobs {
         if jobs.get() > 1 {
             stbus_exec::ensure_workers(jobs.get());
@@ -757,6 +893,13 @@ fn execute(shared: &Arc<Shared>, job: &Job) {
 /// Sends the canonical terminal reply for a cancelled job.
 fn reply_cancelled(shared: &Arc<Shared>, job: &Job) {
     shared.cancelled.fetch_add(1, Ordering::Relaxed);
+    shared.journal_event(
+        record_kind(&job.work),
+        RecordStatus::Cancelled,
+        &job.tenant,
+        &job.spec,
+        "",
+    );
     let _ = job.reply.send(Reply::Done {
         status: 499,
         reason: "Client Closed Request",
@@ -764,38 +907,56 @@ fn reply_cancelled(shared: &Arc<Shared>, job: &Job) {
     });
 }
 
-fn reply_solver_error(job: &Job, error: &dyn std::fmt::Display) {
+fn reply_solver_error(shared: &Arc<Shared>, job: &Job, error: &dyn std::fmt::Display) {
+    let message = error.to_string();
+    shared.journal_event(
+        record_kind(&job.work),
+        RecordStatus::Error,
+        &job.tenant,
+        &job.spec,
+        &message,
+    );
     let _ = job.reply.send(Reply::Done {
         status: 500,
         reason: "Internal Server Error",
-        body: format!(
-            "{{\"error\":\"{}\"}}\n",
-            stbus_core::json_escape(&error.to_string())
-        ),
+        body: format!("{{\"error\":\"{}\"}}\n", stbus_core::json_escape(&message)),
     });
 }
 
 /// The cached phase-1/phase-2 front half of a workload-mode request:
 /// collect (or reuse) the traffic, analyze (or reuse) the windows.
-struct CachedAnalysis<'a> {
-    collected: Collected<'a>,
-    artifact: Arc<AnalysisArtifact>,
+/// Shared with [`crate::replay`], which drives the same front half
+/// against its own (offline) caches.
+pub(crate) struct CachedAnalysis<'a> {
+    pub(crate) collected: Collected<'a>,
+    pub(crate) artifact: Arc<AnalysisArtifact>,
 }
 
 impl<'a> CachedAnalysis<'a> {
     fn build(shared: &Shared, app: &'a Application, params: &DesignParams) -> Self {
+        Self::build_with(&shared.collect_cache, &shared.analysis_cache, app, params)
+    }
+
+    /// The cache-backed front half against caller-supplied caches — the
+    /// live server passes the process-wide pair, the replay engine its
+    /// own private pair.
+    pub(crate) fn build_with(
+        collect_cache: &SingleFlightCache<[u64; 4], CollectedTraffic>,
+        analysis_cache: &SingleFlightCache<[u64; 8], AnalysisArtifact>,
+        app: &'a Application,
+        params: &DesignParams,
+    ) -> Self {
         let digest = app.content_digest();
         let ck = CollectionKey::of(params).fingerprint();
         let collect_key = [digest, ck[0], ck[1], ck[2]];
-        let traffic = shared.collect_cache.get_or_compute(collect_key, || {
+        let traffic = collect_cache.get_or_compute(collect_key, || {
             Pipeline::collect(app, params).into_traffic()
         });
         let collected = Collected::from_cached(app, params, (*traffic).clone());
         let ak = AnalysisKey::of(params).fingerprint();
         let analysis_key = [digest, ck[0], ck[1], ck[2], ak[0], ak[1], ak[2], ak[3]];
-        let artifact = shared
-            .analysis_cache
-            .get_or_compute(analysis_key, || collected.analysis_artifact(params));
+        let artifact =
+            analysis_cache.get_or_compute(analysis_key, || collected.analysis_artifact(params));
         Self {
             collected,
             artifact,
@@ -807,7 +968,7 @@ impl<'a> CachedAnalysis<'a> {
 /// content-address hash of the re-synthesis artifact store. Addresses
 /// only need to be stable within one server process (a client always
 /// learns them from a response), so no cross-version contract.
-fn fnv1a(words: &[u64], tags: &[u8]) -> u64 {
+pub(crate) fn fnv1a(words: &[u64], tags: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |byte: u8| {
@@ -828,7 +989,7 @@ fn fnv1a(words: &[u64], tags: &[u8]) -> u64 {
 /// Content address of a fresh workload-mode artifact: application
 /// digest, both phase fingerprints, and the solve-relevant knobs (θ,
 /// `maxtb`, solver, pruning). `jobs` is excluded — it is result-invariant.
-fn artifact_address(
+pub(crate) fn artifact_address(
     app: &Application,
     params: &DesignParams,
     solver: SolverKind,
@@ -855,7 +1016,7 @@ fn artifact_address(
 /// Content address of a chained artifact: the parent address folded with
 /// an injective encoding of the delta, so the same edit sequence always
 /// lands on the same entry and distinct edits never collide by design.
-fn chained_address(parent: &str, delta: &WorkloadDelta) -> String {
+pub(crate) fn chained_address(parent: &str, delta: &WorkloadDelta) -> String {
     let mut words = vec![delta.add_targets as u64, delta.removed.len() as u64];
     for t in &delta.removed {
         words.push(t.index() as u64);
@@ -878,6 +1039,16 @@ fn chained_address(parent: &str, delta: &WorkloadDelta) -> String {
         None => words.push(0),
     }
     format!("{:016x}", fnv1a(&words, parent.as_bytes()))
+}
+
+/// The one response-body format for a both-direction design — used by
+/// the live `/synthesize` and delta paths and by the replay engine, so
+/// a replayed outcome can be diffed byte for byte against the journal.
+pub(crate) fn pair_body(app_name: &str, it_json: &str, ti_json: &str, address: &str) -> String {
+    format!(
+        "{{\"app\":\"{}\",\"it\":{it_json},\"ti\":{ti_json},\"artifact\":\"{address}\"}}",
+        stbus_core::json_escape(app_name),
+    )
 }
 
 /// Everything a successful both-direction solve deposits and replies.
@@ -904,7 +1075,7 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
             match strategy.synthesize_cancellable(&pre, &request.params, &job.token) {
                 Ok(Some(outcome)) => reply_outcome_line(shared, job, &outcome.to_json(&solver)),
                 Ok(None) => reply_cancelled(shared, job),
-                Err(e) => reply_solver_error(job, &e),
+                Err(e) => reply_solver_error(shared, job, &e),
             }
         }
         WorkSpec::Workload(spec) => {
@@ -922,11 +1093,11 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
                             request.solver,
                             request.pruning,
                         );
-                        let body = format!(
-                            "{{\"app\":\"{}\",\"it\":{},\"ti\":{},\"artifact\":\"{address}\"}}",
-                            stbus_core::json_escape(app.name()),
-                            designed.it.to_json(&solver),
-                            designed.ti.to_json(&solver),
+                        let body = pair_body(
+                            app.name(),
+                            &designed.it.to_json(&solver),
+                            &designed.ti.to_json(&solver),
+                            &address,
                         );
                         Some(SolvedPair {
                             body,
@@ -943,7 +1114,7 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
                         None
                     }
                     Err(e) => {
-                        reply_solver_error(job, &e);
+                        reply_solver_error(shared, job, &e);
                         None
                     }
                 }
@@ -979,6 +1150,138 @@ fn deposit_artifact(
     );
 }
 
+/// Rebuilds the artifact caches from the snapshot ring of journaled
+/// requests, in journal order (so a chained delta always finds its
+/// already-restored parent). No solver runs: phases 1–2 are recomputed
+/// through the regular caches (cheap, deterministic), and the bindings
+/// come straight out of the recorded response bodies — exactly what a
+/// client holding an old `"artifact"` address expects to still resolve
+/// after a restart. Records that no longer restore (evicted parent,
+/// undecodable outcome) are skipped, not fatal: the client's fallback
+/// for an unknown address is a from-scratch request, same as an LRU
+/// eviction in a live process. Returns the number of artifacts rebuilt.
+fn rebuild_caches(shared: &Arc<Shared>, ring: &[Record]) -> usize {
+    let mut rebuilt = 0;
+    for record in ring {
+        let restored = match record.kind {
+            RecordKind::Synthesize => restore_synthesize(shared, record),
+            RecordKind::Delta => restore_delta(shared, record),
+            RecordKind::Sweep | RecordKind::Suite => false,
+        };
+        if restored {
+            rebuilt += 1;
+        }
+    }
+    rebuilt
+}
+
+/// Restores one journaled workload-mode `/synthesize` success: rebuild
+/// phases 1–2 through the caches, take the bindings from the recorded
+/// response, deposit under the recomputed content address (identical to
+/// the issued one — the address is a pure function of the spec).
+fn restore_synthesize(shared: &Arc<Shared>, record: &Record) -> bool {
+    let Ok(WorkRequest::Synthesize(request)) = wire::parse_synthesize_route(&record.spec) else {
+        return false;
+    };
+    let WorkSpec::Workload(spec) = &request.work else {
+        return false;
+    };
+    let Some((warm_it, warm_ti)) = bindings_from_outcome(&record.outcome) else {
+        return false;
+    };
+    let app = Arc::new(spec.build());
+    let front = CachedAnalysis::build(shared, &app, &request.params);
+    let address = artifact_address(&app, &request.params, request.solver, request.pruning);
+    shared.resynth_cache.insert(
+        address,
+        Arc::new(ResynthArtifact {
+            app: Arc::clone(&app),
+            params: request.params.clone(),
+            solver: request.solver,
+            pruning: request.pruning,
+            traffic: front.collected.traffic().clone(),
+            analysis: (*front.artifact).clone(),
+            warm_it,
+            warm_ti,
+        }),
+    );
+    true
+}
+
+/// Restores one journaled delta success by chaining off its (already
+/// restored) parent: re-patch the analysis, take the bindings from the
+/// recorded response, deposit under the recorded chained address.
+fn restore_delta(shared: &Arc<Shared>, record: &Record) -> bool {
+    let Ok(WorkRequest::Delta(request)) = wire::parse_synthesize_route(&record.spec) else {
+        return false;
+    };
+    let Some(stored) = shared.resynth_cache.get(&request.artifact) else {
+        return false;
+    };
+    let Some((warm_it, warm_ti)) = bindings_from_outcome(&record.outcome) else {
+        return false;
+    };
+    let Some(address) = outcome_artifact_address(&record.outcome) else {
+        return false;
+    };
+    let app = Arc::clone(&stored.app);
+    let collected = Collected::from_cached(&app, &stored.params, stored.traffic.clone());
+    let analyzed = collected.analyze_with(&stored.analysis, &stored.params);
+    let Ok(re) = analyzed.reanalyze(&request.delta) else {
+        return false;
+    };
+    let base = re.params().clone();
+    let analysis = AnalysisArtifact::from_parts(
+        CollectionKey::of(&base),
+        AnalysisKey::of(&base),
+        (re.pre_it().stats.clone(), re.pre_it().profile.clone()),
+        (re.pre_ti().stats.clone(), re.pre_ti().profile.clone()),
+    );
+    shared.resynth_cache.insert(
+        address,
+        Arc::new(ResynthArtifact {
+            app: Arc::clone(&app),
+            params: base,
+            solver: stored.solver,
+            pruning: stored.pruning,
+            traffic: re.collected().traffic().clone(),
+            analysis,
+            warm_it,
+            warm_ti,
+        }),
+    );
+    true
+}
+
+/// Extracts both directions' bindings from a recorded both-direction
+/// response body (the [`pair_body`] format): each direction contributes
+/// its `assignment` array and `max_bus_overlap`. Shared with
+/// [`crate::replay`], which warm-starts replayed deltas the same way.
+pub(crate) fn bindings_from_outcome(outcome: &str) -> Option<(Binding, Binding)> {
+    let value = crate::json::parse(outcome).ok()?;
+    let it = binding_from_value(value.get("it")?)?;
+    let ti = binding_from_value(value.get("ti")?)?;
+    Some((it, ti))
+}
+
+fn binding_from_value(value: &crate::json::Value) -> Option<Binding> {
+    let assignment = value
+        .get("assignment")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_u64().map(|n| n as usize))
+        .collect::<Option<Vec<_>>>()?;
+    let overlap = value.get("max_bus_overlap")?.as_u64()?;
+    Some(Binding::from_assignment_with_overlap(assignment, overlap))
+}
+
+/// The `"artifact"` content address a recorded response carried — the
+/// authoritative name a client may still hold for the deposit.
+pub(crate) fn outcome_artifact_address(outcome: &str) -> Option<String> {
+    let value = crate::json::parse(outcome).ok()?;
+    Some(value.get("artifact")?.as_str()?.to_string())
+}
+
 /// The delta hot path: resolve the artifact (404 on miss), patch the
 /// analysis in `O(touched × targets)`, warm-start phase 3 per direction,
 /// reply with a chained artifact address.
@@ -991,6 +1294,13 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
                 job.id, job.tenant, request.artifact
             );
         }
+        shared.journal_event(
+            RecordKind::Delta,
+            RecordStatus::ArtifactMiss,
+            &job.tenant,
+            &job.spec,
+            "",
+        );
         let _ = job.reply.send(Reply::Done {
             status: 404,
             reason: "Not Found",
@@ -1020,6 +1330,13 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
         let re = match analyzed.reanalyze(&request.delta) {
             Ok(re) => re,
             Err(e) => {
+                shared.journal_event(
+                    RecordKind::Delta,
+                    RecordStatus::Error,
+                    &job.tenant,
+                    &job.spec,
+                    &format!("delta: {e}"),
+                );
                 let _ = job.reply.send(Reply::Done {
                     status: 400,
                     reason: "Bad Request",
@@ -1057,7 +1374,7 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
                 return;
             }
             Err(e) => {
-                reply_solver_error(job, &e);
+                reply_solver_error(shared, job, &e);
                 return;
             }
         };
@@ -1072,16 +1389,16 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
                 return;
             }
             Err(e) => {
-                reply_solver_error(job, &e);
+                reply_solver_error(shared, job, &e);
                 return;
             }
         };
         let address = chained_address(&request.artifact, &request.delta);
-        let body = format!(
-            "{{\"app\":\"{}\",\"it\":{},\"ti\":{},\"artifact\":\"{address}\"}}",
-            stbus_core::json_escape(app.name()),
-            out_it.to_json(&solver),
-            out_ti.to_json(&solver),
+        let body = pair_body(
+            app.name(),
+            &out_it.to_json(&solver),
+            &out_ti.to_json(&solver),
+            &address,
         );
         SolvedPair {
             body,
@@ -1105,6 +1422,13 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
 fn reply_outcome_line(shared: &Arc<Shared>, job: &Job, line: &str) {
     shared.served.fetch_add(1, Ordering::Relaxed);
     shared.bump_tenant(&job.tenant, false);
+    shared.journal_event(
+        record_kind(&job.work),
+        RecordStatus::Ok,
+        &job.tenant,
+        &job.spec,
+        line,
+    );
     let _ = job.reply.send(Reply::Done {
         status: 200,
         reason: "OK",
@@ -1137,8 +1461,13 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
     // behind it observe the same token and wind down unconsumed.
     let _ = job.reply.send(Reply::StreamStart);
     let mut completed = true;
+    // The journal's outcome for a completed sweep is the exact stream
+    // the client saw: every chunk line, concatenated — what `stbus
+    // replay` re-derives and diffs.
+    let mut transcript = String::new();
     {
         let completed = &mut completed;
+        let transcript = &mut transcript;
         let mut emit = |theta: f64, point: Option<Result<String, String>>| {
             if !*completed {
                 return;
@@ -1146,6 +1475,7 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
             match point {
                 Some(Ok(fields)) => {
                     let line = format!("{{\"threshold\":{theta},{fields}}}\n");
+                    transcript.push_str(&line);
                     let _ = job.reply.send(Reply::Chunk(line));
                 }
                 Some(Err(message)) => {
@@ -1153,6 +1483,7 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
                         "{{\"threshold\":{theta},\"error\":\"{}\"}}\n",
                         stbus_core::json_escape(&message)
                     );
+                    transcript.push_str(&line);
                     let _ = job.reply.send(Reply::Chunk(line));
                 }
                 None => *completed = false,
@@ -1211,9 +1542,23 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
     if completed {
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.bump_tenant(&job.tenant, false);
+        shared.journal_event(
+            RecordKind::Sweep,
+            RecordStatus::Ok,
+            &job.tenant,
+            &job.spec,
+            &transcript,
+        );
         let _ = job.reply.send(Reply::StreamEnd);
     } else {
         shared.cancelled.fetch_add(1, Ordering::Relaxed);
+        shared.journal_event(
+            RecordKind::Sweep,
+            RecordStatus::Cancelled,
+            &job.tenant,
+            &job.spec,
+            "",
+        );
         // No StreamEnd: the relay already cancelled; dropping the sender
         // (when `job` goes out of scope) closes the channel.
     }
@@ -1232,13 +1577,7 @@ fn execute_suite(shared: &Arc<Shared>, request: &SuiteRequest, job: &Job) {
         }
         // Per-application parameters pinned to the paper's, exactly as
         // in `stbus suite` — the rows must diff clean against the CLI.
-        let params = match app.name() {
-            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-            "FFT" => DesignParams::default()
-                .with_overlap_threshold(0.50)
-                .with_response_scale(0.9),
-            _ => DesignParams::default(),
-        };
+        let params = stbus_core::paper_suite_params(app.name());
         let front = CachedAnalysis::build(shared, app, &params);
         let analyzed = front.collected.analyze_with(&front.artifact, &params);
         let designed = match analyzed.synthesize_cancellable(&*strategy, &job.token) {
@@ -1248,14 +1587,14 @@ fn execute_suite(shared: &Arc<Shared>, request: &SuiteRequest, job: &Job) {
                 return;
             }
             Err(e) => {
-                reply_solver_error(job, &e);
+                reply_solver_error(shared, job, &e);
                 return;
             }
         };
         match designed.report() {
             Ok(report) => rows.push(report.paper_row_json(&solver)),
             Err(e) => {
-                reply_solver_error(job, &e);
+                reply_solver_error(shared, job, &e);
                 return;
             }
         }

@@ -1,0 +1,150 @@
+//! Length-prefixed, CRC-checksummed framing — the physical layer of both
+//! the journal file and snapshot files.
+
+use std::io::{self, Write};
+
+/// Upper bound on one frame's payload. The gateway caps request bodies
+/// at 16 MiB and journals at most a request + response per record, so a
+/// larger length prefix can only be garbage (e.g. a torn tail whose
+/// first four bytes happen to decode huge) — treat it as corruption
+/// rather than attempting a giant allocation.
+const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over `data`.
+///
+/// Bitwise, table-free: journal records are small and written off the
+/// request hot path, so simplicity beats a lookup table here.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes one frame: `len: u32 LE | crc32: u32 LE | payload`.
+///
+/// # Errors
+///
+/// Any write error of the underlying sink.
+pub fn write_frame(sink: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large"))?;
+    sink.write_all(&len.to_le_bytes())?;
+    sink.write_all(&crc32(payload).to_le_bytes())?;
+    sink.write_all(payload)
+}
+
+/// The result of scanning a byte buffer for consecutive frames.
+#[derive(Debug)]
+pub struct FrameScan {
+    /// Payloads of every frame that validated, in file order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte offset just past the last valid frame — the length the file
+    /// should be truncated to when `torn` is set.
+    pub valid_len: usize,
+    /// Whether trailing bytes after the last valid frame exist (a torn
+    /// final record from a crash mid-write, or trailing garbage).
+    pub torn: bool,
+}
+
+/// Scans `bytes` front to back, validating each frame's length prefix
+/// and checksum. Stops at the first frame that does not hold — torn
+/// tails never poison the records before them.
+#[must_use]
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    // Stops at the first header that doesn't fit, a garbage length, a
+    // truncated payload, or a checksum mismatch.
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            break; // garbage length prefix
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // truncated payload
+        };
+        if crc32(payload) != crc {
+            break; // bit rot or torn write
+        }
+        payloads.push(payload.to_vec());
+        pos += 8 + len;
+    }
+    FrameScan {
+        payloads,
+        valid_len: pos,
+        torn: pos < bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[0xFFu8; 300]).unwrap();
+        let scan = scan_frames(&buf);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, buf.len());
+        assert_eq!(scan.payloads.len(), 3);
+        assert_eq!(scan.payloads[0], b"alpha");
+        assert_eq!(scan.payloads[2], vec![0xFFu8; 300]);
+    }
+
+    #[test]
+    fn torn_tail_stops_the_scan_without_losing_the_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"keep me").unwrap();
+        let intact = buf.len();
+        write_frame(&mut buf, b"torn away").unwrap();
+        buf.truncate(intact + 11); // header + part of the payload
+        let scan = scan_frames(&buf);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, intact);
+        assert_eq!(scan.payloads, vec![b"keep me".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_checksum_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        let intact = buf.len();
+        write_frame(&mut buf, b"second").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01; // flip one payload bit
+        let scan = scan_frames(&buf);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, intact);
+        assert_eq!(scan.payloads.len(), 1);
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_torn_not_an_allocation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"ok").unwrap();
+        let intact = buf.len();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        let scan = scan_frames(&buf);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, intact);
+    }
+}

@@ -1,0 +1,304 @@
+//! The journal's logical unit: one [`Record`] per gateway request, with
+//! a hand-rolled binary encoding (the workspace builds offline; there is
+//! no serde backend to lean on, only the vendored stub).
+
+use std::fmt;
+
+/// Encoding version byte leading every record payload.
+const VERSION: u8 = 1;
+
+/// Which work route a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// `POST /synthesize` with a fresh input spec.
+    Synthesize,
+    /// `POST /sweep` (streamed θ grid).
+    Sweep,
+    /// `POST /suite` (the five paper rows).
+    Suite,
+    /// `POST /synthesize` naming a prior `"artifact"` plus a delta.
+    Delta,
+}
+
+impl RecordKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            Self::Synthesize => 0,
+            Self::Sweep => 1,
+            Self::Suite => 2,
+            Self::Delta => 3,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Synthesize),
+            1 => Some(Self::Sweep),
+            2 => Some(Self::Suite),
+            3 => Some(Self::Delta),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecordKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Synthesize => "synthesize",
+            Self::Sweep => "sweep",
+            Self::Suite => "suite",
+            Self::Delta => "delta",
+        })
+    }
+}
+
+/// How the request terminated. Together with [`RecordKind`] this is
+/// exactly the information [`crate::Counters::apply`] needs to mirror
+/// the gateway's `/stats` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// Served successfully (`200`, or a sweep stream that completed).
+    Ok,
+    /// Cancelled — client went away mid-solve, or shutdown drained a
+    /// queued job.
+    Cancelled,
+    /// Failed at execution time (solver error `500`, or a delta whose
+    /// re-analysis was rejected `400`).
+    Error,
+    /// Refused at admission: global ingress queue full (`429`).
+    RejectedQueue,
+    /// Refused at admission: the tenant's own lane quota full (`429`).
+    RejectedQuota,
+    /// A delta request naming an unknown or evicted artifact (`404`).
+    ArtifactMiss,
+}
+
+impl RecordStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            Self::Ok => 0,
+            Self::Cancelled => 1,
+            Self::Error => 2,
+            Self::RejectedQueue => 3,
+            Self::RejectedQuota => 4,
+            Self::ArtifactMiss => 5,
+        }
+    }
+
+    fn from_byte(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Self::Ok),
+            1 => Some(Self::Cancelled),
+            2 => Some(Self::Error),
+            3 => Some(Self::RejectedQueue),
+            4 => Some(Self::RejectedQuota),
+            5 => Some(Self::ArtifactMiss),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecordStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Ok => "ok",
+            Self::Cancelled => "cancelled",
+            Self::Error => "error",
+            Self::RejectedQueue => "rejected",
+            Self::RejectedQuota => "rejected-quota",
+            Self::ArtifactMiss => "artifact-miss",
+        })
+    }
+}
+
+/// One journaled request event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Monotonic sequence number, assigned by the writer thread at
+    /// append time (pass 0; the writer overwrites it). The idempotency
+    /// key of snapshots and replay.
+    pub seq: u64,
+    /// The work route.
+    pub kind: RecordKind,
+    /// How the request terminated.
+    pub status: RecordStatus,
+    /// The `X-Tenant` the request ran under.
+    pub tenant: String,
+    /// The request body verbatim for workload-mode requests (embeds the
+    /// design parameters and any delta), `trace:<digest>` for trace-mode
+    /// requests (the trace text itself is not journaled), empty for
+    /// requests refused at admission.
+    pub spec: String,
+    /// The response body verbatim on success (embeds the probe log and
+    /// assignment), the error message on failure, empty when refused.
+    pub outcome: String,
+}
+
+impl Record {
+    /// Whether `stbus replay` can re-derive this record's outcome: the
+    /// request succeeded and its full spec was journaled (trace-mode
+    /// inputs are journaled as digests only, so they are audit-only).
+    #[must_use]
+    pub fn is_replayable(&self) -> bool {
+        self.status == RecordStatus::Ok && !self.spec.starts_with("trace:")
+    }
+
+    /// Whether recovery replays this record to re-seed the gateway's
+    /// artifact caches: successful workload-mode `/synthesize` and delta
+    /// records deposit re-synthesis artifacts (and, transitively, warm
+    /// the collect/analysis caches); sweeps and suites deposit nothing.
+    #[must_use]
+    pub fn seeds_recovery(&self) -> bool {
+        self.is_replayable() && matches!(self.kind, RecordKind::Synthesize | RecordKind::Delta)
+    }
+
+    /// Encodes the record payload (the frame layer adds length + CRC).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(32 + self.tenant.len() + self.spec.len() + self.outcome.len());
+        out.push(VERSION);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.push(self.kind.to_byte());
+        out.push(self.status.to_byte());
+        put_str(&mut out, &self.tenant);
+        put_str(&mut out, &self.spec);
+        put_str(&mut out, &self.outcome);
+        out
+    }
+
+    /// Decodes a record payload.
+    ///
+    /// # Errors
+    ///
+    /// A message when the payload is structurally valid at the frame
+    /// layer (checksum held) but does not decode — unknown version or
+    /// enum byte, short buffer, non-UTF-8 string. Recovery surfaces this
+    /// as corruption rather than guessing.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(format!("unsupported record version {version}"));
+        }
+        let seq = cur.u64()?;
+        let kind = RecordKind::from_byte(cur.u8()?).ok_or("bad record kind byte")?;
+        let status = RecordStatus::from_byte(cur.u8()?).ok_or("bad record status byte")?;
+        let tenant = cur.string()?;
+        let spec = cur.string()?;
+        let outcome = cur.string()?;
+        if cur.pos != payload.len() {
+            return Err("trailing bytes after record".into());
+        }
+        Ok(Self {
+            seq,
+            kind,
+            status,
+            tenant,
+            spec,
+            outcome,
+        })
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string field.
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward reader over an encoded payload.
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl Cursor<'_> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("short record")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let bytes = self.buf.get(self.pos..self.pos + 8).ok_or("short record")?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        let bytes = self.buf.get(self.pos..self.pos + 4).ok_or("short record")?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self
+            .buf
+            .get(self.pos..self.pos + len)
+            .ok_or("short record")?;
+        self.pos += len;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 record field".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            seq: 42,
+            kind: RecordKind::Delta,
+            status: RecordStatus::Ok,
+            tenant: "alice".into(),
+            spec: r#"{"artifact":"00ff","delta":{}}"#.into(),
+            outcome: r#"{"app":"Mat2","artifact":"beef"}"#.into(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let rec = sample();
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+        // Empty fields too (a rejected request journals no spec).
+        let rec = Record {
+            seq: 0,
+            kind: RecordKind::Suite,
+            status: RecordStatus::RejectedQueue,
+            tenant: String::new(),
+            spec: String::new(),
+            outcome: String::new(),
+        };
+        assert_eq!(Record::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[9]).is_err()); // unknown version
+        let mut good = sample().encode();
+        good.push(0); // trailing byte
+        assert!(Record::decode(&good).is_err());
+        let mut bad_kind = sample().encode();
+        bad_kind[9] = 77;
+        assert!(Record::decode(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn replayability_follows_status_and_spec() {
+        let mut rec = sample();
+        assert!(rec.is_replayable() && rec.seeds_recovery());
+        rec.kind = RecordKind::Sweep;
+        assert!(rec.is_replayable() && !rec.seeds_recovery());
+        rec.spec = "trace:0123456789abcdef".into();
+        assert!(!rec.is_replayable());
+        rec.spec = r#"{"suite":"mat2"}"#.into();
+        rec.status = RecordStatus::Cancelled;
+        assert!(!rec.is_replayable());
+    }
+}

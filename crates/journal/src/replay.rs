@@ -1,0 +1,183 @@
+//! The replay driver: re-derive every replayable record's outcome with a
+//! caller-supplied executor and diff it against what the journal
+//! recorded. Because synthesis is deterministic at any worker count, a
+//! diff means the *code* changed behaviour — the journal doubles as a
+//! whole-corpus regression suite.
+
+use crate::record::Record;
+use std::fmt;
+
+/// An expected/actual mismatch for one record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayDiff {
+    /// The outcome the journal recorded.
+    pub expected: String,
+    /// The outcome the executor produced now.
+    pub actual: String,
+}
+
+/// The verdict for one journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayResult {
+    /// Re-derived outcome is byte-identical to the recorded one.
+    Matched,
+    /// Re-derived outcome differs — behaviour changed since recording.
+    Differs(ReplayDiff),
+    /// Not re-run: non-`Ok` status, trace-mode digest, or the executor
+    /// declined the record. Carries the reason.
+    Skipped(String),
+    /// The executor errored on a record that previously succeeded.
+    Failed(String),
+}
+
+/// Aggregate outcome of a replay run.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// `(seq, verdict)` per distinct record, in sequence order.
+    pub results: Vec<(u64, ReplayResult)>,
+    /// Records whose outcome matched.
+    pub matched: usize,
+    /// Records whose outcome diverged.
+    pub diffs: usize,
+    /// Records not re-run.
+    pub skipped: usize,
+    /// Records whose re-run errored.
+    pub failed: usize,
+}
+
+impl ReplayReport {
+    /// `true` when nothing diverged or errored (skips are fine — a
+    /// journal legitimately holds unreplayable records).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diffs == 0 && self.failed == 0
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} replayed ({} matched, {} differed, {} failed), {} skipped",
+            self.matched + self.diffs + self.failed,
+            self.matched,
+            self.diffs,
+            self.failed,
+            self.skipped
+        )
+    }
+}
+
+/// Replays `records` in sequence order (sorting and deduplicating by
+/// `seq`; the first occurrence wins) through `execute`, which returns
+/// `Ok(Some(body))` with the re-derived outcome, `Ok(None)` to decline
+/// a record it cannot handle, or `Err` on an execution failure.
+/// Unreplayable records ([`Record::is_replayable`]) are skipped without
+/// invoking the executor.
+pub fn replay_records<F>(records: &[Record], mut execute: F) -> ReplayReport
+where
+    F: FnMut(&Record) -> Result<Option<String>, String>,
+{
+    let mut ordered: Vec<&Record> = records.iter().collect();
+    ordered.sort_by_key(|r| r.seq);
+    ordered.dedup_by_key(|r| r.seq);
+    let mut report = ReplayReport::default();
+    for rec in ordered {
+        let verdict = if !rec.is_replayable() {
+            let reason = if rec.spec.starts_with("trace:") {
+                "trace-mode input journaled as digest only".to_string()
+            } else {
+                format!("status {}", rec.status)
+            };
+            ReplayResult::Skipped(reason)
+        } else {
+            match execute(rec) {
+                Ok(Some(actual)) if actual == rec.outcome => ReplayResult::Matched,
+                Ok(Some(actual)) => ReplayResult::Differs(ReplayDiff {
+                    expected: rec.outcome.clone(),
+                    actual,
+                }),
+                Ok(None) => ReplayResult::Skipped("executor declined".to_string()),
+                Err(err) => ReplayResult::Failed(err),
+            }
+        };
+        match &verdict {
+            ReplayResult::Matched => report.matched += 1,
+            ReplayResult::Differs(_) => report.diffs += 1,
+            ReplayResult::Skipped(_) => report.skipped += 1,
+            ReplayResult::Failed(_) => report.failed += 1,
+        }
+        report.results.push((rec.seq, verdict));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordKind, RecordStatus};
+
+    fn rec(seq: u64, spec: &str, status: RecordStatus, outcome: &str) -> Record {
+        Record {
+            seq,
+            kind: RecordKind::Synthesize,
+            status,
+            tenant: "t".into(),
+            spec: spec.into(),
+            outcome: outcome.into(),
+        }
+    }
+
+    #[test]
+    fn replay_orders_dedups_and_diffs() {
+        let records = vec![
+            rec(3, "{}", RecordStatus::Ok, "three"),
+            rec(1, "{}", RecordStatus::Ok, "one"),
+            rec(3, "{}", RecordStatus::Ok, "three-dup"),
+            rec(2, "trace:abcd", RecordStatus::Ok, "two"),
+            rec(4, "{}", RecordStatus::Cancelled, ""),
+        ];
+        let report = replay_records(&records, |r| {
+            Ok(Some(if r.seq == 3 {
+                "changed".to_string()
+            } else {
+                r.outcome.clone()
+            }))
+        });
+        assert_eq!(report.results.len(), 4); // dup seq 3 dropped
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.diffs, 1);
+        assert_eq!(report.skipped, 2); // trace digest + cancelled
+        assert_eq!(report.failed, 0);
+        assert!(!report.is_clean());
+        let (seq, verdict) = &report.results[2];
+        assert_eq!(*seq, 3);
+        assert_eq!(
+            *verdict,
+            ReplayResult::Differs(ReplayDiff {
+                expected: "three".into(),
+                actual: "changed".into(),
+            })
+        );
+    }
+
+    #[test]
+    fn executor_errors_and_declines_are_reported_not_fatal() {
+        let records = vec![
+            rec(1, "{}", RecordStatus::Ok, "a"),
+            rec(2, "{}", RecordStatus::Ok, "b"),
+        ];
+        let report = replay_records(&records, |r| {
+            if r.seq == 1 {
+                Err("solver exploded".to_string())
+            } else {
+                Ok(None)
+            }
+        });
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.skipped, 1);
+        assert!(!report.is_clean());
+        let clean = replay_records(&[], |_| Ok(None));
+        assert!(clean.is_clean());
+    }
+}

@@ -1,0 +1,194 @@
+//! Periodic snapshots: a checkpoint of the [`Counters`] plus the bounded
+//! ring of recent cache-seeding records, so recovery replays only the
+//! journal suffix written after the checkpoint.
+
+use crate::counters::Counters;
+use crate::frame::{scan_frames, write_frame};
+use crate::record::{Cursor, Record};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Snapshot payload version byte.
+const VERSION: u8 = 1;
+
+/// A point-in-time checkpoint of recoverable gateway state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Every journal record with `seq <= through_seq` is folded into
+    /// this snapshot; recovery applies only records after it.
+    pub through_seq: u64,
+    /// The `/stats` counters at `through_seq`.
+    pub counters: Counters,
+    /// The most recent cache-seeding records
+    /// ([`Record::seeds_recovery`]), oldest first, bounded by the
+    /// writer's ring capacity. Recovery re-executes these to rebuild the
+    /// artifact caches without keeping the whole journal hot.
+    pub ring: Vec<Record>,
+}
+
+impl Snapshot {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![VERSION];
+        out.extend_from_slice(&self.through_seq.to_le_bytes());
+        self.counters.encode_into(&mut out);
+        out.extend_from_slice(&(self.ring.len() as u32).to_le_bytes());
+        for rec in &self.ring {
+            let payload = rec.encode();
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, String> {
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let version = cur.u8()?;
+        if version != VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let through_seq = cur.u64()?;
+        let counters = Counters::decode_from(&mut cur)?;
+        let n = cur.u32()? as usize;
+        let mut ring = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let len = cur.u32()? as usize;
+            let bytes = cur
+                .buf
+                .get(cur.pos..cur.pos + len)
+                .ok_or("short snapshot record")?;
+            cur.pos += len;
+            ring.push(Record::decode(bytes)?);
+        }
+        if cur.pos != payload.len() {
+            return Err("trailing bytes after snapshot".into());
+        }
+        Ok(Self {
+            through_seq,
+            counters,
+            ring,
+        })
+    }
+}
+
+fn snapshot_path(dir: &Path, through_seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{through_seq:020}.snap"))
+}
+
+/// Writes `snapshot` to `dir` atomically (temp file + rename), then
+/// prunes older snapshot files — the journal keeps full history; the
+/// snapshots only exist to bound recovery time.
+///
+/// # Errors
+///
+/// Any I/O error creating, writing or renaming the files. Pruning
+/// failures are ignored (stale snapshots are harmless — loading picks
+/// the newest valid one).
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    let tmp = dir.join("snapshot.tmp");
+    let mut file = fs::File::create(&tmp)?;
+    write_frame(&mut file, &snapshot.encode())?;
+    file.sync_all()?;
+    let dest = snapshot_path(dir, snapshot.through_seq);
+    fs::rename(&tmp, &dest)?;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snapshot-") && name.ends_with(".snap") && entry.path() != dest {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Loads the newest snapshot in `dir` that parses and checksums clean.
+/// Corrupt or torn snapshot files are skipped (recovery then replays
+/// more journal — slower, never wrong); `None` when no usable snapshot
+/// exists.
+#[must_use]
+pub fn load_latest_snapshot(dir: &Path) -> Option<Snapshot> {
+    let mut names: Vec<PathBuf> = fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".snap"))
+        })
+        .collect();
+    // Zero-padded seq in the name makes lexicographic order = seq order.
+    names.sort();
+    for path in names.into_iter().rev() {
+        let Ok(bytes) = fs::read(&path) else { continue };
+        let scan = scan_frames(&bytes);
+        if scan.torn || scan.payloads.len() != 1 {
+            continue;
+        }
+        if let Ok(snapshot) = Snapshot::decode(&scan.payloads[0]) {
+            return Some(snapshot);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordKind, RecordStatus};
+
+    fn sample(through_seq: u64) -> Snapshot {
+        let mut counters = Counters::default();
+        let rec = Record {
+            seq: through_seq,
+            kind: RecordKind::Synthesize,
+            status: RecordStatus::Ok,
+            tenant: "t".into(),
+            spec: r#"{"workload":{"suite":"des"}}"#.into(),
+            outcome: r#"{"app":"DES","artifact":"aa"}"#.into(),
+        };
+        counters.apply(&rec);
+        Snapshot {
+            through_seq,
+            counters,
+            ring: vec![rec],
+        }
+    }
+
+    #[test]
+    fn snapshots_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("stbus-snap-rt-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let snap = sample(7);
+        write_snapshot(&dir, &snap).unwrap();
+        assert_eq!(load_latest_snapshot(&dir), Some(snap));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_valid_snapshot_wins_and_old_ones_are_pruned() {
+        let dir = std::env::temp_dir().join(format!("stbus-snap-latest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        write_snapshot(&dir, &sample(3)).unwrap();
+        write_snapshot(&dir, &sample(9)).unwrap();
+        // Pruning removed the older file...
+        assert!(!snapshot_path(&dir, 3).exists());
+        // ...and a corrupt newer file is skipped, not fatal.
+        fs::write(snapshot_path(&dir, 12), b"not a snapshot").unwrap();
+        assert_eq!(load_latest_snapshot(&dir).unwrap().through_seq, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_has_no_snapshot() {
+        let dir = std::env::temp_dir().join(format!("stbus-snap-empty-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load_latest_snapshot(&dir), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

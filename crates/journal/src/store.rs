@@ -1,0 +1,437 @@
+//! The on-disk store: a single append-only `journal.log` written by one
+//! dedicated thread, plus [`read_journal`] / [`recover`] for the read
+//! side.
+
+use crate::counters::Counters;
+use crate::frame::{scan_frames, write_frame};
+use crate::record::Record;
+use crate::snapshot::{load_latest_snapshot, write_snapshot, Snapshot};
+use std::collections::VecDeque;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
+use std::thread::{self, JoinHandle};
+
+/// File name of the journal inside the journal directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// When the writer thread calls `fsync` on the journal file.
+///
+/// Appends are handed to the writer thread fire-and-forget, so the
+/// policy never touches request latency — it only bounds what a *power
+/// loss* can lose. A plain `kill -9` keeps everything `write(2)`
+/// accepted regardless of policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record (default): a power loss loses at most
+    /// the records still queued in memory.
+    Always,
+    /// Sync at snapshot boundaries only.
+    OnSnapshot,
+    /// Never sync explicitly; the OS flushes on its own schedule.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling: `always`, `snapshot`, or `never`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(Self::Always),
+            "snapshot" => Some(Self::OnSnapshot),
+            "never" => Some(Self::Never),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning for [`JournalWriter::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriterOptions {
+    /// Fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Emit a snapshot every this many appended records (0 disables
+    /// snapshotting; recovery then replays the whole journal).
+    pub snapshot_every: u64,
+    /// How many cache-seeding records a snapshot retains.
+    pub ring_cap: usize,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 64,
+            ring_cap: 256,
+        }
+    }
+}
+
+/// What [`read_journal`] found on disk.
+#[derive(Debug)]
+pub struct ReadReport {
+    /// Every record that framed and decoded, in file order.
+    pub records: Vec<Record>,
+    /// Byte offset just past the last valid frame.
+    pub valid_len: u64,
+    /// Whether bytes past `valid_len` exist (torn tail).
+    pub torn: bool,
+    /// Frames whose checksum held but whose payload did not decode
+    /// (version skew or an encoder bug) — skipped, not fatal.
+    pub undecodable: usize,
+}
+
+/// Reads and validates `dir/journal.log`. A missing file is an empty
+/// journal, not an error.
+///
+/// # Errors
+///
+/// Only real I/O failures (permissions, hardware); torn tails and
+/// corrupt frames are reported in the [`ReadReport`], not as errors.
+pub fn read_journal(dir: &Path) -> io::Result<ReadReport> {
+    let bytes = match fs::read(journal_path(dir)) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(err) => return Err(err),
+    };
+    let scan = scan_frames(&bytes);
+    let mut records = Vec::with_capacity(scan.payloads.len());
+    let mut undecodable = 0usize;
+    for payload in &scan.payloads {
+        match Record::decode(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => undecodable += 1,
+        }
+    }
+    Ok(ReadReport {
+        records,
+        valid_len: scan.valid_len as u64,
+        torn: scan.torn,
+        undecodable,
+    })
+}
+
+/// State re-derived from the snapshot + journal at startup.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The `/stats` counters as of the last journaled record.
+    pub counters: Counters,
+    /// Cache-seeding records to re-execute, oldest first: the
+    /// snapshot's ring plus every seeding record journaled after it.
+    pub ring: Vec<Record>,
+    /// The sequence number the writer should assign next.
+    pub next_seq: u64,
+    /// Bytes cut from the journal's torn tail (0 on a clean shutdown).
+    pub truncated_bytes: u64,
+    /// Records replayed from the journal after the snapshot point.
+    pub journaled: usize,
+}
+
+/// Recovers from `dir`: loads the newest valid snapshot, replays the
+/// journal records after it, and truncates any torn tail so the next
+/// append starts on a frame boundary. Creates `dir` if missing (a fresh
+/// directory recovers to the empty state).
+///
+/// # Errors
+///
+/// Real I/O failures reading or truncating the journal.
+pub fn recover(dir: &Path) -> io::Result<RecoveredState> {
+    fs::create_dir_all(dir)?;
+    let snapshot = load_latest_snapshot(dir);
+    let report = read_journal(dir)?;
+    let mut truncated_bytes = 0u64;
+    if report.torn {
+        let path = journal_path(dir);
+        let on_disk = fs::metadata(&path)?.len();
+        truncated_bytes = on_disk - report.valid_len;
+        let file = fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(report.valid_len)?;
+        file.sync_all()?;
+    }
+    let (mut counters, mut ring, through_seq) = match snapshot {
+        Some(snap) => (snap.counters, snap.ring, snap.through_seq),
+        None => (Counters::default(), Vec::new(), 0),
+    };
+    let mut next_seq = through_seq + 1;
+    let mut journaled = 0usize;
+    for rec in report.records {
+        if rec.seq <= through_seq {
+            continue; // already folded into the snapshot
+        }
+        counters.apply(&rec);
+        next_seq = next_seq.max(rec.seq + 1);
+        journaled += 1;
+        if rec.seeds_recovery() {
+            ring.push(rec);
+        }
+    }
+    Ok(RecoveredState {
+        counters,
+        ring,
+        next_seq,
+        truncated_bytes,
+        journaled,
+    })
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+enum Msg {
+    Append(Record),
+    Shutdown,
+}
+
+/// The append side: one dedicated thread owns the journal file; callers
+/// hand it records fire-and-forget, so journaling never blocks a
+/// request worker on disk I/O.
+pub struct JournalWriter {
+    tx: Sender<Msg>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl JournalWriter {
+    /// Opens `dir/journal.log` for appending and starts the writer
+    /// thread. Pass the [`RecoveredState`] from [`recover`] so sequence
+    /// numbers, counters, and the snapshot ring continue where the
+    /// previous process stopped; `None` starts from the empty state
+    /// (only correct for a fresh directory).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or opening the journal.
+    pub fn spawn(
+        dir: &Path,
+        options: WriterOptions,
+        recovered: Option<&RecoveredState>,
+    ) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(journal_path(dir))?;
+        let mut ring: VecDeque<Record> = recovered
+            .map(|r| r.ring.iter().cloned().collect())
+            .unwrap_or_default();
+        while options.ring_cap > 0 && ring.len() > options.ring_cap {
+            ring.pop_front();
+        }
+        let state = WriterState {
+            file,
+            dir: dir.to_path_buf(),
+            options,
+            next_seq: recovered.map_or(1, |r| r.next_seq),
+            counters: recovered.map_or_else(Counters::default, |r| r.counters.clone()),
+            ring,
+            since_snapshot: 0,
+        };
+        let (tx, rx) = channel::<Msg>();
+        let handle = thread::Builder::new()
+            .name("stbus-journal".into())
+            .spawn(move || {
+                let mut state = state;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Append(rec) => state.append(rec),
+                        Msg::Shutdown => break,
+                    }
+                }
+                let _ = state.file.sync_all();
+            })?;
+        Ok(Self {
+            tx,
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Queues one record for appending. The `seq` field is assigned by
+    /// the writer thread; the value passed in is ignored. Never blocks
+    /// on I/O; a send after `close` is silently dropped.
+    pub fn append(&self, record: Record) {
+        let _ = self.tx.send(Msg::Append(record));
+    }
+
+    /// Flushes queued records, syncs, and joins the writer thread.
+    /// Idempotent.
+    pub fn close(&self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.lock().expect("journal handle lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+struct WriterState {
+    file: fs::File,
+    dir: PathBuf,
+    options: WriterOptions,
+    next_seq: u64,
+    counters: Counters,
+    ring: VecDeque<Record>,
+    since_snapshot: u64,
+}
+
+impl WriterState {
+    fn append(&mut self, mut rec: Record) {
+        rec.seq = self.next_seq;
+        self.next_seq += 1;
+        if let Err(err) = write_frame(&mut self.file, &rec.encode()) {
+            eprintln!("stbus-journal: append failed: {err}");
+            return; // keep counters consistent with what's on disk
+        }
+        if self.options.fsync == FsyncPolicy::Always {
+            let _ = self.file.sync_data();
+        }
+        self.counters.apply(&rec);
+        if rec.seeds_recovery() {
+            self.ring.push_back(rec);
+            while self.options.ring_cap > 0 && self.ring.len() > self.options.ring_cap {
+                self.ring.pop_front();
+            }
+        }
+        self.since_snapshot += 1;
+        if self.options.snapshot_every > 0 && self.since_snapshot >= self.options.snapshot_every {
+            self.since_snapshot = 0;
+            let _ = self.file.flush();
+            if self.options.fsync != FsyncPolicy::Never {
+                let _ = self.file.sync_data();
+            }
+            let snap = Snapshot {
+                through_seq: self.next_seq - 1,
+                counters: self.counters.clone(),
+                ring: self.ring.iter().cloned().collect(),
+            };
+            if let Err(err) = write_snapshot(&self.dir, &snap) {
+                eprintln!("stbus-journal: snapshot failed: {err}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordKind, RecordStatus};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stbus-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(kind: RecordKind, status: RecordStatus) -> Record {
+        Record {
+            seq: 0,
+            kind,
+            status,
+            tenant: "t".into(),
+            spec: r#"{"workload":{"scale":1}}"#.into(),
+            outcome: r#"{"app":"Mat1"}"#.into(),
+        }
+    }
+
+    #[test]
+    fn writer_assigns_sequences_and_read_round_trips() {
+        let dir = tmp("rt");
+        let writer = JournalWriter::spawn(&dir, WriterOptions::default(), None).unwrap();
+        writer.append(rec(RecordKind::Synthesize, RecordStatus::Ok));
+        writer.append(rec(RecordKind::Sweep, RecordStatus::Cancelled));
+        writer.append(rec(RecordKind::Delta, RecordStatus::ArtifactMiss));
+        writer.close();
+        let report = read_journal(&dir).unwrap();
+        assert!(!report.torn);
+        assert_eq!(report.undecodable, 0);
+        let seqs: Vec<u64> = report.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(report.records[1].kind, RecordKind::Sweep);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_folds_counters_and_truncates_torn_tails() {
+        let dir = tmp("torn");
+        let writer = JournalWriter::spawn(&dir, WriterOptions::default(), None).unwrap();
+        writer.append(rec(RecordKind::Synthesize, RecordStatus::Ok));
+        writer.append(rec(RecordKind::Delta, RecordStatus::Ok));
+        writer.close();
+        // Simulate a crash mid-write: garbage after the valid frames.
+        let path = dir.join(JOURNAL_FILE);
+        let clean_len = fs::metadata(&path).unwrap().len();
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0xAB; 13]).unwrap();
+        drop(file);
+
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.truncated_bytes, 13);
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(state.counters.served, 2);
+        assert_eq!(state.counters.delta_reuse, 1);
+        assert_eq!(state.next_seq, 3);
+        assert_eq!(state.journaled, 2);
+        assert_eq!(state.ring.len(), 2); // both records seed caches
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_make_recovery_idempotent_and_seqs_continue_across_restart() {
+        let dir = tmp("snap");
+        let opts = WriterOptions {
+            snapshot_every: 2,
+            ..WriterOptions::default()
+        };
+        let writer = JournalWriter::spawn(&dir, opts, None).unwrap();
+        for _ in 0..5 {
+            writer.append(rec(RecordKind::Synthesize, RecordStatus::Ok));
+        }
+        writer.close();
+        // Snapshot landed at seq 4; recovery folds it + the one suffix
+        // record, matching a full journal fold exactly.
+        let snap = load_latest_snapshot(&dir).unwrap();
+        assert_eq!(snap.through_seq, 4);
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.counters.served, 5);
+        assert_eq!(state.journaled, 1);
+        assert_eq!(state.next_seq, 6);
+
+        // A restarted writer picks up where the old one stopped.
+        let writer = JournalWriter::spawn(&dir, opts, Some(&state)).unwrap();
+        writer.append(rec(RecordKind::Suite, RecordStatus::Ok));
+        writer.close();
+        let report = read_journal(&dir).unwrap();
+        assert_eq!(report.records.last().unwrap().seq, 6);
+        let again = recover(&dir).unwrap();
+        assert_eq!(again.counters.served, 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_directory_recovers_to_the_empty_state() {
+        let dir = tmp("fresh");
+        let state = recover(&dir).unwrap();
+        assert_eq!(state.counters, Counters::default());
+        assert_eq!(state.next_seq, 1);
+        assert_eq!(state.journaled, 0);
+        assert!(state.ring.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parses_the_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(
+            FsyncPolicy::parse("snapshot"),
+            Some(FsyncPolicy::OnSnapshot)
+        );
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

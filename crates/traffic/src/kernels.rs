@@ -10,11 +10,15 @@
 //! 1. **Scalar reference** (`*_scalar`): the obviously-correct
 //!    one-word-at-a-time formulation. Never used on the hot path; it is
 //!    the oracle the property tests compare every other tier against.
-//! 2. **Chunked** (default): fixed-width blocks of [`CHUNK_WORDS`] = 4
-//!    `u64`s with a single OR-reduced accumulator per block. The
-//!    block shape removes the per-word early-exit branch that defeats
-//!    autovectorization, so LLVM emits 256-bit vector ANDs wherever the
-//!    target baseline allows.
+//! 2. **Chunked** (default, `any_and` only): fixed-width blocks of
+//!    [`CHUNK_WORDS`] = 4 `u64`s with a single OR-reduced accumulator per
+//!    block. The block shape removes the per-word early-exit branch that
+//!    defeats autovectorization, so LLVM emits 256-bit vector ANDs
+//!    wherever the target baseline allows. `and_assign` has no early
+//!    exit to remove — its plain zip loop already autovectorizes, and the
+//!    manually chunked formulation measured *slower* (0.55×, `hotpath`
+//!    bench row), so on non-AVX2 builds [`and_assign`] routes straight
+//!    through the scalar body.
 //! 3. **Explicit AVX2** (`--features simd`, compiled only when the build
 //!    target statically enables `avx2`, e.g.
 //!    `RUSTFLAGS="-C target-feature=+avx2"`): an explicit-lane
@@ -73,25 +77,6 @@ fn any_and_body(a: &[u64], b: &[u64]) -> bool {
     false
 }
 
-/// Chunked kernel body for [`and_assign`]: 4-word blocks, scalar tail.
-#[inline(always)]
-fn and_assign_body(dst: &mut [u64], src: &[u64]) {
-    let n = dst.len().min(src.len());
-    let (dst, src) = (&mut dst[..n], &src[..n]);
-    let mut i = 0;
-    while i + CHUNK_WORDS <= n {
-        dst[i] &= src[i];
-        dst[i + 1] &= src[i + 1];
-        dst[i + 2] &= src[i + 2];
-        dst[i + 3] &= src[i + 3];
-        i += CHUNK_WORDS;
-    }
-    while i < n {
-        dst[i] &= src[i];
-        i += 1;
-    }
-}
-
 #[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx2"))]
 mod avx2 {
     //! Explicit 256-bit variants: the block loop works on whole
@@ -133,9 +118,9 @@ mod avx2 {
 
 /// The kernel tier the dispatchers compiled to — `"avx2"` when the
 /// explicit-lane variants are active (`--features simd` on a build whose
-/// target statically enables AVX2), `"chunked"` otherwise. Bench
-/// snapshots record this so a throughput row is attributable to the
-/// tier that produced it.
+/// target statically enables AVX2), `"chunked"` otherwise (chunked
+/// `any_and`, scalar `and_assign`). Bench snapshots record this so a
+/// throughput row is attributable to the tier that produced it.
 #[must_use]
 pub const fn active_tier() -> &'static str {
     #[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx2"))]
@@ -168,7 +153,14 @@ pub fn any_and(a: &[u64], b: &[u64]) -> bool {
     }
 }
 
-/// `dst[i] &= src[i]` over the zipped prefix, chunked like [`any_and`].
+/// `dst[i] &= src[i]` over the zipped prefix.
+///
+/// Unlike [`any_and`] there is no early-exit branch for a manual block
+/// loop to remove: the scalar zip already autovectorizes, and the
+/// hand-chunked variant measured 0.55× against it (committed `hotpath`
+/// row), so the non-AVX2 dispatch *is* the scalar body. The explicit
+/// 256-bit lane variant still wins when the build statically enables
+/// AVX2 (`--features simd`), so that tier is kept.
 #[inline]
 pub fn and_assign(dst: &mut [u64], src: &[u64]) {
     #[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx2"))]
@@ -177,7 +169,7 @@ pub fn and_assign(dst: &mut [u64], src: &[u64]) {
     }
     #[cfg(not(all(feature = "simd", target_arch = "x86_64", target_feature = "avx2")))]
     {
-        and_assign_body(dst, src);
+        and_assign_scalar(dst, src);
     }
 }
 

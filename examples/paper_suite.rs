@@ -9,7 +9,7 @@
 //! cargo run --release --example paper_suite
 //! ```
 
-use stbus::core::{Batch, DesignParams};
+use stbus::core::Batch;
 use stbus::report::Table;
 use stbus::traffic::workloads;
 
@@ -18,14 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-application thresholds as discussed in the paper (§7.4):
     // aggressive for the pipelined suites, the 50% cap for FFT's
     // uniformly overlapping barrier traffic.
-    let results = Batch::per_app(&apps, |app| match app.name() {
-        "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-        "FFT" => DesignParams::default()
-            .with_overlap_threshold(0.50)
-            .with_response_scale(0.9),
-        _ => DesignParams::default(),
-    })
-    .run();
+    let results = Batch::per_app(&apps, |app| stbus::core::paper_suite_params(app.name())).run();
 
     let mut table = Table::new(vec![
         "Application",

@@ -12,6 +12,9 @@
 //! stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
 //!                  [--tenant-queue-depth N] [--cache-entries N]
 //!                  [--keep-alive-requests N] [--idle-timeout-ms N]
+//!                  [--journal-dir DIR] [--journal-fsync always|snapshot|never]
+//!                  [--snapshot-every N]
+//! stbus replay     --journal-dir DIR [--jobs N] [--diff]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -53,6 +56,15 @@
 //! Trace-mode gateway responses (`{"trace":"…"}` bodies) are
 //! byte-identical to `stbus synthesize --trace … --json`, and `/suite`
 //! rows to `stbus suite --json` — the CI smoke test diffs them.
+//!
+//! `serve --journal-dir DIR` event-sources the gateway: every request
+//! appends one checksummed record, snapshots bound recovery time, and a
+//! restart with the same directory restores the `/stats` counters and
+//! artifact caches before accepting connections. `replay --journal-dir
+//! DIR` re-derives every recorded outcome offline through the same
+//! execution paths and diffs the bodies byte for byte — exit 1 on any
+//! divergence, so a journal from production doubles as a regression
+//! suite in CI.
 
 use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
 use stbus::milp::PruningLevel;
@@ -86,7 +98,10 @@ const USAGE: &str = "usage:
                    [--pruning off|standard|aggressive] [--json]
   stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
                    [--tenant-queue-depth N] [--cache-entries N]
-                   [--keep-alive-requests N] [--idle-timeout-ms N]";
+                   [--keep-alive-requests N] [--idle-timeout-ms N]
+                   [--journal-dir DIR] [--journal-fsync always|snapshot|never]
+                   [--snapshot-every N]
+  stbus replay     --journal-dir DIR [--jobs N] [--diff]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -114,6 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate") => simulate_cmd(&mut args),
         Some("suite") => suite(&mut args),
         Some("serve") => serve(&mut args),
+        Some("replay") => replay(&mut args),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -373,13 +389,7 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     // full parallelism on its own).
     apply_jobs(jobs);
     let mut batch = Batch::per_app(&apps, move |app| {
-        let params = match app.name() {
-            "Mat1" | "Mat2" | "DES" => DesignParams::default().with_overlap_threshold(0.15),
-            "FFT" => DesignParams::default()
-                .with_overlap_threshold(0.50)
-                .with_response_scale(0.9),
-            _ => DesignParams::default(),
-        };
+        let params = stbus::core::paper_suite_params(app.name());
         match pruning {
             Some(level) => params.with_pruning(level),
             None => params,
@@ -458,10 +468,83 @@ fn serve<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
                     return Err("--idle-timeout-ms needs at least 1".into());
                 }
             }
+            "--journal-dir" => {
+                config.journal_dir = Some(std::path::PathBuf::from(value(args, flag)?));
+            }
+            "--journal-fsync" => {
+                let spelling = value(args, flag)?;
+                config.journal_fsync =
+                    stbus::journal::FsyncPolicy::parse(spelling).ok_or_else(|| {
+                        format!("invalid fsync policy `{spelling}` (always|snapshot|never)")
+                    })?;
+            }
+            "--snapshot-every" => {
+                config.journal_snapshot_every = parse(value(args, flag)?, "snapshot cadence")?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     stbus::gateway::Gateway::serve(&config).map_err(|e| format!("serve: {e}"))
+}
+
+/// `stbus replay` — re-derive every outcome a gateway journal recorded
+/// and diff the response bodies byte for byte. Synthesis is
+/// deterministic at any worker count, so any divergence means the code
+/// changed behaviour since the journal was written; the process exits 1
+/// so CI can gate on it.
+fn replay<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
+    let mut journal_dir: Option<String> = None;
+    let mut jobs: Option<NonZeroUsize> = None;
+    let mut show_diff = false;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--journal-dir" => journal_dir = Some(value(args, flag)?.to_string()),
+            "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
+            "--diff" => show_diff = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let dir = journal_dir.ok_or("--journal-dir DIR is required")?;
+    apply_jobs(jobs);
+    let read = stbus::journal::read_journal(std::path::Path::new(&dir))
+        .map_err(|e| format!("read {dir}: {e}"))?;
+    if read.torn {
+        eprintln!(
+            "note: journal has a torn tail ({} valid bytes); replaying the intact prefix",
+            read.valid_len
+        );
+    }
+    if read.undecodable > 0 {
+        eprintln!(
+            "note: {} checksum-valid record(s) failed to decode and are ignored",
+            read.undecodable
+        );
+    }
+    let mut engine = stbus::gateway::replay::ReplayEngine::new(jobs);
+    let report = stbus::journal::replay_records(&read.records, |r| engine.execute(r));
+    for (seq, verdict) in &report.results {
+        match verdict {
+            stbus::journal::ReplayResult::Matched => println!("seq {seq}: matched"),
+            stbus::journal::ReplayResult::Differs(diff) => {
+                println!("seq {seq}: DIFFERS");
+                if show_diff {
+                    println!("  expected: {}", diff.expected);
+                    println!("  actual:   {}", diff.actual);
+                }
+            }
+            stbus::journal::ReplayResult::Skipped(reason) => {
+                println!("seq {seq}: skipped ({reason})");
+            }
+            stbus::journal::ReplayResult::Failed(err) => println!("seq {seq}: FAILED ({err})"),
+        }
+    }
+    println!("{report}");
+    if !report.is_clean() {
+        // A real exit code (not an `Err` string) — the summary line just
+        // printed is the diagnostic; USAGE would only bury it.
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 // `parse` and `value` are exercised through the commands; a couple of

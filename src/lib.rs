@@ -14,6 +14,9 @@
 //! * [`gateway`] — the long-running HTTP+JSON synthesis service
 //!   (`stbus serve`): bounded admission, tenant-fair scheduling,
 //!   content-addressed artifact caching, per-request cancellation;
+//! * [`journal`] — the gateway's append-only event journal: snapshots,
+//!   crash recovery, and the deterministic replay driver behind
+//!   `stbus replay`;
 //! * [`report`] — tables and series for result presentation.
 //!
 //! # Quick start
@@ -55,6 +58,7 @@
 pub use stbus_core as core;
 pub use stbus_exec as exec;
 pub use stbus_gateway as gateway;
+pub use stbus_journal as journal;
 pub use stbus_milp as milp;
 pub use stbus_report as report;
 pub use stbus_sim as sim;

@@ -628,6 +628,50 @@ fn full_queue_answers_429_with_retry_after() {
 }
 
 #[test]
+fn sweep_client_disconnect_is_detected_between_points() {
+    let gateway = spawn_gateway(1, 4);
+    let addr = gateway.addr();
+
+    // A long multi-point sweep; each θ solves for a while, so the stream
+    // spends most of its life idle between chunks. The client vanishes
+    // without reading a byte — the socket buffer happily absorbs the
+    // early chunks, so a failed write would never notice; only the
+    // between-chunk liveness probe can.
+    let slow = r#"{"scaled":24,"seed":3,"thresholds":[0.05,0.10,0.15,0.20,0.25,0.30,0.35,0.40,0.45,0.50]}"#;
+    let mut sweeper = TcpStream::connect(addr).expect("connect sweeper");
+    write_request(&mut sweeper, "POST", "/sweep", slow, None);
+    let claimed = (0..200).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        let (_, stats) = http_get(addr, "/stats");
+        let stats = json::parse(stats.trim()).expect("stats JSON");
+        stats
+            .get("requests")
+            .and_then(|r| r.get("active"))
+            .and_then(Value::as_u64)
+            == Some(1)
+    });
+    assert!(claimed, "worker never claimed the sweep");
+    drop(sweeper);
+
+    // The gateway must notice and cancel mid-sweep, well before all ten
+    // points could possibly have solved.
+    let cancelled = (0..600).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        let (_, stats) = http_get(addr, "/stats");
+        let stats = json::parse(stats.trim()).expect("stats JSON");
+        stats
+            .get("requests")
+            .and_then(|r| r.get("cancelled"))
+            .and_then(Value::as_u64)
+            == Some(1)
+    });
+    assert!(cancelled, "dropped sweep client must cancel the stream");
+
+    gateway.shutdown();
+    gateway.join();
+}
+
+#[test]
 fn shutdown_drains_in_flight_streams_and_refuses_new_connections() {
     let gateway = spawn_gateway(1, 4);
     let addr = gateway.addr();

@@ -1,0 +1,288 @@
+//! Crash recovery: a gateway killed with `SIGKILL` mid-batch must come
+//! back with its `/stats` counters and artifact caches intact.
+//!
+//! The kill test runs the real binary (`CARGO_BIN_EXE_stbus`) as a
+//! subprocess — in-process threads cannot be `kill -9`ed — journals a
+//! short request history against it, kills it without any shutdown
+//! courtesy, then restarts a gateway on the same `--journal-dir` and
+//! asserts:
+//!
+//! * the recovered `/stats` counters equal the journaled history
+//!   (served, delta reuse, per-tenant attribution);
+//! * a repeat of a pre-crash request hits the rebuilt analysis caches;
+//! * a pre-crash `"artifact"` address still answers its warm delta path.
+//!
+//! The torn-tail test drives the journal API directly: garbage appended
+//! after the last valid frame (a crash mid-`write`) must be truncated on
+//! recovery, not poison it.
+
+use stbus::gateway::json::{self, Value};
+use stbus::gateway::{Gateway, GatewayConfig};
+use stbus::journal::{
+    self, FsyncPolicy, JournalWriter, Record, RecordKind, RecordStatus, WriterOptions, JOURNAL_FILE,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A fresh scratch directory under the system temp dir; unique per test
+/// so parallel test threads never share a journal.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stbus-journal-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str, tenant: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let tenant_header = tenant.map_or(String::new(), |t| format!("X-Tenant: {t}\r\n"));
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: gw\r\n{tenant_header}Connection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    read_response(&mut stream)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!("GET {path} HTTP/1.1\r\nHost: gw\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).expect("send request");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .expect("timeout");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+/// Spawns `stbus serve` on an ephemeral port with the given journal dir
+/// and returns the child plus the address it reported on stderr. A
+/// drain thread keeps consuming stderr so the child never blocks on a
+/// full pipe.
+fn spawn_server(journal_dir: &std::path::Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_stbus"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--journal-dir",
+            journal_dir.to_str().expect("utf-8 path"),
+            "--snapshot-every",
+            "2",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn stbus serve");
+    let stderr = child.stderr.take().expect("stderr pipe");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before listening")
+            .expect("read stderr");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            let addr = rest.split(' ').next().expect("address token");
+            break addr.parse().expect("socket address");
+        }
+    };
+    std::thread::spawn(move || for _ in lines.by_ref() {});
+    (child, addr)
+}
+
+/// Polls the journal until it holds `want` records (the writer thread is
+/// asynchronous; replies can outrun the disk by a beat).
+fn wait_for_journal(dir: &std::path::Path, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let report = journal::read_journal(dir).expect("read journal");
+        if report.records.len() >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "journal stuck at {} of {want} records",
+            report.records.len()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn counter(stats: &Value, group: &str, key: &str) -> u64 {
+    stats
+        .get(group)
+        .and_then(|g| g.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats field {group}.{key}"))
+}
+
+#[test]
+fn kill_nine_mid_batch_recovers_counters_caches_and_artifacts() {
+    let dir = scratch_dir("kill9");
+    let (mut child, addr) = spawn_server(&dir);
+
+    // A short history under a named tenant: two fresh designs and one
+    // warm delta chained off the first.
+    let synth = r#"{"suite":"mat2","seed":42,"threshold":0.15}"#;
+    let (status, first) = http_post(addr, "/synthesize", synth, Some("acme"));
+    assert_eq!(status, 200, "body: {first}");
+    let artifact = json::parse(first.trim())
+        .expect("response JSON")
+        .get("artifact")
+        .and_then(Value::as_str)
+        .expect("artifact address")
+        .to_string();
+    let delta = format!(
+        "{{\"artifact\":\"{artifact}\",\"delta\":{{\"edits\":[{{\"target\":1,\
+         \"events\":[[0,10,5],[1,40,4,true]]}}]}}}}"
+    );
+    let (status, body) = http_post(addr, "/synthesize", &delta, Some("acme"));
+    assert_eq!(status, 200, "body: {body}");
+    let (status, body) = http_post(addr, "/synthesize", r#"{"suite":"mat1","seed":7}"#, None);
+    assert_eq!(status, 200, "body: {body}");
+
+    // All three records on disk, then no courtesy whatsoever.
+    wait_for_journal(&dir, 3);
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap child");
+
+    // Restart on the same directory (in-process this time — recovery is
+    // the same code path `stbus serve` runs before binding).
+    let gateway = Gateway::spawn(&GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        log_requests: false,
+        journal_dir: Some(dir.clone()),
+        ..GatewayConfig::default()
+    })
+    .expect("recovering spawn");
+    let addr = gateway.addr();
+
+    // Counters survived the kill, including the tenant breakdown.
+    let (status, stats) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats = json::parse(stats.trim()).expect("stats JSON");
+    assert_eq!(counter(&stats, "requests", "served"), 3);
+    assert_eq!(counter(&stats, "requests", "delta_reuse"), 1);
+    let acme = stats
+        .get("by_tenant")
+        .and_then(|t| t.get("acme"))
+        .expect("tenant breakdown survives recovery");
+    assert_eq!(acme.get("served").and_then(Value::as_u64), Some(2));
+    assert_eq!(acme.get("delta_reuse").and_then(Value::as_u64), Some(1));
+
+    // A repeat of a pre-crash request is answered from the rebuilt
+    // caches (phase 1 was recomputed during recovery, not now)…
+    let before = json::parse(http_get(addr, "/stats").1.trim()).expect("stats JSON");
+    let misses_before = counter(&before, "collect_cache", "misses");
+    let (status, repeat) = http_post(addr, "/synthesize", synth, Some("acme"));
+    assert_eq!(status, 200, "body: {repeat}");
+    assert_eq!(repeat, first, "recovered design must be bit-identical");
+    let after = json::parse(http_get(addr, "/stats").1.trim()).expect("stats JSON");
+    assert_eq!(
+        counter(&after, "collect_cache", "misses"),
+        misses_before,
+        "repeat request must not pay for collection again"
+    );
+    assert!(counter(&after, "collect_cache", "hits") > counter(&before, "collect_cache", "hits"));
+
+    // …and the pre-crash artifact address still takes the warm path.
+    let (status, body) = http_post(addr, "/synthesize", &delta, Some("acme"));
+    assert_eq!(status, 200, "pre-crash artifact must resolve: {body}");
+    let final_stats = json::parse(http_get(addr, "/stats").1.trim()).expect("stats JSON");
+    assert_eq!(counter(&final_stats, "requests", "delta_reuse"), 2);
+    assert_eq!(counter(&final_stats, "requests", "delta_miss"), 0);
+
+    gateway.shutdown();
+    gateway.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_on_recovery() {
+    let dir = scratch_dir("torn");
+    let writer = JournalWriter::spawn(
+        &dir,
+        WriterOptions {
+            fsync: FsyncPolicy::Always,
+            ..WriterOptions::default()
+        },
+        None,
+    )
+    .expect("spawn writer");
+    for i in 0..2u64 {
+        writer.append(Record {
+            seq: 0,
+            kind: RecordKind::Synthesize,
+            status: RecordStatus::Ok,
+            tenant: "t".to_string(),
+            spec: format!("{{\"suite\":\"mat1\",\"seed\":{i}}}"),
+            outcome: format!("body-{i}"),
+        });
+    }
+    writer.close();
+
+    // A crash mid-append: a frame header promising more bytes than ever
+    // made it to disk.
+    let log = dir.join(JOURNAL_FILE);
+    let intact = std::fs::metadata(&log).expect("journal metadata").len();
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&log)
+        .expect("open journal");
+    file.write_all(&[0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3])
+        .expect("append torn tail");
+    drop(file);
+
+    let state = journal::recover(&dir).expect("recover");
+    assert_eq!(state.truncated_bytes, 11, "garbage tail must be measured");
+    assert_eq!(state.counters.served, 2, "valid prefix must be kept");
+    assert_eq!(
+        std::fs::metadata(&log).expect("journal metadata").len(),
+        intact,
+        "recovery must physically truncate the torn tail"
+    );
+
+    // And the recovered journal accepts appends again at the right seq.
+    let writer =
+        JournalWriter::spawn(&dir, WriterOptions::default(), Some(&state)).expect("respawn writer");
+    writer.append(Record {
+        seq: 0,
+        kind: RecordKind::Synthesize,
+        status: RecordStatus::Ok,
+        tenant: "t".to_string(),
+        spec: "{}".to_string(),
+        outcome: "post-recovery".to_string(),
+    });
+    writer.close();
+    let report = journal::read_journal(&dir).expect("read journal");
+    assert_eq!(
+        report.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+        vec![1, 2, 3],
+        "sequence numbering must continue across recovery"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
