@@ -167,6 +167,18 @@ impl DesignParams {
         self
     }
 
+    /// Sets the search level of the exact binding search (builder
+    /// style). [`stbus_milp::SearchLevel::Standard`] (the default) is
+    /// the frozen-order DFS; `Learned` adds conflict-driven nogood
+    /// learning and a Luby restart portfolio — same verdicts whenever
+    /// both complete within budget, but the returned binding (and probe
+    /// logs) may differ.
+    #[must_use]
+    pub fn with_search(mut self, search: stbus_milp::SearchLevel) -> Self {
+        self.solve_limits.search = search;
+        self
+    }
+
     /// Switches to adaptive variable-size windows (builder style).
     ///
     /// # Panics

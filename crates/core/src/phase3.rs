@@ -25,7 +25,7 @@
 use crate::exec::{self, CancelToken};
 use crate::params::DesignParams;
 use crate::phase2::Preprocessed;
-use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded, SearchInterrupted};
+use stbus_milp::{Binding, HeuristicOptions, NodeLimitExceeded, SearchInterrupted, SearchStats};
 use stbus_sim::CrossbarConfig;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -70,6 +70,12 @@ pub struct SynthesisOutcome {
     pub max_bus_overlap: u64,
     /// The engine that produced this outcome.
     pub engine: SynthesisEngine,
+    /// Search statistics accumulated over the *consumed* feasibility
+    /// probes (nodes always; restarts and nogood counters only under
+    /// [`stbus_milp::SearchLevel::Learned`]). Deterministic: the replay
+    /// consumes the same probes at any speculation width. Zero for
+    /// heuristic outcomes.
+    pub stats: SearchStats,
 }
 
 impl SynthesisOutcome {
@@ -93,10 +99,22 @@ impl SynthesisOutcome {
             .map(|&(buses, feasible)| format!("[{buses},{feasible}]"))
             .collect::<Vec<_>>()
             .join(",");
+        // The learned-search counters are appended only when nonzero:
+        // standard-engine outputs (every committed fixture, the gateway
+        // byte-diff smoke, the seed replay journal) stay byte-identical
+        // to what they were before the counters existed.
+        let learned = if self.stats.nogoods_learned > 0 || self.stats.restarts > 0 {
+            format!(
+                ",\"nogoods_learned\":{},\"restarts\":{}",
+                self.stats.nogoods_learned, self.stats.restarts
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\"solver\":\"{solver}\",\"engine\":\"{engine}\",\"num_buses\":{buses},\
              \"lower_bound\":{lb},\"max_bus_overlap\":{maxov},\
-             \"assignment\":[{assignment}],\"probes\":[{probes}]}}",
+             \"assignment\":[{assignment}],\"probes\":[{probes}]{learned}}}",
             engine = self.engine,
             buses = self.num_buses,
             lb = self.lower_bound,
@@ -127,6 +145,7 @@ pub fn synthesize(
             probes: Vec::new(),
             max_bus_overlap: 0,
             engine: SynthesisEngine::Exact,
+            stats: SearchStats::default(),
         });
     }
 
@@ -136,11 +155,14 @@ pub fn synthesize(
     let mut lo = pre.bus_lower_bound();
     let mut hi = n;
     let mut probes = Vec::new();
+    let mut stats = SearchStats::default();
     let mut best_feasible: Option<(usize, Binding)> = None;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let problem = pre.binding_problem(mid);
-        match problem.find_feasible(&params.solve_limits)? {
+        let (feasible, probe_stats) = problem.find_feasible_stats(&params.solve_limits)?;
+        stats.absorb(probe_stats);
+        match feasible {
             Some(binding) => {
                 probes.push((mid, true));
                 best_feasible = Some((mid, binding));
@@ -183,6 +205,7 @@ pub fn synthesize(
         binding,
         max_bus_overlap,
         engine: SynthesisEngine::Exact,
+        stats,
     })
 }
 
@@ -238,6 +261,7 @@ pub fn synthesize_heuristic_with(
                     binding,
                     max_bus_overlap,
                     engine: SynthesisEngine::Heuristic,
+                    stats: SearchStats::default(),
                 });
             }
             None => probes.push((buses, false)),
@@ -257,6 +281,7 @@ pub fn synthesize_heuristic_with(
         binding,
         max_bus_overlap: 0,
         engine: SynthesisEngine::Heuristic,
+        stats: SearchStats::default(),
     })
 }
 
@@ -269,6 +294,8 @@ struct ProbeOutcome {
     /// heuristic pre-pass won the race — sound for the feasibility bit,
     /// but not the binding the exact search would have produced).
     exact: bool,
+    /// The probe's search statistics (zero for heuristic-won probes).
+    stats: SearchStats,
 }
 
 /// Parallel feasibility-probe scheduler for the MILP-1 binary search —
@@ -395,14 +422,16 @@ impl ProbeScheduler {
                 return Ok(ProbeOutcome {
                     feasible: Some(binding),
                     exact: false,
+                    stats: SearchStats::default(),
                 });
             }
         }
         problem
-            .find_feasible(&params.solve_limits)
-            .map(|feasible| ProbeOutcome {
+            .find_feasible_stats(&params.solve_limits)
+            .map(|(feasible, stats)| ProbeOutcome {
                 feasible,
                 exact: true,
+                stats,
             })
     }
 
@@ -426,16 +455,18 @@ impl ProbeScheduler {
                 return Some(Ok(ProbeOutcome {
                     feasible: Some(binding),
                     exact: false,
+                    stats: SearchStats::default(),
                 }));
             }
             // A `None` pre-pass is "no witness" *or* "cancelled"; either
             // way the exact search below notices a raised token at its
             // first poll, so the distinction is immaterial here.
         }
-        match problem.find_feasible_cancellable(&params.solve_limits, cancel) {
-            Ok(feasible) => Some(Ok(ProbeOutcome {
+        match problem.find_feasible_stats_cancellable(&params.solve_limits, cancel) {
+            Ok((feasible, stats)) => Some(Ok(ProbeOutcome {
                 feasible,
                 exact: true,
+                stats,
             })),
             Err(SearchInterrupted::Budget(e)) => Some(Err(e)),
             Err(SearchInterrupted::Cancelled) => None,
@@ -470,16 +501,20 @@ impl ProbeScheduler {
         let mut lo = lower_bound;
         let mut hi = n;
         let mut probes = Vec::new();
+        let mut stats = SearchStats::default();
         let mut best_feasible = None;
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
             let Some(result) = resolve(lo, hi, mid) else {
                 return Ok(None);
             };
-            match result? {
+            let outcome = result?;
+            stats.absorb(outcome.stats);
+            match outcome {
                 ProbeOutcome {
                     feasible: Some(binding),
                     exact,
+                    ..
                 } => {
                     probes.push((mid, true));
                     best_feasible = Some((mid, binding, exact));
@@ -495,6 +530,7 @@ impl ProbeScheduler {
             num_buses: lo,
             probes,
             best_feasible,
+            stats,
         }))
     }
 
@@ -604,6 +640,7 @@ impl ProbeScheduler {
             num_buses,
             probes,
             best_feasible,
+            stats,
         } = summary;
 
         // MILP-2 at the minimum size, with the same fallback ladder as the
@@ -640,6 +677,7 @@ impl ProbeScheduler {
             binding,
             max_bus_overlap,
             engine: SynthesisEngine::Exact,
+            stats,
         })
     }
 
@@ -684,6 +722,7 @@ impl ProbeScheduler {
             num_buses,
             probes,
             best_feasible,
+            stats,
         }) = summary
         else {
             return Ok(None);
@@ -725,6 +764,7 @@ impl ProbeScheduler {
             binding,
             max_bus_overlap,
             engine: SynthesisEngine::Exact,
+            stats,
         }))
     }
 }
@@ -770,6 +810,7 @@ pub fn synthesize_heuristic_cancellable_with(
                     binding,
                     max_bus_overlap,
                     engine: SynthesisEngine::Heuristic,
+                    stats: SearchStats::default(),
                 }));
             }
             None => {
@@ -796,6 +837,7 @@ pub fn synthesize_heuristic_cancellable_with(
         binding,
         max_bus_overlap: 0,
         engine: SynthesisEngine::Heuristic,
+        stats: SearchStats::default(),
     }))
 }
 
@@ -807,6 +849,8 @@ struct SearchSummary {
     num_buses: usize,
     probes: Vec<(usize, bool)>,
     best_feasible: Option<(usize, Binding, bool)>,
+    /// Statistics summed over the consumed probes, replay order.
+    stats: SearchStats,
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ use crate::phase3::{
     SynthesisOutcome,
 };
 use stbus_exec::CancelToken;
-use stbus_milp::{HeuristicOptions, NodeLimitExceeded, PruningLevel, SolveLimits};
+use stbus_milp::{HeuristicOptions, NodeLimitExceeded, PruningLevel, SearchLevel, SolveLimits};
 use std::num::NonZeroUsize;
 
 /// A phase-3 solving strategy: turns a preprocessed analysis into a
@@ -89,6 +89,11 @@ pub struct Exact {
     /// search when set (applied on top of `limits`/the params' own
     /// [`SolveLimits::pruning`]).
     pub pruning: Option<PruningLevel>,
+    /// Overrides the search level of the exact search when set
+    /// ([`SearchLevel::Learned`] enables conflict-driven nogood learning
+    /// with the Luby restart portfolio; verdicts match the standard
+    /// engine whenever both complete, bindings may differ).
+    pub search: Option<SearchLevel>,
 }
 
 impl Exact {
@@ -115,6 +120,13 @@ impl Exact {
         self
     }
 
+    /// Exact solving at an explicit search level (builder style).
+    #[must_use]
+    pub fn with_search(mut self, search: SearchLevel) -> Self {
+        self.search = Some(search);
+        self
+    }
+
     fn effective_params(&self, params: &DesignParams) -> DesignParams {
         let mut p = params.clone();
         if let Some(limits) = &self.limits {
@@ -122,6 +134,9 @@ impl Exact {
         }
         if let Some(pruning) = self.pruning {
             p.solve_limits.pruning = pruning;
+        }
+        if let Some(search) = self.search {
+            p.solve_limits.search = search;
         }
         p
     }
@@ -222,6 +237,8 @@ pub struct Portfolio {
     pub jobs: Option<NonZeroUsize>,
     /// Overrides the exact attempt's pruning level when set.
     pub pruning: Option<PruningLevel>,
+    /// Overrides the exact attempt's search level when set.
+    pub search: Option<SearchLevel>,
 }
 
 impl Portfolio {
@@ -248,6 +265,14 @@ impl Portfolio {
         self.pruning = Some(pruning);
         self
     }
+
+    /// Portfolio with an explicit exact-attempt search level (builder
+    /// style).
+    #[must_use]
+    pub fn with_search(mut self, search: SearchLevel) -> Self {
+        self.search = Some(search);
+        self
+    }
 }
 
 impl Synthesizer for Portfolio {
@@ -264,6 +289,7 @@ impl Synthesizer for Portfolio {
             limits: self.exact_limits.clone(),
             jobs: None,
             pruning: self.pruning,
+            search: self.search,
         }
         .effective_params(params);
         let attempt = match self.jobs {
@@ -290,6 +316,7 @@ impl Synthesizer for Portfolio {
             limits: self.exact_limits.clone(),
             jobs: None,
             pruning: self.pruning,
+            search: self.search,
         }
         .effective_params(params);
         // Sequential portfolio = unraced width-1 replay (bit-identical to
@@ -344,16 +371,32 @@ impl SolverKind {
         jobs: Option<NonZeroUsize>,
         pruning: Option<PruningLevel>,
     ) -> Box<dyn Synthesizer> {
+        self.synthesizer_full(jobs, pruning, None)
+    }
+
+    /// Instantiates the strategy with every CLI-exposed solver knob:
+    /// probe parallelism, pruning level, and search level
+    /// (`--jobs`/`--pruning`/`--search`). All three are ignored by the
+    /// heuristic (no exact search to speculate, prune, or learn in).
+    #[must_use]
+    pub fn synthesizer_full(
+        self,
+        jobs: Option<NonZeroUsize>,
+        pruning: Option<PruningLevel>,
+        search: Option<SearchLevel>,
+    ) -> Box<dyn Synthesizer> {
         match self {
             SolverKind::Exact => Box::new(Exact {
                 limits: None,
                 jobs,
                 pruning,
+                search,
             }),
             SolverKind::Heuristic => Box::new(Heuristic::default()),
             SolverKind::Portfolio => Box::new(Portfolio {
                 jobs,
                 pruning,
+                search,
                 ..Portfolio::default()
             }),
         }

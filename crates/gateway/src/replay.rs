@@ -23,6 +23,12 @@
 //! history (evicted before the snapshot ring captured it) is declined,
 //! which [`stbus_journal::replay_records`] reports as a skip, not a
 //! failure — mirroring the live `404` semantics.
+//!
+//! [`replay_journal`] is the driver `stbus replay` uses: at `--jobs N >
+//! 1` it partitions the history into independent delta chains and
+//! replays whole chains concurrently, each on a private engine, merging
+//! the per-chain reports back into sequence order — same verdicts, byte
+//! for byte, as one sequential engine.
 
 use crate::cache::SingleFlightCache;
 use crate::server::{
@@ -34,7 +40,7 @@ use crate::wire::{
 use stbus_core::phase1::CollectedTraffic;
 use stbus_core::pipeline::{AnalysisArtifact, AnalysisKey, Collected, CollectionKey};
 use stbus_exec::CancelToken;
-use stbus_journal::{Record, RecordKind};
+use stbus_journal::{replay_records, Record, RecordKind, ReplayReport};
 use stbus_milp::{Binding, WarmStart};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -124,9 +130,11 @@ impl ReplayEngine {
             // out by `is_replayable` before the engine is invoked.
             return Ok(None);
         };
-        let strategy = request
-            .solver
-            .synthesizer_with(self.jobs_for(request.jobs), request.pruning);
+        let strategy = request.solver.synthesizer_full(
+            self.jobs_for(request.jobs),
+            request.pruning,
+            request.search,
+        );
         let solver = request.solver.to_string();
         let app = Arc::new(spec.build());
         let front = CachedAnalysis::build_with(
@@ -143,7 +151,13 @@ impl ReplayEngine {
             Ok(None) => return Err("cancelled (replay token is never raised)".to_string()),
             Err(e) => return Err(e.to_string()),
         };
-        let address = artifact_address(&app, &request.params, request.solver, request.pruning);
+        let address = artifact_address(
+            &app,
+            &request.params,
+            request.solver,
+            request.pruning,
+            request.search,
+        );
         let body = pair_body(
             app.name(),
             &designed.it.to_json(&solver),
@@ -157,6 +171,7 @@ impl ReplayEngine {
                 params: request.params.clone(),
                 solver: request.solver,
                 pruning: request.pruning,
+                search: request.search,
                 traffic: front.collected.traffic().clone(),
                 analysis: (*front.artifact).clone(),
                 warm_it: designed.it.binding.clone(),
@@ -174,9 +189,11 @@ impl ReplayEngine {
             // server never ran.
             return Ok(None);
         };
-        let strategy = stored
-            .solver
-            .synthesizer_with(self.jobs_for(request.jobs), stored.pruning);
+        let strategy = stored.solver.synthesizer_full(
+            self.jobs_for(request.jobs),
+            stored.pruning,
+            stored.search,
+        );
         let solver = stored.solver.to_string();
         let app = Arc::clone(&stored.app);
         let collected = Collected::from_cached(&app, &stored.params, stored.traffic.clone());
@@ -216,6 +233,7 @@ impl ReplayEngine {
             params: base.clone(),
             solver: stored.solver,
             pruning: stored.pruning,
+            search: stored.search,
             traffic: re.collected().traffic().clone(),
             analysis: AnalysisArtifact::from_parts(
                 CollectionKey::of(&base),
@@ -239,9 +257,9 @@ impl ReplayEngine {
         let WorkSpec::Workload(spec) = &base.work else {
             return Ok(None);
         };
-        let strategy = base
-            .solver
-            .synthesizer_with(self.jobs_for(base.jobs), base.pruning);
+        let strategy =
+            base.solver
+                .synthesizer_full(self.jobs_for(base.jobs), base.pruning, base.search);
         let solver = base.solver.to_string();
         let app = spec.build();
         let front = CachedAnalysis::build_with(
@@ -273,9 +291,11 @@ impl ReplayEngine {
     }
 
     fn replay_suite(&mut self, request: &SuiteRequest) -> Result<Option<String>, String> {
-        let strategy = request
-            .solver
-            .synthesizer_with(self.jobs_for(request.jobs), request.pruning);
+        let strategy = request.solver.synthesizer_full(
+            self.jobs_for(request.jobs),
+            request.pruning,
+            request.search,
+        );
         let solver = request.solver.to_string();
         let apps = stbus_traffic::workloads::paper_suite(request.seed);
         let mut rows = Vec::with_capacity(apps.len());
@@ -296,4 +316,92 @@ impl ReplayEngine {
         }
         Ok(Some(format!("[{}]", rows.join(","))))
     }
+}
+
+/// Groups seq-ordered, deduplicated records into **delta chains**: a
+/// chained delta joins the chain of the record that produced its parent
+/// artifact; every other record starts a chain of its own (or joins the
+/// chain that already owns the address it re-produces, so a repeated
+/// identical request keeps its deposit ordering). Chains are independent
+/// by construction — no record in one chain reads an artifact deposited
+/// by another — so they can replay concurrently on private engines
+/// without changing a single verdict.
+fn chain_partition(ordered: &[&Record]) -> Vec<Vec<usize>> {
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    let mut addr_chain: HashMap<String, usize> = HashMap::new();
+    for (i, rec) in ordered.iter().enumerate() {
+        let parent = match rec.kind {
+            RecordKind::Delta => wire::parse_delta(&rec.spec).ok().map(|r| r.artifact),
+            _ => None,
+        };
+        let produced = crate::server::outcome_artifact_address(&rec.outcome);
+        let joined = parent
+            .as_deref()
+            .and_then(|a| addr_chain.get(a).copied())
+            .or_else(|| produced.as_deref().and_then(|a| addr_chain.get(a).copied()));
+        let chain = joined.unwrap_or_else(|| {
+            chains.push(Vec::new());
+            chains.len() - 1
+        });
+        chains[chain].push(i);
+        if let Some(addr) = produced {
+            addr_chain.entry(addr).or_insert(chain);
+        }
+    }
+    chains
+}
+
+/// Chain-aware replay driver behind `stbus replay`: partitions the
+/// journal into delta chains (see [`chain_partition`]) and, when `jobs`
+/// allows more than one worker, replays independent chains concurrently,
+/// each on a private [`ReplayEngine`]. Within a chain records still run
+/// in sequence order, so deltas warm-start from their replayed parents
+/// exactly as in a sequential run; across chains nothing is shared, so
+/// the merged report — results re-sorted by sequence number — is
+/// byte-identical to [`stbus_journal::replay_records`] over one engine.
+/// `jobs == None` (or `1`) takes exactly that sequential path.
+#[must_use]
+pub fn replay_journal(records: &[Record], jobs: Option<NonZeroUsize>) -> ReplayReport {
+    if jobs.is_none_or(|j| j.get() <= 1) {
+        let mut engine = ReplayEngine::new(jobs);
+        return replay_records(records, |r| engine.execute(r));
+    }
+    let mut ordered: Vec<&Record> = records.iter().collect();
+    ordered.sort_by_key(|r| r.seq);
+    ordered.dedup_by_key(|r| r.seq);
+    let chains = chain_partition(&ordered);
+    let replay_chain = |chain: &[usize]| {
+        let subset: Vec<Record> = chain.iter().map(|&i| ordered[i].clone()).collect();
+        let mut engine = ReplayEngine::new(jobs);
+        replay_records(&subset, |r| engine.execute(r))
+    };
+    let reports: Vec<ReplayReport> = if chains.len() <= 1 {
+        chains.iter().map(|c| replay_chain(c)).collect()
+    } else {
+        let ordered = &ordered;
+        stbus_exec::scope(|s| {
+            let tasks: Vec<usize> = chains
+                .iter()
+                .map(|chain| {
+                    s.submit(move |_token| {
+                        let subset: Vec<Record> =
+                            chain.iter().map(|&i| ordered[i].clone()).collect();
+                        let mut engine = ReplayEngine::new(jobs);
+                        replay_records(&subset, |r| engine.execute(r))
+                    })
+                })
+                .collect();
+            tasks.into_iter().map(|t| s.take(t)).collect()
+        })
+    };
+    let mut merged = ReplayReport::default();
+    for report in reports {
+        merged.matched += report.matched;
+        merged.diffs += report.diffs;
+        merged.skipped += report.skipped;
+        merged.failed += report.failed;
+        merged.results.extend(report.results);
+    }
+    merged.results.sort_by_key(|(seq, _)| *seq);
+    merged
 }

@@ -83,7 +83,7 @@ use stbus_core::{DesignParams, Preprocessed, SolverKind};
 use stbus_exec as exec;
 use stbus_exec::CancelToken;
 use stbus_journal::{FsyncPolicy, JournalWriter, Record, RecordKind, RecordStatus, WriterOptions};
-use stbus_milp::{Binding, PruningLevel, WarmStart};
+use stbus_milp::{Binding, PruningLevel, SearchLevel, WarmStart};
 use stbus_traffic::workloads::Application;
 use stbus_traffic::WorkloadDelta;
 use std::collections::BTreeMap;
@@ -207,6 +207,7 @@ pub(crate) struct ResynthArtifact {
     pub(crate) params: DesignParams,
     pub(crate) solver: SolverKind,
     pub(crate) pruning: Option<PruningLevel>,
+    pub(crate) search: Option<SearchLevel>,
     pub(crate) traffic: CollectedTraffic,
     pub(crate) analysis: AnalysisArtifact,
     pub(crate) warm_it: Binding,
@@ -988,12 +989,17 @@ pub(crate) fn fnv1a(words: &[u64], tags: &[u8]) -> u64 {
 
 /// Content address of a fresh workload-mode artifact: application
 /// digest, both phase fingerprints, and the solve-relevant knobs (θ,
-/// `maxtb`, solver, pruning). `jobs` is excluded — it is result-invariant.
+/// `maxtb`, solver, pruning, search). `jobs` is excluded — it is
+/// result-invariant. A `learned` search folds an extra tag into the
+/// address (its binding may legitimately differ from the standard
+/// engine's); `standard`/unset requests keep the historical address
+/// bytes, so journals written before the knob existed still restore.
 pub(crate) fn artifact_address(
     app: &Application,
     params: &DesignParams,
     solver: SolverKind,
     pruning: Option<PruningLevel>,
+    search: Option<SearchLevel>,
 ) -> String {
     let ck = CollectionKey::of(params).fingerprint();
     let ak = AnalysisKey::of(params).fingerprint();
@@ -1009,7 +1015,10 @@ pub(crate) fn artifact_address(
         params.overlap_threshold.to_bits(),
         params.maxtb as u64,
     ];
-    let tags = format!("{solver}|{pruning:?}");
+    let mut tags = format!("{solver}|{pruning:?}");
+    if search == Some(SearchLevel::Learned) {
+        tags.push_str("|learned");
+    }
     format!("{:016x}", fnv1a(&words, tags.as_bytes()))
 }
 
@@ -1064,7 +1073,9 @@ struct SolvedPair {
 
 fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &Job) {
     let jobs = effective_jobs(request.jobs);
-    let strategy = request.solver.synthesizer_with(jobs, request.pruning);
+    let strategy = request
+        .solver
+        .synthesizer_full(jobs, request.pruning, request.search);
     let solver = request.solver.to_string();
     match &request.work {
         WorkSpec::Trace(trace) => {
@@ -1092,6 +1103,7 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
                             &request.params,
                             request.solver,
                             request.pruning,
+                            request.search,
                         );
                         let body = pair_body(
                             app.name(),
@@ -1120,7 +1132,14 @@ fn execute_synthesize(shared: &Arc<Shared>, request: &SynthesizeRequest, job: &J
                 }
             };
             if let Some(solved) = solved {
-                deposit_artifact(shared, &app, request.solver, request.pruning, &solved);
+                deposit_artifact(
+                    shared,
+                    &app,
+                    request.solver,
+                    request.pruning,
+                    request.search,
+                    &solved,
+                );
                 reply_outcome_line(shared, job, &solved.body);
             }
         }
@@ -1133,6 +1152,7 @@ fn deposit_artifact(
     app: &Arc<Application>,
     solver: SolverKind,
     pruning: Option<PruningLevel>,
+    search: Option<SearchLevel>,
     solved: &SolvedPair,
 ) {
     shared.resynth_cache.insert(
@@ -1142,6 +1162,7 @@ fn deposit_artifact(
             params: solved.params.clone(),
             solver,
             pruning,
+            search,
             traffic: solved.traffic.clone(),
             analysis: solved.analysis.clone(),
             warm_it: solved.warm_it.clone(),
@@ -1191,7 +1212,13 @@ fn restore_synthesize(shared: &Arc<Shared>, record: &Record) -> bool {
     };
     let app = Arc::new(spec.build());
     let front = CachedAnalysis::build(shared, &app, &request.params);
-    let address = artifact_address(&app, &request.params, request.solver, request.pruning);
+    let address = artifact_address(
+        &app,
+        &request.params,
+        request.solver,
+        request.pruning,
+        request.search,
+    );
     shared.resynth_cache.insert(
         address,
         Arc::new(ResynthArtifact {
@@ -1199,6 +1226,7 @@ fn restore_synthesize(shared: &Arc<Shared>, record: &Record) -> bool {
             params: request.params.clone(),
             solver: request.solver,
             pruning: request.pruning,
+            search: request.search,
             traffic: front.collected.traffic().clone(),
             analysis: (*front.artifact).clone(),
             warm_it,
@@ -1244,6 +1272,7 @@ fn restore_delta(shared: &Arc<Shared>, record: &Record) -> bool {
             params: base,
             solver: stored.solver,
             pruning: stored.pruning,
+            search: stored.search,
             traffic: re.collected().traffic().clone(),
             analysis,
             warm_it,
@@ -1320,7 +1349,9 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
     }
 
     let jobs = effective_jobs(request.jobs);
-    let strategy = stored.solver.synthesizer_with(jobs, stored.pruning);
+    let strategy = stored
+        .solver
+        .synthesizer_full(jobs, stored.pruning, stored.search);
     let solver = stored.solver.to_string();
     let app = Arc::clone(&stored.app);
 
@@ -1349,7 +1380,7 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
             }
         };
         // Per-direction warm starts: the strategy's own limits are unset
-        // (`synthesizer_with` leaves them `None`), so each direction's
+        // (`synthesizer_full` leaves them `None`), so each direction's
         // params — carrying that direction's previous binding — reach the
         // search. The warm start never changes verdicts, probe logs or
         // bus counts (see `SolveLimits::warm_start`); it only lets the
@@ -1415,7 +1446,14 @@ fn execute_delta(shared: &Arc<Shared>, request: &DeltaRequest, job: &Job) {
             warm_ti: out_ti.binding,
         }
     };
-    deposit_artifact(shared, &app, stored.solver, stored.pruning, &solved);
+    deposit_artifact(
+        shared,
+        &app,
+        stored.solver,
+        stored.pruning,
+        stored.search,
+        &solved,
+    );
     reply_outcome_line(shared, job, &solved.body);
 }
 
@@ -1442,7 +1480,9 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
     };
     let base = &request.base;
     let jobs = effective_jobs(base.jobs);
-    let strategy = base.solver.synthesizer_with(jobs, base.pruning);
+    let strategy = base
+        .solver
+        .synthesizer_full(jobs, base.pruning, base.search);
     let solver = base.solver.to_string();
     // Streaming look-ahead across sweep points mirrors the per-point
     // probe width: `jobs == 1` degenerates to the old sequential loop.
@@ -1566,7 +1606,9 @@ fn execute_sweep(shared: &Arc<Shared>, job: &Job) {
 
 fn execute_suite(shared: &Arc<Shared>, request: &SuiteRequest, job: &Job) {
     let jobs = effective_jobs(request.jobs);
-    let strategy = request.solver.synthesizer_with(jobs, request.pruning);
+    let strategy = request
+        .solver
+        .synthesizer_full(jobs, request.pruning, request.search);
     let solver = request.solver.to_string();
     let apps = stbus_traffic::workloads::paper_suite(request.seed);
     let mut rows = Vec::with_capacity(apps.len());

@@ -18,11 +18,12 @@
 //! Common knobs mirror the CLI flags one-for-one: `"window"` (u64 ≥ 1),
 //! `"threshold"` (finite, ≥ 0), `"maxtb"` (≥ 1), `"response_scale"`
 //! (finite, > 0), `"solver"` (`exact|heuristic|portfolio`), `"pruning"`
-//! (`off|standard|aggressive`), `"jobs"` (≥ 1). `/sweep` adds
-//! `"thresholds"`: a non-empty array of valid thresholds, streamed one
-//! result line each. `/suite` takes only `"solver"`, `"pruning"`,
-//! `"jobs"` and `"seed"` — the per-application parameters are pinned to
-//! the paper's, exactly as in `stbus suite`.
+//! (`off|standard|aggressive`), `"search"` (`standard|learned`),
+//! `"jobs"` (≥ 1). `/sweep` adds `"thresholds"`: a non-empty array of
+//! valid thresholds, streamed one result line each. `/suite` takes only
+//! `"solver"`, `"pruning"`, `"search"`, `"jobs"` and `"seed"` — the
+//! per-application parameters are pinned to the paper's, exactly as in
+//! `stbus suite`.
 //!
 //! Validation happens here, before a request is admitted: anything
 //! malformed is answered `400` with an error message instead of ever
@@ -31,7 +32,7 @@
 
 use crate::json::{self, Value};
 use stbus_core::{DesignParams, SolverKind};
-use stbus_milp::PruningLevel;
+use stbus_milp::{PruningLevel, SearchLevel};
 use stbus_traffic::workloads::{self, Application};
 use stbus_traffic::{
     io as trace_io, InitiatorId, TargetEdit, TargetId, Trace, TraceEvent, WorkloadDelta,
@@ -95,6 +96,9 @@ pub struct SynthesizeRequest {
     pub jobs: Option<NonZeroUsize>,
     /// Exact-search pruning level override.
     pub pruning: Option<PruningLevel>,
+    /// Exact-search level override (`learned` = CDCL-style nogood
+    /// learning with the restart portfolio).
+    pub search: Option<SearchLevel>,
 }
 
 /// A validated `/sweep` request: the base request plus the θ grid.
@@ -117,6 +121,8 @@ pub struct SuiteRequest {
     pub jobs: Option<NonZeroUsize>,
     /// Pruning level override.
     pub pruning: Option<PruningLevel>,
+    /// Search level override.
+    pub search: Option<SearchLevel>,
 }
 
 /// A validated incremental re-synthesis request: a prior artifact's
@@ -272,6 +278,17 @@ fn parse_pruning(obj: &Value) -> Result<Option<PruningLevel>, String> {
     }
 }
 
+fn parse_search(obj: &Value) -> Result<Option<SearchLevel>, String> {
+    match obj.get("search") {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| "`search` must be a string".to_string())?
+            .parse()
+            .map(Some),
+    }
+}
+
 fn parse_jobs(obj: &Value) -> Result<Option<NonZeroUsize>, String> {
     Ok(field_u64(obj, "jobs", 1)?
         .map(|n| NonZeroUsize::new(n as usize).expect("validated at least 1")))
@@ -406,6 +423,7 @@ pub fn parse_delta(body: &str) -> Result<DeltaRequest, String> {
         "response_scale",
         "solver",
         "pruning",
+        "search",
         "seed",
     ] {
         if obj.get(conflicting).is_some() {
@@ -435,6 +453,7 @@ pub fn parse_synthesize(body: &str) -> Result<SynthesizeRequest, String> {
         solver: parse_solver(&obj)?,
         jobs: parse_jobs(&obj)?,
         pruning: parse_pruning(&obj)?,
+        search: parse_search(&obj)?,
     })
 }
 
@@ -482,6 +501,7 @@ pub fn parse_sweep(body: &str) -> Result<SweepRequest, String> {
             solver: parse_solver(&obj)?,
             jobs: parse_jobs(&obj)?,
             pruning: parse_pruning(&obj)?,
+            search: parse_search(&obj)?,
         },
         thresholds,
     })
@@ -499,6 +519,7 @@ pub fn parse_suite(body: &str) -> Result<SuiteRequest, String> {
         seed: field_u64(&obj, "seed", 0)?.unwrap_or(DEFAULT_SEED),
         jobs: parse_jobs(&obj)?,
         pruning: parse_pruning(&obj)?,
+        search: parse_search(&obj)?,
     })
 }
 
@@ -605,6 +626,7 @@ mod tests {
             r#"{"artifact":"00ff","threshold":0.2}"#,
             r#"{"artifact":"00ff","solver":"exact"}"#,
             r#"{"artifact":"00ff","pruning":"off"}"#,
+            r#"{"artifact":"00ff","search":"learned"}"#,
             r#"{"artifact":"00ff","seed":7}"#,
             r#"{"artifact":""}"#,
             r#"{"artifact":"not hex!"}"#,
@@ -618,6 +640,18 @@ mod tests {
         ] {
             assert!(parse_delta(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn search_knob_parses_and_rejects_unknown_levels() {
+        let req = parse_synthesize(r#"{"suite":"mat2","search":"learned"}"#).unwrap();
+        assert_eq!(req.search, Some(stbus_milp::SearchLevel::Learned));
+        let req = parse_synthesize(r#"{"suite":"mat2"}"#).unwrap();
+        assert_eq!(req.search, None);
+        let suite = parse_suite(r#"{"search":"standard"}"#).unwrap();
+        assert_eq!(suite.search, Some(stbus_milp::SearchLevel::Standard));
+        assert!(parse_synthesize(r#"{"suite":"mat2","search":"cdcl"}"#).is_err());
+        assert!(parse_synthesize(r#"{"suite":"mat2","search":7}"#).is_err());
     }
 
     #[test]

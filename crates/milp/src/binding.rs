@@ -29,6 +29,8 @@
 
 use crate::bounds::{self, CombinedBound, LowerBound, NodeState, PruningLevel};
 use serde::{Deserialize, Serialize};
+
+pub mod learned;
 use stbus_exec::CancelToken;
 use stbus_traffic::{ConflictGraph, TargetSet};
 use std::error::Error;
@@ -64,6 +66,66 @@ impl WarmStart {
     pub fn new(binding: Binding) -> Self {
         let objective = binding.max_bus_overlap();
         Self { binding, objective }
+    }
+}
+
+/// Which search engine answers feasibility queries.
+///
+/// A sibling knob to [`PruningLevel`], with the *Aggressive* flavour of
+/// contract: every level proves the same feasibility verdicts whenever
+/// both searches complete within the node budget, but the returned
+/// bindings (and therefore probe logs downstream) may differ.
+///
+/// | Level      | Verdicts | Binding | Mechanism |
+/// |------------|----------|---------|-----------|
+/// | `Standard` | exact    | bit-identical to the frozen-order DFS | depth-first search in [`BindingProblem::branching_order`] |
+/// | `Learned`  | exact    | may differ (first feasible leaf of a perturbed value order) | conflict-driven nogood learning + Luby restarts (see [`crate::learned`]) |
+///
+/// `Learned` applies to *feasibility* searches
+/// ([`BindingProblem::find_feasible`] and friends — the MILP-1 probes
+/// that dominate hard instances). The MILP-2 optimisation pass
+/// ([`BindingProblem::optimize`]) always runs the standard improving
+/// search: learning targets refutation-heavy feasibility landscapes, and
+/// keeping optimisation on the standard path preserves its audited
+/// bit-identity guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchLevel {
+    /// The frozen-order DFS — the default, bit-identical reference.
+    #[default]
+    Standard,
+    /// Conflict-driven nogood learning with restart perturbation.
+    Learned,
+}
+
+impl SearchLevel {
+    /// Whether this level guarantees bit-identical bindings to the
+    /// reference search (not just identical verdicts).
+    #[must_use]
+    pub const fn claims_bit_identity(self) -> bool {
+        matches!(self, SearchLevel::Standard)
+    }
+}
+
+impl fmt::Display for SearchLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchLevel::Standard => write!(f, "standard"),
+            SearchLevel::Learned => write!(f, "learned"),
+        }
+    }
+}
+
+impl std::str::FromStr for SearchLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "standard" => Ok(SearchLevel::Standard),
+            "learned" => Ok(SearchLevel::Learned),
+            other => Err(format!(
+                "unknown search level `{other}` (expected standard|learned)"
+            )),
+        }
     }
 }
 
@@ -109,6 +171,16 @@ pub struct SolveLimits {
     /// would exhaust its budget — answering strictly more often, the same
     /// one-sided deviation [`PruningLevel::Standard`] documents.
     pub warm_start: Option<WarmStart>,
+    /// Which engine answers feasibility queries (see [`SearchLevel`]).
+    /// Defaults to [`SearchLevel::Standard`]; absent from serialized
+    /// limits recorded before the knob existed.
+    #[serde(default)]
+    pub search: SearchLevel,
+    /// Seed for the learned search's restart value-order perturbation.
+    /// Ignored under [`SearchLevel::Standard`]. The default (0) is a
+    /// perfectly good seed — it is mixed through a finalizer before use.
+    #[serde(default)]
+    pub learned_seed: u64,
 }
 
 impl SolveLimits {
@@ -120,6 +192,8 @@ impl SolveLimits {
             max_nodes,
             pruning: PruningLevel::Standard,
             warm_start: None,
+            search: SearchLevel::Standard,
+            learned_seed: 0,
         }
     }
 
@@ -127,6 +201,21 @@ impl SolveLimits {
     #[must_use]
     pub const fn with_pruning(mut self, pruning: PruningLevel) -> Self {
         self.pruning = pruning;
+        self
+    }
+
+    /// Selects the feasibility search engine (builder style). See
+    /// [`SearchLevel`] for the verdict-equivalence contract.
+    #[must_use]
+    pub const fn with_search(mut self, search: SearchLevel) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Sets the learned search's restart seed (builder style).
+    #[must_use]
+    pub const fn with_learned_seed(mut self, seed: u64) -> Self {
+        self.learned_seed = seed;
         self
     }
 
@@ -207,6 +296,39 @@ impl Error for SearchInterrupted {}
 /// token: rare enough to stay off the profile, frequent enough that a
 /// cancelled search returns within microseconds.
 const CANCEL_POLL_MASK: u64 = 0xFFF;
+
+/// Counters describing how a feasibility search earned its answer.
+///
+/// The standard search fills only `nodes`; the learned search
+/// ([`SearchLevel::Learned`]) additionally reports its restart and
+/// nogood activity. All counters are deterministic functions of
+/// `(problem, limits)` — identical across runs and worker counts — so
+/// they are safe to record in outcomes, diff in tests, and snapshot in
+/// benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Branch attempts charged against [`SolveLimits::max_nodes`]
+    /// (summed across restarts for the learned search).
+    pub nodes: u64,
+    /// Completed restarts before the answer (0 for the standard search;
+    /// 0 for a learned search that finished within its first burst).
+    pub restarts: u64,
+    /// Nogood clauses learned and retained at any point.
+    pub nogoods_learned: u64,
+    /// Candidate placements vetoed by a watched nogood clause.
+    pub nogood_hits: u64,
+}
+
+impl SearchStats {
+    /// Accumulates another search's counters into this one (used by
+    /// callers that sum stats over a sequence of probes).
+    pub fn absorb(&mut self, other: SearchStats) {
+        self.nodes += other.nodes;
+        self.restarts += other.restarts;
+        self.nogoods_learned += other.nogoods_learned;
+        self.nogood_hits += other.nogood_hits;
+    }
+}
 
 /// A complete target→bus assignment together with its objective value.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -759,10 +881,71 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
     ) -> Result<Option<Binding>, NodeLimitExceeded> {
+        self.find_feasible_stats(limits).map(|(best, _)| best)
+    }
+
+    /// [`BindingProblem::find_feasible`] that additionally reports the
+    /// search's [`SearchStats`]. This is the entry point that honours
+    /// [`SolveLimits::search`]: under [`SearchLevel::Learned`] the query
+    /// is answered by the conflict-driven learned search (restarts,
+    /// nogoods) instead of the frozen-order DFS. A verified warm start
+    /// short-circuits either engine with zeroed stats.
+    ///
+    /// # Errors
+    ///
+    /// [`NodeLimitExceeded`] when the search budget runs out before a
+    /// definitive answer.
+    pub fn find_feasible_stats(
+        &self,
+        limits: &SolveLimits,
+    ) -> Result<(Option<Binding>, SearchStats), NodeLimitExceeded> {
+        self.feasible_stats_impl(limits, None).map_err(|e| match e {
+            SearchInterrupted::Budget(b) => b,
+            SearchInterrupted::Cancelled => {
+                unreachable!("no cancellation flag was supplied")
+            }
+        })
+    }
+
+    /// [`BindingProblem::find_feasible_stats`] with a cooperative
+    /// [`CancelToken`] (the learned search polls it at the same node
+    /// checkpoints as the standard DFS).
+    ///
+    /// # Errors
+    ///
+    /// [`SearchInterrupted::Budget`] when the node budget runs out,
+    /// [`SearchInterrupted::Cancelled`] when the token was raised.
+    pub fn find_feasible_stats_cancellable(
+        &self,
+        limits: &SolveLimits,
+        cancel: &CancelToken,
+    ) -> Result<(Option<Binding>, SearchStats), SearchInterrupted> {
+        self.feasible_stats_impl(limits, Some(cancel))
+    }
+
+    /// Shared feasibility driver: warm-start short-circuit, then the
+    /// engine selected by [`SolveLimits::search`].
+    fn feasible_stats_impl(
+        &self,
+        limits: &SolveLimits,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Option<Binding>, SearchStats), SearchInterrupted> {
         if let Some(warm) = self.warm_verified(limits) {
-            return Ok(Some(warm));
+            return Ok((Some(warm), SearchStats::default()));
         }
-        self.search(limits, None)
+        match limits.search {
+            SearchLevel::Standard => {
+                self.search_full(limits, None, cancel, false)
+                    .map(|(best, nodes)| {
+                        let stats = SearchStats {
+                            nodes,
+                            ..SearchStats::default()
+                        };
+                        (best, stats)
+                    })
+            }
+            SearchLevel::Learned => learned::find_feasible(self, limits, cancel),
+        }
     }
 
     /// [`BindingProblem::find_feasible`] in **audited** mode: at every
@@ -819,16 +1002,8 @@ impl BindingProblem {
         &self,
         limits: &SolveLimits,
     ) -> Result<(Option<Binding>, u64), NodeLimitExceeded> {
-        if let Some(warm) = self.warm_verified(limits) {
-            return Ok((Some(warm), 0));
-        }
-        self.search_full(limits, None, None, false)
-            .map_err(|e| match e {
-                SearchInterrupted::Budget(b) => b,
-                SearchInterrupted::Cancelled => {
-                    unreachable!("no cancellation flag was supplied")
-                }
-            })
+        self.find_feasible_stats(limits)
+            .map(|(best, stats)| (best, stats.nodes))
     }
 
     /// [`BindingProblem::find_feasible`] with a cooperative
@@ -848,10 +1023,8 @@ impl BindingProblem {
         limits: &SolveLimits,
         cancel: &CancelToken,
     ) -> Result<Option<Binding>, SearchInterrupted> {
-        if let Some(warm) = self.warm_verified(limits) {
-            return Ok(Some(warm));
-        }
-        self.search_with(limits, None, Some(cancel))
+        self.feasible_stats_impl(limits, Some(cancel))
+            .map(|(best, _)| best)
     }
 
     /// Finds the binding minimising the maximum per-bus overlap (the
@@ -870,10 +1043,14 @@ impl BindingProblem {
     pub fn optimize(&self, limits: &SolveLimits) -> Result<Option<Binding>, NodeLimitExceeded> {
         // Seed the incumbent with any feasible solution so pruning bites
         // immediately — a verified warm start *is* such a solution and
-        // saves the seeding search outright.
+        // saves the seeding search outright. The seeding search honours
+        // [`SolveLimits::search`] (the learned engine can reach a first
+        // witness the frozen order cannot); the improving search below is
+        // always the standard exhaustive one, so the final objective is
+        // engine-independent.
         let seed = match self.warm_verified(limits) {
             Some(warm) => Some(warm),
-            None => self.search(limits, None)?,
+            None => self.find_feasible(limits)?,
         };
         match seed {
             None => Ok(None),
@@ -902,7 +1079,7 @@ impl BindingProblem {
     ) -> Result<Option<Binding>, SearchInterrupted> {
         let seed = match self.warm_verified(limits) {
             Some(warm) => Some(warm),
-            None => self.search_with(limits, None, Some(cancel))?,
+            None => self.feasible_stats_impl(limits, Some(cancel))?.0,
         };
         match seed {
             None => Ok(None),

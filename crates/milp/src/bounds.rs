@@ -73,6 +73,13 @@ pub(crate) const CRITICAL_WINDOWS: usize = 4;
 ///   differ (the equal-objective-revisit gotcha first caught by the
 ///   retired dense equivalence battery). Levels that claim bit-identity
 ///   are `Off` and `Standard` only.
+///
+/// Orthogonal to the pruning level, `SearchLevel` in
+/// [`crate::binding`] picks the search *engine* under these bounds — its
+/// `Learned` level carries the same Aggressive-flavoured contract
+/// (identical verdicts, bindings may differ), so the full knob matrix is
+/// `{Off, Standard, Aggressive} × {standard, learned}` and bit-identity
+/// is claimed only by `{Off, Standard} × standard`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PruningLevel {
     /// No per-node bounds: the plain DFS.
@@ -288,6 +295,11 @@ pub struct CliqueCoverBound {
     /// demand sums), so a bound instance reused across problems rebuilds
     /// instead of applying stale rows.
     built_for: Option<(usize, usize, usize, usize, usize, u64, u64)>,
+    /// Debug-only deep fingerprint of the problem content the cache was
+    /// built from — the staleness tripwire behind
+    /// [`assert_cache_fresh`].
+    #[cfg(debug_assertions)]
+    built_fingerprint: u64,
 }
 
 /// The identity key the incompatibility cache is validated against on
@@ -308,6 +320,51 @@ fn incompat_key(ctx: &PruneContext<'_>) -> (usize, usize, usize, usize, usize, u
             .sum(),
         ctx.target_total.iter().sum(),
     )
+}
+
+/// Debug-only deep fingerprint of the problem content the per-problem
+/// caches depend on: every `(target, window)` demand, every window
+/// capacity, `maxtb`, and the per-target conflict degrees. The
+/// [`incompat_key`] identity check is address + aggregate sums, which by
+/// convention suffices — a [`BindingProblem`] is immutable between
+/// probes — but a sum-preserving in-place mutation (swap two demands,
+/// shuffle capacities) would silently reuse stale incompatibility rows
+/// and demand caches. FNV-1a, O(targets × windows), debug builds only.
+#[cfg(debug_assertions)]
+fn deep_fingerprint(problem: &BindingProblem) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(problem.maxtb() as u64);
+    for m in 0..problem.num_windows() {
+        mix(problem.capacity(m));
+    }
+    for t in 0..problem.num_targets() {
+        mix(problem.conflict_graph().degree(t) as u64);
+        for m in 0..problem.num_windows() {
+            mix(problem.demand(t, m));
+        }
+    }
+    hash
+}
+
+/// Debug assertion that a cache-identity hit really corresponds to an
+/// unchanged problem: any mutation of a [`BindingProblem`]'s windows,
+/// demands or conflicts between probes must change the cache key, not
+/// just keep the aggregate sums. Release builds compile this away.
+#[cfg(debug_assertions)]
+fn assert_cache_fresh(problem: &BindingProblem, built: u64, cache: &str) {
+    debug_assert_eq!(
+        built,
+        deep_fingerprint(problem),
+        "{cache} cache-identity hit on a mutated problem: the \
+         (incompat_key, critical_windows) key matched but the problem's \
+         windows/demands/conflicts changed — mutations between probes \
+         must bump the cache key (rebuild the BindingProblem instead of \
+         editing it in place)"
+    );
 }
 
 impl CliqueCoverBound {
@@ -331,6 +388,10 @@ impl CliqueCoverBound {
             }
         }
         self.built_for = Some(incompat_key(ctx));
+        #[cfg(debug_assertions)]
+        {
+            self.built_fingerprint = deep_fingerprint(problem);
+        }
     }
 }
 
@@ -342,6 +403,9 @@ impl LowerBound for CliqueCoverBound {
     fn buses_needed(&mut self, ctx: &PruneContext<'_>) -> usize {
         if self.built_for != Some(incompat_key(ctx)) {
             self.build_incompat(ctx);
+        } else {
+            #[cfg(debug_assertions)]
+            assert_cache_fresh(ctx.problem, self.built_fingerprint, "incompatibility");
         }
         self.buses_needed_cached(ctx)
     }
@@ -428,6 +492,166 @@ impl CliqueCoverBound {
     }
 }
 
+/// Why a node was refuted, expressed as the set of **placements** the
+/// refutation rests on — the seed of a learned nogood clause (see
+/// [`crate::binding::learned`]).
+///
+/// Soundness contract: for [`Refutation::Assignments(set)`], *any*
+/// assignment (partial or complete) in which every target of `set` sits
+/// on its current bus admits no feasible completion — the certificate's
+/// rejections are all monotone in the member sets (a conflict, an
+/// overflow or a full bus stays one when more targets are placed), so
+/// the refutation transfers to every superset of the recorded
+/// placements, not just the node it was extracted at.
+/// [`Refutation::Global`] is a refutation resting on *no* placements:
+/// the instance is infeasible outright.
+#[derive(Debug)]
+pub(crate) enum Refutation {
+    /// Infeasible regardless of any assignment (e.g. a static
+    /// incompatibility clique larger than the bus count, or a dead
+    /// target whose every rejection is static).
+    Global,
+    /// The refutation rests on exactly the recorded targets' current
+    /// placements.
+    Assignments(TargetSet),
+}
+
+impl CliqueCoverBound {
+    /// Re-derives this bound's refutation of `ctx` — which must be a
+    /// state the bound refutes, i.e. `buses_needed(ctx) > num_buses` —
+    /// and names the *responsible placements*: the minimal-ish set of
+    /// bound targets whose bus memberships the certificate actually
+    /// used. Returns `None` when the clique bound does **not** refute
+    /// the state (the caller's refutation came from another certificate
+    /// and must fall back to the full prefix).
+    ///
+    /// Reason extraction per certificate:
+    ///
+    /// * **dead target** `v` — for every bus, the members that make it
+    ///   unusable for `v` ([`unusable_reason`]);
+    /// * **Hall violation** — for every clique member and every bus
+    ///   outside its usable set, the blocking members (usable sets can
+    ///   only shrink under more placements, so the union stays small);
+    /// * **clique larger than the bus count** — the incompatibility
+    ///   relation is static, so this refutes the instance globally.
+    ///
+    /// This re-runs the greedy pass (same deterministic order, same
+    /// clique) with bookkeeping the hot path never pays — it is only
+    /// called on refuted nodes, where the subtree is already cut.
+    pub(crate) fn explain(&mut self, ctx: &PruneContext<'_>) -> Option<Refutation> {
+        let problem = ctx.problem;
+        let buses = problem.num_buses();
+        if problem.num_targets() == 0 || ctx.unbound.is_empty() {
+            return None;
+        }
+        if self.built_for != Some(incompat_key(ctx)) {
+            self.build_incompat(ctx);
+        }
+        let words = ctx.unbound.words().len();
+        let mut cand = ctx.unbound.words().to_vec();
+        let mut union_words = vec![0u64; buses.div_ceil(64)];
+        let mut clique: Vec<usize> = Vec::new();
+        for &v in ctx.order {
+            if !ctx.unbound.contains(v) {
+                continue;
+            }
+            let in_clique = cand[v / 64] >> (v % 64) & 1 == 1;
+            let mut any = false;
+            for k in 0..buses {
+                if !ctx.usable(v, k) {
+                    continue;
+                }
+                any = true;
+                if !in_clique {
+                    break;
+                }
+                union_words[k / 64] |= 1u64 << (k % 64);
+            }
+            if !any {
+                let mut reason = TargetSet::empty(problem.num_targets());
+                for k in 0..buses {
+                    unusable_reason(ctx, v, k, &mut reason);
+                }
+                return Some(refutation_from(reason));
+            }
+            if in_clique {
+                clique.push(v);
+                let row = &self.incompat[v * words..(v + 1) * words];
+                for (c, &r) in cand.iter_mut().zip(row) {
+                    *c &= r;
+                }
+            }
+        }
+        if clique.len() > buses {
+            return Some(Refutation::Global);
+        }
+        let usable_union: usize = union_words.iter().map(|w| w.count_ones() as usize).sum();
+        if usable_union < clique.len() {
+            let mut reason = TargetSet::empty(problem.num_targets());
+            for &v in &clique {
+                for k in 0..buses {
+                    if !ctx.usable(v, k) {
+                        unusable_reason(ctx, v, k, &mut reason);
+                    }
+                }
+            }
+            return Some(refutation_from(reason));
+        }
+        None
+    }
+}
+
+/// Wraps an extracted reason set: an empty reason means the refutation
+/// held with no placements at all — a global infeasibility certificate.
+fn refutation_from(reason: TargetSet) -> Refutation {
+    if reason.is_empty() {
+        Refutation::Global
+    } else {
+        Refutation::Assignments(reason)
+    }
+}
+
+/// Records the bound targets responsible for `t` being unusable on bus
+/// `k` — the reason side of every [`Refutation`] certificate. Mirrors
+/// the certain rejections of [`usable_in`], attributed to members:
+///
+/// * a **conflict** with a member needs only that one member;
+/// * a full bus (`maxtb`), exhausted total slack, or a window overflow
+///   is implied by the bus's *entire* member set (their demands and
+///   seats reproduce the rejection in any superset state);
+/// * an **empty** bus rejecting `t` does so statically (the target's own
+///   demand against pristine capacity) — no placements to record.
+pub(crate) fn unusable_reason(ctx: &PruneContext<'_>, t: usize, k: usize, reason: &mut TargetSet) {
+    let problem = ctx.problem;
+    let words = ctx.mask_words;
+    let mask = &ctx.bus_masks[k * words..(k + 1) * words];
+    if ctx.bus_len[k] == 0 {
+        return;
+    }
+    if problem.conflict_graph().conflicts_with_words(t, mask) {
+        for (w, &wordv) in mask.iter().enumerate() {
+            let mut word = wordv;
+            while word != 0 {
+                let j = w * 64 + word.trailing_zeros() as usize;
+                if problem.conflicts(t, j) {
+                    reason.insert(j);
+                    return;
+                }
+                word &= word - 1;
+            }
+        }
+        unreachable!("conflicts_with_words certified a conflicting member");
+    }
+    for (w, &wordv) in mask.iter().enumerate() {
+        let mut word = wordv;
+        while word != 0 {
+            let j = w * 64 + word.trailing_zeros() as usize;
+            reason.insert(j);
+            word &= word - 1;
+        }
+    }
+}
+
 /// Bandwidth-packing bound: per critical window, the ceiling of total
 /// demand over capacity, refined per node by a **conflict-aware
 /// fragmentation** test and a **fractional-routing (max-flow)**
@@ -492,6 +716,10 @@ pub struct BandwidthPackingBound {
     /// critical-window list it was sliced along.
     built_for: Option<(usize, usize, usize, usize, usize, u64, u64)>,
     built_crit: Vec<usize>,
+    /// Debug-only deep fingerprint of the problem content the demand
+    /// cache was built from (see [`assert_cache_fresh`]).
+    #[cfg(debug_assertions)]
+    built_fingerprint: u64,
 }
 
 impl BandwidthPackingBound {
@@ -522,6 +750,10 @@ impl BandwidthPackingBound {
         self.built_for = Some(incompat_key(ctx));
         self.built_crit.clear();
         self.built_crit.extend_from_slice(crit);
+        #[cfg(debug_assertions)]
+        {
+            self.built_fingerprint = deep_fingerprint(problem);
+        }
     }
 }
 
@@ -531,11 +763,18 @@ impl LowerBound for BandwidthPackingBound {
     }
 
     fn buses_needed(&mut self, ctx: &PruneContext<'_>) -> usize {
-        if !ctx.critical_windows.is_empty()
-            && (self.built_for != Some(incompat_key(ctx))
-                || self.built_crit != ctx.critical_windows)
-        {
-            self.build_cache(ctx);
+        if !ctx.critical_windows.is_empty() {
+            if self.built_for != Some(incompat_key(ctx)) || self.built_crit != ctx.critical_windows
+            {
+                self.build_cache(ctx);
+            } else {
+                #[cfg(debug_assertions)]
+                assert_cache_fresh(
+                    ctx.problem,
+                    self.built_fingerprint,
+                    "critical-window demand",
+                );
+            }
         }
         self.buses_needed_cached(ctx)
     }
@@ -928,6 +1167,15 @@ impl LowerBound for CombinedBound {
 }
 
 impl CombinedBound {
+    /// Conflict-clause extraction for the learned search: delegates to
+    /// the clique/Hall explainer regardless of which certificate
+    /// refuted the node (the clique pass usually also refutes, and its
+    /// reasons are the minimal ones). `None` means no cheap explanation
+    /// — the caller falls back to the full-prefix reason.
+    pub(crate) fn explain(&mut self, ctx: &PruneContext<'_>) -> Option<Refutation> {
+        self.clique.explain(ctx)
+    }
+
     /// Forced-assignment propagation and shaving on a hypothetical copy
     /// of the node state, re-running both certificates on the maximally
     /// propagated result.

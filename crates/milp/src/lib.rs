@@ -62,7 +62,8 @@ pub mod model;
 pub mod simplex;
 
 pub use binding::{
-    Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SolveLimits, WarmStart,
+    Binding, BindingProblem, NodeLimitExceeded, SearchInterrupted, SearchLevel, SearchStats,
+    SolveLimits, WarmStart,
 };
 pub use bounds::{
     BandwidthPackingBound, CliqueCoverBound, CombinedBound, LowerBound, NodeState, PruneContext,

@@ -5,16 +5,19 @@
 //! stbus analyze    --trace FILE [--window N] [--threshold F]
 //! stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
 //!                  [--solver exact|heuristic|portfolio] [--jobs N]
-//!                  [--pruning off|standard|aggressive] [--json]
+//!                  [--pruning off|standard|aggressive]
+//!                  [--search standard|learned] [--json]
 //! stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
 //! stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
-//!                  [--pruning off|standard|aggressive] [--json]
+//!                  [--pruning off|standard|aggressive]
+//!                  [--search standard|learned] [--json]
 //! stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
 //!                  [--tenant-queue-depth N] [--cache-entries N]
 //!                  [--keep-alive-requests N] [--idle-timeout-ms N]
 //!                  [--journal-dir DIR] [--journal-fsync always|snapshot|never]
 //!                  [--snapshot-every N]
 //! stbus replay     --journal-dir DIR [--jobs N] [--diff]
+//! stbus bench-report [--history FILE] [--snapshot FILE] [--out FILE]
 //! ```
 //!
 //! Traces use the textual interchange format of
@@ -42,6 +45,16 @@
 //! best-fit candidate ordering — same verdicts and probe logs, possibly
 //! a different (equal-objective) binding.
 //!
+//! `--search learned` switches the exact feasibility probes to the
+//! conflict-driven engine ([`stbus::milp::SearchLevel::Learned`]):
+//! nogood learning from refuted subtrees plus a Luby restart portfolio
+//! with perturbed value orders — the engine for phase-transition
+//! instances (48-target probes at tight bus counts) the frozen-order
+//! DFS cannot crack. Same verdicts as `standard` whenever both complete
+//! within budget; bindings and probe node counts may differ. Outcomes
+//! gain `nogoods_learned`/`restarts` fields in `--json` when learning
+//! actually ran.
+//!
 //! `serve` starts the long-running HTTP+JSON gateway ([`stbus::gateway`])
 //! and blocks until a `POST /shutdown` drains it. Example session:
 //!
@@ -67,7 +80,7 @@
 //! suite in CI.
 
 use stbus::core::{Batch, DesignParams, Preprocessed, SolverKind, SynthesisOutcome};
-use stbus::milp::PruningLevel;
+use stbus::milp::{PruningLevel, SearchLevel};
 use stbus::report::Table;
 use stbus::sim::{simulate, CrossbarConfig};
 use stbus::traffic::{io, workloads, Trace, WindowStats};
@@ -92,16 +105,19 @@ const USAGE: &str = "usage:
   stbus analyze    --trace FILE [--window N] [--threshold F]
   stbus synthesize --trace FILE [--window N] [--threshold F] [--maxtb N]
                    [--solver exact|heuristic|portfolio] [--jobs N]
-                   [--pruning off|standard|aggressive] [--json]
+                   [--pruning off|standard|aggressive]
+                   [--search standard|learned] [--json]
   stbus simulate   --trace FILE (--shared | --full | --buses 0,0,1,...)
   stbus suite      [--solver exact|heuristic|portfolio] [--jobs N]
-                   [--pruning off|standard|aggressive] [--json]
+                   [--pruning off|standard|aggressive]
+                   [--search standard|learned] [--json]
   stbus serve      [--addr HOST:PORT] [--jobs N] [--queue-depth N]
                    [--tenant-queue-depth N] [--cache-entries N]
                    [--keep-alive-requests N] [--idle-timeout-ms N]
                    [--journal-dir DIR] [--journal-fsync always|snapshot|never]
                    [--snapshot-every N]
-  stbus replay     --journal-dir DIR [--jobs N] [--diff]";
+  stbus replay     --journal-dir DIR [--jobs N] [--diff]
+  stbus bench-report [--history FILE] [--snapshot FILE] [--out FILE]";
 
 /// Parses a `--jobs` value (≥ 1).
 fn parse_jobs(text: &str) -> Result<NonZeroUsize, String> {
@@ -130,6 +146,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("suite") => suite(&mut args),
         Some("serve") => serve(&mut args),
         Some("replay") => replay(&mut args),
+        Some("bench-report") => bench_report(&mut args),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".into()),
     }
@@ -255,6 +272,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     let mut solver = SolverKind::Exact;
     let mut jobs: Option<NonZeroUsize> = None;
     let mut pruning: Option<PruningLevel> = None;
+    let mut search: Option<SearchLevel> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
@@ -269,6 +287,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
             "--solver" => solver = value(args, flag)?.parse()?,
             "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
             "--pruning" => pruning = Some(value(args, flag)?.parse()?),
+            "--search" => search = Some(value(args, flag)?.parse()?),
             "--heuristic" => {
                 eprintln!("note: --heuristic is deprecated; use --solver heuristic");
                 solver = SolverKind::Heuristic;
@@ -284,7 +303,7 @@ fn synthesize<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String
     let trace = load_trace(trace_path.as_deref())?;
     let pre = Preprocessed::analyze(&trace, &params);
     let outcome = solver
-        .synthesizer_with(jobs, pruning)
+        .synthesizer_full(jobs, pruning, search)
         .synthesize(&pre, &params)
         .map_err(|e| e.to_string())?;
     if json {
@@ -372,12 +391,14 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut solver = SolverKind::Exact;
     let mut jobs: Option<NonZeroUsize> = None;
     let mut pruning: Option<PruningLevel> = None;
+    let mut search: Option<SearchLevel> = None;
     let mut json = false;
     while let Some(flag) = args.next() {
         match flag {
             "--solver" => solver = value(args, flag)?.parse()?,
             "--jobs" => jobs = Some(parse_jobs(value(args, flag)?)?),
             "--pruning" => pruning = Some(value(args, flag)?.parse()?),
+            "--search" => search = Some(value(args, flag)?.parse()?),
             "--json" => json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -389,11 +410,14 @@ fn suite<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     // full parallelism on its own).
     apply_jobs(jobs);
     let mut batch = Batch::per_app(&apps, move |app| {
-        let params = stbus::core::paper_suite_params(app.name());
-        match pruning {
-            Some(level) => params.with_pruning(level),
-            None => params,
+        let mut params = stbus::core::paper_suite_params(app.name());
+        if let Some(level) = pruning {
+            params = params.with_pruning(level);
         }
+        if let Some(level) = search {
+            params = params.with_search(level);
+        }
+        params
     })
     .with_strategy_kind(solver);
     if let Some(jobs) = jobs {
@@ -491,7 +515,9 @@ fn serve<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
 /// and diff the response bodies byte for byte. Synthesis is
 /// deterministic at any worker count, so any divergence means the code
 /// changed behaviour since the journal was written; the process exits 1
-/// so CI can gate on it.
+/// so CI can gate on it. `--jobs N` additionally replays independent
+/// delta chains concurrently (grouped by parent artifact) — the report
+/// is byte-identical to a sequential run.
 fn replay<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
     let mut journal_dir: Option<String> = None;
     let mut jobs: Option<NonZeroUsize> = None;
@@ -520,8 +546,7 @@ fn replay<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
             read.undecodable
         );
     }
-    let mut engine = stbus::gateway::replay::ReplayEngine::new(jobs);
-    let report = stbus::journal::replay_records(&read.records, |r| engine.execute(r));
+    let report = stbus::gateway::replay::replay_journal(&read.records, jobs);
     for (seq, verdict) in &report.results {
         match verdict {
             stbus::journal::ReplayResult::Matched => println!("seq {seq}: matched"),
@@ -543,6 +568,39 @@ fn replay<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
         // A real exit code (not an `Err` string) — the summary line just
         // printed is the diagnostic; USAGE would only bury it.
         std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `stbus bench-report` — render `BENCH_history.jsonl` (one dated JSON
+/// snapshot per nightly perf run) plus the current `BENCH_phase3.json`
+/// into the markdown trajectory table the perf PR body embeds: one row
+/// per snapshot, each headline metric annotated with its delta against
+/// the previous run.
+fn bench_report<'a>(args: &mut impl Iterator<Item = &'a str>) -> Result<(), String> {
+    let mut history = "BENCH_history.jsonl".to_string();
+    let mut snapshot: Option<String> = Some("BENCH_phase3.json".to_string());
+    let mut out: Option<String> = None;
+    while let Some(flag) = args.next() {
+        match flag {
+            "--history" => history = value(args, flag)?.to_string(),
+            "--snapshot" => snapshot = Some(value(args, flag)?.to_string()),
+            "--out" => out = Some(value(args, flag)?.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let history_text = std::fs::read_to_string(&history).map_err(|e| format!("{history}: {e}"))?;
+    // The snapshot is optional on disk (a fresh clone may only carry the
+    // history); explicit `--snapshot` paths must exist.
+    let snapshot_text = match &snapshot {
+        Some(path) if path == "BENCH_phase3.json" => std::fs::read_to_string(path).ok(),
+        Some(path) => Some(std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?),
+        None => None,
+    };
+    let report = stbus::bench_report::render(&history_text, snapshot_text.as_deref())?;
+    match out {
+        Some(path) => std::fs::write(&path, &report).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{report}"),
     }
     Ok(())
 }

@@ -55,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_report;
+
 pub use stbus_core as core;
 pub use stbus_exec as exec;
 pub use stbus_gateway as gateway;

@@ -164,6 +164,38 @@ fn recorded_history_replays_clean_at_one_and_four_jobs() {
 }
 
 #[test]
+fn chain_parallel_replay_matches_sequential() {
+    let dir = scratch_dir("chains");
+    let records = record_history(&dir);
+    // The history holds two independent chains (synthesize→delta, sweep)
+    // plus two unreplayable records; `replay_journal` at jobs=4 replays
+    // the chains concurrently on private engines and must merge back to
+    // the sequential report, verdict for verdict.
+    let sequential = stbus::gateway::replay::replay_journal(&records, None);
+    let parallel = stbus::gateway::replay::replay_journal(&records, NonZeroUsize::new(4));
+    assert!(
+        sequential.is_clean(),
+        "sequential replay must be clean: {sequential} — {:?}",
+        sequential.results
+    );
+    let render = |report: &stbus::journal::ReplayReport| {
+        report
+            .results
+            .iter()
+            .map(|(seq, verdict)| (*seq, format!("{verdict:?}")))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        render(&sequential),
+        render(&parallel),
+        "chain-parallel replay must match the sequential report"
+    );
+    assert_eq!(sequential.matched, parallel.matched);
+    assert_eq!(sequential.skipped, parallel.skipped);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn injected_solver_change_reports_diffs_without_panicking() {
     let dir = scratch_dir("diff");
     let mut records = record_history(&dir);
